@@ -1,0 +1,83 @@
+//! Eq. 2: the hot-threshold derivation (N = Δ_SBT/(p−1) ⇒ 8000 for
+//! BBT→SBT, 25 for interp→SBT), plus an empirical threshold-sensitivity
+//! sweep — the "balanced trade-off" of §3.2.
+
+use cdvm_bench::*;
+use cdvm_core::{model, Status, System};
+use cdvm_stats::Table;
+use cdvm_uarch::{MachineConfig, MachineKind};
+use cdvm_workloads::{build_app, winstone2004};
+
+fn main() {
+    let scale = env_scale();
+    banner("Eq. 2", "hot-threshold derivation and sensitivity", scale);
+
+    let d = model::bbt_derivation();
+    println!(
+        "BBT→SBT: N = {:.0} / ({:.2} − 1) = {} (paper: 1200/.15 = 8000)",
+        d.delta_sbt_x86,
+        d.speedup,
+        d.threshold
+    );
+    let di = model::interp_derivation();
+    println!(
+        "interp→SBT: N = {:.0} / ({:.0} − 1) = {} (paper: 25)\n",
+        di.delta_sbt_x86,
+        di.speedup,
+        di.threshold
+    );
+
+    // Sensitivity sweep on three representative apps.
+    let profiles = winstone2004();
+    let apps = [&profiles[1], &profiles[4], &profiles[8]]; // Excel, Norton, Winzip
+    let thresholds = [500u32, 2_000, 8_000, 32_000, 128_000];
+
+    let mut table = Table::new(&[
+        "threshold",
+        "finish cycles (M, avg)",
+        "SBT xlate %",
+        "coverage %",
+        "M_SBT (avg)",
+    ]);
+    let mut csv = String::from("threshold,cycles_m,sbt_xlate_pct,coverage_pct,m_sbt\n");
+    for &t in &thresholds {
+        let mut cyc = Vec::new();
+        let mut sx = Vec::new();
+        let mut cov = Vec::new();
+        let mut msbt = Vec::new();
+        for p in apps {
+            let wl = build_app(p, scale);
+            let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+            cfg.hot_threshold = ((t as f64 * scale) as u32).max(16);
+            let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+            let st = sys.run_to_completion(u64::MAX);
+            assert_eq!(st, Status::Halted);
+            cyc.push(sys.cycles() as f64 / 1e6);
+            let total = sys.timing.cycles_f();
+            sx.push(
+                100.0 * sys.timing.category_cycles(cdvm_uarch::CycleCat::SbtXlate) / total,
+            );
+            cov.push(100.0 * sys.hotspot_coverage());
+            msbt.push(sys.vm.as_ref().unwrap().stats.sbt_x86_insts as f64);
+        }
+        let row = (
+            cdvm_stats::arith_mean(&cyc),
+            cdvm_stats::arith_mean(&sx),
+            cdvm_stats::arith_mean(&cov),
+            cdvm_stats::arith_mean(&msbt),
+        );
+        table.row_owned(vec![
+            t.to_string(),
+            format!("{:.2}", row.0),
+            format!("{:.2}", row.1),
+            format!("{:.1}", row.2),
+            format!("{:.0}", row.3),
+        ]);
+        csv.push_str(&format!("{t},{:.3},{:.3},{:.2},{:.0}\n", row.0, row.1, row.2, row.3));
+    }
+    println!("{}", table.to_markdown());
+    println!("(thresholds scale with CDVM_SCALE so hot sets stay comparable; low");
+    println!(" thresholds inflate SBT overhead and M_SBT, high ones sacrifice");
+    println!(" coverage — the paper's argument for the balanced 8K setting)");
+    write_artifact("eq2_threshold_sweep.csv", &csv);
+}

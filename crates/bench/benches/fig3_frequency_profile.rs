@@ -1,0 +1,100 @@
+//! Figure 3: the Winstone2004 instruction execution frequency profile —
+//! static x86 instructions per execution-frequency decade (left axis)
+//! and the distribution of dynamic instructions (right axis), with the
+//! 8K hot-threshold line and the M_BBT/M_SBT aggregates of §3.2.
+
+use std::collections::HashMap;
+
+use cdvm_bench::*;
+use cdvm_core::Status;
+use cdvm_stats::{arith_mean, FreqHistogram, Table};
+use cdvm_workloads::{build_app, winstone2004};
+
+fn main() {
+    let scale = env_scale();
+    banner("Figure 3", "instruction execution frequency profile (100M traces)", scale);
+
+    let profiles = winstone2004();
+    let mut per_app: Vec<(String, FreqHistogram)> = Vec::new();
+    for p in &profiles {
+        // Pure functional execution with per-PC retire counts.
+        let wl = build_app(p, scale);
+        let mut mem = wl.mem;
+        let mut cpu = cdvm_x86::Cpu::at(wl.entry);
+        cpu.gpr[cdvm_x86::Gpr::Esp as usize] = cdvm_core::DEFAULT_STACK_TOP;
+        let mut interp = cdvm_x86::Interp::new();
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        let status = loop {
+            match interp.step(&mut cpu, &mut mem) {
+                Ok(r) => {
+                    *counts.entry(r.pc).or_insert(0) += 1;
+                    if r.halted {
+                        break Status::Halted;
+                    }
+                }
+                Err(f) => break Status::Faulted(f),
+            }
+        };
+        assert_eq!(status, Status::Halted, "{}", p.name);
+        per_app.push((
+            p.name.to_string(),
+            FreqHistogram::from_counts(counts.values().copied()),
+        ));
+    }
+
+    // Scale-adjusted hot threshold: the paper's 8000 at the full 100M.
+    let hot = ((8000.0 * scale) as u64).max(8);
+
+    let mut table = Table::new(&[
+        "bucket",
+        "static insts (x1000, avg)",
+        "dynamic distr. %",
+    ]);
+    let mut csv = String::from("bucket,static_k,dynamic_pct\n");
+    let nbuckets = per_app[0].1.buckets().len();
+    for b in 0..nbuckets {
+        let stat: f64 = arith_mean(
+            &per_app
+                .iter()
+                .map(|(_, h)| h.buckets()[b].static_count as f64 / 1000.0)
+                .collect::<Vec<_>>(),
+        );
+        let dynp: f64 = arith_mean(
+            &per_app
+                .iter()
+                .map(|(_, h)| {
+                    100.0 * h.buckets()[b].dynamic_count as f64 / h.dynamic_total().max(1) as f64
+                })
+                .collect::<Vec<_>>(),
+        );
+        let label = per_app[0].1.buckets()[b].label();
+        table.row_owned(vec![label.clone(), format!("{stat:.2}"), format!("{dynp:.1}")]);
+        csv.push_str(&format!("{label},{stat:.3},{dynp:.2}\n"));
+    }
+    println!("{}", table.to_markdown());
+
+    let m_bbt: Vec<f64> = per_app.iter().map(|(_, h)| h.static_total() as f64).collect();
+    let m_sbt: Vec<f64> = per_app
+        .iter()
+        .map(|(_, h)| h.hot_static(hot) as f64)
+        .collect();
+    let cover: Vec<f64> = per_app
+        .iter()
+        .map(|(_, h)| h.hot_dynamic_fraction(hot) * 100.0)
+        .collect();
+    println!(
+        "hot threshold (scaled): {hot}  |  avg M_BBT = {:.0} static insts (paper ~150K at full scale)",
+        arith_mean(&m_bbt)
+    );
+    println!(
+        "avg M_SBT = {:.0} static insts above threshold (paper ~3K)  |  hot dynamic share {:.0}%",
+        arith_mean(&m_sbt),
+        arith_mean(&cover)
+    );
+    println!(
+        "Eq.1 at these averages: BBT = {:.2}M, SBT = {:.2}M native instructions",
+        arith_mean(&m_bbt) * 105.0 / 1e6,
+        arith_mean(&m_sbt) * 1674.0 / 1e6
+    );
+    write_artifact("fig3_frequency_profile.csv", &csv);
+}

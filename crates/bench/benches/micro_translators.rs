@@ -1,0 +1,127 @@
+//! Criterion microbenchmarks of the translation machinery itself: raw
+//! decoder/cracker throughput, BBT and SBT translation rates, native
+//! execution and chaining.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use cdvm_core::{Status, System};
+use cdvm_cracker::{crack, HwXlt};
+use cdvm_fisa::XltAssist;
+use cdvm_mem::GuestMem;
+use cdvm_uarch::MachineKind;
+use cdvm_workloads::{build_app, winstone2004};
+use cdvm_x86::{decode, Asm, AluOp, Cond, Gpr, MemRef};
+
+fn sample_code() -> Vec<u8> {
+    let mut asm = Asm::new(0x40_0000);
+    for i in 0..64 {
+        asm.mov_ri(Gpr::Eax, i);
+        asm.alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ebx);
+        asm.mov_rm(Gpr::Ecx, MemRef::base_disp(Gpr::Ebp, -8));
+        asm.alu_ri(AluOp::Cmp, Gpr::Ecx, 100);
+        let l = asm.label();
+        asm.jcc(Cond::L, l);
+        asm.bind(l);
+    }
+    asm.hlt();
+    asm.finish()
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let code = sample_code();
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Elements(321));
+    g.bench_function("x86_decode_stream", |b| {
+        b.iter(|| {
+            let mut pc = 0x40_0000u32;
+            let mut off = 0usize;
+            let mut n = 0u32;
+            while off < code.len() {
+                let i = decode(&code[off..], pc).unwrap();
+                off += i.len as usize;
+                pc += i.len as u32;
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_crack(c: &mut Criterion) {
+    let code = sample_code();
+    let mut insts = Vec::new();
+    let mut pc = 0x40_0000u32;
+    let mut off = 0usize;
+    while off < code.len() {
+        let i = decode(&code[off..], pc).unwrap();
+        insts.push((pc, i));
+        off += i.len as usize;
+        pc += i.len as u32;
+    }
+    let mut g = c.benchmark_group("crack");
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("crack_stream", |b| {
+        b.iter(|| {
+            insts
+                .iter()
+                .map(|(pc, i)| crack(i, *pc).uops.len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_xlt_unit(c: &mut Criterion) {
+    let mut unit = HwXlt::new();
+    let mut fsrc = [0u8; 16];
+    fsrc[..3].copy_from_slice(&[0x8b, 0x45, 0xf8]); // mov eax,[ebp-8]
+    c.bench_function("xltx86_invocation", |b| {
+        b.iter(|| unit.xlt(&fsrc, 0x40_0000).csr.to_bits())
+    });
+}
+
+fn bench_system_throughput(c: &mut Criterion) {
+    let profile = &winstone2004()[1];
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    for kind in [MachineKind::RefSuperscalar, MachineKind::VmSoft, MachineKind::VmFe] {
+        g.bench_function(format!("run_200k_insts_{kind}"), |b| {
+            b.iter_batched(
+                || {
+                    let wl = build_app(profile, 0.01);
+                    System::new(kind, wl.mem, wl.entry)
+                },
+                |mut sys| {
+                    let st = sys.run_slice(200_000);
+                    assert!(matches!(st, Status::Running | Status::Halted));
+                    sys.cycles()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_guest_mem(c: &mut Criterion) {
+    use cdvm_mem::Memory;
+    let mut mem = GuestMem::new();
+    c.bench_function("guestmem_read_u32_seq", |b| {
+        let mut a = 0u32;
+        b.iter(|| {
+            a = a.wrapping_add(4);
+            mem.read_u32(a & 0xf_ffff)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_crack,
+    bench_xlt_unit,
+    bench_system_throughput,
+    bench_guest_mem
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Table 2: the simulated machine configurations.
+
+use cdvm_bench::*;
+use cdvm_stats::Table;
+use cdvm_uarch::{MachineConfig, MachineKind};
+
+fn main() {
+    banner("Table 2", "machine configurations", env_scale());
+
+    let mut table = Table::new(&["parameter", "Ref: superscalar", "VM.soft", "VM.be", "VM.fe"]);
+    table.row(&[
+        "cold x86 code",
+        "HW x86 decoders, no opt",
+        "software BBT, no opts",
+        "BBT via backend XLTx86",
+        "HW dual-mode decoders",
+    ]);
+    table.row(&[
+        "hotspot x86 code",
+        "HW x86 decoders, no opt",
+        "software SBT",
+        "software SBT",
+        "software SBT",
+    ]);
+    let cfgs: Vec<MachineConfig> = [
+        MachineKind::RefSuperscalar,
+        MachineKind::VmSoft,
+        MachineKind::VmBe,
+        MachineKind::VmFe,
+    ]
+    .iter()
+    .map(|&k| MachineConfig::preset(k))
+    .collect();
+    let row4 = |name: &str, f: &dyn Fn(&MachineConfig) -> String, t: &mut Table| {
+        t.row_owned(vec![
+            name.to_string(),
+            f(&cfgs[0]),
+            f(&cfgs[1]),
+            f(&cfgs[2]),
+            f(&cfgs[3]),
+        ]);
+    };
+    row4("pipeline width", &|c| format!("{}-wide", c.width), &mut table);
+    row4(
+        "dispatch utilisation (interval model)",
+        &|c| format!("{:.2}", c.util),
+        &mut table,
+    );
+    row4(
+        "mispredict penalty (native / x86 decode path)",
+        &|c| format!("{} / {}", c.native_front_depth, c.x86_front_depth),
+        &mut table,
+    );
+    row4(
+        "memory latency (cycles)",
+        &|c| c.mem_latency.to_string(),
+        &mut table,
+    );
+    row4(
+        "hot threshold",
+        &|c| c.hot_threshold.to_string(),
+        &mut table,
+    );
+    row4(
+        "BBT / SBT code cache",
+        &|c| {
+            format!(
+                "{}MB / {}MB",
+                c.bbt_cache_bytes >> 20,
+                c.sbt_cache_bytes >> 20
+            )
+        },
+        &mut table,
+    );
+    println!("{}", table.to_markdown());
+
+    println!("shared structures (Table 2):");
+    println!("  ROB/issue: 36 issue queue slots, 128 ROB entries, 32 LD / 20 ST queue slots");
+    println!("  L1 I-cache: 64KB 2-way 64B lines, 2-cycle latency");
+    println!("  L1 D-cache: 64KB 8-way 64B lines, 3-cycle latency");
+    println!("  L2: 2MB 8-way 64B lines, 12-cycle latency; memory: 168 CPU cycles");
+    println!();
+    println!("derived translation costs:");
+    let soft = MachineConfig::preset(MachineKind::VmSoft);
+    println!(
+        "  Δ_BBT = {:.0} native instructions ≈ {:.0} cycles/x86 inst (software)",
+        soft.bbt_sw_native_instrs,
+        soft.bbt_sw_cycles()
+    );
+    println!(
+        "  Δ_BBT = {:.0} cycles/x86 inst under XLTx86 (HAloop, Fig. 6a)",
+        MachineConfig::preset(MachineKind::VmBe).bbt_be_cycles
+    );
+    println!(
+        "  Δ_SBT = {:.0} native instructions ≈ {:.0} cycles/hot x86 inst",
+        soft.sbt_native_instrs,
+        soft.sbt_cycles()
+    );
+}

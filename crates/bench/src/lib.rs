@@ -1,0 +1,304 @@
+//! Shared harness for the figure/table benchmarks.
+//!
+//! Every `cargo bench` target in this crate regenerates one table or
+//! figure of the paper. The harness runs the ten Winstone-like apps on
+//! the requested machine configurations (in parallel), samples startup
+//! curves on the paper's logarithmic cycle axis, and renders markdown
+//! tables, ASCII plots and CSV files (under `target/figures/`).
+//!
+//! Trace lengths scale with `CDVM_SCALE` (default 0.1 ⇒ one tenth of the
+//! paper's 100M/500M-instruction traces; set `CDVM_SCALE=1.0` for
+//! full-length runs).
+
+use std::path::PathBuf;
+
+use cdvm_core::{Status, System};
+use cdvm_stats::{harmonic_mean, LogSampler};
+use cdvm_uarch::{CycleCat, MachineConfig, MachineKind, NUM_CATS};
+use cdvm_workloads::{winstone2004, AppProfile};
+
+pub use cdvm_workloads::env_scale;
+
+/// Instructions per sampling slice.
+pub const SAMPLE_SLICE: u64 = 4096;
+
+/// One app × machine startup run with its sampled curves.
+#[derive(Debug)]
+pub struct CurveResult {
+    /// Machine configuration.
+    pub kind: MachineKind,
+    /// Application name.
+    pub app: String,
+    /// Cumulative retired x86 instructions over cycles.
+    pub instrs: LogSampler,
+    /// Cumulative x86-decoder-active cycles over cycles.
+    pub activity: LogSampler,
+    /// Final cycle count.
+    pub cycles: u64,
+    /// Final retired-instruction count.
+    pub x86_retired: u64,
+    /// Per-category cycle totals.
+    pub breakdown: [f64; NUM_CATS],
+    /// Final hotspot coverage.
+    pub coverage: f64,
+    /// BBT static instructions translated (M_BBT proxy).
+    pub m_bbt: u64,
+    /// SBT static instructions optimized (M_SBT proxy).
+    pub m_sbt: u64,
+    /// Fraction of SBT-emitted micro-ops in fused pairs.
+    pub fused_frac: f64,
+}
+
+/// Runs one application on one machine, sampling startup curves.
+/// `length_mult` stretches the trace without growing the app (the
+/// paper's 500M-instruction runs use 5.0).
+pub fn run_curve(
+    cfg: MachineConfig,
+    profile: &AppProfile,
+    scale: f64,
+    length_mult: f64,
+) -> CurveResult {
+    let wl = cdvm_workloads::build_app_run(profile, scale, length_mult);
+    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+    let mut instrs = LogSampler::new(12);
+    let mut activity = LogSampler::new(12);
+    loop {
+        let st = sys.run_slice(SAMPLE_SLICE);
+        instrs.record(sys.cycles(), sys.x86_retired() as f64);
+        activity.record(sys.cycles(), sys.timing.decoder_active_cycles());
+        if st != Status::Running {
+            assert_eq!(st, Status::Halted, "{} on {}", profile.name, cfg.kind);
+            break;
+        }
+    }
+    instrs.finish(sys.cycles(), sys.x86_retired() as f64);
+    activity.finish(sys.cycles(), sys.timing.decoder_active_cycles());
+
+    let mut breakdown = [0.0; NUM_CATS];
+    for (i, c) in CycleCat::ALL.iter().enumerate() {
+        breakdown[i] = sys.timing.category_cycles(*c);
+    }
+    let (m_bbt, m_sbt, fused_frac) = match sys.vm.as_ref() {
+        Some(vm) => (
+            vm.stats.bbt_x86_insts - vm.stats.bbt_retranslated_insts - vm.stats.bbt_upgraded_insts,
+            vm.stats.sbt_x86_insts,
+            if vm.stats.sbt_uops == 0 {
+                0.0
+            } else {
+                vm.stats.sbt_fused_uops as f64 / vm.stats.sbt_uops as f64
+            },
+        ),
+        None => (0, 0, 0.0),
+    };
+    CurveResult {
+        kind: cfg.kind,
+        app: profile.name.to_string(),
+        instrs,
+        activity,
+        cycles: sys.cycles(),
+        x86_retired: sys.x86_retired(),
+        breakdown,
+        coverage: sys.hotspot_coverage(),
+        m_bbt,
+        m_sbt,
+        fused_frac,
+    }
+}
+
+/// Runs all ten apps × the given machines, in parallel.
+pub fn run_matrix(kinds: &[MachineKind], scale: f64, length_mult: f64) -> Vec<CurveResult> {
+    let profiles = winstone2004();
+    let mut jobs: Vec<(MachineKind, AppProfile)> = Vec::new();
+    for &k in kinds {
+        for p in &profiles {
+            jobs.push((k, p.clone()));
+        }
+    }
+    run_jobs(jobs, scale, length_mult)
+}
+
+/// Runs an explicit job list in parallel (bounded by available cores).
+pub fn run_jobs(
+    jobs: Vec<(MachineKind, AppProfile)>,
+    scale: f64,
+    length_mult: f64,
+) -> Vec<CurveResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let queue = crossbeam::queue::SegQueue::new();
+    for (i, j) in jobs.into_iter().enumerate() {
+        queue.push((i, j));
+    }
+    let results = parking_lot::Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                while let Some((i, (kind, profile))) = queue.pop() {
+                    let r = run_curve(MachineConfig::preset(kind), &profile, scale, length_mult);
+                    results.lock().push((i, r));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The reference machine's steady-state IPC for an app set: tail rate of
+/// each Ref run (used as the paper's normalisation basis).
+pub fn ref_steady_ipc(results: &[CurveResult]) -> f64 {
+    let tails: Vec<f64> = results
+        .iter()
+        .filter(|r| r.kind == MachineKind::RefSuperscalar)
+        .map(tail_ipc)
+        .collect();
+    harmonic_mean(&tails)
+}
+
+/// IPC over the last half of a run (steady-state estimate).
+pub fn tail_ipc(r: &CurveResult) -> f64 {
+    let half = r.cycles / 2;
+    let at_half = r.instrs.value_at(half).unwrap_or(0.0);
+    (r.x86_retired as f64 - at_half) / (r.cycles - half) as f64
+}
+
+/// Mean normalized aggregate-IPC curve across apps for one machine, at
+/// log-spaced probe points.
+pub fn mean_curve(results: &[CurveResult], kind: MachineKind, norm: f64) -> Vec<(u64, f64)> {
+    let per_app: Vec<&CurveResult> = results.iter().filter(|r| r.kind == kind).collect();
+    if per_app.is_empty() {
+        return Vec::new();
+    }
+    let max_cycles = per_app.iter().map(|r| r.cycles).max().unwrap();
+    let mut out = Vec::new();
+    let mut c = 1000u64;
+    while c <= max_cycles {
+        let mut vals = Vec::new();
+        for r in &per_app {
+            // Clamp beyond end-of-trace to the final aggregate (the
+            // paper's "Finish" column).
+            let cc = c.min(r.cycles);
+            let v = r.instrs.value_at(cc).unwrap_or(0.0);
+            if cc > 0 && v > 0.0 {
+                vals.push(v / cc as f64);
+            } else {
+                vals.push(1e-9);
+            }
+        }
+        out.push((c, harmonic_mean(&vals) / norm));
+        c = (c as f64 * 1.4) as u64;
+    }
+    out
+}
+
+/// Mean decoder-activity curve (fraction of cycles active) for one
+/// machine.
+pub fn mean_activity_curve(results: &[CurveResult], kind: MachineKind) -> Vec<(u64, f64)> {
+    let per_app: Vec<&CurveResult> = results.iter().filter(|r| r.kind == kind).collect();
+    if per_app.is_empty() {
+        return Vec::new();
+    }
+    let max_cycles = per_app.iter().map(|r| r.cycles).max().unwrap();
+    let mut out = Vec::new();
+    let mut c = 1000u64;
+    while c <= max_cycles {
+        let mut acc = 0.0;
+        for r in &per_app {
+            let cc = c.min(r.cycles);
+            let v = r.activity.value_at(cc).unwrap_or(0.0);
+            acc += (v / cc as f64).min(1.0);
+        }
+        out.push((c, acc / per_app.len() as f64));
+        c = (c as f64 * 1.4) as u64;
+    }
+    out
+}
+
+/// Renders a log-x ASCII plot of one or more named series.
+pub fn ascii_plot(title: &str, series: &[(&str, &[(u64, f64)])], y_max: f64) -> String {
+    const W: usize = 78;
+    const H: usize = 20;
+    let min_x = series
+        .iter()
+        .filter_map(|(_, s)| s.first().map(|p| p.0))
+        .min()
+        .unwrap_or(1) as f64;
+    let max_x = series
+        .iter()
+        .filter_map(|(_, s)| s.last().map(|p| p.0))
+        .max()
+        .unwrap_or(10) as f64;
+    let lx = |x: f64| {
+        (((x.ln() - min_x.ln()) / (max_x.ln() - min_x.ln()).max(1e-9)) * (W - 1) as f64) as usize
+    };
+    let mut grid = vec![vec![' '; W]; H];
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        for &(x, y) in *pts {
+            let col = lx(x as f64).min(W - 1);
+            let row = ((1.0 - (y / y_max).clamp(0.0, 1.0)) * (H - 1) as f64) as usize;
+            grid[row][col] = glyphs[si % glyphs.len()];
+        }
+    }
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{y_max:>6.2} |"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(H - 1).skip(1) {
+        out.push_str("       |");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>6.2} +", 0.0));
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str(&format!(
+        "        {:<10}{:^58}{:>10}\n",
+        format_cycles(min_x as u64),
+        "time: cycles (log scale)",
+        format_cycles(max_x as u64)
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("        {} {name}\n", glyphs[si % glyphs.len()]));
+    }
+    out
+}
+
+/// Human-readable cycle count (1.0K/3.2M/…).
+pub fn format_cycles(c: u64) -> String {
+    match c {
+        0..=9_999 => format!("{c}"),
+        10_000..=9_999_999 => format!("{:.1}K", c as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}M", c as f64 / 1e6),
+        _ => format!("{:.2}G", c as f64 / 1e9),
+    }
+}
+
+/// Output directory for CSV artifacts (`target/figures`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Writes a CSV artifact and reports the path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = out_dir().join(name);
+    std::fs::write(&path, contents).expect("write figure artifact");
+    println!("[artifact] {}", path.display());
+}
+
+/// Standard header every figure harness prints.
+pub fn banner(fig: &str, what: &str, scale: f64) {
+    println!("================================================================");
+    println!("{fig}: {what}");
+    println!(
+        "scale: CDVM_SCALE={scale} (reference trace = {}M x86 instructions)",
+        (100.0 * scale).round()
+    );
+    println!("================================================================");
+}

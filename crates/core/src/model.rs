@@ -1,0 +1,106 @@
+//! The paper's analytical startup models (§3.2).
+
+/// Eq. 1: total translation overhead in native instructions.
+///
+/// `Translation overhead = M_BBT · Δ_BBT + M_SBT · Δ_SBT`
+///
+/// where `m_bbt` is the number of static instructions touched (all get
+/// BBT-translated), `m_sbt` the number promoted to hotspots, and the
+/// deltas the per-instruction translation costs.
+///
+/// # Example
+///
+/// ```
+/// // The paper's §3.2 numbers: 150K·105 + 3K·1674 ≈ 15.75M + 5.02M.
+/// let (bbt, sbt) = cdvm_core::model::translation_overhead(150_000, 105.0, 3_000, 1674.0);
+/// assert!((bbt - 15.75e6).abs() < 0.1e6);
+/// assert!((sbt - 5.02e6).abs() < 0.1e6);
+/// ```
+pub fn translation_overhead(m_bbt: u64, d_bbt: f64, m_sbt: u64, d_sbt: f64) -> (f64, f64) {
+    (m_bbt as f64 * d_bbt, m_sbt as f64 * d_sbt)
+}
+
+/// Eq. 2: the break-even hot threshold.
+///
+/// `N · t_b = (N + Δ_SBT) · t_b / p  ⇒  N = Δ_SBT / (p − 1)`
+///
+/// `delta_sbt` is the SBT cost per instruction measured in units of the
+/// *current-tier* execution (x86 instructions when coming from BBT code,
+/// as in the paper's 1152-instruction measurement), and `p` the speedup
+/// of optimized code over the current tier.
+///
+/// # Panics
+///
+/// Panics if `p <= 1` (optimization that does not speed code up has no
+/// finite break-even threshold).
+pub fn hot_threshold(delta_sbt: f64, p: f64) -> u32 {
+    assert!(p > 1.0, "speedup must exceed 1 for a finite threshold");
+    (delta_sbt / (p - 1.0)).round() as u32
+}
+
+/// The paper's two staged-emulation operating points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDerivation {
+    /// Δ_SBT in x86 instructions (measured: 1152, used as ≈1200).
+    pub delta_sbt_x86: f64,
+    /// Speedup of SBT code over the lower tier.
+    pub speedup: f64,
+    /// The resulting threshold.
+    pub threshold: u32,
+}
+
+/// The BBT→SBT derivation (≈8000 at p = 1.15).
+pub fn bbt_derivation() -> ThresholdDerivation {
+    ThresholdDerivation {
+        delta_sbt_x86: 1200.0,
+        speedup: 1.15,
+        threshold: hot_threshold(1200.0, 1.15),
+    }
+}
+
+/// The interpreter→SBT derivation (≈25: SBT code runs ~49× faster than
+/// interpretation).
+pub fn interp_derivation() -> ThresholdDerivation {
+    ThresholdDerivation {
+        delta_sbt_x86: 1200.0,
+        speedup: 49.0,
+        threshold: hot_threshold(1200.0, 49.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_threshold_is_8000() {
+        assert_eq!(bbt_derivation().threshold, 8000);
+    }
+
+    #[test]
+    fn interp_threshold_is_25() {
+        assert_eq!(interp_derivation().threshold, 25);
+    }
+
+    #[test]
+    fn eq1_components() {
+        let (b, s) = translation_overhead(150_000, 105.0, 3_000, 1674.0);
+        assert_eq!(b, 15_750_000.0);
+        assert_eq!(s, 5_022_000.0);
+        assert!(b > s, "BBT dominates translation overhead (§3.2)");
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        // Higher optimizer speedup -> lower threshold; costlier optimizer
+        // -> higher threshold.
+        assert!(hot_threshold(1200.0, 1.2) < hot_threshold(1200.0, 1.15));
+        assert!(hot_threshold(2400.0, 1.15) > hot_threshold(1200.0, 1.15));
+    }
+
+    #[test]
+    #[should_panic]
+    fn no_speedup_panics() {
+        hot_threshold(1200.0, 1.0);
+    }
+}

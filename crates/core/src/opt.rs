@@ -1,0 +1,448 @@
+//! The SBT optimizer: copy folding, dead-flag elision and macro-op
+//! fusion over straight-line micro-op runs.
+//!
+//! The superblock translator accumulates the cracked micro-ops of
+//! consecutive x86 instructions into *runs* (no internal control flow),
+//! optimizes each run, and only then lays it out. Condition flags are
+//! conservatively live at run boundaries — side exits restore the full
+//! architected state — so every transformation here is sound without
+//! repair code.
+
+use cdvm_fisa::{can_fuse, uop_dest, uop_sources, Op, Uop};
+use cdvm_x86::{Cond, Flags};
+
+/// Per-run optimization statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Micro-ops participating in fused macro-op pairs (heads + tails).
+    pub fused: u32,
+    /// Flag computations elided.
+    pub elided: u32,
+    /// Micro-ops removed (copy folding, dead compares).
+    pub removed: u32,
+}
+
+const ALL_FLAGS: u32 = Flags::STATUS_MASK;
+
+/// Flag bits a condition consumes.
+fn cond_bits(c: Cond) -> u32 {
+    match c {
+        Cond::O | Cond::No => Flags::OF,
+        Cond::B | Cond::Ae => Flags::CF,
+        Cond::E | Cond::Ne => Flags::ZF,
+        Cond::Be | Cond::A => Flags::CF | Flags::ZF,
+        Cond::S | Cond::Ns => Flags::SF,
+        Cond::P | Cond::Np => Flags::PF,
+        Cond::L | Cond::Ge => Flags::SF | Flags::OF,
+        Cond::Le | Cond::G => Flags::ZF | Flags::SF | Flags::OF,
+    }
+}
+
+/// Flag bits a micro-op reads.
+pub(crate) fn flags_read(u: &Uop) -> u32 {
+    match u.op {
+        Op::Adc | Op::Sbb => Flags::CF,
+        Op::Bcc(c) | Op::Setcc(c) | Op::Cmovcc(c) => cond_bits(c),
+        Op::RdDf => Flags::DF,
+        _ => 0,
+    }
+}
+
+/// Flag bits a micro-op *may* write (used for hazard checks).
+pub(crate) fn flags_may_write(u: &Uop) -> u32 {
+    use cdvm_fisa::regs::VMM_SP;
+    match u.op {
+        _ if !u.set_flags => match u.op {
+            Op::CmpF | Op::TestF | Op::IncF | Op::DecF => ALL_FLAGS, // inherently flagged
+            Op::Sys(cdvm_fisa::SysOp::Cld) | Op::Sys(cdvm_fisa::SysOp::Std) => Flags::DF,
+            _ => 0,
+        },
+        Op::Rol | Op::Ror => Flags::CF | Flags::OF,
+        Op::Shl | Op::Shr | Op::Sar => {
+            if u.rs2 == VMM_SP && u.imm == 0 {
+                0
+            } else {
+                ALL_FLAGS
+            }
+        }
+        _ => ALL_FLAGS,
+    }
+}
+
+/// Flag bits a micro-op *always* overwrites (kill set for liveness).
+pub(crate) fn flags_must_kill(u: &Uop) -> u32 {
+    use cdvm_fisa::regs::VMM_SP;
+    match u.op {
+        Op::CmpF | Op::TestF => ALL_FLAGS,
+        Op::IncF | Op::DecF => ALL_FLAGS & !Flags::CF,
+        _ if !u.set_flags => 0,
+        Op::Shl | Op::Shr | Op::Sar => {
+            // Zero counts leave flags untouched; register counts are
+            // data-dependent.
+            if u.rs2 == VMM_SP && u.imm != 0 {
+                ALL_FLAGS
+            } else {
+                0
+            }
+        }
+        Op::Rol | Op::Ror => {
+            if u.rs2 == VMM_SP && u.imm != 0 {
+                Flags::CF | Flags::OF
+            } else {
+                0
+            }
+        }
+        _ => ALL_FLAGS,
+    }
+}
+
+fn is_temp(r: u8) -> bool {
+    (8..=15).contains(&r)
+}
+
+/// True if the micro-op has a rewritable destination (its semantics do
+/// not read `rd`).
+fn rd_rewritable(u: &Uop) -> bool {
+    uop_dest(u).is_some() && !matches!(u.op, Op::Limmh)
+}
+
+/// Copy folding: `op → T ; Mov reg ← T` with `T` a dead-after temp
+/// becomes `op → reg`.
+fn fold_copies(run: &mut Vec<(Uop, u16)>, live_out: &[u8]) -> u32 {
+    let mut removed = 0;
+    let mut i = 0;
+    while i + 1 < run.len() {
+        let (cur, _) = run[i];
+        let (next, _) = run[i + 1];
+        let foldable = matches!(next.op, Op::Mov)
+            && next.rs2 != cdvm_fisa::regs::VMM_SP
+            && is_temp(next.rs2)
+            && uop_dest(&cur) == Some(next.rs2)
+            && rd_rewritable(&cur)
+            && !live_out.contains(&next.rs2)
+            && cur.rd != next.rd
+            // The folded destination must not be a source of `cur` whose
+            // old value other later ops need — conservatively require the
+            // new rd not be read by cur itself beyond normal semantics.
+            && !run[i + 2..].iter().any(|(u, _)| {
+                uop_sources(u).contains(&next.rs2)
+            });
+        if foldable {
+            let new_rd = next.rd;
+            run[i].0.rd = new_rd;
+            run.remove(i + 1);
+            removed += 1;
+        } else {
+            i += 1;
+        }
+    }
+    removed
+}
+
+/// Dead-flag elision (backward liveness over the run; everything live at
+/// the run boundary).
+fn elide_flags(run: &mut Vec<(Uop, u16)>) -> (u32, u32) {
+    let mut elided = 0;
+    let mut removed = 0;
+    let mut live = ALL_FLAGS | Flags::DF;
+    let mut kill_list = Vec::new();
+    for idx in (0..run.len()).rev() {
+        let u = run[idx].0;
+        let may = flags_may_write(&u);
+        let observed = may & live;
+        if may != 0 && observed == 0 {
+            match u.op {
+                Op::CmpF | Op::TestF => {
+                    // Pure flag producers with no observer: dead code.
+                    kill_list.push(idx);
+                    removed += 1;
+                    continue;
+                }
+                Op::IncF => {
+                    run[idx].0 = Uop {
+                        op: Op::Add,
+                        rs2: cdvm_fisa::regs::VMM_SP,
+                        imm: 1,
+                        set_flags: false,
+                        ..u
+                    };
+                    elided += 1;
+                }
+                Op::DecF => {
+                    run[idx].0 = Uop {
+                        op: Op::Add,
+                        rs2: cdvm_fisa::regs::VMM_SP,
+                        imm: -1,
+                        set_flags: false,
+                        ..u
+                    };
+                    elided += 1;
+                }
+                _ if u.set_flags => {
+                    run[idx].0.set_flags = false;
+                    elided += 1;
+                }
+                _ => {}
+            }
+        }
+        let u = run[idx].0; // possibly rewritten
+        live = (live & !flags_must_kill(&u)) | flags_read(&u);
+    }
+    for idx in kill_list {
+        run.remove(idx);
+    }
+    (elided, removed)
+}
+
+/// Register/flag hazard check: may `mover` be hoisted over `other`?
+fn independent(mover: &Uop, other: &Uop) -> bool {
+    let m_src = uop_sources(mover);
+    let m_dst = uop_dest(mover);
+    let o_src = uop_sources(other);
+    let o_dst = uop_dest(other);
+    if let Some(od) = o_dst {
+        if m_src.contains(&od) {
+            return false; // RAW
+        }
+        if m_dst == Some(od) {
+            return false; // WAW
+        }
+    }
+    if let Some(md) = m_dst {
+        if o_src.contains(&md) {
+            return false; // WAR
+        }
+    }
+    // Flag hazards.
+    let m_reads = flags_read(mover);
+    let m_writes = flags_may_write(mover);
+    let o_reads = flags_read(other);
+    let o_writes = flags_may_write(other);
+    if m_reads & o_writes != 0 {
+        return false;
+    }
+    if m_writes != 0 && (o_reads | o_writes) != 0 {
+        return false;
+    }
+    // Memory ops never move (also excluded by fusion candidacy).
+    if mover.op.is_mem() || other.op.is_ctl() {
+        return false;
+    }
+    true
+}
+
+const FUSION_WINDOW: usize = 4;
+
+/// Macro-op pairing: for each candidate head, find a dependent
+/// single-cycle consumer within the window, hoist it adjacent, and set
+/// the fusible bit (Hu & Smith's dependent-pair fusion).
+fn fuse_pairs(run: &mut Vec<(Uop, u16)>) -> u32 {
+    let mut fused = 0;
+    let mut i = 0;
+    while i < run.len() {
+        let head = run[i].0;
+        if head.fusible || !cdvm_fisa::is_fusion_candidate(&head) || uop_dest(&head).is_none() {
+            i += 1;
+            continue;
+        }
+        let hd = uop_dest(&head).unwrap();
+        let limit = (i + 1 + FUSION_WINDOW).min(run.len());
+        let mut chosen = None;
+        'search: for j in i + 1..limit {
+            let tail = run[j].0;
+            if tail.fusible || !can_fuse(&head, &tail) {
+                continue;
+            }
+            // The value dependence must really be on `head` (nothing in
+            // between redefines hd), and the tail must hoist cleanly.
+            for k in i + 1..j {
+                let mid = run[k].0;
+                if uop_dest(&mid) == Some(hd) {
+                    continue 'search;
+                }
+                if !independent(&tail, &mid) {
+                    continue 'search;
+                }
+            }
+            chosen = Some(j);
+            break;
+        }
+        if let Some(j) = chosen {
+            let tail = run.remove(j);
+            run.insert(i + 1, tail);
+            run[i].0.fusible = true;
+            fused += 2;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    fused
+}
+
+/// Optimizes one straight-line run in place. `live_out` lists temps that
+/// escape the run (e.g. an indirect-branch target register consumed by
+/// the exit sequence).
+pub fn optimize_run(run: &mut Vec<(Uop, u16)>, live_out: &[u8]) -> RunStats {
+    let mut stats = RunStats::default();
+    stats.removed += fold_copies(run, live_out);
+    let (elided, removed) = elide_flags(run);
+    stats.elided += elided;
+    stats.removed += removed;
+    stats.fused += fuse_pairs(run);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm_fisa::regs;
+    use cdvm_x86::Width;
+
+    fn add_f(rd: u8, rs1: u8, rs2: u8) -> (Uop, u16) {
+        (Uop::alu(Op::Add, rd, rs1, rs2).with_flags(Width::W32), 0)
+    }
+
+    fn mov(rd: u8, rs: u8) -> (Uop, u16) {
+        (Uop::alu(Op::Mov, rd, rd, rs), 0)
+    }
+
+    #[test]
+    fn copy_folding_rewrites_destination() {
+        // t0 = eax + ebx (flags); ecx = t0
+        let mut run = vec![add_f(regs::T0, regs::EAX, regs::EBX), mov(regs::ECX, regs::T0)];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.removed, 1);
+        assert_eq!(run.len(), 1);
+        assert_eq!(run[0].0.rd, regs::ECX);
+    }
+
+    #[test]
+    fn copy_folding_respects_live_out_temps() {
+        let mut run = vec![add_f(regs::T0, regs::EAX, regs::EBX), mov(regs::ECX, regs::T0)];
+        let s = optimize_run(&mut run, &[regs::T0]);
+        assert_eq!(s.removed, 0);
+        assert_eq!(run.len(), 2);
+    }
+
+    #[test]
+    fn copy_folding_respects_later_uses() {
+        let mut run = vec![
+            add_f(regs::T0, regs::EAX, regs::EBX),
+            mov(regs::ECX, regs::T0),
+            (Uop::alu(Op::Sub, regs::EDX, regs::EDX, regs::T0), 0),
+        ];
+        optimize_run(&mut run, &[]);
+        assert_eq!(run.len(), 3, "t0 still read later");
+    }
+
+    #[test]
+    fn dead_flags_elided_when_overwritten() {
+        // add eax (flags) ; sub ebx (flags) — only sub's flags observable
+        let mut run = vec![
+            add_f(regs::EAX, regs::EAX, regs::ECX),
+            (Uop::alu(Op::Sub, regs::EBX, regs::EBX, regs::ECX).with_flags(Width::W32), 1),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.elided, 1);
+        assert!(!run[0].0.set_flags);
+        assert!(run[1].0.set_flags, "final flags stay live at run end");
+    }
+
+    #[test]
+    fn adc_keeps_carry_alive() {
+        // add (flags) ; adc — the carry is read, no elision allowed
+        let mut run = vec![
+            add_f(regs::EAX, regs::EAX, regs::ECX),
+            (Uop::alu(Op::Adc, regs::EBX, regs::EBX, regs::ECX).with_flags(Width::W32), 1),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.elided, 0);
+        assert!(run[0].0.set_flags);
+    }
+
+    #[test]
+    fn dead_compare_removed() {
+        let mut run = vec![
+            (Uop::alu(Op::CmpF, 0, regs::EAX, regs::EBX).with_flags(Width::W32), 0),
+            (Uop::alu(Op::Sub, regs::EBX, regs::EBX, regs::ECX).with_flags(Width::W32), 1),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.removed, 1);
+        assert_eq!(run.len(), 1);
+    }
+
+    #[test]
+    fn dependent_pair_fuses_adjacent() {
+        let mut run = vec![
+            (Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX), 0),
+            (Uop::alu(Op::Sub, regs::ECX, regs::T0, regs::ECX), 0),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.fused, 2);
+        assert!(run[0].0.fusible);
+    }
+
+    #[test]
+    fn fusion_hoists_across_independent_uop() {
+        let mut run = vec![
+            (Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX), 0),
+            (Uop::alu(Op::Or, regs::ESI, regs::ESI, regs::EDI), 1),
+            (Uop::alu(Op::Sub, regs::ECX, regs::T0, regs::ECX), 1),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.fused, 2);
+        assert!(run[0].0.fusible);
+        // The dependent sub hoisted next to its producer.
+        assert_eq!(run[1].0.op, Op::Sub);
+    }
+
+    #[test]
+    fn fusion_never_hoists_across_hazard() {
+        // Hoisting the sub over the ECX-writing add would read a stale
+        // ECX; the legal outcome is the adjacent ECX-add/sub pair.
+        let mut run = vec![
+            (Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX), 0),
+            (Uop::alu(Op::Add, regs::ECX, regs::ECX, regs::EDI), 1),
+            (Uop::alu(Op::Sub, regs::EDX, regs::T0, regs::ECX), 1),
+        ];
+        optimize_run(&mut run, &[]);
+        assert!(
+            !run[0].0.fusible,
+            "the T0 producer must not pull the sub over the ECX write"
+        );
+        // Order must be preserved (no illegal hoist happened).
+        assert_eq!(run[0].0.op, Op::Add);
+        assert_eq!(run[1].0.rd, regs::ECX);
+        assert_eq!(run[2].0.op, Op::Sub);
+    }
+
+    #[test]
+    fn fusion_pairs_with_the_real_producer() {
+        // T0 is redefined in the middle; the consumer's dependence is on
+        // the *second* definition, so any fusion must start there.
+        let mut run = vec![
+            (Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX), 0),
+            (Uop::alu(Op::Xor, regs::T0, regs::T0, regs::EDI), 1),
+            (Uop::alu(Op::Sub, regs::EDX, regs::T0, regs::ECX), 1),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert!(s.fused >= 2);
+        // Whichever head fused, its tail must directly follow it and
+        // consume its destination.
+        let head_idx = run.iter().position(|(u, _)| u.fusible).unwrap();
+        let head = run[head_idx].0;
+        let tail = run[head_idx + 1].0;
+        assert!(cdvm_fisa::uop_sources(&tail).contains(&head.rd));
+    }
+
+    #[test]
+    fn loads_never_fuse() {
+        let mut run = vec![
+            (Uop::ld(Width::W32, regs::T0, regs::EBP, 8), 0),
+            (Uop::alu(Op::Add, regs::EAX, regs::T0, regs::EAX), 0),
+        ];
+        let s = optimize_run(&mut run, &[]);
+        assert_eq!(s.fused, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! A fast open-addressing map from 32-bit PCs to small values.
+//!
+//! The per-micro-op hot path of the system driver consults a map on every
+//! retirement (x86-instruction-boundary marks). `std::collections::HashMap`
+//! with SipHash is needlessly slow for u32 keys, so this is a minimal
+//! power-of-two open-addressing table with multiplicative hashing.
+
+/// Map from `u32` keys to `u32` values; key 0 is reserved (never a valid
+/// code address in our layouts).
+#[derive(Debug, Clone)]
+pub struct PcMap {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    len: usize,
+    mask: usize,
+}
+
+impl Default for PcMap {
+    fn default() -> Self {
+        PcMap::with_capacity(1024)
+    }
+}
+
+impl PcMap {
+    /// Creates a map sized for at least `cap` entries.
+    pub fn with_capacity(cap: usize) -> PcMap {
+        let n = (cap * 2).next_power_of_two().max(16);
+        PcMap {
+            keys: vec![0; n],
+            vals: vec![0; n],
+            len: 0,
+            mask: n - 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        (key.wrapping_mul(0x9e37_79b9) as usize >> 7) & self.mask
+    }
+
+    /// Inserts or overwrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == 0`.
+    pub fn insert(&mut self, key: u32, val: u32) {
+        assert_ne!(key, 0, "key 0 is reserved");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot(key);
+        loop {
+            if self.keys[i] == 0 {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            if self.keys[i] == key {
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up a key.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// True if `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Adds `delta` to the value at `key`, inserting `delta` if absent;
+    /// returns the new value.
+    pub fn add(&mut self, key: u32, delta: u32) -> u32 {
+        let v = self.get(key).unwrap_or(0).wrapping_add(delta);
+        self.insert(key, v);
+        v
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.keys.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != 0)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_len]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.vals = vec![0; self.keys.len()];
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = PcMap::with_capacity(4);
+        m.insert(0x1000, 1);
+        m.insert(0x2000, 2);
+        assert_eq!(m.get(0x1000), Some(1));
+        m.insert(0x1000, 9);
+        assert_eq!(m.get(0x1000), Some(9));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0x3000), None);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut m = PcMap::with_capacity(4);
+        for k in 1..=1000u32 {
+            m.insert(k * 4, k);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 1..=1000u32 {
+            assert_eq!(m.get(k * 4), Some(k));
+        }
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = PcMap::default();
+        assert_eq!(m.add(8, 5), 5);
+        assert_eq!(m.add(8, 3), 8);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = PcMap::default();
+        m.insert(4, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(4), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_key_rejected() {
+        PcMap::default().insert(0, 1);
+    }
+
+    #[test]
+    fn iter_sees_all() {
+        let mut m = PcMap::default();
+        m.insert(4, 1);
+        m.insert(8, 2);
+        let mut got: Vec<_> = m.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(4, 1), (8, 2)]);
+    }
+}

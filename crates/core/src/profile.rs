@@ -1,0 +1,179 @@
+//! Runtime profiling state.
+//!
+//! Two kinds of profile feed the VM:
+//!
+//! * **Hotness counters** — for the software strategies these live in
+//!   concealed VMM memory and are updated by *real micro-ops* that the
+//!   BBT plants in translations (so their cost flows through the pipeline
+//!   and cache models); for VM.fe the hardware BBB plays this role. The
+//!   [`CounterFile`] here manages allocation of counter slots.
+//! * **Edge profile** — sampled branch outcomes used by superblock
+//!   formation to pick likely paths and indirect-branch predictions
+//!   (one-in-eight sampling, as a hardware profiler would subsample).
+
+use std::collections::HashMap;
+
+/// Base address of the concealed counter region (VMM memory; invisible
+/// to the guest but physically part of the memory hierarchy).
+pub const COUNTER_BASE: u32 = 0xc000_0000;
+
+/// Base address of the concealed indirect-branch dispatch table used by
+/// the inline sieve in optimized code (cf. the authors' companion work on
+/// hardware support for control transfers in code caches, and IA-32 EL's
+/// software equivalent).
+pub const DISPATCH_BASE: u32 = 0xd000_0000;
+
+/// Entries in the dispatch table (direct-mapped, 8 bytes each:
+/// `[x86 key][native value]`).
+pub const DISPATCH_ENTRIES: u32 = 8192;
+
+/// The dispatch-table slot address for an architected target PC.
+pub fn dispatch_slot(x86_pc: u32) -> u32 {
+    DISPATCH_BASE + ((x86_pc >> 2) & (DISPATCH_ENTRIES - 1)) * 8
+}
+
+/// Allocates hotness-counter slots in concealed memory.
+#[derive(Debug, Default)]
+pub struct CounterFile {
+    slots: HashMap<u32, u32>, // x86 block entry -> slot index
+}
+
+impl CounterFile {
+    /// Creates an empty counter file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter address for a block entry, allocating a slot
+    /// on first use.
+    pub fn slot_addr(&mut self, x86_entry: u32) -> u32 {
+        let n = self.slots.len() as u32;
+        let idx = *self.slots.entry(x86_entry).or_insert(n);
+        COUNTER_BASE + idx * 4
+    }
+
+    /// Number of allocated counters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no counters were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Sampled edge/branch profile.
+#[derive(Debug, Default)]
+pub struct EdgeProfile {
+    sample_tick: u32,
+    cond: HashMap<u32, (u32, u32)>,          // branch pc -> (taken, not-taken)
+    indirect: HashMap<u32, Vec<(u32, u32)>>, // branch pc -> [(target, count)]
+}
+
+/// Sampling period (observe one branch in eight).
+const SAMPLE_PERIOD: u32 = 8;
+
+impl EdgeProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a retired conditional branch (subsampled).
+    pub fn observe_cond(&mut self, pc: u32, taken: bool) {
+        self.sample_tick += 1;
+        if self.sample_tick % SAMPLE_PERIOD != 0 {
+            return;
+        }
+        let e = self.cond.entry(pc).or_insert((0, 0));
+        if taken {
+            e.0 += SAMPLE_PERIOD;
+        } else {
+            e.1 += SAMPLE_PERIOD;
+        }
+    }
+
+    /// Observes a retired indirect branch target (subsampled; at most
+    /// four distinct targets tracked per branch).
+    pub fn observe_indirect(&mut self, pc: u32, target: u32) {
+        self.sample_tick += 1;
+        if self.sample_tick % SAMPLE_PERIOD != 0 {
+            return;
+        }
+        let targets = self.indirect.entry(pc).or_default();
+        if let Some(t) = targets.iter_mut().find(|(t, _)| *t == target) {
+            t.1 += SAMPLE_PERIOD;
+        } else if targets.len() < 4 {
+            targets.push((target, SAMPLE_PERIOD));
+        }
+    }
+
+    /// Estimated taken probability of a conditional branch (0.5 when
+    /// unobserved).
+    pub fn taken_prob(&self, pc: u32) -> f64 {
+        match self.cond.get(&pc) {
+            Some(&(t, n)) if t + n > 0 => t as f64 / (t + n) as f64,
+            _ => 0.5,
+        }
+    }
+
+    /// The dominant indirect target, if one was observed.
+    pub fn likely_indirect_target(&self, pc: u32) -> Option<u32> {
+        self.indirect
+            .get(&pc)?
+            .iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_slots_are_stable_and_distinct() {
+        let mut cf = CounterFile::new();
+        let a = cf.slot_addr(0x1000);
+        let b = cf.slot_addr(0x2000);
+        assert_ne!(a, b);
+        assert_eq!(cf.slot_addr(0x1000), a);
+        assert_eq!(cf.len(), 2);
+        assert!(a >= COUNTER_BASE);
+    }
+
+    #[test]
+    fn taken_prob_tracks_bias() {
+        let mut p = EdgeProfile::new();
+        for _ in 0..800 {
+            p.observe_cond(0x10, true);
+        }
+        for _ in 0..80 {
+            p.observe_cond(0x10, false);
+        }
+        let prob = p.taken_prob(0x10);
+        assert!(prob > 0.85, "{prob}");
+        assert_eq!(p.taken_prob(0x999), 0.5, "unobserved defaults to 0.5");
+    }
+
+    #[test]
+    fn indirect_dominant_target() {
+        let mut p = EdgeProfile::new();
+        for i in 0..400u32 {
+            let tgt = if i % 4 == 0 { 0x2000 } else { 0x3000 };
+            p.observe_indirect(0x50, tgt);
+        }
+        assert_eq!(p.likely_indirect_target(0x50), Some(0x3000));
+        assert_eq!(p.likely_indirect_target(0x51), None);
+    }
+
+    #[test]
+    fn indirect_target_set_bounded() {
+        let mut p = EdgeProfile::new();
+        for i in 0..1000u32 {
+            p.observe_indirect(0x60, 0x1000 + (i % 10) * 4);
+        }
+        assert!(p.indirect[&0x60].len() <= 4);
+    }
+}

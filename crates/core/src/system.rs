@@ -1,0 +1,662 @@
+//! The full-system driver: functional execution and timing for one
+//! machine configuration running one guest program.
+//!
+//! `System` implements the staged-emulation flowchart of Fig. 1b for each
+//! of the paper's machines:
+//!
+//! * **Ref: superscalar** — every instruction executes in x86-mode
+//!   through the hardware-decoder timing path.
+//! * **VM.soft / VM.be** — BBT-first staged translation with software
+//!   profiling; VM.be charges the `HAloop` (Fig. 6a) instead of software
+//!   Δ_BBT for hardware-crackable instructions.
+//! * **VM.fe** — dual-mode decoders: cold code executes in x86-mode (no
+//!   BBT at all), the hardware BBB detects hotspots, and only SBT
+//!   translations run natively.
+//! * **VM.interp** — interpretation (threshold 25) before SBT, the
+//!   second curve of Fig. 2.
+
+use std::collections::HashMap;
+
+use cdvm_cracker::crack;
+use cdvm_fisa::{ExitCode, Executor, NExit, NFault, NativeState};
+use cdvm_mem::GuestMem;
+use cdvm_uarch::{Bbb, BbbConfig, CycleCat, MachineConfig, MachineKind, Timing};
+use cdvm_x86::{BranchKind, Cpu, DecodeError, Fault, Interp};
+
+use crate::pcmap::PcMap;
+use crate::profile::{dispatch_slot, COUNTER_BASE, DISPATCH_BASE, DISPATCH_ENTRIES};
+use crate::sbt::translate_sbt;
+use crate::vm::{TransKind, Vm};
+
+/// Default initial stack pointer for guest programs.
+pub const DEFAULT_STACK_TOP: u32 = 0x7ff0_0000;
+
+/// Execution status after a stepping call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// More work to do.
+    Running,
+    /// The guest executed `HLT`.
+    Halted,
+    /// An architectural fault reached the VMM unhandled.
+    Faulted(Fault),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    X86,
+    Native,
+}
+
+/// End-of-run summary counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemStats {
+    /// x86 instructions retired in x86-mode (hardware decoders).
+    pub x86_mode_retired: u64,
+    /// x86 instructions retired through the interpreter.
+    pub interp_retired: u64,
+    /// x86 instructions retired from BBT translations.
+    pub bbt_retired: u64,
+    /// x86 instructions retired from SBT translations.
+    pub sbt_retired: u64,
+    /// Mode switches between x86-mode and native mode.
+    pub mode_switches: u64,
+    /// VMM exits handled (translate misses, indirect misses, hot traps).
+    pub vm_exits: u64,
+    /// VMM exits by kind: [TranslateMiss, IndirectMiss, HotTrap].
+    pub vm_exit_kinds: [u64; 3],
+}
+
+/// One guest program running on one simulated machine.
+pub struct System {
+    /// Which machine this is.
+    pub kind: MachineKind,
+    /// Machine parameters.
+    pub cfg: MachineConfig,
+    /// Guest memory (binary already loaded: memory-startup scenario 2).
+    pub mem: GuestMem,
+    /// Cycle accounting.
+    pub timing: Timing,
+    /// x86 interpreter (also the shared decoder).
+    pub interp: Interp,
+    /// Translation subsystem (absent on the reference machine).
+    pub vm: Option<Vm>,
+    /// Hardware hotspot detector (VM.fe).
+    pub bbb: Option<Bbb>,
+    exec: Executor,
+    nstate: NativeState,
+    cpu: Cpu,
+    mode: Mode,
+    started: bool,
+    halted: bool,
+    x86_retired: u64,
+    cur_region_entry: u32,
+    pending_evict: bool,
+    sbt_gen_seen: u64,
+    decode_uops: PcMap,
+    interp_counters: HashMap<u32, u32>,
+    /// Summary counters.
+    pub stats: SystemStats,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("kind", &self.kind)
+            .field("cycles", &self.timing.cycles())
+            .field("x86_retired", &self.x86_retired)
+            .finish()
+    }
+}
+
+impl System {
+    /// Creates a system with the guest image in `mem` and execution
+    /// starting at `entry`. The stack pointer is initialised to
+    /// [`DEFAULT_STACK_TOP`].
+    pub fn new(kind: MachineKind, mem: GuestMem, entry: u32) -> System {
+        let cfg = MachineConfig::preset(kind);
+        Self::with_config(cfg, mem, entry)
+    }
+
+    /// Creates a system with explicit machine parameters (threshold and
+    /// code-cache sweeps).
+    pub fn with_config(cfg: MachineConfig, mem: GuestMem, entry: u32) -> System {
+        let kind = cfg.kind;
+        let mut cpu = Cpu::at(entry);
+        cpu.gpr[cdvm_x86::Gpr::Esp as usize] = DEFAULT_STACK_TOP;
+        let vm = match kind {
+            MachineKind::RefSuperscalar => None,
+            MachineKind::VmFe => Some(Vm::new(
+                cfg.bbt_cache_bytes,
+                cfg.sbt_cache_bytes,
+                cfg.hot_threshold,
+                false,
+            )),
+            MachineKind::VmInterp => Some(Vm::new(
+                cfg.bbt_cache_bytes,
+                cfg.sbt_cache_bytes,
+                cfg.interp_hot_threshold,
+                false,
+            )),
+            _ => Some(Vm::new(
+                cfg.bbt_cache_bytes,
+                cfg.sbt_cache_bytes,
+                cfg.hot_threshold,
+                true,
+            )),
+        };
+        let bbb = (kind == MachineKind::VmFe).then(|| {
+            Bbb::new(BbbConfig {
+                entries: 4096,
+                hot_threshold: cfg.hot_threshold,
+            })
+        });
+        let mut nstate = NativeState::new();
+        nstate.r[cdvm_fisa::regs::PROF_BASE as usize] = COUNTER_BASE;
+        System {
+            kind,
+            cfg,
+            mem,
+            timing: Timing::new(cfg),
+            interp: Interp::new(),
+            vm,
+            bbb,
+            exec: Executor::new(),
+            nstate,
+            cpu,
+            mode: Mode::X86,
+            started: false,
+            halted: false,
+            x86_retired: 0,
+            cur_region_entry: entry,
+            pending_evict: false,
+            sbt_gen_seen: 0,
+            decode_uops: PcMap::with_capacity(1 << 16),
+            interp_counters: HashMap::new(),
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.timing.cycles()
+    }
+
+    /// Total retired x86 instructions.
+    pub fn x86_retired(&self) -> u64 {
+        self.x86_retired
+    }
+
+    /// True after the guest executed `HLT`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The architected CPU state (meaningful at VMM boundaries; in
+    /// native mode the mapped registers are live in the native state).
+    pub fn cpu(&self) -> Cpu {
+        match self.mode {
+            Mode::X86 => self.cpu,
+            Mode::Native => self.nstate.to_cpu(),
+        }
+    }
+
+    /// Mutable access to the architected CPU (test setup).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Hotspot coverage: fraction of retired instructions executed from
+    /// SBT-optimized code.
+    pub fn hotspot_coverage(&self) -> f64 {
+        if self.x86_retired == 0 {
+            0.0
+        } else {
+            self.stats.sbt_retired as f64 / self.x86_retired as f64
+        }
+    }
+
+    /// Fraction of cycles each category consumed so far.
+    pub fn category_fraction(&self, cat: CycleCat) -> f64 {
+        let total = self.timing.cycles_f();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.timing.category_cycles(cat) / total
+        }
+    }
+
+    /// Runs until `max_insts` more x86 instructions retire, the guest
+    /// halts, or a fault surfaces.
+    pub fn run_slice(&mut self, max_insts: u64) -> Status {
+        if self.halted {
+            return Status::Halted;
+        }
+        if !self.started {
+            self.started = true;
+            if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe) {
+                let entry = self.cpu.eip;
+                if let Err(e) = self.dispatch_to(entry) {
+                    return Status::Faulted(Fault::Decode { pc: entry, err: e });
+                }
+            }
+        }
+        let goal = self.x86_retired + max_insts;
+        while self.x86_retired < goal {
+            let st = match self.mode {
+                Mode::X86 => self.step_x86(),
+                Mode::Native => self.step_native(),
+            };
+            match st {
+                Status::Running => {}
+                other => return other,
+            }
+        }
+        Status::Running
+    }
+
+    /// Cracked micro-op count of the instruction at `pc` (the hardware
+    /// decoder's dispatch-slot demand).
+    fn uop_count_for(&mut self, pc: u32, inst: &cdvm_x86::Inst) -> u32 {
+        if let Some(n) = self.decode_uops.get(pc) {
+            return n;
+        }
+        let cracked = crack(inst, pc);
+        let n = (cracked.uops.len() as u32 + cracked.cti.is_some() as u32).max(1);
+        self.decode_uops.insert(pc, n);
+        n
+    }
+
+    /// One x86-mode (or interpreted) instruction.
+    fn step_x86(&mut self) -> Status {
+        let r = match self.interp.step(&mut self.cpu, &mut self.mem) {
+            Ok(r) => r,
+            Err(f) => return Status::Faulted(f),
+        };
+        let interp_tier = self.kind == MachineKind::VmInterp;
+        // A REP string instruction retires once architecturally; its
+        // iterations are microcode (each still pays its timing below).
+        let mid_rep_iteration = r.inst.rep && r.next_pc == r.pc;
+        if interp_tier {
+            self.timing.set_category(CycleCat::InterpEmu);
+            self.timing.charge_interp_inst(&r);
+            if !mid_rep_iteration {
+                self.stats.interp_retired += 1;
+            }
+        } else {
+            self.timing.set_category(CycleCat::X86Mode);
+            let uops = self.uop_count_for(r.pc, &r.inst);
+            self.timing.retire_x86(&r, uops);
+            if !mid_rep_iteration {
+                self.stats.x86_mode_retired += 1;
+            }
+        }
+        if !mid_rep_iteration {
+            self.x86_retired += 1;
+        }
+        if r.halted {
+            self.halted = true;
+            return Status::Halted;
+        }
+
+        // Profile + hotspot detection + mode switching (VM machines).
+        if let Some(b) = r.branch {
+            if self.vm.is_some() {
+                let vm = self.vm.as_mut().unwrap();
+                match b.kind {
+                    BranchKind::Conditional => vm.edges.observe_cond(r.pc, b.taken),
+                    BranchKind::Indirect | BranchKind::Return => {
+                        vm.edges.observe_indirect(r.pc, b.target)
+                    }
+                    _ => {}
+                }
+                // Hot detection.
+                let mut hot: Option<u32> = None;
+                if let Some(bbb) = self.bbb.as_mut() {
+                    if b.taken {
+                        hot = bbb.observe_taken(b.target);
+                    }
+                } else if interp_tier && b.taken {
+                    let c = self.interp_counters.entry(b.target).or_insert(0);
+                    *c += 1;
+                    if *c == self.cfg.interp_hot_threshold {
+                        hot = Some(b.target);
+                    }
+                }
+                if let Some(hot_pc) = hot {
+                    if let Err(e) = self.sbt_translate(hot_pc) {
+                        return Status::Faulted(Fault::Decode { pc: hot_pc, err: e });
+                    }
+                }
+                // Enter optimized code when the target has a translation.
+                let vm = self.vm.as_mut().unwrap();
+                if let Some(native) = vm.lookup(self.cpu.eip) {
+                    self.timing.set_category(CycleCat::Vmm);
+                    self.timing.charge_vmm_instrs(6.0); // jump-table dispatch
+                    self.enter_native(native.0, self.cpu.eip);
+                }
+            }
+        }
+        Status::Running
+    }
+
+    fn enter_native(&mut self, native_pc: u32, x86_entry: u32) {
+        if self.mode == Mode::X86 {
+            self.nstate.load_cpu(&self.cpu);
+            self.stats.mode_switches += 1;
+        }
+        self.nstate.pc = native_pc;
+        self.cur_region_entry = x86_entry;
+        self.mode = Mode::Native;
+    }
+
+    fn leave_native(&mut self, x86_pc: u32) {
+        self.cpu = self.nstate.to_cpu();
+        self.cpu.eip = x86_pc;
+        self.mode = Mode::X86;
+        self.stats.mode_switches += 1;
+    }
+
+    /// One translated micro-op.
+    fn step_native(&mut self) -> Status {
+        let vm = self.vm.as_ref().expect("native mode requires a VM");
+        let code = vm.code();
+        let r = match self
+            .exec
+            .step(&mut self.nstate, &mut self.mem, &code, None)
+        {
+            Ok(r) => r,
+            Err(f) => return self.recover_fault(f),
+        };
+        let in_sbt = r.pc >= vm.sbt_cache.config().base;
+        self.timing.set_category(if in_sbt {
+            CycleCat::SbtEmu
+        } else {
+            CycleCat::BbtEmu
+        });
+        self.timing.retire_uop(&r);
+        let credit = vm.credit_at(r.pc);
+        if credit > 0 {
+            self.x86_retired += credit as u64;
+            if in_sbt {
+                self.stats.sbt_retired += credit as u64;
+            } else {
+                self.stats.bbt_retired += credit as u64;
+            }
+        }
+        match r.exit {
+            None => Status::Running,
+            Some(NExit::Halt) => {
+                self.halted = true;
+                self.cpu = self.nstate.to_cpu();
+                Status::Halted
+            }
+            Some(NExit::VmExit { code, arg }) => self.handle_vmexit(code, arg),
+        }
+    }
+
+    fn recover_fault(&mut self, f: NFault) -> Status {
+        // Precise-state recovery via the interpreter (Fig. 1's
+        // "Precise State Mapping — May Use Interpreter" arc). In BBT
+        // code architected state is exact at the faulting instruction;
+        // for SBT code we recover to the region entry (our workloads are
+        // fault-free in hotspots; see DESIGN.md).
+        let x86_pc = match f {
+            NFault::DivideError { native_pc } | NFault::Trap { native_pc, .. } => self
+                .vm
+                .as_ref()
+                .and_then(|vm| vm.fault_x86_at(native_pc))
+                .unwrap_or(self.cur_region_entry),
+            NFault::BadFetch { addr } | NFault::BadEncoding { addr } => {
+                panic!("VMM internal error: {f} at {addr:#x}")
+            }
+            NFault::NoXltUnit { native_pc } => {
+                panic!("XLTx86 executed without a unit at {native_pc:#x}")
+            }
+        };
+        self.leave_native(x86_pc);
+        self.timing.set_category(CycleCat::Vmm);
+        self.timing.charge_vmm_instrs(200.0); // fault handling
+        match self.interp.step(&mut self.cpu, &mut self.mem) {
+            Err(fault) => Status::Faulted(fault),
+            Ok(_) => {
+                // The micro-op fault did not reproduce architecturally —
+                // that is a translator bug.
+                panic!("fault divergence: {f} did not reproduce at {x86_pc:#x}")
+            }
+        }
+    }
+
+    fn handle_vmexit(&mut self, code: ExitCode, arg: u32) -> Status {
+        if self.pending_evict {
+            // A VMM exit is a precise boundary: apply the deferred long
+            // context switch before continuing at `arg`.
+            self.pending_evict = false;
+            if let Some(vm) = self.vm.as_mut() {
+                vm.full_flush();
+            }
+            self.exec.invalidate();
+            self.timing.flush_caches();
+            self.maybe_clear_dispatch_table();
+            self.timing.set_category(CycleCat::Vmm);
+            self.timing.charge_vmm_instrs(2000.0); // swap-in handling
+        }
+        self.stats.vm_exits += 1;
+        match code {
+            ExitCode::TranslateMiss => self.stats.vm_exit_kinds[0] += 1,
+            ExitCode::IndirectMiss => self.stats.vm_exit_kinds[1] += 1,
+            ExitCode::HotTrap => self.stats.vm_exit_kinds[2] += 1,
+            ExitCode::TranslatorDone => {}
+        }
+        self.timing.set_category(CycleCat::Vmm);
+        match code {
+            ExitCode::TranslateMiss => {
+                self.timing.charge_vmm_instrs(20.0);
+                if let Err(e) = self.dispatch_to(arg) {
+                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
+                }
+            }
+            ExitCode::IndirectMiss => {
+                // Translation-lookup-table search, as counted inside the
+                // paper's 83-cycle BBT figure.
+                self.timing.charge_vmm_instrs(15.0);
+                self.timing.vmm_data_touch(COUNTER_BASE ^ (arg.wrapping_mul(0x61c8_8647) >> 8));
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.mark_profile_candidate(arg);
+                }
+                if let Err(e) = self.dispatch_to(arg) {
+                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
+                }
+                // Populate the inline-sieve dispatch table when the
+                // target landed in optimized code, so translated code can
+                // resolve this target without the VMM next time.
+                if let Some(vm) = self.vm.as_ref() {
+                    let sbt_base = vm.sbt_cache.config().base;
+                    if self.mode == Mode::Native && self.nstate.pc >= sbt_base {
+                        let slot = dispatch_slot(arg);
+                        use cdvm_mem::Memory;
+                        self.mem.write_u32(slot, arg);
+                        self.mem.write_u32(slot + 4, self.nstate.pc);
+                        self.timing.set_category(CycleCat::Vmm);
+                        self.timing.charge_vmm_instrs(6.0);
+                        self.timing.vmm_data_touch(slot);
+                    }
+                }
+            }
+            ExitCode::HotTrap => {
+                if let Err(e) = self.sbt_translate(arg) {
+                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
+                }
+                // Resume in the freshly optimized code (architected state
+                // is intact: only VMM registers were touched).
+                if let Err(e) = self.dispatch_to(arg) {
+                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
+                }
+            }
+            ExitCode::TranslatorDone => {}
+        }
+        Status::Running
+    }
+
+    /// Continues execution at x86 address `target`: existing translation,
+    /// fresh BBT translation, or x86-mode/interpreter depending on the
+    /// machine.
+    fn dispatch_to(&mut self, target: u32) -> Result<(), DecodeError> {
+        let vm = self.vm.as_mut().expect("dispatch requires a VM");
+        // A previously-translated block that has since become a profile
+        // candidate (a loop head discovered late) is re-translated with a
+        // hotness counter and its old entry redirected — otherwise the
+        // hot loop could never be detected.
+        if vm.needs_profile_upgrade(target) {
+            let old = vm.blocks.get(&target).copied();
+            self.bbt_translate(target)?;
+            let vm = self.vm.as_mut().unwrap();
+            let new_native = vm.lookup(target).expect("just installed");
+            if let Some(old) = old {
+                let inval = vm.redirect_old_entry(target, old, new_native);
+                self.apply_invalidation(&inval);
+            }
+            self.enter_native(new_native.0, target);
+            return Ok(());
+        }
+        let vm = self.vm.as_mut().expect("dispatch requires a VM");
+        if let Some(native) = vm.lookup(target) {
+            // Late chaining: patch the exiting stub directly (cheap here;
+            // pre-chaining at install covers the common case).
+            self.enter_native(native.0, target);
+            return Ok(());
+        }
+        match self.kind {
+            MachineKind::VmFe | MachineKind::VmInterp => {
+                // No BBT tier: fall back to x86-mode / interpretation.
+                if self.mode == Mode::Native {
+                    self.leave_native(target);
+                } else {
+                    self.cpu.eip = target;
+                }
+                Ok(())
+            }
+            _ => {
+                self.bbt_translate(target)?;
+                let vm = self.vm.as_mut().unwrap();
+                let native = vm.lookup(target).expect("translation just installed");
+                self.enter_native(native.0, target);
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_invalidation(&mut self, list: &[u32]) {
+        if list.contains(&u32::MAX) {
+            self.exec.invalidate();
+            self.maybe_clear_dispatch_table();
+            return;
+        }
+        for &a in list {
+            self.exec.invalidate_at(a);
+        }
+    }
+
+    /// Clears the inline-sieve dispatch table if the SBT cache flushed
+    /// (stale native pointers must never be followed).
+    fn maybe_clear_dispatch_table(&mut self) {
+        let Some(vm) = self.vm.as_ref() else { return };
+        let gen = vm.sbt_cache.generation();
+        if gen == self.sbt_gen_seen {
+            return;
+        }
+        self.sbt_gen_seen = gen;
+        use cdvm_mem::Memory;
+        for i in 0..DISPATCH_ENTRIES {
+            self.mem.write_u32(DISPATCH_BASE + i * 8, 0);
+        }
+        self.timing.set_category(CycleCat::Vmm);
+        self.timing.charge_vmm_instrs(2.0 * DISPATCH_ENTRIES as f64);
+    }
+
+    fn bbt_translate(&mut self, entry: u32) -> Result<(), DecodeError> {
+        let vm = self.vm.as_mut().expect("BBT requires a VM");
+        let (out, invalidate) = vm.translate_bbt(&mut self.interp.decoder, &mut self.mem, entry)?;
+        self.apply_invalidation(&invalidate);
+        self.timing.set_category(CycleCat::BbtXlate);
+        let cc = out.translation.native.0;
+        for i in 0..out.simple_insts {
+            let src = out.src_pc.wrapping_add(i * 3);
+            if self.kind == MachineKind::VmBe {
+                self.timing.charge_haloop_inst(src, cc + i * 8);
+            } else {
+                self.timing.charge_sw_bbt_inst(src, cc + i * 8);
+            }
+        }
+        for i in 0..out.complex_insts {
+            // Complex instructions take the software path on every
+            // machine (Flag_cmplx).
+            self.timing
+                .charge_sw_bbt_inst(out.src_pc.wrapping_add(i * 3), cc + i * 8);
+        }
+        Ok(())
+    }
+
+    fn sbt_translate(&mut self, entry: u32) -> Result<(), DecodeError> {
+        // Skip if an SBT translation already exists (counter raced).
+        {
+            let vm = self.vm.as_mut().unwrap();
+            if matches!(
+                vm.blocks.get(&entry),
+                Some(t) if t.kind == TransKind::Sbt && t.generation == vm.sbt_cache.generation()
+            ) {
+                return Ok(());
+            }
+        }
+        let vm = self.vm.as_mut().unwrap();
+        let (out, invalidate) = translate_sbt(vm, &mut self.interp.decoder, &mut self.mem, entry)?;
+        self.apply_invalidation(&invalidate);
+        self.timing.set_category(CycleCat::SbtXlate);
+        let cc = out.translation.native.0;
+        for i in 0..out.translation.x86_count {
+            self.timing
+                .charge_sbt_inst(out.src_pc.wrapping_add(i * 3), cc + i * 12);
+        }
+        if let Some(bbb) = self.bbb.as_mut() {
+            bbb.reset(entry);
+        }
+        Ok(())
+    }
+
+    /// Models a major context switch: every cache level is flushed while
+    /// translations survive in memory (the boundary between the paper's
+    /// scenarios 2 and 3).
+    pub fn context_switch_flush(&mut self) {
+        self.timing.flush_caches();
+    }
+
+    /// Models a *long* context switch / swap-out (re-entering the
+    /// memory-startup scenario mid-run): the hardware caches flush now
+    /// and every translation is evicted at the next precise VMM boundary
+    /// (immediately, when executing in x86-mode).
+    pub fn long_context_switch(&mut self) {
+        self.timing.flush_caches();
+        if self.vm.is_none() || self.mode == Mode::X86 {
+            if let Some(vm) = self.vm.as_mut() {
+                vm.full_flush();
+                self.exec.invalidate();
+                self.maybe_clear_dispatch_table();
+            }
+            return;
+        }
+        self.pending_evict = true;
+    }
+
+    /// Runs to completion (halt/fault), with a cycle safety cap.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> Status {
+        loop {
+            let st = self.run_slice(8192);
+            if st != Status::Running {
+                return st;
+            }
+            if self.timing.cycles() > max_cycles {
+                return Status::Running;
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A micro-op assembler with labels, used by the translators to lay out
+//! translation blocks (internal branches, side-exit stubs, REP loops).
+
+use cdvm_fisa::{encoding, regs, ExitCode, Op, Uop};
+
+/// A label within a translation under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ULabel(usize);
+
+#[derive(Debug)]
+struct Fixup {
+    uop_index: usize,
+    label: usize,
+}
+
+/// Builds a translation: append micro-ops and branch targets by label;
+/// [`UAsm::finish`] resolves halfword offsets and encodes.
+///
+/// The assembler also records which byte offsets begin a new x86
+/// instruction (the boundary marks used for exact retired-instruction
+/// accounting) and the offsets of patchable exit stubs.
+#[derive(Debug, Default)]
+pub struct UAsm {
+    uops: Vec<Uop>,
+    offsets: Vec<u32>,
+    next_offset: u32,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+    boundaries: Vec<(u32, u32, u32)>,
+    stubs: Vec<(u32, u32, ExitCode)>,
+}
+
+/// The stub byte size: `Limm` + `Limmh` + `VmExit`, all wide — exactly
+/// enough room to patch in either a near chain (`Br` + dead space) or a
+/// far chain (`Limm`/`Limmh`/`Jr`).
+pub const STUB_BYTES: u32 = 12;
+
+impl UAsm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current byte offset from the translation start.
+    pub fn offset(&self) -> u32 {
+        self.next_offset
+    }
+
+    /// Number of micro-ops appended so far.
+    pub fn uop_count(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Appends a micro-op.
+    pub fn push(&mut self, u: Uop) {
+        self.offsets.push(self.next_offset);
+        self.next_offset += u.encoded_len() as u32;
+        self.uops.push(u);
+    }
+
+    /// Appends several micro-ops.
+    pub fn extend(&mut self, uops: impl IntoIterator<Item = Uop>) {
+        for u in uops {
+            self.push(u);
+        }
+    }
+
+    /// Allocates an unbound label.
+    pub fn label(&mut self) -> ULabel {
+        self.labels.push(None);
+        ULabel(self.labels.len() - 1)
+    }
+
+    /// Binds `label` here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already bound.
+    pub fn bind(&mut self, label: ULabel) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.next_offset);
+    }
+
+    /// Allocates and binds a label here.
+    pub fn here(&mut self) -> ULabel {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Appends a branch micro-op targeting `label` (offset filled at
+    /// [`UAsm::finish`]). `u.op` must be `Br`, `Bcc`, `Bnz` or `Bz`.
+    pub fn branch_to(&mut self, mut u: Uop, label: ULabel) {
+        assert!(
+            matches!(u.op, Op::Br | Op::Bcc(_) | Op::Bnz | Op::Bz),
+            "branch_to on non-branch micro-op"
+        );
+        u.imm = 0;
+        self.fixups.push(Fixup {
+            uop_index: self.uops.len(),
+            label: label.0,
+        });
+        self.push(u);
+    }
+
+    /// Credits `credit` retired x86 instructions to the micro-op at the
+    /// current offset (exact retired-instruction accounting; a credit of
+    /// one per instruction for plain BBT blocks, one per straight-line
+    /// run for optimized superblocks). `tag` carries the instruction's
+    /// x86 PC for BBT blocks (precise fault recovery); superblocks pass
+    /// zero.
+    pub fn mark_credit(&mut self, credit: u32, tag: u32) {
+        if credit == 0 {
+            return;
+        }
+        if let Some(last) = self.boundaries.last_mut() {
+            if last.0 == self.next_offset {
+                last.1 += credit;
+                return;
+            }
+        }
+        self.boundaries.push((self.next_offset, credit, tag));
+    }
+
+    /// Emits a patchable VMM exit stub carrying `x86_target`:
+    /// `Limm VMM_ARG, lo ; Limmh VMM_ARG, hi ; VmExit code`
+    /// (always [`STUB_BYTES`] long). Returns the stub's byte offset.
+    pub fn exit_stub(&mut self, code: ExitCode, x86_target: u32) -> u32 {
+        let at = self.next_offset;
+        self.push(Uop::alui(
+            Op::Limm,
+            regs::VMM_ARG,
+            0,
+            (x86_target as u16) as i16 as i32,
+        ));
+        self.push(Uop::alui(
+            Op::Limmh,
+            regs::VMM_ARG,
+            0,
+            (x86_target >> 16) as i32,
+        ));
+        self.push(Uop::vmexit(code));
+        self.stubs.push((at, x86_target, code));
+        at
+    }
+
+    /// `(offset, credit, tag)` retired-instruction marks.
+    pub fn boundaries(&self) -> &[(u32, u32, u32)] {
+        &self.boundaries
+    }
+
+    /// `(offset, x86_target, code)` of every emitted exit stub.
+    pub fn stubs(&self) -> &[(u32, u32, ExitCode)] {
+        &self.stubs
+    }
+
+    /// Pads with wide NOPs until the translation is at least `min_bytes`
+    /// long (entry patchability guarantee).
+    pub fn pad_to(&mut self, min_bytes: u32) {
+        while self.next_offset < min_bytes {
+            // Wide NOP: Sys(Nop) in the 32-bit format (imm forces wide).
+            let mut nop = Uop::alui(Op::Sys(cdvm_fisa::SysOp::Nop), 0, 0, 1);
+            nop.imm = 1; // imm != 0 keeps it out of the compact form
+            self.push(nop);
+        }
+    }
+
+    /// A read-only view of the micro-ops (for the optimizer's passes).
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Resolves fixups and encodes. Returns the byte image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels or out-of-range branch offsets.
+    pub fn finish(mut self) -> Vec<u8> {
+        for f in &self.fixups {
+            let target = self.labels[f.label].expect("unbound micro-op label");
+            let end = self.offsets[f.uop_index] + self.uops[f.uop_index].encoded_len() as u32;
+            let delta_hw = (target as i64 - end as i64) / 2;
+            assert!(
+                (-(1 << 15)..(1 << 15)).contains(&delta_hw),
+                "branch offset out of range"
+            );
+            self.uops[f.uop_index].imm = delta_hw as i32;
+        }
+        encoding::encode(&self.uops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm_fisa::encoding::decode_all;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = UAsm::new();
+        let top = a.here();
+        a.push(Uop::alui(Op::Add, regs::T0, regs::T0, 1));
+        let out = a.label();
+        a.branch_to(
+            Uop {
+                op: Op::Bz,
+                rd: 0,
+                rs1: regs::T0,
+                rs2: regs::VMM_SP,
+                imm: 0,
+                w: cdvm_x86::Width::W32,
+                set_flags: false,
+                fusible: false,
+            },
+            out,
+        );
+        a.branch_to(
+            Uop {
+                op: Op::Br,
+                rd: 0,
+                rs1: 0,
+                rs2: regs::VMM_SP,
+                imm: 0,
+                w: cdvm_x86::Width::W32,
+                set_flags: false,
+                fusible: false,
+            },
+            top,
+        );
+        a.bind(out);
+        a.push(Uop::alui(Op::Sys(cdvm_fisa::SysOp::Halt), 0, 0, 0));
+        let bytes = a.finish();
+        let uops = decode_all(&bytes).unwrap();
+        // bz at index 1 must skip the br (4 bytes) -> offset +2 halfwords
+        assert_eq!(uops[1].imm, 2);
+        // br at index 2 jumps back over itself, the bz, and the add
+        assert!(uops[2].imm < 0);
+    }
+
+    #[test]
+    fn stub_is_twelve_bytes_and_recorded() {
+        let mut a = UAsm::new();
+        let off = a.exit_stub(ExitCode::TranslateMiss, 0x40_1234);
+        assert_eq!(off, 0);
+        assert_eq!(a.offset(), STUB_BYTES);
+        assert_eq!(a.stubs(), &[(0, 0x40_1234, ExitCode::TranslateMiss)]);
+        let bytes = a.finish();
+        assert_eq!(bytes.len() as u32, STUB_BYTES);
+    }
+
+    #[test]
+    fn boundaries_recorded_at_marks() {
+        let mut a = UAsm::new();
+        a.mark_credit(1, 0x1000);
+        a.push(Uop::alui(Op::Add, regs::T0, regs::T0, 1));
+        a.mark_credit(1, 0x1002);
+        a.mark_credit(1, 0x1004); // empty instruction accumulates at same offset
+        a.push(Uop::alui(Op::Add, regs::T1, regs::T1, 1));
+        assert_eq!(a.boundaries().len(), 2);
+        assert_eq!(a.boundaries()[0], (0, 1, 0x1000));
+        assert_eq!(a.boundaries()[1].1, 2);
+    }
+
+    #[test]
+    fn padding_reaches_minimum() {
+        let mut a = UAsm::new();
+        a.push(Uop::alui(Op::Add, regs::T0, regs::T0, 1));
+        a.pad_to(16);
+        assert!(a.offset() >= 16);
+        let bytes = a.finish();
+        assert!(decode_all(&bytes).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn unbound_label_panics() {
+        let mut a = UAsm::new();
+        let l = a.label();
+        a.branch_to(
+            Uop {
+                op: Op::Br,
+                rd: 0,
+                rs1: 0,
+                rs2: regs::VMM_SP,
+                imm: 0,
+                w: cdvm_x86::Width::W32,
+                set_flags: false,
+                fusible: false,
+            },
+            l,
+        );
+        let _ = a.finish();
+    }
+}

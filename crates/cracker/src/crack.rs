@@ -1,0 +1,1044 @@
+//! The cracking tables: one x86 instruction → micro-op sequence.
+
+use cdvm_fisa::{regs, Op, SysOp, Uop};
+use cdvm_x86::{AluOp, Cond, Gpr, Inst, MemRef, Mnemonic, Operand, ShiftOp, Width};
+
+/// Symbolic description of an instruction's final control transfer.
+///
+/// The cracker leaves control transfers symbolic: turning them into exit
+/// stubs, chained branches, inline REP loops or superblock side exits is
+/// the translator's policy decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtiSpec {
+    /// Conditional branch on the condition register (`Jcc`).
+    CondFlags {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken target (absolute x86 address).
+        target: u32,
+        /// Fall-through x86 address.
+        fall: u32,
+    },
+    /// Branch if a native register is non-zero (`LOOP`).
+    CondNz {
+        /// Register to test.
+        reg: u8,
+        /// Taken target.
+        target: u32,
+        /// Fall-through.
+        fall: u32,
+    },
+    /// Branch if a native register is zero (`JECXZ`).
+    CondZ {
+        /// Register to test.
+        reg: u8,
+        /// Taken target.
+        target: u32,
+        /// Fall-through.
+        fall: u32,
+    },
+    /// Unconditional direct branch (`JMP`).
+    Direct {
+        /// Target x86 address.
+        target: u32,
+    },
+    /// Direct call; the return-address push is already in the body.
+    DirectCall {
+        /// Call target.
+        target: u32,
+        /// Return (fall-through) address.
+        fall: u32,
+    },
+    /// Indirect transfer; the x86 target value sits in a native register.
+    Indirect {
+        /// Register holding the x86 target.
+        reg: u8,
+    },
+    /// `REP`-prefixed string instruction: the body is one iteration; the
+    /// translator wraps it in an ECX-counted microcode loop.
+    Rep {
+        /// Which string operation (for diagnostics).
+        kind: RepKind,
+    },
+    /// `HLT`.
+    Halt,
+    /// `INT3` (and other software traps).
+    Trap {
+        /// Trap code.
+        code: u8,
+    },
+}
+
+/// String-instruction kind under a `REP` prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepKind {
+    /// `MOVS`.
+    Movs,
+    /// `STOS`.
+    Stos,
+    /// `LODS`.
+    Lods,
+}
+
+/// The result of cracking one instruction.
+#[derive(Debug, Clone)]
+pub struct Cracked {
+    /// Body micro-ops (complete semantics for non-CTIs; everything up to
+    /// the final transfer for CTIs).
+    pub uops: Vec<Uop>,
+    /// The final control transfer, if any.
+    pub cti: Option<CtiSpec>,
+    /// `Flag_cmplx`: punted to software/microcode by the hardware assists.
+    pub complex: bool,
+}
+
+impl Cracked {
+    /// Total encoded micro-op bytes (the `µops_bytes` CSR quantity).
+    pub fn encoded_uop_bytes(&self) -> usize {
+        self.uops.iter().map(|u| u.encoded_len() as usize).sum()
+    }
+}
+
+/// Micro-op emission context: collects micro-ops and allocates the
+/// cracking temporaries R8–R15.
+struct E {
+    uops: Vec<Uop>,
+    tmp: u8,
+}
+
+/// Addressing mode resolved for the memory micro-ops.
+#[derive(Clone, Copy)]
+enum Addr {
+    BaseDisp(u8, i32),
+    Indexed(u8, u8, u8, i32),
+}
+
+impl E {
+    fn new() -> E {
+        E {
+            uops: Vec::with_capacity(4),
+            tmp: regs::T0,
+        }
+    }
+
+    fn t(&mut self) -> u8 {
+        let r = self.tmp;
+        assert!(r <= regs::T7, "cracking temporaries exhausted");
+        self.tmp += 1;
+        r
+    }
+
+    fn push(&mut self, u: Uop) {
+        self.uops.push(u);
+    }
+
+    /// Loads a 32-bit constant into `rd`.
+    fn limm(&mut self, rd: u8, v: u32) {
+        for u in Uop::limm32(rd, v) {
+            self.push(u);
+        }
+    }
+
+    /// `rd = rs + imm` with arbitrary immediate (no flags).
+    fn add_imm(&mut self, rd: u8, rs: u8, imm: i32) {
+        if imm == 0 {
+            if rd != rs {
+                self.push(Uop::alu(Op::Mov, rd, rd, rs));
+            }
+            return;
+        }
+        if (-128..128).contains(&imm) {
+            self.push(Uop::alui(Op::Add, rd, rs, imm));
+        } else {
+            let t = self.t();
+            self.limm(t, imm as u32);
+            self.push(Uop::alu(Op::Add, rd, rs, t));
+        }
+    }
+
+    /// Resolves a memory operand into a load/store addressing form,
+    /// emitting any address-generation micro-ops.
+    fn addr(&mut self, m: MemRef) -> Addr {
+        let i14 = |d: i32| (-(1 << 13)..(1 << 13)).contains(&d);
+        let i6 = |d: i32| (-32..32).contains(&d);
+        match (m.base, m.index) {
+            (None, None) => {
+                let t = self.t();
+                self.limm(t, m.disp as u32);
+                Addr::BaseDisp(t, 0)
+            }
+            (Some(b), None) => {
+                let b = b.num();
+                if i14(m.disp) {
+                    Addr::BaseDisp(b, m.disp)
+                } else {
+                    let t = self.t();
+                    self.add_imm(t, b, m.disp);
+                    Addr::BaseDisp(t, 0)
+                }
+            }
+            (None, Some(i)) => {
+                let t = self.t();
+                self.limm(t, m.disp as u32);
+                Addr::Indexed(t, i.num(), m.scale, 0)
+            }
+            (Some(b), Some(i)) => {
+                let (b, i) = (b.num(), i.num());
+                if i6(m.disp) {
+                    Addr::Indexed(b, i, m.scale, m.disp)
+                } else {
+                    let t = self.t();
+                    let mut agen = Uop::alu(Op::Agen { scale: m.scale }, t, b, i);
+                    agen.imm = 0;
+                    self.push(agen);
+                    if i14(m.disp) {
+                        Addr::BaseDisp(t, m.disp)
+                    } else {
+                        self.add_imm(t, t, m.disp);
+                        Addr::BaseDisp(t, 0)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits a load of width `w` into `rd`.
+    fn load_into(&mut self, w: Width, rd: u8, m: MemRef) {
+        match self.addr(m) {
+            Addr::BaseDisp(b, d) => self.push(Uop::ld(w, rd, b, d)),
+            Addr::Indexed(b, i, s, d) => self.push(Uop {
+                op: Op::Ld {
+                    w,
+                    indexed: true,
+                    scale: s,
+                },
+                rd,
+                rs1: b,
+                rs2: i,
+                imm: d,
+                w: Width::W32,
+                set_flags: false,
+                fusible: false,
+            }),
+        }
+    }
+
+    /// Emits a load of width `w`, returning the destination temp.
+    fn load(&mut self, w: Width, m: MemRef) -> u8 {
+        let t = self.t();
+        self.load_into(w, t, m);
+        t
+    }
+
+    /// Emits a store of `val` at width `w`.
+    fn store(&mut self, w: Width, m: MemRef, val: u8) {
+        match self.addr(m) {
+            Addr::BaseDisp(b, d) => self.push(Uop::st(w, val, b, d)),
+            Addr::Indexed(b, i, s, d) => self.push(Uop {
+                op: Op::St {
+                    w,
+                    indexed: true,
+                    scale: s,
+                },
+                rd: val,
+                rs1: b,
+                rs2: i,
+                imm: d,
+                w: Width::W32,
+                set_flags: false,
+                fusible: false,
+            }),
+        }
+    }
+
+    /// Produces a native register holding the operand *value*. For 8-bit
+    /// reads of the high-byte registers (`AH`..`BH`) this extracts the
+    /// byte; otherwise registers are used directly (flag-width ALU ops
+    /// mask their inputs, matching hardware).
+    fn read_val(&mut self, op: Operand, w: Width) -> u8 {
+        match op {
+            Operand::Reg(r) => {
+                let n = r.num();
+                if w == Width::W8 && n >= 4 {
+                    let t = self.t();
+                    self.push(Uop::alui(Op::ExtHi8, t, n - 4, 0));
+                    t
+                } else {
+                    n
+                }
+            }
+            Operand::Imm(i) => {
+                let t = self.t();
+                self.limm(t, i as u32);
+                t
+            }
+            Operand::Mem(m) => self.load(w, m),
+        }
+    }
+
+    /// Writes `val` to the operand at width `w` (deposits for partials).
+    fn write(&mut self, op: Operand, w: Width, val: u8) {
+        match op {
+            Operand::Reg(r) => {
+                let n = r.num();
+                match w {
+                    Width::W32 => {
+                        if n != val {
+                            self.push(Uop::alu(Op::Mov, n, n, val));
+                        }
+                    }
+                    Width::W16 => self.push(Uop::alu(Op::Dep16, n, n, val)),
+                    Width::W8 => {
+                        if n < 4 {
+                            self.push(Uop::alu(Op::DepLo8, n, n, val));
+                        } else {
+                            self.push(Uop::alu(Op::DepHi8, n - 4, n - 4, val));
+                        }
+                    }
+                }
+            }
+            Operand::Mem(m) => self.store(w, m, val),
+            Operand::Imm(_) => unreachable!("immediate destination"),
+        }
+    }
+
+    /// Emits a flag-setting ALU op `rd = rs1 <op> src` where `src` is an
+    /// operand value register or a small immediate.
+    fn aluf(&mut self, op: Op, w: Width, rd: u8, rs1: u8, src: FlagSrc) {
+        match src {
+            FlagSrc::Reg(r) => self.push(Uop::alu(op, rd, rs1, r).with_flags(w)),
+            FlagSrc::Imm(i) => self.push(Uop::alui(op, rd, rs1, i).with_flags(w)),
+        }
+    }
+
+    /// Resolves an operand into a flag-ALU source, materialising large
+    /// immediates.
+    fn flag_src(&mut self, op: Operand, w: Width) -> FlagSrc {
+        match op {
+            Operand::Imm(i) if (-32..32).contains(&i) => FlagSrc::Imm(i),
+            other => FlagSrc::Reg(self.read_val(other, w)),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum FlagSrc {
+    Reg(u8),
+    Imm(i32),
+}
+
+fn alu_op(op: AluOp) -> Op {
+    match op {
+        AluOp::Add => Op::Add,
+        AluOp::Adc => Op::Adc,
+        AluOp::Sub => Op::Sub,
+        AluOp::Sbb => Op::Sbb,
+        AluOp::And => Op::And,
+        AluOp::Or => Op::Or,
+        AluOp::Xor => Op::Xor,
+        AluOp::Cmp => Op::CmpF,
+        AluOp::Test => Op::TestF,
+    }
+}
+
+fn shift_op(op: ShiftOp) -> Op {
+    match op {
+        ShiftOp::Shl => Op::Shl,
+        ShiftOp::Shr => Op::Shr,
+        ShiftOp::Sar => Op::Sar,
+        ShiftOp::Rol => Op::Rol,
+        ShiftOp::Ror => Op::Ror,
+    }
+}
+
+/// Cracks one decoded instruction at `pc` into micro-ops.
+///
+/// The returned body is *complete* for non-CTI instructions: executing it
+/// against a [`cdvm_fisa::NativeState`] whose low registers mirror the
+/// architected state reproduces the interpreter's effects exactly
+/// (property-tested). CTIs additionally return a [`CtiSpec`].
+pub fn crack(inst: &Inst, pc: u32) -> Cracked {
+    let mut e = E::new();
+    let w = inst.width;
+    let fall = pc.wrapping_add(inst.len as u32);
+    let mut cti = None;
+
+    match inst.mnemonic {
+        Mnemonic::Mov => {
+            let dst = inst.dst.unwrap();
+            let src = inst.src.unwrap();
+            match (dst, src, w) {
+                (Operand::Reg(r), Operand::Imm(i), Width::W32) => {
+                    e.limm(r.num(), i as u32);
+                }
+                (Operand::Reg(rd), Operand::Reg(rs), Width::W32) => {
+                    e.push(Uop::alu(Op::Mov, rd.num(), rd.num(), rs.num()));
+                }
+                (Operand::Reg(rd), Operand::Mem(m), Width::W32) => {
+                    e.load_into(Width::W32, rd.num(), m);
+                }
+                _ => {
+                    let v = e.read_val(src, w);
+                    e.write(dst, w, v);
+                }
+            }
+        }
+        Mnemonic::Movzx(sw) => {
+            let v = e.read_val(inst.src.unwrap(), sw);
+            let t = e.t();
+            let op = if sw == Width::W8 { Op::Zext8 } else { Op::Zext16 };
+            e.push(Uop::alui(op, t, v, 0));
+            e.write(inst.dst.unwrap(), w, t);
+        }
+        Mnemonic::Movsx(sw) => {
+            let v = e.read_val(inst.src.unwrap(), sw);
+            let t = e.t();
+            let op = if sw == Width::W8 { Op::Sext8 } else { Op::Sext16 };
+            e.push(Uop::alui(op, t, v, 0));
+            e.write(inst.dst.unwrap(), w, t);
+        }
+        Mnemonic::Lea => {
+            let Some(Operand::Mem(m)) = inst.src else {
+                unreachable!("LEA without memory source")
+            };
+            let Some(Operand::Reg(rd)) = inst.dst else {
+                unreachable!("LEA without register destination")
+            };
+            let rd = rd.num();
+            match (m.base, m.index) {
+                (Some(b), None) => e.add_imm(rd, b.num(), m.disp),
+                (None, None) => e.limm(rd, m.disp as u32),
+                (Some(b), Some(i)) if (-32..32).contains(&m.disp) => {
+                    let mut agen = Uop::alu(Op::Agen { scale: m.scale }, rd, b.num(), i.num());
+                    agen.imm = m.disp;
+                    e.push(agen);
+                }
+                (Some(b), Some(i)) => {
+                    let mut agen = Uop::alu(Op::Agen { scale: m.scale }, rd, b.num(), i.num());
+                    agen.imm = 0;
+                    e.push(agen);
+                    e.add_imm(rd, rd, m.disp);
+                }
+                (None, Some(i)) => {
+                    let t = e.t();
+                    e.limm(t, m.disp as u32);
+                    let mut agen = Uop::alu(Op::Agen { scale: m.scale }, rd, t, i.num());
+                    agen.imm = 0;
+                    e.push(agen);
+                }
+            }
+        }
+        Mnemonic::Xchg => {
+            let a = inst.dst.unwrap();
+            let b = inst.src.unwrap();
+            match (a, b, w) {
+                (Operand::Reg(ra), Operand::Reg(rb), Width::W32) => {
+                    let t = e.t();
+                    e.push(Uop::alu(Op::Mov, t, t, ra.num()));
+                    e.push(Uop::alu(Op::Mov, ra.num(), ra.num(), rb.num()));
+                    e.push(Uop::alu(Op::Mov, rb.num(), rb.num(), t));
+                }
+                _ => {
+                    let va = e.read_val(a, w);
+                    let t = e.t();
+                    e.push(Uop::alu(Op::Mov, t, t, va));
+                    let vb = e.read_val(b, w);
+                    e.write(a, w, vb);
+                    e.write(b, w, t);
+                }
+            }
+        }
+        Mnemonic::Push => {
+            let v = e.read_val(inst.src.unwrap(), Width::W32);
+            e.push(Uop::st(Width::W32, v, regs::ESP, -4));
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
+        }
+        Mnemonic::Pop => {
+            let dst = inst.dst.unwrap();
+            match dst {
+                Operand::Reg(r) if r != Gpr::Esp => {
+                    e.push(Uop::ld(Width::W32, r.num(), regs::ESP, 0));
+                    e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, 4));
+                }
+                _ => {
+                    let t = e.t();
+                    e.push(Uop::ld(Width::W32, t, regs::ESP, 0));
+                    e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, 4));
+                    e.write(dst, Width::W32, t);
+                }
+            }
+        }
+        Mnemonic::Alu(op) => {
+            let dst = inst.dst.unwrap();
+            let src = inst.src.unwrap();
+            let nop = alu_op(op);
+            if op == AluOp::Cmp || op == AluOp::Test {
+                let a = e.read_val(dst, w);
+                let b = e.flag_src(src, w);
+                e.aluf(nop, w, 0, a, b);
+            } else {
+                match dst {
+                    Operand::Reg(r) if w == Width::W32 => {
+                        let b = e.flag_src(src, w);
+                        e.aluf(nop, w, r.num(), r.num(), b);
+                    }
+                    Operand::Reg(_) => {
+                        let a = e.read_val(dst, w);
+                        let b = e.flag_src(src, w);
+                        let t = e.t();
+                        e.aluf(nop, w, t, a, b);
+                        e.write(dst, w, t);
+                    }
+                    Operand::Mem(m) => {
+                        let b = e.flag_src(src, w);
+                        let a = e.load(w, m);
+                        let t = e.t();
+                        e.aluf(nop, w, t, a, b);
+                        e.store(w, m, t);
+                    }
+                    Operand::Imm(_) => unreachable!(),
+                }
+            }
+        }
+        Mnemonic::Inc | Mnemonic::Dec | Mnemonic::Neg => {
+            let op = match inst.mnemonic {
+                Mnemonic::Inc => Op::IncF,
+                Mnemonic::Dec => Op::DecF,
+                _ => Op::Neg,
+            };
+            let dst = inst.dst.unwrap();
+            match dst {
+                Operand::Reg(r) if w == Width::W32 => {
+                    let mut u = Uop::alui(op, r.num(), r.num(), 0).with_flags(w);
+                    u.set_flags = true;
+                    e.push(u);
+                }
+                _ => {
+                    let a = e.read_val(dst, w);
+                    let t = e.t();
+                    e.push(Uop::alui(op, t, a, 0).with_flags(w));
+                    e.write(dst, w, t);
+                }
+            }
+        }
+        Mnemonic::Not => {
+            let dst = inst.dst.unwrap();
+            match dst {
+                Operand::Reg(r) if w == Width::W32 => {
+                    e.push(Uop::alui(Op::Not, r.num(), r.num(), 0));
+                }
+                _ => {
+                    let a = e.read_val(dst, w);
+                    let t = e.t();
+                    e.push(Uop::alui(Op::Not, t, a, 0));
+                    e.write(dst, w, t);
+                }
+            }
+        }
+        Mnemonic::Mul | Mnemonic::ImulWide => {
+            let hi_op = if inst.mnemonic == Mnemonic::Mul {
+                Op::MulHiU
+            } else {
+                Op::MulHiS
+            };
+            let b = e.read_val(inst.dst.unwrap(), w);
+            let lo = e.t();
+            let hi = e.t();
+            let mut u = Uop::alu(Op::MulLo, lo, regs::EAX, b);
+            u.w = w;
+            e.push(u);
+            e.push(Uop::alu(hi_op, hi, regs::EAX, b).with_flags(w));
+            match w {
+                Width::W8 => {
+                    // AX = hi:lo
+                    let t = e.t();
+                    e.push(Uop::alui(Op::Shl, t, hi, 8));
+                    e.push(Uop::alu(Op::Or, t, t, lo));
+                    e.push(Uop::alu(Op::Dep16, regs::EAX, regs::EAX, t));
+                }
+                Width::W16 => {
+                    e.push(Uop::alu(Op::Dep16, regs::EAX, regs::EAX, lo));
+                    e.push(Uop::alu(Op::Dep16, regs::EDX, regs::EDX, hi));
+                }
+                Width::W32 => {
+                    e.push(Uop::alu(Op::Mov, regs::EAX, regs::EAX, lo));
+                    e.push(Uop::alu(Op::Mov, regs::EDX, regs::EDX, hi));
+                }
+            }
+        }
+        Mnemonic::Imul => {
+            let (a, b) = match inst.src2 {
+                Some(Operand::Imm(i)) => {
+                    let a = e.read_val(inst.src.unwrap(), w);
+                    let t = e.t();
+                    e.limm(t, i as u32);
+                    (a, t)
+                }
+                _ => {
+                    let a = e.read_val(inst.dst.unwrap(), w);
+                    let b = e.read_val(inst.src.unwrap(), w);
+                    (a, b)
+                }
+            };
+            let lo = e.t();
+            let hi = e.t();
+            let mut u = Uop::alu(Op::MulLo, lo, a, b);
+            u.w = w;
+            e.push(u);
+            // flags come from the widening-compare semantics
+            e.push(Uop::alu(Op::MulHiS, hi, a, b).with_flags(w));
+            e.write(inst.dst.unwrap(), w, lo);
+        }
+        Mnemonic::Div | Mnemonic::Idiv => {
+            let (qop, rop) = if inst.mnemonic == Mnemonic::Div {
+                (Op::DivQ, Op::DivR)
+            } else {
+                (Op::IDivQ, Op::IDivR)
+            };
+            let d = e.read_val(inst.dst.unwrap(), w);
+            let q = e.t();
+            let r = e.t();
+            let mut uq = Uop::alu(qop, q, d, regs::VMM_SP);
+            uq.w = w;
+            e.push(uq);
+            let mut ur = Uop::alu(rop, r, d, regs::VMM_SP);
+            ur.w = w;
+            e.push(ur);
+            match w {
+                Width::W8 => {
+                    e.push(Uop::alu(Op::DepLo8, regs::EAX, regs::EAX, q));
+                    e.push(Uop::alu(Op::DepHi8, regs::EAX, regs::EAX, r));
+                }
+                Width::W16 => {
+                    e.push(Uop::alu(Op::Dep16, regs::EAX, regs::EAX, q));
+                    e.push(Uop::alu(Op::Dep16, regs::EDX, regs::EDX, r));
+                }
+                Width::W32 => {
+                    e.push(Uop::alu(Op::Mov, regs::EAX, regs::EAX, q));
+                    e.push(Uop::alu(Op::Mov, regs::EDX, regs::EDX, r));
+                }
+            }
+        }
+        Mnemonic::Shift(op) => {
+            let nop = shift_op(op);
+            let dst = inst.dst.unwrap();
+            let count = match inst.src.unwrap() {
+                Operand::Imm(i) => FlagSrc::Imm(i & 31),
+                Operand::Reg(_) => FlagSrc::Reg(regs::ECX),
+                Operand::Mem(_) => unreachable!("shift count from memory"),
+            };
+            match dst {
+                Operand::Reg(r) if w == Width::W32 => {
+                    e.aluf(nop, w, r.num(), r.num(), count);
+                }
+                _ => {
+                    let a = e.read_val(dst, w);
+                    let t = e.t();
+                    e.aluf(nop, w, t, a, count);
+                    e.write(dst, w, t);
+                }
+            }
+        }
+        Mnemonic::Jcc(cond) => {
+            cti = Some(CtiSpec::CondFlags {
+                cond,
+                target: inst.direct_target().unwrap(),
+                fall,
+            });
+        }
+        Mnemonic::Jmp => {
+            cti = Some(CtiSpec::Direct {
+                target: inst.direct_target().unwrap(),
+            });
+        }
+        Mnemonic::JmpInd => {
+            let t = e.read_val(inst.src.unwrap(), Width::W32);
+            cti = Some(CtiSpec::Indirect { reg: t });
+        }
+        Mnemonic::Call => {
+            let t = e.t();
+            e.limm(t, fall);
+            e.push(Uop::st(Width::W32, t, regs::ESP, -4));
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
+            cti = Some(CtiSpec::DirectCall {
+                target: inst.direct_target().unwrap(),
+                fall,
+            });
+        }
+        Mnemonic::CallInd => {
+            let target = e.read_val(inst.src.unwrap(), Width::W32);
+            let t = e.t();
+            e.limm(t, fall);
+            e.push(Uop::st(Width::W32, t, regs::ESP, -4));
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
+            cti = Some(CtiSpec::Indirect { reg: target });
+        }
+        Mnemonic::Ret => {
+            let t = e.t();
+            e.push(Uop::ld(Width::W32, t, regs::ESP, 0));
+            let pop = 4 + match inst.src {
+                Some(Operand::Imm(n)) => n,
+                _ => 0,
+            };
+            e.add_imm(regs::ESP, regs::ESP, pop);
+            cti = Some(CtiSpec::Indirect { reg: t });
+        }
+        Mnemonic::Loop => {
+            e.push(Uop::alui(Op::Add, regs::ECX, regs::ECX, -1));
+            cti = Some(CtiSpec::CondNz {
+                reg: regs::ECX,
+                target: inst.direct_target().unwrap(),
+                fall,
+            });
+        }
+        Mnemonic::Jecxz => {
+            cti = Some(CtiSpec::CondZ {
+                reg: regs::ECX,
+                target: inst.direct_target().unwrap(),
+                fall,
+            });
+        }
+        Mnemonic::Setcc(cond) => {
+            let t = e.t();
+            e.push(Uop {
+                op: Op::Setcc(cond),
+                rd: t,
+                rs1: 0,
+                rs2: 0,
+                imm: 0,
+                w: Width::W32,
+                set_flags: false,
+                fusible: false,
+            });
+            e.write(inst.dst.unwrap(), Width::W8, t);
+        }
+        Mnemonic::Cmovcc(cond) => {
+            let v = e.read_val(inst.src.unwrap(), w);
+            match inst.dst.unwrap() {
+                Operand::Reg(r) if w == Width::W32 => {
+                    e.push(Uop {
+                        op: Op::Cmovcc(cond),
+                        rd: r.num(),
+                        rs1: r.num(),
+                        rs2: v,
+                        imm: 0,
+                        w: Width::W32,
+                        set_flags: false,
+                        fusible: false,
+                    });
+                }
+                dst => {
+                    let cur = e.read_val(dst, w);
+                    let t = e.t();
+                    e.push(Uop {
+                        op: Op::Cmovcc(cond),
+                        rd: t,
+                        rs1: cur,
+                        rs2: v,
+                        imm: 0,
+                        w: Width::W32,
+                        set_flags: false,
+                        fusible: false,
+                    });
+                    e.write(dst, w, t);
+                }
+            }
+        }
+        Mnemonic::Cwde => {
+            if w == Width::W16 {
+                let t = e.t();
+                e.push(Uop::alui(Op::Sext8, t, regs::EAX, 0));
+                e.push(Uop::alu(Op::Dep16, regs::EAX, regs::EAX, t));
+            } else {
+                e.push(Uop::alui(Op::Sext16, regs::EAX, regs::EAX, 0));
+            }
+        }
+        Mnemonic::Cdq => {
+            if w == Width::W16 {
+                let t = e.t();
+                e.push(Uop::alui(Op::Sext16, t, regs::EAX, 0));
+                e.push(Uop::alui(Op::Sar, t, t, 15));
+                e.push(Uop::alu(Op::Dep16, regs::EDX, regs::EDX, t));
+            } else {
+                e.push(Uop::alui(Op::Sar, regs::EDX, regs::EAX, 31));
+            }
+        }
+        Mnemonic::Cld => e.push(Uop::alui(Op::Sys(SysOp::Cld), 0, 0, 0)),
+        Mnemonic::Std => e.push(Uop::alui(Op::Sys(SysOp::Std), 0, 0, 0)),
+        Mnemonic::Movs | Mnemonic::Stos | Mnemonic::Lods => {
+            crack_string(&mut e, inst, &mut cti);
+        }
+        Mnemonic::Pusha => {
+            let order = [
+                regs::EAX,
+                regs::ECX,
+                regs::EDX,
+                regs::EBX,
+                regs::ESP,
+                regs::EBP,
+                regs::ESI,
+                regs::EDI,
+            ];
+            for (k, r) in order.iter().enumerate() {
+                e.push(Uop::st(Width::W32, *r, regs::ESP, -4 * (k as i32 + 1)));
+            }
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -32));
+        }
+        Mnemonic::Popa => {
+            let order = [
+                (regs::EDI, 0),
+                (regs::ESI, 4),
+                (regs::EBP, 8),
+                // ESP slot skipped
+                (regs::EBX, 16),
+                (regs::EDX, 20),
+                (regs::ECX, 24),
+                (regs::EAX, 28),
+            ];
+            for (r, off) in order {
+                e.push(Uop::ld(Width::W32, r, regs::ESP, off));
+            }
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, 32));
+        }
+        Mnemonic::Enter => {
+            let Some(Operand::Imm(frame)) = inst.src else {
+                unreachable!("ENTER without frame")
+            };
+            e.push(Uop::st(Width::W32, regs::EBP, regs::ESP, -4));
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
+            e.push(Uop::alu(Op::Mov, regs::EBP, regs::EBP, regs::ESP));
+            e.add_imm(regs::ESP, regs::ESP, -frame);
+        }
+        Mnemonic::Leave => {
+            e.push(Uop::alu(Op::Mov, regs::ESP, regs::ESP, regs::EBP));
+            e.push(Uop::ld(Width::W32, regs::EBP, regs::ESP, 0));
+            e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, 4));
+        }
+        Mnemonic::Nop => {}
+        Mnemonic::Hlt => cti = Some(CtiSpec::Halt),
+        Mnemonic::Int3 => cti = Some(CtiSpec::Trap { code: 3 }),
+        Mnemonic::Cpuid => {
+            // Mirror cdvm_x86::cpuid_values: eax' = 1 ^ rotl(eax, 3), then
+            // fixed identity constants.
+            let t = e.t();
+            e.push(Uop::alui(Op::Rol, t, regs::EAX, 3));
+            e.push(Uop::alui(Op::Xor, regs::EAX, t, 1));
+            let vals = cdvm_x86::cpuid_values(0);
+            e.limm(regs::EBX, vals[1]);
+            e.limm(regs::ECX, vals[2]);
+            e.limm(regs::EDX, vals[3]);
+        }
+    }
+
+    Cracked {
+        uops: e.uops,
+        cti,
+        complex: inst.mnemonic.is_complex(),
+    }
+}
+
+/// One iteration of a string instruction, with runtime DF handling.
+fn crack_string(e: &mut E, inst: &Inst, cti: &mut Option<CtiSpec>) {
+    let w = inst.width;
+    let bytes = w.bytes() as i32;
+    // step = bytes - 2*bytes*DF
+    let t_df = e.t();
+    e.push(Uop::alui(Op::RdDf, t_df, 0, 0));
+    e.push(Uop::alui(Op::Shl, t_df, t_df, bytes.trailing_zeros() as i32 + 1));
+    let t_step = e.t();
+    e.push(Uop::alui(Op::Limm, t_step, 0, bytes));
+    e.push(Uop::alu(Op::Sub, t_step, t_step, t_df));
+
+    match inst.mnemonic {
+        Mnemonic::Movs => {
+            let v = e.t();
+            e.push(Uop::ld(w, v, regs::ESI, 0));
+            e.push(Uop::st(w, v, regs::EDI, 0));
+            e.push(Uop::alu(Op::Add, regs::ESI, regs::ESI, t_step));
+            e.push(Uop::alu(Op::Add, regs::EDI, regs::EDI, t_step));
+        }
+        Mnemonic::Stos => {
+            e.push(Uop::st(w, regs::EAX, regs::EDI, 0));
+            e.push(Uop::alu(Op::Add, regs::EDI, regs::EDI, t_step));
+        }
+        Mnemonic::Lods => {
+            let v = e.t();
+            e.push(Uop::ld(w, v, regs::ESI, 0));
+            match w {
+                Width::W32 => e.push(Uop::alu(Op::Mov, regs::EAX, regs::EAX, v)),
+                Width::W16 => e.push(Uop::alu(Op::Dep16, regs::EAX, regs::EAX, v)),
+                Width::W8 => e.push(Uop::alu(Op::DepLo8, regs::EAX, regs::EAX, v)),
+            }
+            e.push(Uop::alu(Op::Add, regs::ESI, regs::ESI, t_step));
+        }
+        _ => unreachable!(),
+    }
+
+    if inst.rep {
+        let kind = match inst.mnemonic {
+            Mnemonic::Movs => RepKind::Movs,
+            Mnemonic::Stos => RepKind::Stos,
+            _ => RepKind::Lods,
+        };
+        *cti = Some(CtiSpec::Rep { kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm_x86::{decode, Asm};
+
+    fn crack_one(build: impl FnOnce(&mut Asm)) -> Cracked {
+        let mut asm = Asm::new(0x1000);
+        build(&mut asm);
+        let code = asm.finish();
+        let inst = decode(&code, 0x1000).expect("decodes");
+        crack(&inst, 0x1000)
+    }
+
+    #[test]
+    fn simple_alu_is_one_uop() {
+        let c = crack_one(|a| a.alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ebx));
+        assert_eq!(c.uops.len(), 1);
+        assert_eq!(c.uops[0].op, Op::Add);
+        assert!(c.uops[0].set_flags);
+        assert_eq!(c.uops[0].rd, regs::EAX);
+        assert!(c.cti.is_none());
+        assert!(!c.complex);
+    }
+
+    #[test]
+    fn load_op_is_two_uops() {
+        let c = crack_one(|a| a.alu_rm(AluOp::Add, Gpr::Eax, MemRef::base_disp(Gpr::Ebp, -8)));
+        assert_eq!(c.uops.len(), 2);
+        assert!(matches!(c.uops[0].op, Op::Ld { .. }));
+        assert_eq!(c.uops[1].op, Op::Add);
+    }
+
+    #[test]
+    fn rmw_is_three_uops() {
+        let c = crack_one(|a| a.alu_mr(AluOp::Add, MemRef::base_disp(Gpr::Ebx, 4), Gpr::Ecx));
+        // ld, add, st
+        assert_eq!(c.uops.len(), 3);
+        assert!(matches!(c.uops[2].op, Op::St { .. }));
+    }
+
+    #[test]
+    fn push_is_store_plus_update() {
+        let c = crack_one(|a| a.push_r(Gpr::Esi));
+        assert_eq!(c.uops.len(), 2);
+        assert!(matches!(c.uops[0].op, Op::St { .. }));
+        assert_eq!(c.uops[0].imm, -4);
+        assert_eq!(c.uops[1].op, Op::Add);
+    }
+
+    #[test]
+    fn call_pushes_return_address() {
+        let c = crack_one(|a| {
+            let l = a.label();
+            a.call(l);
+            a.bind(l);
+        });
+        assert!(matches!(
+            c.cti,
+            Some(CtiSpec::DirectCall { target: 0x1005, fall: 0x1005 })
+        ));
+        // limm(fall) + st + esp update
+        assert!(c.uops.len() >= 3);
+    }
+
+    #[test]
+    fn ret_is_indirect() {
+        let c = crack_one(|a| a.ret());
+        assert!(matches!(c.cti, Some(CtiSpec::Indirect { .. })));
+        assert!(matches!(c.uops[0].op, Op::Ld { .. }));
+    }
+
+    #[test]
+    fn jcc_has_no_body() {
+        let c = crack_one(|a| {
+            let l = a.label();
+            a.jcc(Cond::E, l);
+            a.bind(l);
+        });
+        assert!(c.uops.is_empty());
+        assert!(matches!(
+            c.cti,
+            Some(CtiSpec::CondFlags { cond: Cond::E, .. })
+        ));
+    }
+
+    #[test]
+    fn loop_preserves_flags() {
+        let c = crack_one(|a| {
+            let l = a.here();
+            a.loop_(l);
+        });
+        assert_eq!(c.uops.len(), 1);
+        assert!(!c.uops[0].set_flags, "LOOP must not touch flags");
+        assert!(matches!(c.cti, Some(CtiSpec::CondNz { .. })));
+    }
+
+    #[test]
+    fn rep_movs_is_complex_with_rep_cti() {
+        let c = crack_one(|a| a.movs(Width::W32, true));
+        assert!(c.complex);
+        assert!(matches!(c.cti, Some(CtiSpec::Rep { kind: RepKind::Movs })));
+        assert!(c.uops.iter().any(|u| matches!(u.op, Op::RdDf)));
+    }
+
+    #[test]
+    fn high_byte_alu_extracts_and_merges() {
+        // add ah, bl
+        let c = crack_one(|a| a.alu_rr8(AluOp::Add, Gpr::Esp, Gpr::Ebx));
+        let ops: Vec<_> = c.uops.iter().map(|u| u.op).collect();
+        assert!(ops.contains(&Op::ExtHi8));
+        assert!(ops.contains(&Op::DepHi8));
+    }
+
+    #[test]
+    fn div_faults_before_writeback() {
+        let c = crack_one(|a| a.div_r(Gpr::Ecx));
+        // DivQ and DivR precede the Mov writebacks
+        assert!(matches!(c.uops[0].op, Op::DivQ));
+        assert!(matches!(c.uops[1].op, Op::DivR));
+        assert!(matches!(c.uops[2].op, Op::Mov));
+    }
+
+    #[test]
+    fn big_displacement_synthesised() {
+        let c = crack_one(|a| a.mov_rm(Gpr::Eax, MemRef::base_disp(Gpr::Ebx, 0x10_0000)));
+        // limm pair + add + ld, or limm pair + ld with base
+        assert!(c.uops.len() >= 3);
+        assert!(matches!(c.uops.last().unwrap().op, Op::Ld { .. }));
+    }
+
+    #[test]
+    fn uop_count_distribution_is_realistic() {
+        // The paper's design assumes most x86 instructions crack into a
+        // small number of micro-ops with ≤16 bytes of encoding.
+        let insts: Vec<Cracked> = vec![
+            crack_one(|a| a.mov_ri(Gpr::Eax, 5)),
+            crack_one(|a| a.alu_rr(AluOp::Sub, Gpr::Ecx, Gpr::Edx)),
+            crack_one(|a| a.mov_rm(Gpr::Eax, MemRef::base_disp(Gpr::Esp, 8))),
+            crack_one(|a| a.push_r(Gpr::Eax)),
+            crack_one(|a| a.lea(Gpr::Edi, MemRef::base_index(Gpr::Eax, Gpr::Ecx, 4, 3))),
+        ];
+        for c in &insts {
+            assert!(c.uops.len() <= 4);
+            assert!(c.encoded_uop_bytes() <= 16);
+        }
+    }
+
+    #[test]
+    fn halt_and_trap_ctis() {
+        assert!(matches!(crack_one(|a| a.hlt()).cti, Some(CtiSpec::Halt)));
+        assert!(matches!(
+            crack_one(|a| a.int3()).cti,
+            Some(CtiSpec::Trap { code: 3 })
+        ));
+    }
+
+    use cdvm_x86::{AluOp, Cond, Gpr, MemRef, Width};
+}

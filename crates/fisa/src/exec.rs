@@ -1,0 +1,853 @@
+//! Functional executor for translated (implementation-ISA) code.
+
+use cdvm_mem::Memory;
+use cdvm_x86::{alu, AluOp, BranchKind, Flags, MemAccess, ShiftOp, Width};
+
+use crate::encoding;
+use crate::regs;
+use crate::uop::{ExitCode, Op, SysOp, Uop};
+use crate::xlt::XltAssist;
+use crate::NativeState;
+
+/// Where the executor fetches encoded micro-ops from (the BBT and SBT
+/// code caches, merged by address range in the VMM).
+pub trait CodeSource {
+    /// Fetches the halfword at `addr`, or `None` if the address is not
+    /// mapped translated code.
+    fn fetch_hw(&self, addr: u32) -> Option<u16>;
+
+    /// Fetches up to 4 bytes for decoding (default in terms of
+    /// [`CodeSource::fetch_hw`]).
+    fn fetch_window(&self, addr: u32) -> Option<[u8; 4]> {
+        let h0 = self.fetch_hw(addr)?;
+        let h1 = self.fetch_hw(addr + 2).unwrap_or(0);
+        let b0 = h0.to_le_bytes();
+        let b1 = h1.to_le_bytes();
+        Some([b0[0], b0[1], b1[0], b1[1]])
+    }
+}
+
+/// Faults raised by native execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NFault {
+    /// Divide error in translated code; the VMM recovers precise x86
+    /// state via the interpreter.
+    DivideError {
+        /// Native PC of the faulting micro-op.
+        native_pc: u32,
+    },
+    /// Explicit trap micro-op (translated `INT3`).
+    Trap {
+        /// Trap code.
+        code: u32,
+        /// Native PC of the trap.
+        native_pc: u32,
+    },
+    /// Fetch outside mapped translated code (stale chain, VMM bug).
+    BadFetch {
+        /// The unmapped address.
+        addr: u32,
+    },
+    /// Undecodable bytes in the code cache.
+    BadEncoding {
+        /// Address of the bad micro-op.
+        addr: u32,
+    },
+    /// An `XLTx86` micro-op executed with no backend unit configured.
+    NoXltUnit {
+        /// Native PC of the micro-op.
+        native_pc: u32,
+    },
+}
+
+impl std::fmt::Display for NFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NFault::DivideError { native_pc } => write!(f, "divide error at {native_pc:#x}"),
+            NFault::Trap { code, native_pc } => write!(f, "trap {code} at {native_pc:#x}"),
+            NFault::BadFetch { addr } => write!(f, "fetch outside code cache at {addr:#x}"),
+            NFault::BadEncoding { addr } => write!(f, "bad micro-op encoding at {addr:#x}"),
+            NFault::NoXltUnit { native_pc } => {
+                write!(f, "XLTx86 executed without a backend unit at {native_pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NFault {}
+
+/// Control returned to the VMM runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NExit {
+    /// An exit stub fired.
+    VmExit {
+        /// Why the translated code exited.
+        code: ExitCode,
+        /// The [`regs::VMM_ARG`] payload (usually an x86 PC).
+        arg: u32,
+    },
+    /// Translated `HLT`.
+    Halt,
+}
+
+/// One retired micro-op, as seen by the timing model.
+#[derive(Debug, Clone, Copy)]
+pub struct NRetired {
+    /// Native PC of the micro-op.
+    pub pc: u32,
+    /// Encoded length (2 or 4 bytes).
+    pub len: u8,
+    /// The micro-op itself (fusible bit ⇒ head of a macro-op pair).
+    pub uop: Uop,
+    /// Data memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Branch outcome, if this was a control transfer.
+    pub branch: Option<(BranchKind, bool, u32)>,
+    /// VMM exit, if one fired.
+    pub exit: Option<NExit>,
+}
+
+/// A minimal open-addressing decode cache (u32 key, never removed
+/// individually — whole-cache invalidation only). SipHash-free for the
+/// per-micro-op hot path.
+struct DecodeCache {
+    keys: Vec<u32>,
+    vals: Vec<(Uop, u8)>,
+    len: usize,
+    mask: usize,
+}
+
+const EMPTY_KEY: u32 = 0;
+
+impl DecodeCache {
+    fn new() -> Self {
+        let n = 1 << 14;
+        DecodeCache {
+            keys: vec![EMPTY_KEY; n],
+            vals: vec![(Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0), 0); n],
+            len: 0,
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        (key.wrapping_mul(0x9e37_79b9) as usize >> 7) & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: u32) -> Option<(Uop, u8)> {
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, key: u32, val: (Uop, u8)) {
+        debug_assert_ne!(key, EMPTY_KEY, "native PC 0 is never translated code");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot(key);
+        loop {
+            if self.keys[i] == EMPTY_KEY || self.keys[i] == key {
+                if self.keys[i] == EMPTY_KEY {
+                    self.len += 1;
+                }
+                self.keys[i] = key;
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn remove(&mut self, key: u32) {
+        // Standard open-addressing deletion: empty the slot, then
+        // re-insert the remainder of the probe cluster.
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY_KEY {
+                return;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = EMPTY_KEY;
+        self.len -= 1;
+        let mut j = (i + 1) & self.mask;
+        while self.keys[j] != EMPTY_KEY {
+            let (k, v) = (self.keys[j], self.vals[j]);
+            self.keys[j] = EMPTY_KEY;
+            self.len -= 1;
+            self.insert(k, v);
+            j = (j + 1) & self.mask;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_len]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            vec![(Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0), 0); new_len],
+        );
+        self.mask = new_len - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_KEY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+/// The implementation-ISA functional executor.
+///
+/// Decoded micro-ops are cached per native PC (a stand-in for the real
+/// machine's pipeline decode; the encoded bytes in the code cache remain
+/// the ground truth). The VMM must call [`Executor::invalidate`] whenever
+/// a code-cache generation is flushed.
+pub struct Executor {
+    cache: DecodeCache,
+    retired: u64,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            cache: DecodeCache::new(),
+            retired: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("cached_uops", &self.cache.len)
+            .field("retired", &self.retired)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with an empty decode cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Micro-ops retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Clears the decode cache (call after any code-cache flush/patch).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Invalidates a single address (after chaining patches one site).
+    pub fn invalidate_at(&mut self, addr: u32) {
+        self.cache.remove(addr);
+    }
+
+    fn decode(&mut self, code: &impl CodeSource, pc: u32) -> Result<(Uop, u8), NFault> {
+        if let Some(hit) = self.cache.get(pc) {
+            return Ok(hit);
+        }
+        let window = code.fetch_window(pc).ok_or(NFault::BadFetch { addr: pc })?;
+        let (u, len) =
+            encoding::decode_one(&window, 0).map_err(|_| NFault::BadEncoding { addr: pc })?;
+        self.cache.insert(pc, (u, len));
+        Ok((u, len))
+    }
+
+    /// Executes one micro-op at `st.pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NFault`] on divide errors, traps, bad fetches, or a
+    /// missing XLT unit; `st.pc` is left at the faulting micro-op.
+    pub fn step(
+        &mut self,
+        st: &mut NativeState,
+        mem: &mut impl Memory,
+        code: &impl CodeSource,
+        mut xlt: Option<&mut dyn XltAssist>,
+    ) -> Result<NRetired, NFault> {
+        let pc = st.pc;
+        let (u, len) = self.decode(code, pc)?;
+        let fall = pc.wrapping_add(len as u32);
+        let mut next = fall;
+        let mut mem_acc = None;
+        let mut branch = None;
+        let mut exit = None;
+
+        let b_src = |st: &NativeState| {
+            if u.rs2 == regs::VMM_SP {
+                u.imm as u32
+            } else {
+                st.r[u.rs2 as usize]
+            }
+        };
+
+        match u.op {
+            Op::Add | Op::Adc | Op::Sub | Op::Sbb | Op::And | Op::Or | Op::Xor => {
+                let a = st.r[u.rs1 as usize];
+                let b = b_src(st);
+                if u.set_flags {
+                    let op = match u.op {
+                        Op::Add => AluOp::Add,
+                        Op::Adc => AluOp::Adc,
+                        Op::Sub => AluOp::Sub,
+                        Op::Sbb => AluOp::Sbb,
+                        Op::And => AluOp::And,
+                        Op::Or => AluOp::Or,
+                        _ => AluOp::Xor,
+                    };
+                    let (r, s) = alu::alu(op, u.w, a, b, st.flags.cf());
+                    st.r[u.rd as usize] = r;
+                    st.flags.set_status(s);
+                } else {
+                    let r = match u.op {
+                        Op::Add => a.wrapping_add(b),
+                        Op::Adc => a.wrapping_add(b).wrapping_add(st.flags.cf() as u32),
+                        Op::Sub => a.wrapping_sub(b),
+                        Op::Sbb => a.wrapping_sub(b).wrapping_sub(st.flags.cf() as u32),
+                        Op::And => a & b,
+                        Op::Or => a | b,
+                        _ => a ^ b,
+                    };
+                    st.r[u.rd as usize] = r;
+                }
+            }
+            Op::Shl | Op::Shr | Op::Sar | Op::Rol | Op::Ror => {
+                let a = st.r[u.rs1 as usize];
+                let count = b_src(st);
+                let op = match u.op {
+                    Op::Shl => ShiftOp::Shl,
+                    Op::Shr => ShiftOp::Shr,
+                    Op::Sar => ShiftOp::Sar,
+                    Op::Rol => ShiftOp::Rol,
+                    _ => ShiftOp::Ror,
+                };
+                if u.set_flags {
+                    match alu::shift(op, u.w, a, count, st.flags) {
+                        Some((r, f)) => {
+                            st.r[u.rd as usize] = r;
+                            st.flags = f;
+                        }
+                        None => st.r[u.rd as usize] = a & u.w.mask(),
+                    }
+                } else {
+                    let c = count & 31;
+                    let r = match op {
+                        ShiftOp::Shl => a.wrapping_shl(c),
+                        ShiftOp::Shr => a.wrapping_shr(c),
+                        ShiftOp::Sar => ((a as i32) >> c.min(31)) as u32,
+                        ShiftOp::Rol => a.rotate_left(c),
+                        ShiftOp::Ror => a.rotate_right(c),
+                    };
+                    st.r[u.rd as usize] = r;
+                }
+            }
+            Op::MulLo => {
+                let a = st.r[u.rs1 as usize];
+                let b = b_src(st);
+                st.r[u.rd as usize] = a.wrapping_mul(b) & u.w.mask();
+            }
+            Op::MulHiU => {
+                let a = st.r[u.rs1 as usize];
+                let b = b_src(st);
+                let (_, hi, s) = alu::mul(u.w, a, b);
+                st.r[u.rd as usize] = hi;
+                if u.set_flags {
+                    st.flags.set_status(s);
+                }
+            }
+            Op::MulHiS => {
+                let a = st.r[u.rs1 as usize];
+                let b = b_src(st);
+                let (_, hi, s) = alu::imul_wide(u.w, a, b);
+                st.r[u.rd as usize] = hi;
+                if u.set_flags {
+                    st.flags.set_status(s);
+                }
+            }
+            Op::DivQ | Op::DivR | Op::IDivQ | Op::IDivR => {
+                let divisor = st.r[u.rs1 as usize];
+                let (lo, hi) = match u.w {
+                    Width::W8 => {
+                        let ax = st.r[regs::EAX as usize] & 0xffff;
+                        (ax & 0xff, (ax >> 8) & 0xff)
+                    }
+                    _ => (
+                        st.r[regs::EAX as usize] & u.w.mask(),
+                        st.r[regs::EDX as usize] & u.w.mask(),
+                    ),
+                };
+                let signed = matches!(u.op, Op::IDivQ | Op::IDivR);
+                let res = if signed {
+                    alu::idiv(u.w, lo, hi, divisor)
+                } else {
+                    alu::div(u.w, lo, hi, divisor)
+                };
+                let Some((q, r)) = res else {
+                    return Err(NFault::DivideError { native_pc: pc });
+                };
+                st.r[u.rd as usize] = if matches!(u.op, Op::DivQ | Op::IDivQ) {
+                    q
+                } else {
+                    r
+                };
+            }
+            Op::CmpF => {
+                let (_, s) = alu::alu(
+                    AluOp::Cmp,
+                    u.w,
+                    st.r[u.rs1 as usize],
+                    b_src(st),
+                    st.flags.cf(),
+                );
+                st.flags.set_status(s);
+            }
+            Op::TestF => {
+                let (_, s) = alu::alu(
+                    AluOp::Test,
+                    u.w,
+                    st.r[u.rs1 as usize],
+                    b_src(st),
+                    st.flags.cf(),
+                );
+                st.flags.set_status(s);
+            }
+            Op::IncF => {
+                let (r, s) = alu::inc(u.w, st.r[u.rs1 as usize]);
+                st.r[u.rd as usize] = r;
+                st.flags.set_status_keep_cf(s);
+            }
+            Op::DecF => {
+                let (r, s) = alu::dec(u.w, st.r[u.rs1 as usize]);
+                st.r[u.rd as usize] = r;
+                st.flags.set_status_keep_cf(s);
+            }
+            Op::Neg => {
+                let a = st.r[u.rs1 as usize];
+                if u.set_flags {
+                    let (r, s) = alu::neg(u.w, a);
+                    st.r[u.rd as usize] = r;
+                    st.flags.set_status(s);
+                } else {
+                    st.r[u.rd as usize] = a.wrapping_neg();
+                }
+            }
+            Op::Not => st.r[u.rd as usize] = !st.r[u.rs1 as usize],
+            Op::Sext8 => st.r[u.rd as usize] = Width::W8.sext(st.r[u.rs1 as usize]),
+            Op::Sext16 => st.r[u.rd as usize] = Width::W16.sext(st.r[u.rs1 as usize]),
+            Op::Zext8 => st.r[u.rd as usize] = st.r[u.rs1 as usize] & 0xff,
+            Op::Zext16 => st.r[u.rd as usize] = st.r[u.rs1 as usize] & 0xffff,
+            Op::DepLo8 => {
+                st.r[u.rd as usize] =
+                    (st.r[u.rs1 as usize] & !0xff) | (st.r[u.rs2 as usize] & 0xff)
+            }
+            Op::DepHi8 => {
+                st.r[u.rd as usize] =
+                    (st.r[u.rs1 as usize] & !0xff00) | ((st.r[u.rs2 as usize] & 0xff) << 8)
+            }
+            Op::ExtHi8 => st.r[u.rd as usize] = (st.r[u.rs1 as usize] >> 8) & 0xff,
+            Op::Dep16 => {
+                st.r[u.rd as usize] =
+                    (st.r[u.rs1 as usize] & 0xffff_0000) | (st.r[u.rs2 as usize] & 0xffff)
+            }
+            Op::Mov => st.r[u.rd as usize] = b_src(st),
+            Op::Setcc(c) => st.r[u.rd as usize] = c.eval(st.flags) as u32,
+            Op::Cmovcc(c) => {
+                st.r[u.rd as usize] = if c.eval(st.flags) {
+                    st.r[u.rs2 as usize]
+                } else {
+                    st.r[u.rs1 as usize]
+                }
+            }
+            Op::Agen { scale } => {
+                st.r[u.rd as usize] = st.r[u.rs1 as usize]
+                    .wrapping_add(st.r[u.rs2 as usize].wrapping_mul(scale as u32))
+                    .wrapping_add(u.imm as u32);
+            }
+            Op::Ld { w, indexed, scale } => {
+                let mut addr = st.r[u.rs1 as usize].wrapping_add(u.imm as u32);
+                if indexed {
+                    addr = addr.wrapping_add(st.r[u.rs2 as usize].wrapping_mul(scale as u32));
+                }
+                mem_acc = Some(MemAccess {
+                    addr,
+                    width: w,
+                    is_store: false,
+                });
+                st.r[u.rd as usize] = match w {
+                    Width::W8 => mem.read_u8(addr) as u32,
+                    Width::W16 => mem.read_u16(addr) as u32,
+                    Width::W32 => mem.read_u32(addr),
+                };
+            }
+            Op::St { w, indexed, scale } => {
+                let mut addr = st.r[u.rs1 as usize].wrapping_add(u.imm as u32);
+                if indexed {
+                    addr = addr.wrapping_add(st.r[u.rs2 as usize].wrapping_mul(scale as u32));
+                }
+                mem_acc = Some(MemAccess {
+                    addr,
+                    width: w,
+                    is_store: true,
+                });
+                let v = st.r[u.rd as usize];
+                match w {
+                    Width::W8 => mem.write_u8(addr, v as u8),
+                    Width::W16 => mem.write_u16(addr, v as u16),
+                    Width::W32 => mem.write_u32(addr, v),
+                }
+            }
+            Op::Limm => st.r[u.rd as usize] = u.imm as u32,
+            Op::Limmh => {
+                st.r[u.rd as usize] =
+                    (st.r[u.rd as usize] & 0xffff) | ((u.imm as u32 & 0xffff) << 16)
+            }
+            Op::Bcc(c) => {
+                let taken = c.eval(st.flags);
+                let target = fall.wrapping_add((u.imm as u32) << 1);
+                if taken {
+                    next = target;
+                }
+                branch = Some((
+                    BranchKind::Conditional,
+                    taken,
+                    if taken { target } else { fall },
+                ));
+            }
+            Op::Bnz | Op::Bz => {
+                let v = st.r[u.rs1 as usize];
+                let taken = (v != 0) == matches!(u.op, Op::Bnz);
+                let target = fall.wrapping_add((u.imm as u32) << 1);
+                if taken {
+                    next = target;
+                }
+                branch = Some((
+                    BranchKind::Conditional,
+                    taken,
+                    if taken { target } else { fall },
+                ));
+            }
+            Op::RdDf => st.r[u.rd as usize] = st.flags.df() as u32,
+            Op::Br => {
+                next = fall.wrapping_add((u.imm as u32) << 1);
+                branch = Some((BranchKind::Unconditional, true, next));
+            }
+            Op::Jr => {
+                next = st.r[u.rs1 as usize];
+                branch = Some((BranchKind::Indirect, true, next));
+            }
+            Op::VmExit(code) => {
+                exit = Some(NExit::VmExit {
+                    code,
+                    arg: st.r[regs::VMM_ARG as usize],
+                });
+            }
+            Op::Sys(SysOp::Nop) => {}
+            Op::Sys(SysOp::Halt) => exit = Some(NExit::Halt),
+            Op::Sys(SysOp::Trap) => {
+                return Err(NFault::Trap {
+                    code: u.imm as u32,
+                    native_pc: pc,
+                })
+            }
+            Op::Sys(SysOp::Cld) => st.flags.set(Flags::DF, false),
+            Op::Sys(SysOp::Std) => st.flags.set(Flags::DF, true),
+            Op::Xlt => {
+                let Some(unit) = xlt.as_deref_mut() else {
+                    return Err(NFault::NoXltUnit { native_pc: pc });
+                };
+                let src = st.f[u.rs1 as usize].to_le_bytes();
+                let out = unit.xlt(&src, st.r[regs::X86_PC as usize]);
+                let mut dst = [0u8; 16];
+                let n = out.uop_bytes.len().min(16);
+                dst[..n].copy_from_slice(&out.uop_bytes[..n]);
+                st.f[u.rd as usize] = u128::from_le_bytes(dst);
+                st.csr = out.csr;
+            }
+            Op::LdF => {
+                let addr = st.r[u.rs1 as usize].wrapping_add(u.imm as u32);
+                let mut buf = [0u8; 16];
+                mem.read_bytes(addr, &mut buf);
+                st.f[u.rd as usize] = u128::from_le_bytes(buf);
+                mem_acc = Some(MemAccess {
+                    addr,
+                    width: Width::W32,
+                    is_store: false,
+                });
+            }
+            Op::StF => {
+                let addr = st.r[u.rs1 as usize].wrapping_add(u.imm as u32);
+                mem.write_bytes(addr, &st.f[u.rd as usize].to_le_bytes());
+                mem_acc = Some(MemAccess {
+                    addr,
+                    width: Width::W32,
+                    is_store: true,
+                });
+            }
+            Op::MovCsr => st.r[u.rd as usize] = st.csr.to_bits(),
+        }
+
+        st.pc = next;
+        self.retired += 1;
+        Ok(NRetired {
+            pc,
+            len,
+            uop: u,
+            mem: mem_acc,
+            branch,
+            exit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm_mem::GuestMem;
+    use cdvm_x86::Cond;
+
+    /// A flat code source over a byte vector based at 0x8000_0000.
+    struct Flat(Vec<u8>);
+
+    impl CodeSource for Flat {
+        fn fetch_hw(&self, addr: u32) -> Option<u16> {
+            let off = addr.checked_sub(0x8000_0000)? as usize;
+            if off + 2 > self.0.len() {
+                return None;
+            }
+            Some(u16::from_le_bytes([self.0[off], self.0[off + 1]]))
+        }
+    }
+
+    fn run(uops: Vec<Uop>) -> (NativeState, GuestMem, Vec<NRetired>) {
+        let code = Flat(encoding::encode(&uops));
+        let mut st = NativeState::new();
+        st.pc = 0x8000_0000;
+        let mut mem = GuestMem::new();
+        let mut ex = Executor::new();
+        let mut log = Vec::new();
+        loop {
+            let r = ex.step(&mut st, &mut mem, &code, None).expect("no fault");
+            let done = r.exit.is_some();
+            log.push(r);
+            if done {
+                break;
+            }
+            assert!(log.len() < 10_000, "runaway micro-op test");
+        }
+        (st, mem, log)
+    }
+
+    fn halt() -> Uop {
+        Uop::alui(Op::Sys(SysOp::Halt), 0, 0, 0)
+    }
+
+    #[test]
+    fn alu_and_limm() {
+        let mut uops = Uop::limm32(regs::T0, 0x1234_5678);
+        uops.push(Uop::alui(Op::Add, regs::EAX, regs::T0, 8));
+        uops.push(halt());
+        let (st, _, _) = run(uops);
+        assert_eq!(st.r[regs::EAX as usize], 0x1234_5680);
+    }
+
+    #[test]
+    fn flag_setting_matches_x86() {
+        let uops = vec![
+            Uop::alui(Op::Limm, regs::T0, 0, 0x7fff),
+            Uop::alui(Op::Limmh, regs::T0, 0, 0x7fff),
+            Uop::alui(Op::Limm, regs::T1, 0, 1),
+            // 0x7fff7fff + 1... not overflow; test 0x7fffffff instead
+            Uop::alui(Op::Limm, regs::T0, 0, -1),
+            Uop::alui(Op::Limmh, regs::T0, 0, 0x7fff),
+            Uop::alu(Op::Add, regs::T2, regs::T0, regs::T1).with_flags(Width::W32),
+            halt(),
+        ];
+        let (st, _, _) = run(uops);
+        assert_eq!(st.r[regs::T2 as usize], 0x8000_0000);
+        assert!(st.flags.of() && st.flags.sf() && !st.flags.cf());
+    }
+
+    #[test]
+    fn memory_round_trip_and_access_events() {
+        let mut uops = Uop::limm32(regs::T0, 0x10_0000);
+        uops.extend(Uop::limm32(regs::T1, 0xdead_beef));
+        uops.push(Uop::st(Width::W32, regs::T1, regs::T0, 4));
+        uops.push(Uop::ld(Width::W32, regs::T2, regs::T0, 4));
+        uops.push(halt());
+        let (st, mut mem, log) = run(uops);
+        assert_eq!(st.r[regs::T2 as usize], 0xdead_beef);
+        assert_eq!(mem.read_u32(0x10_0004), 0xdead_beef);
+        let stores: Vec<_> = log.iter().filter_map(|r| r.mem).filter(|m| m.is_store).collect();
+        assert_eq!(stores.len(), 1);
+        assert_eq!(stores[0].addr, 0x10_0004);
+    }
+
+    #[test]
+    fn branches_and_conditions() {
+        // t0 = 3; loop: t0 -= 1 (flags); bne loop; halt
+        let uops = vec![
+            Uop::alui(Op::Limm, regs::T0, 0, 3),
+            Uop::alui(Op::Sub, regs::T0, regs::T0, 1).with_flags(Width::W32),
+            Uop {
+                op: Op::Bcc(Cond::Ne),
+                rd: 0,
+                rs1: 0,
+                rs2: regs::VMM_SP,
+                imm: -4, // back over the 4-byte sub and the 4-byte bcc
+                w: Width::W32,
+                set_flags: false,
+                fusible: false,
+            },
+            halt(),
+        ];
+        let (st, _, log) = run(uops);
+        assert_eq!(st.r[regs::T0 as usize], 0);
+        let takens = log
+            .iter()
+            .filter(|r| matches!(r.branch, Some((_, true, _))))
+            .count();
+        assert_eq!(takens, 2);
+    }
+
+    #[test]
+    fn vmexit_carries_arg() {
+        let mut uops = Uop::limm32(regs::VMM_ARG, 0x40_1000);
+        uops.push(Uop::vmexit(ExitCode::TranslateMiss));
+        let code = Flat(encoding::encode(&uops));
+        let mut st = NativeState::new();
+        st.pc = 0x8000_0000;
+        let mut mem = GuestMem::new();
+        let mut ex = Executor::new();
+        loop {
+            let r = ex.step(&mut st, &mut mem, &code, None).unwrap();
+            if let Some(NExit::VmExit { code, arg }) = r.exit {
+                assert_eq!(code, ExitCode::TranslateMiss);
+                assert_eq!(arg, 0x40_1000);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn divide_fault_reported() {
+        let uops = vec![
+            Uop::alui(Op::Limm, regs::EAX, 0, 10),
+            Uop::alui(Op::Limm, regs::EDX, 0, 0),
+            Uop::alui(Op::Limm, regs::T0, 0, 0),
+            Uop::alu(Op::DivQ, regs::T1, regs::T0, regs::VMM_SP),
+            halt(),
+        ];
+        let code = Flat(encoding::encode(&uops));
+        let mut st = NativeState::new();
+        st.pc = 0x8000_0000;
+        let mut mem = GuestMem::new();
+        let mut ex = Executor::new();
+        let mut fault = None;
+        for _ in 0..5 {
+            match ex.step(&mut st, &mut mem, &code, None) {
+                Ok(_) => {}
+                Err(e) => {
+                    fault = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(fault, Some(NFault::DivideError { .. })));
+    }
+
+    #[test]
+    fn partial_register_deposits() {
+        let uops = vec![
+            Uop::alui(Op::Limm, regs::EAX, 0, 0x1234),
+            Uop::alui(Op::Limmh, regs::EAX, 0, 0x5678),
+            Uop::alui(Op::Limm, regs::T0, 0, 0xab),
+            Uop::alu(Op::DepHi8, regs::EAX, regs::EAX, regs::T0),
+            Uop::alu(Op::ExtHi8, regs::T1, regs::EAX, regs::VMM_SP),
+            halt(),
+        ];
+        let (st, _, _) = run(uops);
+        assert_eq!(st.r[regs::EAX as usize], 0x5678_ab34);
+        assert_eq!(st.r[regs::T1 as usize], 0xab);
+    }
+
+    #[test]
+    fn bad_fetch_faults() {
+        let code = Flat(vec![]);
+        let mut st = NativeState::new();
+        st.pc = 0x8000_0000;
+        let mut mem = GuestMem::new();
+        let mut ex = Executor::new();
+        let err = ex.step(&mut st, &mut mem, &code, None).unwrap_err();
+        assert_eq!(err, NFault::BadFetch { addr: 0x8000_0000 });
+    }
+
+    #[test]
+    fn jr_is_indirect_branch() {
+        let mut uops = Uop::limm32(regs::T0, 0x8000_0000);
+        let jr_idx = uops.len();
+        uops.push(Uop::alu(Op::Jr, 0, regs::T0, regs::VMM_SP));
+        let code = Flat(encoding::encode(&uops));
+        let mut st = NativeState::new();
+        st.pc = 0x8000_0000;
+        let mut mem = GuestMem::new();
+        let mut ex = Executor::new();
+        for _ in 0..=jr_idx {
+            ex.step(&mut st, &mut mem, &code, None).unwrap();
+        }
+        assert_eq!(st.pc, 0x8000_0000, "jr jumped back to the start");
+    }
+
+    #[test]
+    fn step_returns_err_without_state_advance_on_trap() {
+        let uops = vec![Uop {
+            op: Op::Sys(SysOp::Trap),
+            rd: 0,
+            rs1: 0,
+            rs2: regs::VMM_SP,
+            imm: 3,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        }];
+        let code = Flat(encoding::encode(&uops));
+        let mut st = NativeState::new();
+        st.pc = 0x8000_0000;
+        let mut mem = GuestMem::new();
+        let mut ex = Executor::new();
+        let e = ex.step(&mut st, &mut mem, &code, None).unwrap_err();
+        assert_eq!(
+            e,
+            NFault::Trap {
+                code: 3,
+                native_pc: 0x8000_0000
+            }
+        );
+        assert_eq!(st.pc, 0x8000_0000);
+    }
+}

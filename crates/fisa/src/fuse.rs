@@ -1,0 +1,234 @@
+//! Macro-op fusion legality.
+//!
+//! The SBT optimizer fuses *dependent* pairs of single-cycle micro-ops
+//! into macro-ops processed as single entities through the pipeline
+//! (Hu & Smith, CGO 2004 / HPCA 2006). These are the legality rules; the
+//! pairing *algorithm* lives in the SBT optimizer.
+
+use crate::{Op, Uop};
+
+/// True if `u` may participate in a fused pair at all.
+pub fn is_fusion_candidate(u: &Uop) -> bool {
+    (u.op.is_simple_alu() || matches!(u.op, Op::Bcc(_) | Op::Bnz | Op::Bz))
+        && !u.op.is_mem()
+        && !u.op.is_long_latency()
+}
+
+/// Registers read by a micro-op (excluding the immediate sentinel) —
+/// exposed for the SBT optimizer's hazard checks.
+pub fn uop_sources(u: &Uop) -> Vec<u8> {
+    sources(u)
+}
+
+/// Destination register written by a micro-op, if any — exposed for the
+/// SBT optimizer's hazard checks.
+pub fn uop_dest(u: &Uop) -> Option<u8> {
+    dest(u)
+}
+
+/// Registers read by a micro-op (excluding the immediate sentinel).
+fn sources(u: &Uop) -> Vec<u8> {
+    use crate::regs::VMM_SP;
+    let mut v = Vec::with_capacity(3);
+    match u.op {
+        Op::Limm | Op::Limmh | Op::Bcc(_) | Op::Br | Op::VmExit(_) | Op::Sys(_) | Op::RdDf => {}
+        Op::Setcc(_) => {}
+        Op::Bnz | Op::Bz => v.push(u.rs1),
+        Op::St { indexed, .. } => {
+            v.push(u.rd); // store data
+            v.push(u.rs1);
+            if indexed {
+                v.push(u.rs2);
+            }
+        }
+        Op::Ld { indexed, .. } => {
+            v.push(u.rs1);
+            if indexed {
+                v.push(u.rs2);
+            }
+        }
+        Op::Jr => v.push(u.rs1),
+        _ => {
+            v.push(u.rs1);
+            if u.rs2 != VMM_SP {
+                v.push(u.rs2);
+            }
+        }
+    }
+    v.retain(|&r| r != VMM_SP);
+    v.dedup();
+    v
+}
+
+/// Destination register written by a micro-op, if any.
+fn dest(u: &Uop) -> Option<u8> {
+    match u.op {
+        Op::CmpF
+        | Op::TestF
+        | Op::Bcc(_)
+        | Op::Bnz
+        | Op::Bz
+        | Op::Br
+        | Op::Jr
+        | Op::VmExit(_)
+        | Op::Sys(_)
+        | Op::St { .. }
+        | Op::StF => None,
+        _ => Some(u.rd),
+    }
+}
+
+/// Decides whether `head` and `tail` may fuse into one macro-op.
+///
+/// Legality rules, following the fusible-ISA design:
+///
+/// 1. both micro-ops are single-cycle ALU class (the tail may also be a
+///    conditional branch — the classic compare-and-branch macro-op);
+/// 2. the pair is *dependent*: the tail reads the head's destination
+///    (the head generates a source operand for the tail);
+/// 3. the fused entity fits the pipeline's operand plumbing: at most
+///    three distinct source registers between the two, counting the
+///    forwarded value once;
+/// 4. the head's destination is not also written by reading itself after
+///    the tail overwrites it — i.e. if the tail writes the head's source,
+///    sequential semantics inside the pair still hold (they execute in
+///    order, so this is always true; no extra rule needed);
+/// 5. condition-flag production stays sequential: if both set flags the
+///    tail's flags win, which the in-order pair execution preserves.
+pub fn can_fuse(head: &Uop, tail: &Uop) -> bool {
+    if !is_fusion_candidate(head) || !is_fusion_candidate(tail) {
+        return false;
+    }
+    // A branch can't be a head.
+    if matches!(head.op, Op::Bcc(_) | Op::Bnz | Op::Bz) {
+        return false;
+    }
+    let hd = dest(head);
+    // Dependence: tail consumes head's destination value...
+    let tail_srcs = sources(tail);
+    let consumes = hd.is_some_and(|d| tail_srcs.contains(&d));
+    // ...or, for compare→branch pairs, the dependence flows through the
+    // condition flags.
+    let flag_dep = head.set_flags && matches!(tail.op, Op::Bcc(_));
+    if !consumes && !flag_dep {
+        return false;
+    }
+    // Operand-port budget: distinct sources of the pair, with the
+    // forwarded operand supplied internally, must fit 3 register reads.
+    let mut ports: Vec<u8> = sources(head);
+    for s in tail_srcs {
+        if Some(s) != hd && !ports.contains(&s) {
+            ports.push(s);
+        }
+    }
+    ports.len() <= 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs;
+    use cdvm_x86::{Cond, Width};
+
+    #[test]
+    fn dependent_alu_pair_fuses() {
+        // t0 = eax + ebx ; ecx = t0 + ecx
+        let head = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let tail = Uop::alu(Op::Add, regs::ECX, regs::T0, regs::ECX);
+        assert!(can_fuse(&head, &tail));
+    }
+
+    #[test]
+    fn independent_pair_does_not_fuse() {
+        let head = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let tail = Uop::alu(Op::Sub, regs::ECX, regs::EDX, regs::ESI);
+        assert!(!can_fuse(&head, &tail));
+    }
+
+    #[test]
+    fn compare_branch_fuses_via_flags() {
+        let head = Uop::alu(Op::CmpF, 0, regs::EAX, regs::EBX).with_flags(Width::W32);
+        let tail = Uop {
+            op: Op::Bcc(Cond::E),
+            rd: 0,
+            rs1: 0,
+            rs2: regs::VMM_SP,
+            imm: 10,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        };
+        assert!(can_fuse(&head, &tail));
+    }
+
+    #[test]
+    fn memory_ops_never_fuse() {
+        let head = Uop::ld(Width::W32, regs::T0, regs::EAX, 0);
+        let tail = Uop::alu(Op::Add, regs::ECX, regs::T0, regs::ECX);
+        assert!(!can_fuse(&head, &tail));
+        let head = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let tail = Uop::st(Width::W32, regs::T0, regs::ESP, 0);
+        assert!(!can_fuse(&head, &tail));
+    }
+
+    #[test]
+    fn long_latency_never_fuses() {
+        let head = Uop::alu(Op::MulLo, regs::T0, regs::EAX, regs::EBX);
+        let tail = Uop::alu(Op::Add, regs::ECX, regs::T0, regs::ECX);
+        assert!(!can_fuse(&head, &tail));
+    }
+
+    #[test]
+    fn port_budget_enforced() {
+        // head reads 2 regs, tail reads head.rd + 2 more = 4 distinct
+        let head = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let tail = Uop {
+            op: Op::Cmovcc(Cond::E),
+            rd: regs::T1,
+            rs1: regs::ESI,
+            rs2: regs::T0,
+            imm: 0,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        };
+        // sources: eax, ebx (head) + esi (tail, t0 forwarded) = 3 -> OK
+        assert!(can_fuse(&head, &tail));
+        let tail_wide = Uop {
+            rs1: regs::EDI,
+            ..tail
+        };
+        // eax, ebx, edi = 3 still OK; add one more via a 3-source head? not
+        // expressible -> verify a definitely-over-budget case with distinct regs
+        let head2 = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let tail2 = Uop {
+            op: Op::Cmovcc(Cond::E),
+            rd: regs::T1,
+            rs1: regs::EDI,
+            rs2: regs::ESI,
+            imm: 0,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        };
+        // tail2 doesn't consume t0 at all -> not dependent
+        assert!(!can_fuse(&head2, &tail2));
+        let _ = tail_wide;
+    }
+
+    #[test]
+    fn branch_cannot_head() {
+        let head = Uop {
+            op: Op::Bcc(Cond::E),
+            rd: 0,
+            rs1: 0,
+            rs2: regs::VMM_SP,
+            imm: 4,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        };
+        let tail = Uop::alu(Op::Add, regs::ECX, regs::ECX, regs::EAX);
+        assert!(!can_fuse(&head, &tail));
+    }
+}

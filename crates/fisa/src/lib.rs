@@ -1,0 +1,49 @@
+//! The fusible implementation ISA ("fisa").
+//!
+//! The co-designed VM executes translated code in a private, RISC-like ISA
+//! whose instructions come in 16-bit and 32-bit formats and carry a
+//! *fusible* bit: a head micro-op with the bit set is fused with its
+//! successor into a **macro-op** that occupies a single slot throughout
+//! the pipeline (Hu & Smith, HPCA 2006). This crate provides:
+//!
+//! * the micro-op model ([`Uop`], [`Op`]) and its binary
+//!   [`encoding`](mod@encoding) (16/32-bit formats, round-trippable);
+//! * the native machine state ([`NativeState`]) — 32 GPRs that *embed* the
+//!   x86 architected registers, 32 × 128-bit F registers, a condition
+//!   register mirroring EFLAGS, and the [`Csr`] status register of the
+//!   `XLTx86` hardware assist (Table 1 / Fig. 6 of the ISCA 2006 paper);
+//! * a functional [`Executor`] for translated code, which yields
+//!   [`NExit::VmExit`] events at exit stubs so the VMM runtime can drive
+//!   staged translation;
+//! * macro-op fusion legality rules ([`can_fuse`]) shared by the SBT
+//!   optimizer and the timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use cdvm_fisa::{Uop, Op, regs};
+//! use cdvm_x86::Width;
+//!
+//! // t0 = eax + ebx, setting x86-style flags at 32-bit width
+//! let u = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX).with_flags(Width::W32);
+//! let bytes = cdvm_fisa::encoding::encode(&[u]);
+//! let (decoded, len) = cdvm_fisa::encoding::decode_one(&bytes, 0).unwrap();
+//! assert_eq!(decoded, u);
+//! assert_eq!(len as usize, bytes.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encoding;
+mod exec;
+mod fuse;
+pub mod regs;
+mod state;
+mod uop;
+mod xlt;
+
+pub use exec::{CodeSource, Executor, NExit, NFault, NRetired};
+pub use fuse::{can_fuse, is_fusion_candidate, uop_dest, uop_sources};
+pub use state::NativeState;
+pub use uop::{ExitCode, Op, SysOp, Uop};
+pub use xlt::{Csr, XltAssist, XltOutcome};

@@ -1,0 +1,108 @@
+//! Native register conventions.
+//!
+//! The implementation ISA has 32 general registers. The low eight *are*
+//! the x86 architected registers (the co-designed mapping is fixed, so
+//! mode switches between x86 emulation and native execution move no
+//! state). R8–R15 are cracking temporaries, dead at x86 instruction
+//! boundaries. R16–R23 are reserved for the VMM runtime; R24–R30 for the
+//! SBT optimizer; R31 is the VMM stack pointer.
+
+/// x86 `EAX` alias.
+pub const EAX: u8 = 0;
+/// x86 `ECX` alias.
+pub const ECX: u8 = 1;
+/// x86 `EDX` alias.
+pub const EDX: u8 = 2;
+/// x86 `EBX` alias.
+pub const EBX: u8 = 3;
+/// x86 `ESP` alias.
+pub const ESP: u8 = 4;
+/// x86 `EBP` alias.
+pub const EBP: u8 = 5;
+/// x86 `ESI` alias.
+pub const ESI: u8 = 6;
+/// x86 `EDI` alias.
+pub const EDI: u8 = 7;
+
+/// First cracking temporary.
+pub const T0: u8 = 8;
+/// Second cracking temporary.
+pub const T1: u8 = 9;
+/// Third cracking temporary.
+pub const T2: u8 = 10;
+/// Fourth cracking temporary.
+pub const T3: u8 = 11;
+/// Fifth cracking temporary.
+pub const T4: u8 = 12;
+/// Sixth cracking temporary.
+pub const T5: u8 = 13;
+/// Seventh cracking temporary.
+pub const T6: u8 = 14;
+/// Eighth cracking temporary.
+pub const T7: u8 = 15;
+
+/// Shadow of the architected x86 PC (`Rx86pc` in Fig. 6a).
+pub const X86_PC: u8 = 16;
+/// Code-cache write pointer (`Rcode$` in Fig. 6a).
+pub const CODE_PTR: u8 = 17;
+/// Profile-counter table base.
+pub const PROF_BASE: u8 = 18;
+/// VMM argument/mailbox register (exit stubs leave the x86 target here).
+pub const VMM_ARG: u8 = 19;
+/// VMM scratch register.
+pub const VMM_S0: u8 = 20;
+/// VMM scratch register.
+pub const VMM_S1: u8 = 21;
+/// VMM scratch register.
+pub const VMM_S2: u8 = 22;
+/// VMM scratch register.
+pub const VMM_S3: u8 = 23;
+
+/// First SBT optimizer temporary.
+pub const OPT0: u8 = 24;
+
+/// VMM stack pointer. Also the `rs2` sentinel meaning "use the immediate
+/// field" in register-form shift encodings.
+pub const VMM_SP: u8 = 31;
+
+/// Number of general registers.
+pub const NUM_GPR: usize = 32;
+/// Number of 128-bit F registers.
+pub const NUM_FREG: usize = 32;
+
+/// Human-readable register name.
+pub fn name(r: u8) -> String {
+    match r {
+        0 => "eax".into(),
+        1 => "ecx".into(),
+        2 => "edx".into(),
+        3 => "ebx".into(),
+        4 => "esp".into(),
+        5 => "ebp".into(),
+        6 => "esi".into(),
+        7 => "edi".into(),
+        8..=15 => format!("t{}", r - 8),
+        16 => "x86pc".into(),
+        17 => "codeptr".into(),
+        18 => "profbase".into(),
+        19 => "vmarg".into(),
+        20..=23 => format!("vs{}", r - 20),
+        24..=30 => format!("o{}", r - 24),
+        31 => "vsp".into(),
+        _ => format!("r{r}?"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x86_registers_are_identity_mapped() {
+        assert_eq!(EAX, 0);
+        assert_eq!(EDI, 7);
+        assert_eq!(name(ESP), "esp");
+        assert_eq!(name(T0), "t0");
+        assert_eq!(name(VMM_SP), "vsp");
+    }
+}

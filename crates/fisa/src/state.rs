@@ -1,0 +1,101 @@
+//! Native machine state.
+
+use cdvm_x86::{Cpu, Flags};
+
+use crate::regs;
+use crate::xlt::Csr;
+
+/// The implementation-ISA register state.
+///
+/// The low eight general registers *are* the architected x86 GPRs (fixed
+/// co-designed mapping), and the condition register mirrors EFLAGS, so
+/// switching between VM software, translated code and x86-mode execution
+/// moves no state — exactly the property the dual-mode decoder of the
+/// paper relies on.
+#[derive(Debug, Clone)]
+pub struct NativeState {
+    /// General registers R0–R31.
+    pub r: [u32; regs::NUM_GPR],
+    /// 128-bit F registers (FP/media; used by `XLTx86`).
+    pub f: [u128; regs::NUM_FREG],
+    /// Condition register (x86 EFLAGS layout).
+    pub flags: Flags,
+    /// `XLTx86` control/status register (Fig. 6b).
+    pub csr: Csr,
+    /// Native program counter (a code-cache address while executing
+    /// translated code).
+    pub pc: u32,
+}
+
+impl Default for NativeState {
+    fn default() -> Self {
+        NativeState {
+            r: [0; regs::NUM_GPR],
+            f: [0; regs::NUM_FREG],
+            flags: Flags::new(),
+            csr: Csr::default(),
+            pc: 0,
+        }
+    }
+}
+
+impl NativeState {
+    /// Creates zeroed state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads the architected x86 state into the low registers (mode
+    /// switch x86 → native). The x86 `EIP` lands in [`regs::X86_PC`].
+    pub fn load_cpu(&mut self, cpu: &Cpu) {
+        self.r[..8].copy_from_slice(&cpu.gpr);
+        self.flags = cpu.flags;
+        self.r[regs::X86_PC as usize] = cpu.eip;
+    }
+
+    /// Extracts the architected x86 state (mode switch native → x86).
+    ///
+    /// `eip` is taken from [`regs::X86_PC`]; the VMM keeps that shadow
+    /// register current at translation-block boundaries.
+    pub fn to_cpu(&self) -> Cpu {
+        let mut gpr = [0u32; 8];
+        gpr.copy_from_slice(&self.r[..8]);
+        Cpu {
+            gpr,
+            flags: self.flags,
+            eip: self.r[regs::X86_PC as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm_x86::Gpr;
+
+    #[test]
+    fn cpu_round_trip() {
+        let mut cpu = Cpu::at(0x40_1234);
+        cpu.gpr[Gpr::Eax as usize] = 7;
+        cpu.gpr[Gpr::Edi as usize] = 9;
+        cpu.flags.set(Flags::ZF, true);
+
+        let mut st = NativeState::new();
+        st.load_cpu(&cpu);
+        assert_eq!(st.r[regs::EAX as usize], 7);
+        assert_eq!(st.r[regs::EDI as usize], 9);
+        assert_eq!(st.r[regs::X86_PC as usize], 0x40_1234);
+        assert!(st.flags.zf());
+
+        let back = st.to_cpu();
+        assert_eq!(back, cpu);
+    }
+
+    #[test]
+    fn vmm_registers_survive_cpu_load() {
+        let mut st = NativeState::new();
+        st.r[regs::PROF_BASE as usize] = 0xdead;
+        st.load_cpu(&Cpu::at(0));
+        assert_eq!(st.r[regs::PROF_BASE as usize], 0xdead);
+    }
+}

@@ -1,0 +1,99 @@
+//! The `XLTx86` hardware assist interface (Table 1 / Fig. 6 of the paper).
+
+/// The control/status register written by `XLTx86` (Fig. 6b):
+///
+/// ```text
+/// [9]=Flag_cti [8]=Flag_cmplx [7:4]=uops_bytes [3:0]=x86_ilen
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Csr {
+    /// Length of the decoded x86 instruction in bytes (4-bit field).
+    pub x86_ilen: u8,
+    /// Length of the generated micro-ops in bytes (4-bit field).
+    pub uops_bytes: u8,
+    /// Set when the instruction is too complex for the hardware decoder
+    /// and must be handled by VMM software.
+    pub flag_cmplx: bool,
+    /// Set when the instruction is a control-transfer instruction.
+    pub flag_cti: bool,
+}
+
+impl Csr {
+    /// Packs into the architected bit layout.
+    pub fn to_bits(self) -> u32 {
+        (self.x86_ilen as u32 & 0xf)
+            | ((self.uops_bytes as u32 & 0xf) << 4)
+            | ((self.flag_cmplx as u32) << 8)
+            | ((self.flag_cti as u32) << 9)
+    }
+
+    /// Unpacks from the architected bit layout.
+    pub fn from_bits(bits: u32) -> Csr {
+        Csr {
+            x86_ilen: (bits & 0xf) as u8,
+            uops_bytes: ((bits >> 4) & 0xf) as u8,
+            flag_cmplx: bits & (1 << 8) != 0,
+            flag_cti: bits & (1 << 9) != 0,
+        }
+    }
+}
+
+/// Result of one `XLTx86` invocation.
+#[derive(Debug, Clone)]
+pub struct XltOutcome {
+    /// Encoded micro-op bytes (the `Fdst` contents), empty when
+    /// `csr.flag_cmplx` is set.
+    pub uop_bytes: Vec<u8>,
+    /// The status register value.
+    pub csr: Csr,
+}
+
+/// The backend decode/crack unit, as seen by the [`Executor`].
+///
+/// In silicon this is a one-wide x86 decoder relocated to the FP/media
+/// execution stage; in this repository the same cracking tables used by
+/// the software BBT implement it (the `cdvm-cracker` crate provides the
+/// canonical implementation), which mirrors the hardware/software sharing
+/// the co-designed paradigm assumes.
+///
+/// [`Executor`]: crate::Executor
+pub trait XltAssist {
+    /// Decodes and cracks the x86 instruction aligned at the start of
+    /// `bytes` (the 128-bit `Fsrc` register contents).
+    fn xlt(&mut self, bytes: &[u8; 16], x86_pc: u32) -> XltOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_bit_layout_round_trips() {
+        let c = Csr {
+            x86_ilen: 5,
+            uops_bytes: 12,
+            flag_cmplx: true,
+            flag_cti: false,
+        };
+        let bits = c.to_bits();
+        assert_eq!(bits & 0xf, 5);
+        assert_eq!((bits >> 4) & 0xf, 12);
+        assert_eq!(Csr::from_bits(bits), c);
+    }
+
+    #[test]
+    fn haloop_bit_masks_match_fig6() {
+        // Fig. 6a: AND Rt1, Rt0, 0x0f extracts ilen; AND.x Rt2, Rt0, 0xf0
+        // extracts uops_bytes (pre-shifted by 4).
+        let c = Csr {
+            x86_ilen: 3,
+            uops_bytes: 8,
+            flag_cmplx: false,
+            flag_cti: true,
+        };
+        let bits = c.to_bits();
+        assert_eq!(bits & 0x0f, 3);
+        assert_eq!((bits & 0xf0) >> 4, 8);
+        assert!(bits & (1 << 9) != 0);
+    }
+}

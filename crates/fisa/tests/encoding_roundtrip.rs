@@ -1,0 +1,211 @@
+//! Property test: every micro-op the builders can construct round-trips
+//! through the 16/32-bit binary encoding bit-exactly.
+
+use cdvm_fisa::{encoding, regs, ExitCode, Op, SysOp, Uop};
+use cdvm_x86::{Cond, Width};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..31 // R31 is the immediate sentinel; builders use it implicitly
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop::sample::select(vec![Width::W8, Width::W16, Width::W32])
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(Cond::from_num)
+}
+
+/// Canonical (encodable) micro-ops, as the translators build them.
+fn uop() -> impl Strategy<Value = Uop> {
+    let alu_rr = (
+        prop::sample::select(vec![
+            Op::Add,
+            Op::Adc,
+            Op::Sub,
+            Op::Sbb,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+        ]),
+        reg(),
+        reg(),
+        reg(),
+        prop::option::of(width()),
+        any::<bool>(),
+    )
+        .prop_map(|(op, rd, rs1, rs2, fw, fus)| {
+            let mut u = Uop::alu(op, rd, rs1, rs2);
+            if let Some(w) = fw {
+                u = u.with_flags(w);
+            }
+            if fus {
+                u = u.fused();
+            }
+            u
+        });
+    let alu_ri = (
+        prop::sample::select(vec![Op::Add, Op::And, Op::Or, Op::Xor]),
+        reg(),
+        reg(),
+        -128i32..128,
+        prop::option::of(width()),
+    )
+        .prop_map(|(op, rd, rs1, imm, fw)| {
+            let mut u = Uop::alui(op, rd, rs1, imm);
+            if let Some(w) = fw {
+                u.imm = u.imm.clamp(-32, 31);
+                u = u.with_flags(w);
+            }
+            u
+        });
+    let shift = (
+        prop::sample::select(vec![Op::Shl, Op::Shr, Op::Sar, Op::Rol, Op::Ror]),
+        reg(),
+        reg(),
+        0i32..32,
+        prop::option::of(width()),
+    )
+        .prop_map(|(op, rd, rs1, c, fw)| {
+            let mut u = Uop::alui(op, rd, rs1, c);
+            if let Some(w) = fw {
+                u = u.with_flags(w);
+            }
+            u
+        });
+    let mem = (
+        any::<bool>(),
+        width(),
+        reg(),
+        reg(),
+        -8192i32..8192,
+    )
+        .prop_map(|(is_ld, w, a, b, d)| {
+            if is_ld {
+                Uop::ld(w, a, b, d)
+            } else {
+                Uop::st(w, a, b, d)
+            }
+        });
+    let mem_idx = (
+        any::<bool>(),
+        width(),
+        reg(),
+        reg(),
+        reg(),
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+        -32i32..32,
+    )
+        .prop_map(|(is_ld, w, rd, rs1, rs2, scale, d)| Uop {
+            op: if is_ld {
+                Op::Ld {
+                    w,
+                    indexed: true,
+                    scale,
+                }
+            } else {
+                Op::St {
+                    w,
+                    indexed: true,
+                    scale,
+                }
+            },
+            rd,
+            rs1,
+            rs2,
+            imm: d,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        });
+    let limm = (reg(), any::<u32>()).prop_map(|(rd, v)| Uop::limm32(rd, v)[0]);
+    let branch = (
+        prop::sample::select(vec![0u8, 1, 2]),
+        cond(),
+        reg(),
+        -30000i32..30000,
+        any::<bool>(),
+    )
+        .prop_map(|(kind, c, r, off, fus)| {
+            let op = match kind {
+                0 => Op::Bcc(c),
+                1 => Op::Bnz,
+                _ => Op::Bz,
+            };
+            Uop {
+                op,
+                rd: 0,
+                rs1: if kind == 0 { 0 } else { r },
+                rs2: regs::VMM_SP,
+                imm: off,
+                w: Width::W32,
+                set_flags: false,
+                fusible: fus,
+            }
+        });
+    let special = prop::sample::select(vec![
+        Uop::vmexit(ExitCode::TranslateMiss),
+        Uop::vmexit(ExitCode::IndirectMiss),
+        Uop::vmexit(ExitCode::HotTrap),
+        Uop::alui(Op::Sys(SysOp::Halt), 0, 0, 0),
+        Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0),
+        Uop::alui(Op::Sys(SysOp::Cld), 0, 0, 0),
+        Uop::alui(Op::Sys(SysOp::Std), 0, 0, 0),
+        Uop::alui(Op::RdDf, regs::T0, 0, 0),
+        Uop::alu(Op::Jr, 0, regs::T2, regs::VMM_SP),
+    ]);
+    let unary = (
+        prop::sample::select(vec![
+            Op::Sext8,
+            Op::Sext16,
+            Op::Zext8,
+            Op::Zext16,
+            Op::Not,
+            Op::ExtHi8,
+        ]),
+        reg(),
+        reg(),
+    )
+        .prop_map(|(op, rd, rs1)| Uop::alui(op, rd, rs1, 0));
+    let dep = (
+        prop::sample::select(vec![Op::DepLo8, Op::DepHi8, Op::Dep16]),
+        reg(),
+        reg(),
+        reg(),
+    )
+        .prop_map(|(op, rd, rs1, rs2)| Uop::alu(op, rd, rs1, rs2));
+    let setcc = (cond(), reg()).prop_map(|(c, rd)| Uop {
+        op: Op::Setcc(c),
+        rd,
+        rs1: 0,
+        rs2: 0,
+        imm: 0,
+        w: Width::W32,
+        set_flags: false,
+        fusible: false,
+    });
+
+    prop_oneof![
+        alu_rr, alu_ri, shift, mem, mem_idx, limm, branch, special, unary, dep, setcc
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(u in uop()) {
+        let bytes = encoding::encode(&[u]);
+        let (decoded, len) = encoding::decode_one(&bytes, 0).expect("decodes");
+        prop_assert_eq!(len as usize, bytes.len());
+        prop_assert_eq!(decoded, u, "round-trip mismatch");
+    }
+
+    #[test]
+    fn streams_round_trip(uops in prop::collection::vec(uop(), 1..64)) {
+        let bytes = encoding::encode(&uops);
+        let decoded = encoding::decode_all(&bytes).expect("stream decodes");
+        prop_assert_eq!(decoded, uops);
+    }
+}

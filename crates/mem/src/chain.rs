@@ -1,0 +1,171 @@
+//! Branch-chaining bookkeeping.
+//!
+//! When the BBT emits a block whose successor is not yet translated, the
+//! branch initially targets an *exit stub* that bounces through the VMM.
+//! Once the successor is translated, the VMM patches the branch to jump
+//! directly into the code cache ("chaining", Fig. 1 of the paper). The
+//! [`ChainRegistry`] remembers which code-cache sites are waiting for which
+//! architected targets so the patch can be applied the moment the target
+//! translation materialises.
+
+use std::collections::HashMap;
+
+use crate::NativePc;
+
+/// One branch site awaiting chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSite {
+    /// Code-cache address of the patchable branch payload.
+    pub patch_addr: u32,
+    /// Architected PC the branch wants to reach.
+    pub target_x86_pc: u32,
+}
+
+/// Pending chain sites, indexed by the architected target PC.
+///
+/// # Example
+///
+/// ```
+/// use cdvm_mem::{ChainRegistry, ChainSite, NativePc};
+///
+/// let mut cr = ChainRegistry::new();
+/// cr.register(ChainSite { patch_addr: 0x8000_0004, target_x86_pc: 0x40_1000 }, 0);
+/// let ready = cr.take_sites_for(0x40_1000, 0);
+/// assert_eq!(ready.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChainRegistry {
+    pending: HashMap<u32, Vec<(ChainSite, u64)>>,
+    registered: u64,
+    applied: u64,
+}
+
+impl ChainRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `site` (created in code-cache `generation`) wants to be
+    /// chained to `site.target_x86_pc`.
+    pub fn register(&mut self, site: ChainSite, generation: u64) {
+        self.registered += 1;
+        self.pending
+            .entry(site.target_x86_pc)
+            .or_default()
+            .push((site, generation));
+    }
+
+    /// Removes and returns every live site waiting on `target_x86_pc`.
+    ///
+    /// Sites from flushed generations are silently dropped — their code no
+    /// longer exists.
+    pub fn take_sites_for(&mut self, target_x86_pc: u32, generation: u64) -> Vec<ChainSite> {
+        let Some(sites) = self.pending.remove(&target_x86_pc) else {
+            return Vec::new();
+        };
+        let live: Vec<ChainSite> = sites
+            .into_iter()
+            .filter(|&(_, gen)| gen == generation)
+            .map(|(site, _)| site)
+            .collect();
+        self.applied += live.len() as u64;
+        live
+    }
+
+    /// Drops every pending site (e.g. after a code-cache flush).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Number of distinct targets with pending sites.
+    pub fn pending_targets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total sites ever registered.
+    pub fn registered(&self) -> u64 {
+        self.registered
+    }
+
+    /// Total chains applied (sites handed out for patching).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Assist for `NativePc`-based call sites.
+    pub fn register_at(&mut self, patch_addr: NativePc, target_x86_pc: u32, generation: u64) {
+        self.register(
+            ChainSite {
+                patch_addr: patch_addr.0,
+                target_x86_pc,
+            },
+            generation,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_take() {
+        let mut cr = ChainRegistry::new();
+        cr.register(
+            ChainSite {
+                patch_addr: 4,
+                target_x86_pc: 100,
+            },
+            0,
+        );
+        cr.register(
+            ChainSite {
+                patch_addr: 8,
+                target_x86_pc: 100,
+            },
+            0,
+        );
+        let sites = cr.take_sites_for(100, 0);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(cr.applied(), 2);
+        assert!(cr.take_sites_for(100, 0).is_empty());
+    }
+
+    #[test]
+    fn stale_generation_sites_dropped() {
+        let mut cr = ChainRegistry::new();
+        cr.register(
+            ChainSite {
+                patch_addr: 4,
+                target_x86_pc: 100,
+            },
+            0,
+        );
+        let sites = cr.take_sites_for(100, 1);
+        assert!(sites.is_empty());
+        assert_eq!(cr.applied(), 0);
+    }
+
+    #[test]
+    fn unrelated_target_untouched() {
+        let mut cr = ChainRegistry::new();
+        cr.register(
+            ChainSite {
+                patch_addr: 4,
+                target_x86_pc: 200,
+            },
+            0,
+        );
+        assert!(cr.take_sites_for(100, 0).is_empty());
+        assert_eq!(cr.pending_targets(), 1);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut cr = ChainRegistry::new();
+        cr.register_at(NativePc(0x8000_0000), 300, 2);
+        cr.clear();
+        assert_eq!(cr.pending_targets(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Memory substrate for the co-designed virtual machine.
+//!
+//! This crate provides the three memory-like structures every other layer of
+//! the VM builds on:
+//!
+//! * [`GuestMem`] — the architected (x86) memory image. In the paper's
+//!   *memory startup* scenario the guest binary is already resident here
+//!   when simulation begins, and the dynamic binary translator reads
+//!   instruction bytes out of it.
+//! * [`CodeCache`] — a concealed-memory arena holding encoded
+//!   implementation-ISA translations (one arena for BBT code, one for SBT
+//!   code). Arenas live at distinct "physical" base addresses so the cache
+//!   hierarchy of the timing model sees translated code compete with guest
+//!   data, exactly as §3.1 of the paper describes.
+//! * [`TranslationTable`] — the map from architected PCs to translation
+//!   entry points, plus the [`ChainRegistry`] used to link translated
+//!   blocks directly to one another (branch chaining).
+//!
+//! # Example
+//!
+//! ```
+//! use cdvm_mem::{GuestMem, Memory};
+//!
+//! let mut mem = GuestMem::new();
+//! mem.write_u32(0x1000, 0xdead_beef);
+//! assert_eq!(mem.read_u32(0x1000), 0xdead_beef);
+//! ```
+
+#![warn(missing_docs)]
+
+mod chain;
+mod codecache;
+mod lookup;
+mod memory;
+
+pub use chain::{ChainRegistry, ChainSite};
+pub use codecache::{CodeCache, CodeCacheConfig, CodeCacheStats, NativePc};
+pub use lookup::{LookupOutcome, TranslationTable};
+pub use memory::{GuestMem, Memory, PAGE_SIZE};

@@ -1,0 +1,176 @@
+//! The translation lookup table: architected PC → translation entry point.
+
+use std::collections::HashMap;
+
+use crate::NativePc;
+
+/// Result of a translation lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// A live translation exists at this native PC.
+    Hit(NativePc),
+    /// No translation (never translated, or evicted by a flush).
+    Miss,
+}
+
+/// Maps architected (x86) PCs to code-cache entry points.
+///
+/// Entries carry the code-cache generation they were allocated in; when the
+/// arena flushes, stale entries are filtered lazily on lookup, modelling
+/// the re-translation cost a limited code cache imposes on large-working-set
+/// workloads (one of the paper's §1.1 motivations).
+///
+/// # Example
+///
+/// ```
+/// use cdvm_mem::{NativePc, TranslationTable, LookupOutcome};
+///
+/// let mut tt = TranslationTable::new();
+/// tt.insert(0x40_0000, NativePc(0x8000_0000), 0);
+/// assert_eq!(tt.lookup(0x40_0000, 0), LookupOutcome::Hit(NativePc(0x8000_0000)));
+/// assert_eq!(tt.lookup(0x40_0000, 1), LookupOutcome::Miss); // generation moved on
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TranslationTable {
+    map: HashMap<u32, (NativePc, u64)>,
+    lookups: u64,
+    hits: u64,
+    stale_evictions: u64,
+}
+
+impl TranslationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a translation for `x86_pc` created in `generation`.
+    ///
+    /// Re-translation of the same PC overwrites the previous entry.
+    pub fn insert(&mut self, x86_pc: u32, native: NativePc, generation: u64) {
+        self.map.insert(x86_pc, (native, generation));
+    }
+
+    /// Looks up `x86_pc` against the current code-cache `generation`.
+    ///
+    /// Stale entries (from flushed generations) are removed and reported as
+    /// misses.
+    pub fn lookup(&mut self, x86_pc: u32, generation: u64) -> LookupOutcome {
+        self.lookups += 1;
+        match self.map.get(&x86_pc) {
+            Some(&(native, gen)) if gen == generation => {
+                self.hits += 1;
+                LookupOutcome::Hit(native)
+            }
+            Some(_) => {
+                self.map.remove(&x86_pc);
+                self.stale_evictions += 1;
+                LookupOutcome::Miss
+            }
+            None => LookupOutcome::Miss,
+        }
+    }
+
+    /// Peeks without mutating statistics or evicting stale entries.
+    pub fn peek(&self, x86_pc: u32, generation: u64) -> Option<NativePc> {
+        match self.map.get(&x86_pc) {
+            Some(&(native, gen)) if gen == generation => Some(native),
+            _ => None,
+        }
+    }
+
+    /// Removes a single entry (forced re-translation, e.g. after a
+    /// redirected block entry is unchained).
+    pub fn remove(&mut self, x86_pc: u32) {
+        self.map.remove(&x86_pc);
+    }
+
+    /// Removes every entry (e.g. on a full VM reset).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of registered (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that hit a live translation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Stale entries removed because their generation was flushed.
+    pub fn stale_evictions(&self) -> u64 {
+        self.stale_evictions
+    }
+
+    /// Iterates over live entries of `generation`.
+    pub fn iter_live(&self, generation: u64) -> impl Iterator<Item = (u32, NativePc)> + '_ {
+        self.map
+            .iter()
+            .filter(move |(_, &(_, gen))| gen == generation)
+            .map(|(&pc, &(native, _))| (pc, native))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tt = TranslationTable::new();
+        assert_eq!(tt.lookup(100, 0), LookupOutcome::Miss);
+        tt.insert(100, NativePc(0x8000_0010), 0);
+        assert_eq!(tt.lookup(100, 0), LookupOutcome::Hit(NativePc(0x8000_0010)));
+        assert_eq!(tt.lookups(), 2);
+        assert_eq!(tt.hits(), 1);
+    }
+
+    #[test]
+    fn stale_generation_is_miss_and_evicted() {
+        let mut tt = TranslationTable::new();
+        tt.insert(100, NativePc(0x8000_0000), 0);
+        assert_eq!(tt.lookup(100, 1), LookupOutcome::Miss);
+        assert_eq!(tt.stale_evictions(), 1);
+        assert!(tt.is_empty());
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut tt = TranslationTable::new();
+        tt.insert(100, NativePc(0x8000_0000), 0);
+        tt.insert(100, NativePc(0x8000_0040), 0);
+        assert_eq!(tt.peek(100, 0), Some(NativePc(0x8000_0040)));
+        assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut tt = TranslationTable::new();
+        tt.insert(5, NativePc(0x8000_0000), 3);
+        assert_eq!(tt.peek(5, 3), Some(NativePc(0x8000_0000)));
+        assert_eq!(tt.peek(5, 4), None);
+        assert_eq!(tt.lookups(), 0);
+    }
+
+    #[test]
+    fn iter_live_filters_generations() {
+        let mut tt = TranslationTable::new();
+        tt.insert(1, NativePc(0x8000_0000), 0);
+        tt.insert(2, NativePc(0x8000_0010), 1);
+        let live: Vec<_> = tt.iter_live(1).collect();
+        assert_eq!(live, vec![(2, NativePc(0x8000_0010))]);
+    }
+}

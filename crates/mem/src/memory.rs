@@ -1,0 +1,247 @@
+//! Byte-addressable guest memory.
+
+use std::collections::HashMap;
+
+/// Size of one guest page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const PAGE_SHIFT: u32 = 12;
+
+/// A little-endian byte-addressable memory.
+///
+/// Both the architected-ISA interpreter and the implementation-ISA executor
+/// access guest state through this trait, so a single memory image can back
+/// execution in either mode. All multi-byte accessors have little-endian
+/// default implementations in terms of [`Memory::read_u8`] /
+/// [`Memory::write_u8`]; implementors may override them for speed.
+pub trait Memory {
+    /// Reads one byte.
+    fn read_u8(&mut self, addr: u32) -> u8;
+
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: u32, value: u8);
+
+    /// Reads a little-endian 16-bit value.
+    fn read_u16(&mut self, addr: u32) -> u16 {
+        u16::from(self.read_u8(addr)) | (u16::from(self.read_u8(addr.wrapping_add(1))) << 8)
+    }
+
+    /// Reads a little-endian 32-bit value.
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        u32::from(self.read_u16(addr)) | (u32::from(self.read_u16(addr.wrapping_add(2))) << 16)
+    }
+
+    /// Writes a little-endian 16-bit value.
+    fn write_u16(&mut self, addr: u32, value: u16) {
+        self.write_u8(addr, value as u8);
+        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// Writes a little-endian 32-bit value.
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write_u16(addr, value as u16);
+        self.write_u16(addr.wrapping_add(2), (value >> 16) as u16);
+    }
+
+    /// Copies `buf.len()` bytes starting at `addr` into `buf`.
+    fn read_bytes(&mut self, addr: u32, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32));
+        }
+    }
+
+    /// Writes all of `bytes` starting at `addr`.
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+}
+
+/// A sparse, demand-allocated guest memory image.
+///
+/// Pages are allocated (zero-filled) on first touch, so callers never see a
+/// memory fault; the x86 subset we model raises faults only through explicit
+/// instructions (e.g. `INT3`) or arithmetic conditions, matching the
+/// user-mode traces the paper simulates. A one-entry page cache makes
+/// sequential access patterns (instruction fetch, stack traffic) fast.
+pub struct GuestMem {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    last_page: Option<(u32, *mut [u8; PAGE_SIZE])>,
+}
+
+// SAFETY: `last_page` points into `pages`, which is owned by `self` and only
+// mutated through `&mut self`; the raw pointer never escapes.
+unsafe impl Send for GuestMem {}
+
+impl std::fmt::Debug for GuestMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuestMem")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl Default for GuestMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for GuestMem {
+    fn clone(&self) -> Self {
+        GuestMem {
+            pages: self.pages.clone(),
+            last_page: None,
+        }
+    }
+}
+
+impl GuestMem {
+    /// Creates an empty memory image.
+    pub fn new() -> Self {
+        GuestMem {
+            pages: HashMap::new(),
+            last_page: None,
+        }
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Loads a byte image at `base`, as the OS loader would place a binary.
+    pub fn load(&mut self, base: u32, image: &[u8]) {
+        self.write_bytes(base, image);
+    }
+
+    fn page(&mut self, page_idx: u32) -> &mut [u8; PAGE_SIZE] {
+        if let Some((idx, ptr)) = self.last_page {
+            if idx == page_idx {
+                // SAFETY: pointer was derived from a live entry of
+                // `self.pages`; entries are never removed or moved (Box).
+                return unsafe { &mut *ptr };
+            }
+        }
+        let entry = self
+            .pages
+            .entry(page_idx)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let ptr: *mut [u8; PAGE_SIZE] = &mut **entry;
+        self.last_page = Some((page_idx, ptr));
+        // SAFETY: as above.
+        unsafe { &mut *ptr }
+    }
+}
+
+impl Memory for GuestMem {
+    #[inline]
+    fn read_u8(&mut self, addr: u32) -> u8 {
+        let page = self.page(addr >> PAGE_SHIFT);
+        page[(addr as usize) & (PAGE_SIZE - 1)]
+    }
+
+    #[inline]
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self.page(addr >> PAGE_SHIFT);
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    #[inline]
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            let page = self.page(addr >> PAGE_SHIFT);
+            u32::from_le_bytes(page[off..off + 4].try_into().unwrap())
+        } else {
+            u32::from(self.read_u16(addr)) | (u32::from(self.read_u16(addr.wrapping_add(2))) << 16)
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            let page = self.page(addr >> PAGE_SHIFT);
+            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write_u16(addr, value as u16);
+            self.write_u16(addr.wrapping_add(2), (value >> 16) as u16);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_on_first_touch() {
+        let mut m = GuestMem::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xffff_fff0), 0);
+    }
+
+    #[test]
+    fn round_trip_u8_u16_u32() {
+        let mut m = GuestMem::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0x1234_5678);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0x1234_5678);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = GuestMem::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x101), 2);
+        assert_eq!(m.read_u8(0x102), 3);
+        assert_eq!(m.read_u8(0x103), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = GuestMem::new();
+        let addr = (PAGE_SIZE as u32) - 2;
+        m.write_u32(addr, 0xcafe_babe);
+        assert_eq!(m.read_u32(addr), 0xcafe_babe);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn load_places_image() {
+        let mut m = GuestMem::new();
+        m.load(0x40_0000, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_u8(0x40_0004), 5);
+    }
+
+    #[test]
+    fn bulk_read_matches_writes() {
+        let mut m = GuestMem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x2000 - 16, &data);
+        let mut out = vec![0u8; 256];
+        m.read_bytes(0x2000 - 16, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = GuestMem::new();
+        a.write_u32(0, 7);
+        let mut b = a.clone();
+        b.write_u32(0, 9);
+        assert_eq!(a.read_u32(0), 7);
+        assert_eq!(b.read_u32(0), 9);
+    }
+}

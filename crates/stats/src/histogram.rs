@@ -1,0 +1,145 @@
+//! Execution-frequency histograms (Fig. 3 of the paper).
+
+/// One frequency bucket: static instructions whose execution count falls
+/// in `[lo, next bucket's lo)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqBucket {
+    /// Inclusive lower bound of the bucket (1, 10, 100, …).
+    pub lo: u64,
+    /// Number of static instructions in the bucket.
+    pub static_count: u64,
+    /// Total dynamic instructions contributed by the bucket.
+    pub dynamic_count: u64,
+}
+
+impl FreqBucket {
+    /// The paper's bucket label (`1+`, `10+`, …).
+    pub fn label(&self) -> String {
+        match self.lo {
+            1_000_000.. => format!("{}M+", self.lo / 1_000_000),
+            1_000.. => format!("{}K+", self.lo / 1_000),
+            _ => format!("{}+", self.lo),
+        }
+    }
+}
+
+/// The Fig. 3 instrument: decade-bucketed static-instruction counts and
+/// the dynamic-instruction distribution, built from per-static-PC
+/// execution counts.
+///
+/// # Example
+///
+/// ```
+/// use cdvm_stats::FreqHistogram;
+///
+/// let h = FreqHistogram::from_counts([1u64, 5, 20_000, 9_000].into_iter());
+/// assert_eq!(h.static_total(), 4);
+/// assert_eq!(h.hot_static(8_000), 2); // two PCs executed ≥ 8000 times
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreqHistogram {
+    buckets: Vec<FreqBucket>,
+    counts: Vec<u64>,
+}
+
+impl FreqHistogram {
+    /// Builds the histogram from an iterator of per-static-instruction
+    /// execution counts (zeros are ignored: never-executed code is not
+    /// part of M_BBT).
+    pub fn from_counts(counts: impl Iterator<Item = u64>) -> FreqHistogram {
+        let mut buckets: Vec<FreqBucket> = (0..9)
+            .map(|d| FreqBucket {
+                lo: 10u64.pow(d),
+                static_count: 0,
+                dynamic_count: 0,
+            })
+            .collect();
+        let mut kept = Vec::new();
+        for c in counts {
+            if c == 0 {
+                continue;
+            }
+            kept.push(c);
+            let d = (c.ilog10() as usize).min(buckets.len() - 1);
+            buckets[d].static_count += 1;
+            buckets[d].dynamic_count += c;
+        }
+        FreqHistogram {
+            buckets,
+            counts: kept,
+        }
+    }
+
+    /// The decade buckets, lowest first.
+    pub fn buckets(&self) -> &[FreqBucket] {
+        &self.buckets
+    }
+
+    /// Total static instructions executed at least once (M_BBT).
+    pub fn static_total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.static_count).sum()
+    }
+
+    /// Total dynamic instructions.
+    pub fn dynamic_total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.dynamic_count).sum()
+    }
+
+    /// Static instructions executed at least `threshold` times (M_SBT at
+    /// the hot threshold).
+    pub fn hot_static(&self, threshold: u64) -> u64 {
+        self.counts.iter().filter(|&&c| c >= threshold).count() as u64
+    }
+
+    /// Fraction of dynamic instructions from static instructions
+    /// executed at least `threshold` times (hotspot coverage bound).
+    pub fn hot_dynamic_fraction(&self, threshold: u64) -> f64 {
+        let hot: u64 = self.counts.iter().filter(|&&c| c >= threshold).sum();
+        let total = self.dynamic_total();
+        if total == 0 {
+            0.0
+        } else {
+            hot as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_by_decade() {
+        let h = FreqHistogram::from_counts([1u64, 9, 10, 99, 100, 1_000_000].into_iter());
+        let b = h.buckets();
+        assert_eq!(b[0].static_count, 2); // 1, 9
+        assert_eq!(b[1].static_count, 2); // 10, 99
+        assert_eq!(b[2].static_count, 1); // 100
+        assert_eq!(b[6].static_count, 1); // 1M
+        assert_eq!(h.static_total(), 6);
+    }
+
+    #[test]
+    fn zeros_ignored() {
+        let h = FreqHistogram::from_counts([0u64, 0, 5].into_iter());
+        assert_eq!(h.static_total(), 1);
+    }
+
+    #[test]
+    fn hot_metrics() {
+        let h = FreqHistogram::from_counts([100u64, 8_000, 50_000, 3].into_iter());
+        assert_eq!(h.hot_static(8_000), 2);
+        let frac = h.hot_dynamic_fraction(8_000);
+        let expect = (8_000.0 + 50_000.0) / (100.0 + 8_000.0 + 50_000.0 + 3.0);
+        assert!((frac - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        let h = FreqHistogram::from_counts(std::iter::empty());
+        let labels: Vec<String> = h.buckets().iter().map(|b| b.label()).collect();
+        assert_eq!(labels[0], "1+");
+        assert_eq!(labels[3], "1K+");
+        assert_eq!(labels[6], "1M+");
+    }
+}

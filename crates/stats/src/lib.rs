@@ -1,0 +1,26 @@
+//! Measurement utilities for the startup-time study.
+//!
+//! The paper's evaluation plots aggregate (cumulative) IPC against time
+//! on a logarithmic cycle axis, reports per-benchmark breakeven points,
+//! execution-frequency histograms and hardware-activity curves. This
+//! crate provides the corresponding instruments:
+//!
+//! * [`LogSampler`] — log-spaced time series of any cumulative quantity;
+//! * [`breakeven_cycles`] — the catch-up point between two cumulative
+//!   instruction curves (Fig. 9's metric);
+//! * [`FreqHistogram`] — Fig. 3's static/dynamic frequency profile;
+//! * [`harmonic_mean`] / [`Table`] — aggregation and rendering.
+
+#![warn(missing_docs)]
+
+mod breakeven;
+mod histogram;
+mod series;
+mod summary;
+mod table;
+
+pub use breakeven::breakeven_cycles;
+pub use histogram::{FreqBucket, FreqHistogram};
+pub use series::{LogSampler, Sample};
+pub use summary::{arith_mean, geo_mean, harmonic_mean};
+pub use table::Table;

@@ -1,0 +1,152 @@
+//! Log-spaced time series.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Elapsed cycles at the sample.
+    pub cycles: u64,
+    /// The sampled cumulative value (instructions retired, active
+    /// cycles, …).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The cumulative rate value/cycles (aggregate IPC when `value`
+    /// counts instructions).
+    pub fn rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.value / self.cycles as f64
+        }
+    }
+}
+
+/// Samples a cumulative quantity at logarithmically spaced cycle counts,
+/// exactly like the x-axes of Figs. 2, 8 and 11.
+///
+/// # Example
+///
+/// ```
+/// use cdvm_stats::LogSampler;
+///
+/// let mut s = LogSampler::new(4);
+/// for c in 1..=100_000u64 {
+///     s.record(c, c as f64 * 0.8); // constant IPC 0.8
+/// }
+/// let last = s.samples().last().unwrap();
+/// assert!((last.rate() - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogSampler {
+    next_threshold: f64,
+    step: f64,
+    samples: Vec<Sample>,
+}
+
+impl LogSampler {
+    /// Creates a sampler taking `points_per_decade` samples per decade,
+    /// starting at 1 cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_decade` is zero.
+    pub fn new(points_per_decade: u32) -> Self {
+        assert!(points_per_decade > 0);
+        LogSampler {
+            next_threshold: 1.0,
+            step: 10f64.powf(1.0 / points_per_decade as f64),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers the current `(cycles, value)` point; it is stored if the
+    /// next log-spaced threshold has been crossed. Call as often as you
+    /// like — storage stays logarithmic.
+    pub fn record(&mut self, cycles: u64, value: f64) {
+        if (cycles as f64) < self.next_threshold {
+            return;
+        }
+        self.samples.push(Sample { cycles, value });
+        while self.next_threshold <= cycles as f64 {
+            self.next_threshold *= self.step;
+        }
+    }
+
+    /// Forces a final sample (end of run).
+    pub fn finish(&mut self, cycles: u64, value: f64) {
+        if self.samples.last().map(|s| s.cycles) != Some(cycles) {
+            self.samples.push(Sample { cycles, value });
+        }
+    }
+
+    /// The collected samples, in increasing cycle order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Linearly interpolates the cumulative value at `cycles`.
+    pub fn value_at(&self, cycles: u64) -> Option<f64> {
+        let s = &self.samples;
+        if s.is_empty() || cycles < s[0].cycles {
+            return None;
+        }
+        match s.binary_search_by_key(&cycles, |p| p.cycles) {
+            Ok(i) => Some(s[i].value),
+            Err(i) if i >= s.len() => Some(s.last().unwrap().value),
+            Err(i) => {
+                let (a, b) = (s[i - 1], s[i]);
+                let t = (cycles - a.cycles) as f64 / (b.cycles - a.cycles) as f64;
+                Some(a.value + t * (b.value - a.value))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spacing_bounds_sample_count() {
+        let mut s = LogSampler::new(10);
+        for c in 1..=1_000_000u64 {
+            s.record(c, c as f64);
+        }
+        // 6 decades * 10 points, within slack.
+        let n = s.samples().len();
+        assert!((55..=70).contains(&n), "{n} samples");
+    }
+
+    #[test]
+    fn rate_is_aggregate() {
+        let s = Sample {
+            cycles: 200,
+            value: 100.0,
+        };
+        assert!((s.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation() {
+        let mut s = LogSampler::new(1);
+        s.record(1, 10.0);
+        s.record(10, 100.0);
+        s.record(100, 1000.0);
+        assert_eq!(s.value_at(10), Some(100.0));
+        let mid = s.value_at(55).unwrap();
+        assert!(mid > 100.0 && mid < 1000.0);
+        assert_eq!(s.value_at(0), None);
+        assert_eq!(s.value_at(1_000_000), Some(1000.0));
+    }
+
+    #[test]
+    fn finish_appends_last_point() {
+        let mut s = LogSampler::new(1);
+        s.record(1, 1.0);
+        s.finish(7, 7.0);
+        assert_eq!(s.samples().last().unwrap().cycles, 7);
+    }
+}

@@ -1,0 +1,79 @@
+//! Aggregation across benchmarks.
+
+/// Harmonic mean — the paper's aggregation for IPC across the ten
+/// Winstone applications.
+///
+/// Returns 0.0 for an empty input.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive (an IPC of zero has no
+/// harmonic mean).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "harmonic mean requires positive values");
+            1.0 / v
+        })
+        .sum();
+    values.len() as f64 / sum
+}
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn arith_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean (0.0 for empty input).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic() {
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn ordering_of_means() {
+        let v = [0.5, 1.0, 2.0, 4.0];
+        let h = harmonic_mean(&v);
+        let g = geo_mean(&v);
+        let a = arith_mean(&v);
+        assert!(h < g && g < a, "HM ≤ GM ≤ AM");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rejected() {
+        harmonic_mean(&[0.0]);
+    }
+}

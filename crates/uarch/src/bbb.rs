@@ -1,0 +1,169 @@
+//! The hardware hotspot detector: a Merten-style branch behaviour buffer.
+//!
+//! VM.fe has no BBT code to carry software profiling, so hotspot
+//! detection falls to hardware: a table after the retire stage counts
+//! taken-branch targets; when a target's counter crosses the hot
+//! threshold the VMM is invoked to form and optimize a superblock
+//! (Merten et al., cited as [23] in the paper).
+
+/// Branch behaviour buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbbConfig {
+    /// Number of entries (the paper's reference design uses 4K).
+    pub entries: usize,
+    /// Execution count at which a target is declared hot.
+    pub hot_threshold: u32,
+}
+
+impl Default for BbbConfig {
+    fn default() -> Self {
+        BbbConfig {
+            entries: 4096,
+            hot_threshold: 8000,
+        }
+    }
+}
+
+/// One BBB entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    target: u32,
+    count: u32,
+    valid: bool,
+}
+
+/// The branch behaviour buffer.
+#[derive(Debug, Clone)]
+pub struct Bbb {
+    cfg: BbbConfig,
+    entries: Vec<Entry>,
+    hot_reports: u64,
+    replacements: u64,
+}
+
+impl Bbb {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(cfg: BbbConfig) -> Self {
+        assert!(cfg.entries.is_power_of_two());
+        Bbb {
+            cfg,
+            entries: vec![Entry::default(); cfg.entries],
+            hot_reports: 0,
+            replacements: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> BbbConfig {
+        self.cfg
+    }
+
+    /// Hot targets reported so far.
+    pub fn hot_reports(&self) -> u64 {
+        self.hot_reports
+    }
+
+    /// Entries displaced by aliasing (capacity pressure signal).
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Observes a retired taken branch to `target`. Returns `Some(target)`
+    /// exactly once when the target crosses the hot threshold.
+    pub fn observe_taken(&mut self, target: u32) -> Option<u32> {
+        let idx = ((target >> 1) as usize ^ (target >> 13) as usize) & (self.cfg.entries - 1);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.target != target {
+            if e.valid {
+                self.replacements += 1;
+            }
+            *e = Entry {
+                target,
+                count: 1,
+                valid: true,
+            };
+            return None;
+        }
+        if e.count == u32::MAX {
+            return None;
+        }
+        e.count += 1;
+        if e.count == self.cfg.hot_threshold {
+            self.hot_reports += 1;
+            return Some(target);
+        }
+        None
+    }
+
+    /// Resets a target's counter (after the VMM has optimized it).
+    pub fn reset(&mut self, target: u32) {
+        let idx = ((target >> 1) as usize ^ (target >> 13) as usize) & (self.cfg.entries - 1);
+        let e = &mut self.entries[idx];
+        if e.valid && e.target == target {
+            e.valid = false;
+            e.count = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Bbb {
+        Bbb::new(BbbConfig {
+            entries: 16,
+            hot_threshold: 5,
+        })
+    }
+
+    #[test]
+    fn reports_hot_exactly_once_at_threshold() {
+        let mut b = small();
+        let mut hot = Vec::new();
+        for _ in 0..10 {
+            if let Some(t) = b.observe_taken(0x1000) {
+                hot.push(t);
+            }
+        }
+        assert_eq!(hot, vec![0x1000]);
+        assert_eq!(b.hot_reports(), 1);
+    }
+
+    #[test]
+    fn aliasing_replaces_and_counts() {
+        let mut b = small();
+        // Find two targets mapping to the same entry by brute force.
+        let t1 = 0x1000u32;
+        let idx = |t: u32| ((t >> 1) as usize ^ (t >> 13) as usize) & 15;
+        let t2 = (1..)
+            .map(|k| t1 + k * 2)
+            .find(|&t| idx(t) == idx(t1))
+            .unwrap();
+        b.observe_taken(t1);
+        b.observe_taken(t2);
+        assert_eq!(b.replacements(), 1);
+        // t1 restarts from scratch.
+        for _ in 0..4 {
+            assert!(b.observe_taken(t1).is_none());
+        }
+        assert_eq!(b.observe_taken(t1), Some(t1));
+    }
+
+    #[test]
+    fn reset_clears_counter() {
+        let mut b = small();
+        for _ in 0..5 {
+            b.observe_taken(0x2000);
+        }
+        b.reset(0x2000);
+        for _ in 0..4 {
+            assert!(b.observe_taken(0x2000).is_none());
+        }
+        assert_eq!(b.observe_taken(0x2000), Some(0x2000));
+    }
+}

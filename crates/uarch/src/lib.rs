@@ -1,0 +1,36 @@
+//! Microarchitecture timing substrate for the co-designed VM study.
+//!
+//! The paper evaluates startup behaviour on a detailed timing simulator;
+//! this crate is our substitute: true structural models where the
+//! behaviour matters to the study (set-associative caches, gshare/BTB/RAS
+//! branch prediction, the Merten-style hotspot-detecting branch
+//! behaviour buffer) and a Sniper-style interval core model for cycle
+//! accounting, parameterised per Table 2 of the paper.
+//!
+//! The four machine configurations of §5.1 — `Ref: superscalar`,
+//! `VM.soft`, `VM.be` and `VM.fe` — are presets of [`MachineConfig`].
+//!
+//! # Example
+//!
+//! ```
+//! use cdvm_uarch::{MachineConfig, MachineKind, Timing, CycleCat};
+//!
+//! let mut t = Timing::new(MachineConfig::preset(MachineKind::VmSoft));
+//! t.set_category(CycleCat::BbtXlate);
+//! t.charge_sw_bbt_inst(0x40_0000, 0x8000_0000);
+//! assert!(t.cycles() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bbb;
+mod cache;
+mod config;
+mod predictor;
+mod timing;
+
+pub use bbb::{Bbb, BbbConfig};
+pub use cache::{AccessCost, Cache, CacheConfig, CacheStats, Hierarchy};
+pub use config::{MachineConfig, MachineKind};
+pub use predictor::{Predictor, PredictorConfig, PredictorStats};
+pub use timing::{CycleCat, Timing, NUM_CATS};

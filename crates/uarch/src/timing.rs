@@ -1,0 +1,517 @@
+//! The interval-model core: cycle accounting for every machine.
+//!
+//! Detailed out-of-order simulation is replaced by a Sniper-style
+//! interval model: retired units consume dispatch slots at a
+//! dependency-limited effective width, and miss events (branch
+//! mispredictions, cache misses) add serialised penalties. All machines
+//! share the same cache hierarchy and branch predictor models, so
+//! cross-machine deltas come only from the mechanisms the paper studies:
+//! who pays decode/crack cost, macro-op fusion, pipeline frontend length,
+//! and translation-time memory traffic.
+
+use cdvm_fisa::NRetired;
+use cdvm_x86::{BranchKind, Retired};
+
+use crate::cache::Hierarchy;
+use crate::config::MachineConfig;
+use crate::predictor::Predictor;
+
+/// Cycle-attribution categories (the quantities behind Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CycleCat {
+    /// Executing x86 code through hardware decoders (Ref always; VM.fe
+    /// cold code).
+    X86Mode = 0,
+    /// Executing BBT translations.
+    BbtEmu = 1,
+    /// Executing SBT (hotspot) translations.
+    SbtEmu = 2,
+    /// Performing BBT translation (software or HAloop).
+    BbtXlate = 3,
+    /// Performing SBT translation/optimization.
+    SbtXlate = 4,
+    /// Interpreting x86 instructions (the Interp&SBT strategy).
+    InterpEmu = 5,
+    /// Other VMM runtime work (dispatch, lookup, chaining).
+    Vmm = 6,
+}
+
+/// Number of [`CycleCat`] values.
+pub const NUM_CATS: usize = 7;
+
+impl CycleCat {
+    /// All categories.
+    pub const ALL: [CycleCat; NUM_CATS] = [
+        CycleCat::X86Mode,
+        CycleCat::BbtEmu,
+        CycleCat::SbtEmu,
+        CycleCat::BbtXlate,
+        CycleCat::SbtXlate,
+        CycleCat::InterpEmu,
+        CycleCat::Vmm,
+    ];
+}
+
+/// True for micro-ops that only touch VMM-reserved registers (R16–R23):
+/// translation-system glue, not guest computation.
+fn is_vmm_bookkeeping(u: &cdvm_fisa::Uop) -> bool {
+    use cdvm_fisa::Op;
+    let vmm = |r: u8| (16..=23).contains(&r);
+    let src2_ok = |u: &cdvm_fisa::Uop| u.rs2 == cdvm_fisa::regs::VMM_SP || vmm(u.rs2);
+    match u.op {
+        Op::Limm | Op::Limmh => vmm(u.rd),
+        Op::Bnz | Op::Bz => vmm(u.rs1),
+        Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Shr | Op::Shl | Op::Mov => {
+            vmm(u.rd) && vmm(u.rs1) && src2_ok(u)
+        }
+        _ => false,
+    }
+}
+
+/// Cycle accounting for one simulated machine.
+#[derive(Debug)]
+pub struct Timing {
+    /// The machine parameterisation.
+    pub cfg: MachineConfig,
+    /// Cache hierarchy (shared by fetch, data and translator traffic).
+    pub hier: Hierarchy,
+    /// Branch predictor.
+    pub pred: Predictor,
+    cycles: f64,
+    cat: [f64; NUM_CATS],
+    cur: CycleCat,
+    last_fetch_line: u32,
+    fused_tail_pending: bool,
+    decoder_active: f64,
+    uops_retired: u64,
+    fused_retired: u64,
+    x86_mode_retired: u64,
+}
+
+impl Timing {
+    /// Creates cold-start timing state (empty caches — the paper's
+    /// memory-startup scenario 2).
+    pub fn new(cfg: MachineConfig) -> Self {
+        Timing {
+            cfg,
+            hier: Hierarchy::table2(cfg.mem_latency),
+            pred: Predictor::default(),
+            cycles: 0.0,
+            cat: [0.0; NUM_CATS],
+            cur: CycleCat::X86Mode,
+            last_fetch_line: u32::MAX,
+            fused_tail_pending: false,
+            decoder_active: 0.0,
+            uops_retired: 0,
+            fused_retired: 0,
+            x86_mode_retired: 0,
+        }
+    }
+
+    /// Selects the attribution category for subsequent charges.
+    pub fn set_category(&mut self, cat: CycleCat) {
+        self.cur = cat;
+    }
+
+    /// Total elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles as u64
+    }
+
+    /// Total elapsed cycles, fractional.
+    pub fn cycles_f(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Cycles attributed to `cat`.
+    pub fn category_cycles(&self, cat: CycleCat) -> f64 {
+        self.cat[cat as usize]
+    }
+
+    /// Cycles during which x86 decode logic was powered on (Fig. 11).
+    pub fn decoder_active_cycles(&self) -> f64 {
+        self.decoder_active
+    }
+
+    /// Micro-ops retired from translated code.
+    pub fn uops_retired(&self) -> u64 {
+        self.uops_retired
+    }
+
+    /// Micro-ops retired as part of fused macro-op pairs.
+    pub fn fused_retired(&self) -> u64 {
+        self.fused_retired
+    }
+
+    /// x86 instructions retired in x86-mode.
+    pub fn x86_mode_retired(&self) -> u64 {
+        self.x86_mode_retired
+    }
+
+    fn add(&mut self, c: f64) {
+        self.cycles += c;
+        self.cat[self.cur as usize] += c;
+    }
+
+    /// Raw cycle charge in the current category (translator loops,
+    /// fixed-cost events).
+    pub fn charge_cycles(&mut self, c: f64) {
+        self.add(c);
+    }
+
+    /// Marks `c` cycles of x86-decode-logic activity.
+    pub fn note_decoder_active(&mut self, c: f64) {
+        self.decoder_active += c;
+    }
+
+    /// Effective dispatch bandwidth in slots per cycle.
+    fn eff_width(&self) -> f64 {
+        self.cfg.width * self.cfg.util
+    }
+
+    fn fetch(&mut self, pc: u32, len: u32) {
+        let first = pc >> 6;
+        let last = pc.wrapping_add(len.saturating_sub(1)) >> 6;
+        if first != self.last_fetch_line {
+            let cost = self.hier.fetch(pc);
+            self.add(cost.stall as f64);
+        }
+        if last != first {
+            let cost = self.hier.fetch(pc.wrapping_add(len - 1));
+            self.add(cost.stall as f64);
+        }
+        self.last_fetch_line = last;
+    }
+
+    fn data(&mut self, addr: u32) {
+        let cost = self.hier.data(addr);
+        // Memory-level parallelism: overlapped misses hide part of the
+        // latency; long-latency memory misses overlap less at startup.
+        let overlap = if cost.to_memory { 0.75 } else { 0.6 };
+        self.add(cost.stall as f64 * overlap);
+    }
+
+    fn branch(&mut self, pc: u32, kind: BranchKind, taken: bool, target: u32, fall: u32, depth: u32) {
+        let correct = self.pred.observe(pc, kind, taken, target, fall);
+        if !correct {
+            self.add(depth as f64);
+            self.last_fetch_line = u32::MAX; // redirected fetch
+        }
+    }
+
+    /// Retires one micro-op of translated code.
+    ///
+    /// `profiling` marks BBT-inserted software profiling micro-ops (they
+    /// consume slots but are bookkept as VMM overhead by the caller's
+    /// category choice).
+    pub fn retire_uop(&mut self, r: &NRetired) {
+        self.uops_retired += 1;
+        // VMM bookkeeping (profiling counters, dispatch-sieve probes and
+        // the register glue around them) is independent of guest
+        // dataflow and fills dispatch bubbles the `util` factor
+        // otherwise discards; see `profiling_slot_cost`.
+        let profiling = r
+            .mem
+            .is_some_and(|m| (0xc000_0000..0xe000_0000).contains(&m.addr))
+            || is_vmm_bookkeeping(&r.uop);
+        let slot = if profiling {
+            self.cfg.profiling_slot_cost
+        } else if self.fused_tail_pending {
+            self.fused_tail_pending = false;
+            self.fused_retired += 1;
+            self.cfg.fused_pair_slots / 2.0
+        } else if r.uop.fusible {
+            self.fused_tail_pending = true;
+            self.fused_retired += 1;
+            self.cfg.fused_pair_slots / 2.0
+        } else {
+            1.0
+        };
+        self.add(slot / self.eff_width());
+        if r.uop.op.is_long_latency() {
+            // Partially-hidden long-latency execution (div/mul chains).
+            let extra = match r.uop.op {
+                cdvm_fisa::Op::Xlt => self.cfg.xlt_latency as f64,
+                cdvm_fisa::Op::DivQ
+                | cdvm_fisa::Op::DivR
+                | cdvm_fisa::Op::IDivQ
+                | cdvm_fisa::Op::IDivR => 8.0,
+                _ => 1.0,
+            };
+            self.add(extra);
+        }
+        self.fetch(r.pc, r.len as u32);
+        if let Some(m) = r.mem {
+            self.data(m.addr);
+        }
+        if let Some((kind, taken, target)) = r.branch {
+            let fall = r.pc.wrapping_add(r.len as u32);
+            self.branch(r.pc, kind, taken, target, fall, self.cfg.native_front_depth);
+        }
+    }
+
+    /// Retires one x86 instruction executed in x86-mode (hardware
+    /// decoders in the pipeline: the Ref machine always, VM.fe for cold
+    /// code). `uop_count` is the cracked micro-op count, which is what
+    /// occupies dispatch slots in a conventional x86 core.
+    pub fn retire_x86(&mut self, r: &Retired, uop_count: u32) {
+        self.x86_mode_retired += 1;
+        let before = self.cycles;
+        let slots = uop_count.max(1) as f64;
+        self.add(slots / self.eff_width());
+        self.fetch(r.pc, r.len as u32);
+        for m in r.mem.iter() {
+            self.data(m.addr);
+        }
+        if let Some(b) = r.branch {
+            let fall = r.pc.wrapping_add(r.len as u32);
+            self.branch(r.pc, b.kind, b.taken, b.target, fall, self.cfg.x86_front_depth);
+        }
+        if r.inst.mnemonic.is_complex() {
+            // Microcode sequencing overhead for complex instructions.
+            self.add(2.0 / self.eff_width());
+        }
+        // x86 decode logic is on for the whole duration.
+        self.decoder_active += self.cycles - before;
+    }
+
+    /// Charges `n` native instructions of VMM software work (translator,
+    /// runtime) through the dependency-limited translator IPC.
+    pub fn charge_vmm_instrs(&mut self, n: f64) {
+        self.add(n / self.cfg.vmm_ipc);
+    }
+
+    /// Charges a VMM data touch (source-byte read / code-cache write /
+    /// lookup-table probe) through the data-cache hierarchy.
+    pub fn vmm_data_touch(&mut self, addr: u32) {
+        self.data(addr);
+    }
+
+    /// Charges one interpreted x86 instruction.
+    pub fn charge_interp_inst(&mut self, r: &Retired) {
+        self.add(self.cfg.interp_cycles);
+        // The interpreter performs the architectural memory accesses.
+        for m in r.mem.iter() {
+            self.data(m.addr);
+        }
+        // And reads the guest instruction bytes as data.
+        self.data(r.pc);
+    }
+
+    /// Charges one `HAloop` iteration (VM.be hardware-assisted BBT of a
+    /// single x86 instruction, Fig. 6a), marking the XLTx86 unit active.
+    pub fn charge_haloop_inst(&mut self, src_pc: u32, cc_ptr: u32) {
+        self.add(self.cfg.bbt_be_cycles);
+        self.decoder_active += self.cfg.xlt_latency as f64;
+        self.data(src_pc);
+        self.data(cc_ptr);
+    }
+
+    /// Charges software BBT translation of one x86 instruction (Δ_BBT).
+    pub fn charge_sw_bbt_inst(&mut self, src_pc: u32, cc_ptr: u32) {
+        self.charge_vmm_instrs(self.cfg.bbt_sw_native_instrs);
+        self.data(src_pc);
+        self.data(cc_ptr);
+    }
+
+    /// Charges SBT optimization of one hotspot x86 instruction (Δ_SBT).
+    pub fn charge_sbt_inst(&mut self, src_pc: u32, cc_ptr: u32) {
+        self.charge_vmm_instrs(self.cfg.sbt_native_instrs);
+        self.data(src_pc);
+        self.data(cc_ptr);
+        self.data(cc_ptr ^ 0x40); // optimizer working-set traffic
+    }
+
+    /// Models a full cache flush (major context switch; scenario 3
+    /// experiments).
+    pub fn flush_caches(&mut self) {
+        self.hier.flush();
+        self.last_fetch_line = u32::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, MachineKind};
+    use cdvm_fisa::{regs, Op, Uop};
+    use cdvm_x86::{Inst, MemList, Mnemonic, Width};
+
+    fn timing() -> Timing {
+        Timing::new(MachineConfig::preset(MachineKind::VmSoft))
+    }
+
+    fn nret(uop: Uop, pc: u32) -> NRetired {
+        NRetired {
+            pc,
+            len: 4,
+            uop,
+            mem: None,
+            branch: None,
+            exit: None,
+        }
+    }
+
+    #[test]
+    fn fused_pairs_cost_less_than_two_singles() {
+        let mut a = timing();
+        let mut b = timing();
+        a.set_category(CycleCat::SbtEmu);
+        b.set_category(CycleCat::SbtEmu);
+        let plain = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let fused_head = plain.fused();
+        // warm the i-cache first so only slot costs differ
+        a.retire_uop(&nret(plain, 0x8000_0000));
+        b.retire_uop(&nret(plain, 0x8000_0000));
+        let a0 = a.cycles_f();
+        let b0 = b.cycles_f();
+        for _ in 0..100 {
+            a.retire_uop(&nret(plain, 0x8000_0004));
+            a.retire_uop(&nret(plain, 0x8000_0008));
+            b.retire_uop(&nret(fused_head, 0x8000_0004));
+            b.retire_uop(&nret(plain, 0x8000_0008));
+        }
+        let unfused = a.cycles_f() - a0;
+        let fused = b.cycles_f() - b0;
+        assert!(fused < unfused, "fusion must save dispatch slots");
+        let ratio = unfused / fused;
+        assert!((1.1..1.3).contains(&ratio), "pair cost ≈1.7 slots: {ratio}");
+    }
+
+    #[test]
+    fn steady_state_gain_near_paper_8_percent() {
+        // 49% of dynamic micro-ops fused -> ≈ +8% IPC over unfused.
+        let mut vm = timing();
+        let mut rf = timing();
+        vm.set_category(CycleCat::SbtEmu);
+        rf.set_category(CycleCat::X86Mode);
+        let plain = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let head = plain.fused();
+        // Warm up.
+        vm.retire_uop(&nret(plain, 0x8000_0000));
+        rf.retire_uop(&nret(plain, 0x8000_0000));
+        let v0 = vm.cycles_f();
+        let r0 = rf.cycles_f();
+        // Per 100 uops: 49 fused (24.5 pairs), 51 single.
+        for _ in 0..200 {
+            for _ in 0..24 {
+                vm.retire_uop(&nret(head, 0x8000_0004));
+                vm.retire_uop(&nret(plain, 0x8000_0008));
+            }
+            for _ in 0..52 {
+                vm.retire_uop(&nret(plain, 0x8000_000c));
+            }
+            for _ in 0..100 {
+                rf.retire_uop(&nret(plain, 0x8000_0004));
+            }
+        }
+        let gain = (rf.cycles_f() - r0) / (vm.cycles_f() - v0);
+        assert!(
+            (1.05..1.12).contains(&gain),
+            "steady-state gain should be ≈1.08, got {gain}"
+        );
+    }
+
+    #[test]
+    fn mispredicts_add_frontend_depth() {
+        let mut t = timing();
+        let u = Uop {
+            op: Op::Br,
+            rd: 0,
+            rs1: 0,
+            rs2: regs::VMM_SP,
+            imm: 100,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        };
+        let mut r = nret(u, 0x8000_0000);
+        r.branch = Some((BranchKind::Unconditional, true, 0x8000_1000));
+        t.retire_uop(&r); // cold: BTB miss -> mispredict
+        let with_miss = t.cycles_f();
+        t.retire_uop(&r); // trained
+        let trained_delta = t.cycles_f() - with_miss;
+        assert!(with_miss > trained_delta + t.cfg.native_front_depth as f64 - 1.0);
+    }
+
+    #[test]
+    fn cold_caches_dominate_early_cycles() {
+        let mut t = timing();
+        t.set_category(CycleCat::X86Mode);
+        let inst = Inst::nullary(Mnemonic::Nop, Width::W32, 1);
+        let r = Retired {
+            pc: 0x40_0000,
+            len: 1,
+            inst,
+            next_pc: 0x40_0001,
+            branch: None,
+            mem: MemList::default(),
+            halted: false,
+        };
+        t.retire_x86(&r, 1);
+        assert!(
+            t.cycles_f() >= t.cfg.mem_latency as f64,
+            "first fetch must pay the memory latency"
+        );
+    }
+
+    #[test]
+    fn category_attribution() {
+        let mut t = timing();
+        t.set_category(CycleCat::BbtXlate);
+        t.charge_sw_bbt_inst(0x40_0000, 0x8000_0000);
+        assert!(t.category_cycles(CycleCat::BbtXlate) > 80.0);
+        assert_eq!(t.category_cycles(CycleCat::SbtEmu), 0.0);
+        let total: f64 = CycleCat::ALL.iter().map(|&c| t.category_cycles(c)).sum();
+        assert!((total - t.cycles_f()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbt_sw_cost_near_83_cycles_warm() {
+        let mut t = timing();
+        t.set_category(CycleCat::BbtXlate);
+        // Warm the lines first.
+        t.charge_sw_bbt_inst(0x40_0000, 0x8000_0000);
+        let c0 = t.cycles_f();
+        t.charge_sw_bbt_inst(0x40_0001, 0x8000_0004);
+        let per = t.cycles_f() - c0;
+        assert!((80.0..90.0).contains(&per), "≈83 cycles/inst, got {per}");
+    }
+
+    #[test]
+    fn haloop_cost_near_20_cycles_warm() {
+        let mut t = Timing::new(MachineConfig::preset(MachineKind::VmBe));
+        t.set_category(CycleCat::BbtXlate);
+        t.charge_haloop_inst(0x40_0000, 0x8000_0000);
+        let c0 = t.cycles_f();
+        let a0 = t.decoder_active_cycles();
+        t.charge_haloop_inst(0x40_0001, 0x8000_0004);
+        let per = t.cycles_f() - c0;
+        assert!((19.0..25.0).contains(&per), "≈20 cycles/inst, got {per}");
+        assert_eq!(t.decoder_active_cycles() - a0, 4.0);
+    }
+
+    #[test]
+    fn ref_decoder_always_active() {
+        let mut t = Timing::new(MachineConfig::preset(MachineKind::RefSuperscalar));
+        t.set_category(CycleCat::X86Mode);
+        let inst = Inst::nullary(Mnemonic::Nop, Width::W32, 1);
+        let r = Retired {
+            pc: 0x40_0000,
+            len: 1,
+            inst,
+            next_pc: 0x40_0001,
+            branch: None,
+            mem: MemList::default(),
+            halted: false,
+        };
+        for i in 0..50 {
+            let mut r2 = r;
+            r2.pc = 0x40_0000 + i;
+            t.retire_x86(&r2, 1);
+        }
+        let frac = t.decoder_active_cycles() / t.cycles_f();
+        assert!(frac > 0.999, "x86-mode keeps decoders on: {frac}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Condition codes for `Jcc`, `SETcc` and `CMOVcc`.
+
+use crate::Flags;
+
+/// The sixteen IA-32 condition codes, numbered as in the opcode map
+/// (`0x70 + cond`, `0x0F 0x80 + cond`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`OF`).
+    O = 0,
+    /// No overflow.
+    No = 1,
+    /// Below / carry (`CF`).
+    B = 2,
+    /// Above or equal / no carry.
+    Ae = 3,
+    /// Equal / zero (`ZF`).
+    E = 4,
+    /// Not equal / not zero.
+    Ne = 5,
+    /// Below or equal (`CF | ZF`).
+    Be = 6,
+    /// Above.
+    A = 7,
+    /// Sign (`SF`).
+    S = 8,
+    /// No sign.
+    Ns = 9,
+    /// Parity even (`PF`).
+    P = 10,
+    /// Parity odd.
+    Np = 11,
+    /// Less (`SF != OF`).
+    L = 12,
+    /// Greater or equal.
+    Ge = 13,
+    /// Less or equal (`ZF | (SF != OF)`).
+    Le = 14,
+    /// Greater.
+    G = 15,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Builds a condition from its 4-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn from_num(n: u8) -> Cond {
+        Self::ALL[n as usize]
+    }
+
+    /// The 4-bit encoding.
+    pub fn num(self) -> u8 {
+        self as u8
+    }
+
+    /// The condition with inverted sense (e.g. `E` ↔ `Ne`).
+    pub fn invert(self) -> Cond {
+        Cond::from_num(self.num() ^ 1)
+    }
+
+    /// Evaluates the condition against a flags value.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::O => f.of(),
+            Cond::No => !f.of(),
+            Cond::B => f.cf(),
+            Cond::Ae => !f.cf(),
+            Cond::E => f.zf(),
+            Cond::Ne => !f.zf(),
+            Cond::Be => f.cf() || f.zf(),
+            Cond::A => !f.cf() && !f.zf(),
+            Cond::S => f.sf(),
+            Cond::Ns => !f.sf(),
+            Cond::P => f.pf(),
+            Cond::Np => !f.pf(),
+            Cond::L => f.sf() != f.of(),
+            Cond::Ge => f.sf() == f.of(),
+            Cond::Le => f.zf() || (f.sf() != f.of()),
+            Cond::G => !f.zf() && (f.sf() == f.of()),
+        }
+    }
+
+    /// Conventional mnemonic suffix (`e`, `ne`, `l`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(cf: bool, zf: bool, sf: bool, of: bool) -> Flags {
+        let mut f = Flags::new();
+        f.set(Flags::CF, cf);
+        f.set(Flags::ZF, zf);
+        f.set(Flags::SF, sf);
+        f.set(Flags::OF, of);
+        f
+    }
+
+    #[test]
+    fn inversion_pairs() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+            let f = flags(true, false, true, false);
+            assert_ne!(c.eval(f), c.invert().eval(f));
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // 5 cmp 7 -> 5 - 7: SF set, OF clear => L true, G false
+        let f = flags(true, false, true, false);
+        assert!(Cond::L.eval(f));
+        assert!(!Cond::Ge.eval(f));
+        assert!(Cond::Le.eval(f));
+        assert!(!Cond::G.eval(f));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // equal: ZF
+        let f = flags(false, true, false, false);
+        assert!(Cond::Be.eval(f));
+        assert!(!Cond::A.eval(f));
+        assert!(Cond::Ae.eval(f));
+        assert!(!Cond::B.eval(f));
+    }
+
+    #[test]
+    fn round_trip_numbering() {
+        for n in 0..16 {
+            assert_eq!(Cond::from_num(n).num(), n);
+        }
+    }
+}

@@ -1,0 +1,854 @@
+//! The x86 instruction decoder.
+//!
+//! Implements the classic IA-32 variable-length decode algorithm: prefix
+//! scan, one/two-byte opcode dispatch, ModRM/SIB/displacement/immediate
+//! parsing. The same tables drive the software BBT, the dual-mode frontend
+//! decoder model and the `XLTx86` backend unit — in silicon these would
+//! share PLAs; here they share this module.
+
+use std::collections::HashMap;
+
+use cdvm_mem::Memory;
+
+use crate::{AluOp, Cond, Gpr, Inst, MemRef, Mnemonic, Operand, ShiftOp, Width};
+
+/// Architectural maximum instruction length in bytes.
+pub const MAX_INST_LEN: usize = 15;
+
+/// Reasons a byte sequence fails to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes before the instruction was complete.
+    Truncated,
+    /// Unimplemented or invalid one-byte opcode.
+    Unknown(u8),
+    /// Unimplemented or invalid `0x0F`-escaped opcode.
+    UnknownExt(u8),
+    /// Unimplemented group extension (`opcode /ext`).
+    UnknownGroup {
+        /// The group opcode byte.
+        opcode: u8,
+        /// The ModRM `reg` extension field.
+        ext: u8,
+    },
+    /// More than [`MAX_INST_LEN`] bytes of prefixes and payload.
+    TooLong,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction truncated"),
+            DecodeError::Unknown(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::UnknownExt(op) => write!(f, "unknown opcode 0f {op:#04x}"),
+            DecodeError::UnknownGroup { opcode, ext } => {
+                write!(f, "unknown group op {opcode:#04x} /{ext}")
+            }
+            DecodeError::TooLong => write!(f, "instruction exceeds 15 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        if self.pos > MAX_INST_LEN {
+            return Err(DecodeError::TooLong);
+        }
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from(self.u8()?) | (u16::from(self.u8()?) << 8))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from(self.u16()?) | (u32::from(self.u16()?) << 16))
+    }
+
+    fn imm(&mut self, w: Width) -> Result<i32, DecodeError> {
+        Ok(match w {
+            Width::W8 => self.u8()? as i8 as i32,
+            Width::W16 => self.u16()? as i16 as i32,
+            Width::W32 => self.u32()? as i32,
+        })
+    }
+}
+
+/// ModRM decode result: either a register or a memory operand, plus the
+/// `reg` field (register number or group extension).
+struct ModRm {
+    reg: u8,
+    rm: Operand,
+}
+
+fn modrm(r: &mut Reader<'_>) -> Result<ModRm, DecodeError> {
+    let b = r.u8()?;
+    let md = b >> 6;
+    let reg = (b >> 3) & 7;
+    let rm = b & 7;
+
+    if md == 3 {
+        return Ok(ModRm {
+            reg,
+            rm: Operand::Reg(Gpr::from_num(rm)),
+        });
+    }
+
+    let mut mem = MemRef::default();
+    mem.scale = 1;
+
+    if rm == 4 {
+        // SIB byte.
+        let sib = r.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let index = (sib >> 3) & 7;
+        let base = sib & 7;
+        if index != 4 {
+            mem.index = Some(Gpr::from_num(index));
+            mem.scale = scale;
+        }
+        if base == 5 && md == 0 {
+            mem.disp = r.u32()? as i32;
+            return Ok(ModRm {
+                reg,
+                rm: Operand::Mem(finish_disp(mem, md, r, true)?),
+            });
+        }
+        mem.base = Some(Gpr::from_num(base));
+    } else if rm == 5 && md == 0 {
+        mem.disp = r.u32()? as i32;
+        return Ok(ModRm {
+            reg,
+            rm: Operand::Mem(mem),
+        });
+    } else {
+        mem.base = Some(Gpr::from_num(rm));
+    }
+
+    Ok(ModRm {
+        reg,
+        rm: Operand::Mem(finish_disp(mem, md, r, false)?),
+    })
+}
+
+fn finish_disp(
+    mut mem: MemRef,
+    md: u8,
+    r: &mut Reader<'_>,
+    disp_done: bool,
+) -> Result<MemRef, DecodeError> {
+    if disp_done {
+        return Ok(mem);
+    }
+    match md {
+        1 => mem.disp = r.u8()? as i8 as i32,
+        2 => mem.disp = r.u32()? as i32,
+        _ => {}
+    }
+    Ok(mem)
+}
+
+fn inst(
+    mnemonic: Mnemonic,
+    width: Width,
+    dst: Option<Operand>,
+    src: Option<Operand>,
+) -> Result<Inst, DecodeError> {
+    Ok(Inst {
+        mnemonic,
+        width,
+        dst,
+        src,
+        src2: None,
+        len: 0,
+        rep: false,
+    })
+}
+
+/// Decodes one instruction from `bytes`, which must start at the
+/// instruction's first byte; `pc` is the instruction's address (used to
+/// resolve relative branch targets to absolute ones).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input, opcodes outside the
+/// implemented subset, or over-long instructions.
+pub fn decode(bytes: &[u8], pc: u32) -> Result<Inst, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let mut wide = Width::W32;
+    let mut rep = false;
+
+    // Prefix scan.
+    let opcode = loop {
+        let b = r.u8()?;
+        match b {
+            0x66 => wide = Width::W16,
+            0xf2 | 0xf3 => rep = true,
+            0x2e | 0x3e | 0x26 | 0x36 | 0x64 | 0x65 | 0xf0 => {}
+            _ => break b,
+        }
+    };
+
+    let mut out = decode_opcode(&mut r, opcode, wide, pc)?;
+    out.len = r.pos as u8;
+    out.rep = rep && matches!(out.mnemonic, Mnemonic::Movs | Mnemonic::Stos | Mnemonic::Lods);
+    Ok(out)
+}
+
+fn decode_opcode(
+    r: &mut Reader<'_>,
+    opcode: u8,
+    wide: Width,
+    pc: u32,
+) -> Result<Inst, DecodeError> {
+    // The classic ALU block: 0x00-0x3d, 8 ops x 6 forms.
+    if opcode < 0x40 && (opcode & 7) < 6 {
+        let op = AluOp::from_group_num(opcode >> 3);
+        let m = Mnemonic::Alu(op);
+        return match opcode & 7 {
+            0 => {
+                let mr = modrm(r)?;
+                inst(m, Width::W8, Some(mr.rm), Some(Operand::Reg(Gpr::from_num(mr.reg))))
+            }
+            1 => {
+                let mr = modrm(r)?;
+                inst(m, wide, Some(mr.rm), Some(Operand::Reg(Gpr::from_num(mr.reg))))
+            }
+            2 => {
+                let mr = modrm(r)?;
+                inst(m, Width::W8, Some(Operand::Reg(Gpr::from_num(mr.reg))), Some(mr.rm))
+            }
+            3 => {
+                let mr = modrm(r)?;
+                inst(m, wide, Some(Operand::Reg(Gpr::from_num(mr.reg))), Some(mr.rm))
+            }
+            4 => {
+                let imm = r.imm(Width::W8)?;
+                inst(m, Width::W8, Some(Operand::Reg(Gpr::Eax)), Some(Operand::Imm(imm)))
+            }
+            5 => {
+                let imm = r.imm(wide)?;
+                inst(m, wide, Some(Operand::Reg(Gpr::Eax)), Some(Operand::Imm(imm)))
+            }
+            _ => unreachable!(),
+        };
+    }
+
+    match opcode {
+        0x0f => decode_0f(r, wide, pc),
+
+        0x40..=0x47 => inst(
+            Mnemonic::Inc,
+            wide,
+            Some(Operand::Reg(Gpr::from_num(opcode - 0x40))),
+            None,
+        ),
+        0x48..=0x4f => inst(
+            Mnemonic::Dec,
+            wide,
+            Some(Operand::Reg(Gpr::from_num(opcode - 0x48))),
+            None,
+        ),
+        0x50..=0x57 => inst(
+            Mnemonic::Push,
+            Width::W32,
+            None,
+            Some(Operand::Reg(Gpr::from_num(opcode - 0x50))),
+        ),
+        0x58..=0x5f => inst(
+            Mnemonic::Pop,
+            Width::W32,
+            Some(Operand::Reg(Gpr::from_num(opcode - 0x58))),
+            None,
+        ),
+        0x60 => inst(Mnemonic::Pusha, Width::W32, None, None),
+        0x61 => inst(Mnemonic::Popa, Width::W32, None, None),
+        0x68 => {
+            let imm = r.imm(Width::W32)?;
+            inst(Mnemonic::Push, Width::W32, None, Some(Operand::Imm(imm)))
+        }
+        0x69 | 0x6b => {
+            let mr = modrm(r)?;
+            let imm = r.imm(if opcode == 0x69 { wide } else { Width::W8 })?;
+            let mut i = inst(
+                Mnemonic::Imul,
+                wide,
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                Some(mr.rm),
+            )?;
+            i.src2 = Some(Operand::Imm(imm));
+            Ok(i)
+        }
+        0x6a => {
+            let imm = r.imm(Width::W8)?;
+            inst(Mnemonic::Push, Width::W32, None, Some(Operand::Imm(imm)))
+        }
+        0x70..=0x7f => {
+            let cond = Cond::from_num(opcode - 0x70);
+            let rel = r.imm(Width::W8)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Jcc(cond), Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0x80 | 0x81 | 0x83 => {
+            let w = if opcode == 0x80 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            let imm = r.imm(if opcode == 0x81 { w } else { Width::W8 })?;
+            let op = AluOp::from_group_num(mr.reg);
+            inst(Mnemonic::Alu(op), w, Some(mr.rm), Some(Operand::Imm(imm)))
+        }
+        0x84 | 0x85 => {
+            let w = if opcode == 0x84 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Alu(AluOp::Test),
+                w,
+                Some(mr.rm),
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+            )
+        }
+        0x86 | 0x87 => {
+            let w = if opcode == 0x86 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Xchg,
+                w,
+                Some(mr.rm),
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+            )
+        }
+        0x88 | 0x89 => {
+            let w = if opcode == 0x88 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Mov,
+                w,
+                Some(mr.rm),
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+            )
+        }
+        0x8a | 0x8b => {
+            let w = if opcode == 0x8a { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Mov,
+                w,
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                Some(mr.rm),
+            )
+        }
+        0x8d => {
+            let mr = modrm(r)?;
+            match mr.rm {
+                Operand::Mem(_) => inst(
+                    Mnemonic::Lea,
+                    wide,
+                    Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                    Some(mr.rm),
+                ),
+                _ => Err(DecodeError::Unknown(opcode)),
+            }
+        }
+        0x8f => {
+            let mr = modrm(r)?;
+            if mr.reg != 0 {
+                return Err(DecodeError::UnknownGroup { opcode, ext: mr.reg });
+            }
+            inst(Mnemonic::Pop, Width::W32, Some(mr.rm), None)
+        }
+        0x90 => inst(Mnemonic::Nop, Width::W32, None, None),
+        0x91..=0x97 => inst(
+            Mnemonic::Xchg,
+            wide,
+            Some(Operand::Reg(Gpr::Eax)),
+            Some(Operand::Reg(Gpr::from_num(opcode - 0x90))),
+        ),
+        0x98 => inst(Mnemonic::Cwde, wide, None, None),
+        0x99 => inst(Mnemonic::Cdq, wide, None, None),
+        0xa4 => inst(Mnemonic::Movs, Width::W8, None, None),
+        0xa5 => inst(Mnemonic::Movs, wide, None, None),
+        0xa8 => {
+            let imm = r.imm(Width::W8)?;
+            inst(
+                Mnemonic::Alu(AluOp::Test),
+                Width::W8,
+                Some(Operand::Reg(Gpr::Eax)),
+                Some(Operand::Imm(imm)),
+            )
+        }
+        0xa9 => {
+            let imm = r.imm(wide)?;
+            inst(
+                Mnemonic::Alu(AluOp::Test),
+                wide,
+                Some(Operand::Reg(Gpr::Eax)),
+                Some(Operand::Imm(imm)),
+            )
+        }
+        0xaa => inst(Mnemonic::Stos, Width::W8, None, None),
+        0xab => inst(Mnemonic::Stos, wide, None, None),
+        0xac => inst(Mnemonic::Lods, Width::W8, None, None),
+        0xad => inst(Mnemonic::Lods, wide, None, None),
+        0xb0..=0xb7 => {
+            let imm = r.imm(Width::W8)?;
+            inst(
+                Mnemonic::Mov,
+                Width::W8,
+                Some(Operand::Reg(Gpr::from_num(opcode - 0xb0))),
+                Some(Operand::Imm(imm)),
+            )
+        }
+        0xb8..=0xbf => {
+            let imm = r.imm(wide)?;
+            inst(
+                Mnemonic::Mov,
+                wide,
+                Some(Operand::Reg(Gpr::from_num(opcode - 0xb8))),
+                Some(Operand::Imm(imm)),
+            )
+        }
+        0xc0 | 0xc1 => {
+            let w = if opcode == 0xc0 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            let op = ShiftOp::from_group_num(mr.reg)
+                .ok_or(DecodeError::UnknownGroup { opcode, ext: mr.reg })?;
+            let count = r.imm(Width::W8)?;
+            inst(Mnemonic::Shift(op), w, Some(mr.rm), Some(Operand::Imm(count)))
+        }
+        0xc2 => {
+            let n = r.u16()?;
+            inst(Mnemonic::Ret, Width::W32, None, Some(Operand::Imm(n as i32)))
+        }
+        0xc3 => inst(Mnemonic::Ret, Width::W32, None, None),
+        0xc6 | 0xc7 => {
+            let w = if opcode == 0xc6 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            if mr.reg != 0 {
+                return Err(DecodeError::UnknownGroup { opcode, ext: mr.reg });
+            }
+            let imm = r.imm(w)?;
+            inst(Mnemonic::Mov, w, Some(mr.rm), Some(Operand::Imm(imm)))
+        }
+        0xc8 => {
+            let frame = r.u16()?;
+            let nesting = r.u8()?;
+            let mut i = inst(
+                Mnemonic::Enter,
+                Width::W32,
+                None,
+                Some(Operand::Imm(frame as i32)),
+            )?;
+            i.src2 = Some(Operand::Imm(nesting as i32));
+            Ok(i)
+        }
+        0xc9 => inst(Mnemonic::Leave, Width::W32, None, None),
+        0xcc => inst(Mnemonic::Int3, Width::W32, None, None),
+        0xd0 | 0xd1 => {
+            let w = if opcode == 0xd0 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            let op = ShiftOp::from_group_num(mr.reg)
+                .ok_or(DecodeError::UnknownGroup { opcode, ext: mr.reg })?;
+            inst(Mnemonic::Shift(op), w, Some(mr.rm), Some(Operand::Imm(1)))
+        }
+        0xd2 | 0xd3 => {
+            let w = if opcode == 0xd2 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            let op = ShiftOp::from_group_num(mr.reg)
+                .ok_or(DecodeError::UnknownGroup { opcode, ext: mr.reg })?;
+            inst(Mnemonic::Shift(op), w, Some(mr.rm), Some(Operand::Reg(Gpr::Ecx)))
+        }
+        0xe2 => {
+            let rel = r.imm(Width::W8)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Loop, Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0xe3 => {
+            let rel = r.imm(Width::W8)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Jecxz, Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0xe8 => {
+            let rel = r.imm(Width::W32)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Call, Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0xe9 => {
+            let rel = r.imm(Width::W32)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Jmp, Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0xeb => {
+            let rel = r.imm(Width::W8)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Jmp, Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0xf4 => inst(Mnemonic::Hlt, Width::W32, None, None),
+        0xf6 | 0xf7 => {
+            let w = if opcode == 0xf6 { Width::W8 } else { wide };
+            let mr = modrm(r)?;
+            match mr.reg {
+                0 => {
+                    let imm = r.imm(w)?;
+                    inst(
+                        Mnemonic::Alu(AluOp::Test),
+                        w,
+                        Some(mr.rm),
+                        Some(Operand::Imm(imm)),
+                    )
+                }
+                2 => inst(Mnemonic::Not, w, Some(mr.rm), None),
+                3 => inst(Mnemonic::Neg, w, Some(mr.rm), None),
+                4 => inst(Mnemonic::Mul, w, Some(mr.rm), None),
+                5 => inst(Mnemonic::ImulWide, w, Some(mr.rm), None),
+                6 => inst(Mnemonic::Div, w, Some(mr.rm), None),
+                7 => inst(Mnemonic::Idiv, w, Some(mr.rm), None),
+                ext => Err(DecodeError::UnknownGroup { opcode, ext }),
+            }
+        }
+        0xfc => inst(Mnemonic::Cld, Width::W32, None, None),
+        0xfd => inst(Mnemonic::Std, Width::W32, None, None),
+        0xfe => {
+            let mr = modrm(r)?;
+            match mr.reg {
+                0 => inst(Mnemonic::Inc, Width::W8, Some(mr.rm), None),
+                1 => inst(Mnemonic::Dec, Width::W8, Some(mr.rm), None),
+                ext => Err(DecodeError::UnknownGroup { opcode, ext }),
+            }
+        }
+        0xff => {
+            let mr = modrm(r)?;
+            match mr.reg {
+                0 => inst(Mnemonic::Inc, wide, Some(mr.rm), None),
+                1 => inst(Mnemonic::Dec, wide, Some(mr.rm), None),
+                2 => inst(Mnemonic::CallInd, Width::W32, None, Some(mr.rm)),
+                4 => inst(Mnemonic::JmpInd, Width::W32, None, Some(mr.rm)),
+                6 => inst(Mnemonic::Push, Width::W32, None, Some(mr.rm)),
+                ext => Err(DecodeError::UnknownGroup { opcode, ext }),
+            }
+        }
+        op => Err(DecodeError::Unknown(op)),
+    }
+}
+
+fn decode_0f(r: &mut Reader<'_>, wide: Width, pc: u32) -> Result<Inst, DecodeError> {
+    let op2 = r.u8()?;
+    match op2 {
+        0x1f => {
+            // Multi-byte NOP: consumes a ModRM (and its addressing bytes).
+            let _ = modrm(r)?;
+            inst(Mnemonic::Nop, Width::W32, None, None)
+        }
+        0x40..=0x4f => {
+            let cond = Cond::from_num(op2 - 0x40);
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Cmovcc(cond),
+                wide,
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                Some(mr.rm),
+            )
+        }
+        0x80..=0x8f => {
+            let cond = Cond::from_num(op2 - 0x80);
+            let rel = r.imm(Width::W32)?;
+            let target = pc.wrapping_add(r.pos as u32).wrapping_add(rel as u32);
+            inst(Mnemonic::Jcc(cond), Width::W32, None, Some(Operand::Imm(target as i32)))
+        }
+        0x90..=0x9f => {
+            let cond = Cond::from_num(op2 - 0x90);
+            let mr = modrm(r)?;
+            inst(Mnemonic::Setcc(cond), Width::W8, Some(mr.rm), None)
+        }
+        0xa2 => inst(Mnemonic::Cpuid, Width::W32, None, None),
+        0xaf => {
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Imul,
+                wide,
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                Some(mr.rm),
+            )
+        }
+        0xb6 | 0xb7 => {
+            let srcw = if op2 == 0xb6 { Width::W8 } else { Width::W16 };
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Movzx(srcw),
+                wide,
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                Some(mr.rm),
+            )
+        }
+        0xbe | 0xbf => {
+            let srcw = if op2 == 0xbe { Width::W8 } else { Width::W16 };
+            let mr = modrm(r)?;
+            inst(
+                Mnemonic::Movsx(srcw),
+                wide,
+                Some(Operand::Reg(Gpr::from_num(mr.reg))),
+                Some(mr.rm),
+            )
+        }
+        op => Err(DecodeError::UnknownExt(op)),
+    }
+}
+
+/// A decoder with a per-PC decoded-instruction cache.
+///
+/// Guest code in our model is never self-modifying (the paper's traces are
+/// user-mode Windows applications; the VMM would flush translations on a
+/// code write), so caching decoded forms by PC is sound and makes repeated
+/// interpretation fast.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    cache: HashMap<u32, Inst>,
+    decodes: u64,
+    cache_hits: u64,
+}
+
+impl Decoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes the instruction at `pc`, fetching bytes from `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] from [`decode`].
+    pub fn decode_at(&mut self, mem: &mut impl Memory, pc: u32) -> Result<Inst, DecodeError> {
+        self.decodes += 1;
+        if let Some(i) = self.cache.get(&pc) {
+            self.cache_hits += 1;
+            return Ok(*i);
+        }
+        let mut window = [0u8; MAX_INST_LEN + 1];
+        mem.read_bytes(pc, &mut window);
+        let i = decode(&window, pc)?;
+        self.cache.insert(pc, i);
+        Ok(i)
+    }
+
+    /// Total decode requests served.
+    pub fn decodes(&self) -> u64 {
+        self.decodes
+    }
+
+    /// Requests served from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Number of distinct PCs decoded — the *static* instruction footprint
+    /// touched so far (the paper's M_BBT measurement for this engine).
+    pub fn static_footprint(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached decodes.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(bytes: &[u8]) -> Inst {
+        decode(bytes, 0x1000).expect("decodes")
+    }
+
+    #[test]
+    fn mov_reg_imm32() {
+        let i = d(&[0xb8, 0x78, 0x56, 0x34, 0x12]); // mov eax, 0x12345678
+        assert_eq!(i.mnemonic, Mnemonic::Mov);
+        assert_eq!(i.dst, Some(Operand::Reg(Gpr::Eax)));
+        assert_eq!(i.src, Some(Operand::Imm(0x1234_5678)));
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn alu_rm_r_with_sib() {
+        // add [eax+ecx*4+8], ebx
+        let i = d(&[0x01, 0x5c, 0x88, 0x08]);
+        assert_eq!(i.mnemonic, Mnemonic::Alu(AluOp::Add));
+        assert_eq!(
+            i.dst,
+            Some(Operand::Mem(MemRef::base_index(Gpr::Eax, Gpr::Ecx, 4, 8)))
+        );
+        assert_eq!(i.src, Some(Operand::Reg(Gpr::Ebx)));
+        assert_eq!(i.len, 4);
+    }
+
+    #[test]
+    fn alu_group1_imm8_sext() {
+        // sub esp, 0x10 (83 /5)
+        let i = d(&[0x83, 0xec, 0x10]);
+        assert_eq!(i.mnemonic, Mnemonic::Alu(AluOp::Sub));
+        assert_eq!(i.dst, Some(Operand::Reg(Gpr::Esp)));
+        assert_eq!(i.src, Some(Operand::Imm(0x10)));
+        // and with negative imm8
+        let i = d(&[0x83, 0xc0, 0xff]); // add eax, -1
+        assert_eq!(i.src, Some(Operand::Imm(-1)));
+    }
+
+    #[test]
+    fn jcc_short_resolves_target() {
+        // je +6 at pc=0x1000: target = 0x1000 + 2 + 6
+        let i = d(&[0x74, 0x06]);
+        assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond::E));
+        assert_eq!(i.direct_target(), Some(0x1008));
+    }
+
+    #[test]
+    fn jcc_near_and_backward() {
+        // jne rel32 = -16 at 0x1000, len 6 -> 0x1000+6-16 = 0xff6
+        let i = d(&[0x0f, 0x85, 0xf0, 0xff, 0xff, 0xff]);
+        assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond::Ne));
+        assert_eq!(i.direct_target(), Some(0xff6));
+        assert_eq!(i.len, 6);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let i = d(&[0xe8, 0x00, 0x01, 0x00, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Call);
+        assert_eq!(i.direct_target(), Some(0x1105));
+        let i = d(&[0xc2, 0x08, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Ret);
+        assert_eq!(i.src, Some(Operand::Imm(8)));
+    }
+
+    #[test]
+    fn operand_size_prefix() {
+        let i = d(&[0x66, 0xb8, 0x34, 0x12]); // mov ax, 0x1234
+        assert_eq!(i.width, Width::W16);
+        assert_eq!(i.src, Some(Operand::Imm(0x1234)));
+        assert_eq!(i.len, 4);
+    }
+
+    #[test]
+    fn rep_movsd() {
+        let i = d(&[0xf3, 0xa5]);
+        assert_eq!(i.mnemonic, Mnemonic::Movs);
+        assert!(i.rep);
+        assert_eq!(i.width, Width::W32);
+        assert!(i.mnemonic.is_complex());
+    }
+
+    #[test]
+    fn group3_forms() {
+        let i = d(&[0xf7, 0xd8]); // neg eax
+        assert_eq!(i.mnemonic, Mnemonic::Neg);
+        let i = d(&[0xf7, 0xe1]); // mul ecx
+        assert_eq!(i.mnemonic, Mnemonic::Mul);
+        let i = d(&[0xf6, 0xc2, 0x01]); // test dl, 1
+        assert_eq!(i.mnemonic, Mnemonic::Alu(AluOp::Test));
+        assert_eq!(i.width, Width::W8);
+    }
+
+    #[test]
+    fn shifts() {
+        let i = d(&[0xc1, 0xe0, 0x04]); // shl eax, 4
+        assert_eq!(i.mnemonic, Mnemonic::Shift(ShiftOp::Shl));
+        assert_eq!(i.src, Some(Operand::Imm(4)));
+        let i = d(&[0xd3, 0xf8]); // sar eax, cl
+        assert_eq!(i.mnemonic, Mnemonic::Shift(ShiftOp::Sar));
+        assert_eq!(i.src, Some(Operand::Reg(Gpr::Ecx)));
+        let i = d(&[0xd1, 0xc8]); // ror eax, 1
+        assert_eq!(i.mnemonic, Mnemonic::Shift(ShiftOp::Ror));
+        assert_eq!(i.src, Some(Operand::Imm(1)));
+    }
+
+    #[test]
+    fn movzx_movsx() {
+        let i = d(&[0x0f, 0xb6, 0xc1]); // movzx eax, cl
+        assert_eq!(i.mnemonic, Mnemonic::Movzx(Width::W8));
+        let i = d(&[0x0f, 0xbf, 0xd3]); // movsx edx, bx
+        assert_eq!(i.mnemonic, Mnemonic::Movsx(Width::W16));
+    }
+
+    #[test]
+    fn lea_with_disp32_only() {
+        // lea eax, [0x1234]
+        let i = d(&[0x8d, 0x05, 0x34, 0x12, 0x00, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Lea);
+        assert_eq!(i.src, Some(Operand::Mem(MemRef::abs(0x1234))));
+    }
+
+    #[test]
+    fn ebp_base_requires_disp() {
+        // mod=01 rm=101: [ebp+disp8]
+        let i = d(&[0x8b, 0x45, 0xfc]); // mov eax, [ebp-4]
+        assert_eq!(i.src, Some(Operand::Mem(MemRef::base_disp(Gpr::Ebp, -4))));
+    }
+
+    #[test]
+    fn esp_base_via_sib() {
+        // mov eax, [esp+8]: 8b 44 24 08
+        let i = d(&[0x8b, 0x44, 0x24, 0x08]);
+        assert_eq!(i.src, Some(Operand::Mem(MemRef::base_disp(Gpr::Esp, 8))));
+    }
+
+    #[test]
+    fn indirect_jumps() {
+        let i = d(&[0xff, 0xe0]); // jmp eax
+        assert_eq!(i.mnemonic, Mnemonic::JmpInd);
+        assert_eq!(i.src, Some(Operand::Reg(Gpr::Eax)));
+        let i = d(&[0xff, 0x10]); // call [eax]
+        assert_eq!(i.mnemonic, Mnemonic::CallInd);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode(&[0xb8], 0), Err(DecodeError::Truncated));
+        assert!(matches!(decode(&[0x0f, 0xff], 0), Err(DecodeError::UnknownExt(0xff))));
+        assert!(matches!(
+            decode(&[0xff, 0b00_111_000 | 0xc0], 0),
+            Err(DecodeError::UnknownGroup { opcode: 0xff, ext: 7 })
+        ));
+    }
+
+    #[test]
+    fn decoder_cache_counts_static_footprint() {
+        use cdvm_mem::GuestMem;
+        let mut mem = GuestMem::new();
+        mem.load(0x100, &[0x90, 0x90]);
+        let mut dec = Decoder::new();
+        dec.decode_at(&mut mem, 0x100).unwrap();
+        dec.decode_at(&mut mem, 0x100).unwrap();
+        dec.decode_at(&mut mem, 0x101).unwrap();
+        assert_eq!(dec.static_footprint(), 2);
+        assert_eq!(dec.decodes(), 3);
+        assert_eq!(dec.cache_hits(), 1);
+    }
+
+    #[test]
+    fn multibyte_nop() {
+        let i = d(&[0x0f, 0x1f, 0x44, 0x00, 0x00]);
+        assert_eq!(i.mnemonic, Mnemonic::Nop);
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn enter_decodes_operands() {
+        let i = d(&[0xc8, 0x20, 0x00, 0x00]); // enter 0x20, 0
+        assert_eq!(i.mnemonic, Mnemonic::Enter);
+        assert_eq!(i.src, Some(Operand::Imm(0x20)));
+        assert_eq!(i.src2, Some(Operand::Imm(0)));
+    }
+}

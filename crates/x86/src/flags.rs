@@ -1,0 +1,168 @@
+//! The EFLAGS register.
+
+/// Architected EFLAGS state (the arithmetic flags plus `DF`).
+///
+/// Bit positions match the hardware EFLAGS layout so that values can be
+/// pushed/popped or compared against real traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(u32);
+
+impl Flags {
+    /// Carry flag bit.
+    pub const CF: u32 = 1 << 0;
+    /// Parity flag bit.
+    pub const PF: u32 = 1 << 2;
+    /// Auxiliary-carry flag bit.
+    pub const AF: u32 = 1 << 4;
+    /// Zero flag bit.
+    pub const ZF: u32 = 1 << 6;
+    /// Sign flag bit.
+    pub const SF: u32 = 1 << 7;
+    /// Direction flag bit.
+    pub const DF: u32 = 1 << 10;
+    /// Overflow flag bit.
+    pub const OF: u32 = 1 << 11;
+
+    /// All arithmetic status flags (everything but `DF`).
+    pub const STATUS_MASK: u32 =
+        Self::CF | Self::PF | Self::AF | Self::ZF | Self::SF | Self::OF;
+
+    /// Creates cleared flags.
+    pub fn new() -> Self {
+        Flags(0)
+    }
+
+    /// Builds from a raw EFLAGS-layout value (non-flag bits are dropped).
+    pub fn from_bits(bits: u32) -> Self {
+        Flags(bits & (Self::STATUS_MASK | Self::DF))
+    }
+
+    /// The raw EFLAGS-layout bits.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Carry flag.
+    pub fn cf(self) -> bool {
+        self.0 & Self::CF != 0
+    }
+
+    /// Parity flag.
+    pub fn pf(self) -> bool {
+        self.0 & Self::PF != 0
+    }
+
+    /// Auxiliary-carry flag.
+    pub fn af(self) -> bool {
+        self.0 & Self::AF != 0
+    }
+
+    /// Zero flag.
+    pub fn zf(self) -> bool {
+        self.0 & Self::ZF != 0
+    }
+
+    /// Sign flag.
+    pub fn sf(self) -> bool {
+        self.0 & Self::SF != 0
+    }
+
+    /// Direction flag.
+    pub fn df(self) -> bool {
+        self.0 & Self::DF != 0
+    }
+
+    /// Overflow flag.
+    pub fn of(self) -> bool {
+        self.0 & Self::OF != 0
+    }
+
+    /// Sets or clears a flag bit.
+    pub fn set(&mut self, flag: u32, value: bool) {
+        if value {
+            self.0 |= flag;
+        } else {
+            self.0 &= !flag;
+        }
+    }
+
+    /// Replaces the arithmetic status flags, keeping `DF`.
+    pub fn set_status(&mut self, status_bits: u32) {
+        self.0 = (self.0 & Self::DF) | (status_bits & Self::STATUS_MASK);
+    }
+
+    /// Replaces the status flags except `CF` (INC/DEC semantics).
+    pub fn set_status_keep_cf(&mut self, status_bits: u32) {
+        let keep = self.0 & (Self::DF | Self::CF);
+        self.0 = keep | (status_bits & (Self::STATUS_MASK & !Self::CF));
+    }
+}
+
+impl std::fmt::Display for Flags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{}{}{}]",
+            if self.of() { 'O' } else { '-' },
+            if self.df() { 'D' } else { '-' },
+            if self.sf() { 'S' } else { '-' },
+            if self.zf() { 'Z' } else { '-' },
+            if self.af() { 'A' } else { '-' },
+            if self.pf() { 'P' } else { '-' },
+            if self.cf() { 'C' } else { '-' },
+        )
+    }
+}
+
+/// Even-parity of the low byte, as PF is defined.
+#[inline]
+pub(crate) fn parity(v: u32) -> bool {
+    (v as u8).count_ones() % 2 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut f = Flags::new();
+        f.set(Flags::CF, true);
+        f.set(Flags::ZF, true);
+        assert!(f.cf() && f.zf());
+        assert!(!f.sf());
+        f.set(Flags::CF, false);
+        assert!(!f.cf());
+    }
+
+    #[test]
+    fn status_replacement_preserves_df() {
+        let mut f = Flags::new();
+        f.set(Flags::DF, true);
+        f.set_status(Flags::SF | Flags::OF);
+        assert!(f.df() && f.sf() && f.of() && !f.cf());
+    }
+
+    #[test]
+    fn keep_cf_variant() {
+        let mut f = Flags::new();
+        f.set(Flags::CF, true);
+        f.set_status_keep_cf(Flags::ZF);
+        assert!(f.cf() && f.zf());
+        f.set_status_keep_cf(0);
+        assert!(f.cf() && !f.zf());
+    }
+
+    #[test]
+    fn parity_of_low_byte_only() {
+        assert!(parity(0)); // zero ones -> even
+        assert!(!parity(1));
+        assert!(parity(3));
+        assert!(parity(0x1_00)); // high bits ignored
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Flags::new()), "[-------]");
+    }
+}

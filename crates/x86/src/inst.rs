@@ -1,0 +1,422 @@
+//! The decoded-instruction model.
+
+use crate::{AluOp, Cond, Gpr, ShiftOp, Width};
+
+/// A memory operand: `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Gpr>,
+    /// Index register, if any (never `ESP`).
+    pub index: Option<Gpr>,
+    /// Scale applied to the index: 1, 2, 4 or 8.
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// An absolute-address operand.
+    pub fn abs(addr: u32) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: addr as i32,
+        }
+    }
+
+    /// A base-plus-displacement operand.
+    pub fn base_disp(base: Gpr, disp: i32) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// A full base+index*scale+disp operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8, or if `index` is `ESP`
+    /// (unencodable in hardware).
+    pub fn base_index(base: Gpr, index: Gpr, scale: u8, disp: i32) -> MemRef {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        assert!(index != Gpr::Esp, "ESP cannot be an index register");
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
+    }
+
+    /// True if address generation needs an index addition (affects the
+    /// number of micro-ops the instruction cracks into).
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+}
+
+impl std::fmt::Display for MemRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if self.disp < 0 {
+                write!(f, "-{:#x}", (self.disp as i64).unsigned_abs())?;
+            } else {
+                if wrote {
+                    write!(f, "+")?;
+                }
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// One operand of a decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register, interpreted at the instruction's width.
+    Reg(Gpr),
+    /// A memory reference.
+    Mem(MemRef),
+    /// An immediate (sign-extended to 32 bits at decode time).
+    Imm(i32),
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(i) => write!(f, "{i:#x}"),
+        }
+    }
+}
+
+/// Instruction operation, with sub-operation selectors folded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mnemonic {
+    /// Data move (register, memory or immediate forms).
+    Mov,
+    /// Zero-extending move from a narrower source.
+    Movzx(Width),
+    /// Sign-extending move from a narrower source.
+    Movsx(Width),
+    /// Load effective address.
+    Lea,
+    /// Exchange two operands.
+    Xchg,
+    /// Push onto the stack.
+    Push,
+    /// Pop from the stack.
+    Pop,
+    /// Two-operand ALU operation (ADD/OR/ADC/SBB/AND/SUB/XOR/CMP/TEST).
+    Alu(AluOp),
+    /// Increment (CF preserved).
+    Inc,
+    /// Decrement (CF preserved).
+    Dec,
+    /// Two's-complement negate.
+    Neg,
+    /// One's-complement invert (no flags).
+    Not,
+    /// Unsigned widening multiply into EDX:EAX.
+    Mul,
+    /// Signed widening multiply into EDX:EAX.
+    ImulWide,
+    /// Truncating signed multiply (`r = r * r/m` or `r = r/m * imm`).
+    Imul,
+    /// Unsigned divide of EDX:EAX.
+    Div,
+    /// Signed divide of EDX:EAX.
+    Idiv,
+    /// Shift or rotate.
+    Shift(ShiftOp),
+    /// Conditional near branch.
+    Jcc(Cond),
+    /// Unconditional direct branch.
+    Jmp,
+    /// Indirect branch through register or memory.
+    JmpInd,
+    /// Direct call.
+    Call,
+    /// Indirect call.
+    CallInd,
+    /// Near return (optionally popping extra bytes).
+    Ret,
+    /// Decrement ECX and branch if non-zero.
+    Loop,
+    /// Branch if ECX is zero.
+    Jecxz,
+    /// Set byte on condition.
+    Setcc(Cond),
+    /// Conditional move.
+    Cmovcc(Cond),
+    /// Sign-extend AX into EAX (`CWDE`) — width selects CBW vs CWDE.
+    Cwde,
+    /// Sign-extend EAX into EDX:EAX (`CDQ`).
+    Cdq,
+    /// Clear the direction flag.
+    Cld,
+    /// Set the direction flag.
+    Std,
+    /// String move (one element per retired iteration).
+    Movs,
+    /// String store.
+    Stos,
+    /// String load.
+    Lods,
+    /// Push all eight GPRs (complex/microcoded).
+    Pusha,
+    /// Pop all eight GPRs (complex/microcoded).
+    Popa,
+    /// Build a stack frame (complex/microcoded).
+    Enter,
+    /// Tear down a stack frame.
+    Leave,
+    /// No operation.
+    Nop,
+    /// Halt: ends the simulated program.
+    Hlt,
+    /// Breakpoint: raises a fault (used by precise-state tests).
+    Int3,
+    /// Processor identification (complex/microcoded; clobbers EAX–EDX).
+    Cpuid,
+}
+
+/// Classification of control-transfer instructions, used by branch
+/// prediction and superblock formation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct branch.
+    Unconditional,
+    /// Direct call.
+    Call,
+    /// Return.
+    Return,
+    /// Indirect branch or call.
+    Indirect,
+}
+
+impl Mnemonic {
+    /// True if this is a control-transfer instruction (ends a basic
+    /// block).
+    pub fn is_cti(self) -> bool {
+        self.branch_kind().is_some()
+    }
+
+    /// The branch classification, if this is a CTI.
+    pub fn branch_kind(self) -> Option<BranchKind> {
+        match self {
+            Mnemonic::Jcc(_) | Mnemonic::Loop | Mnemonic::Jecxz => Some(BranchKind::Conditional),
+            Mnemonic::Jmp => Some(BranchKind::Unconditional),
+            Mnemonic::Call => Some(BranchKind::Call),
+            Mnemonic::Ret => Some(BranchKind::Return),
+            Mnemonic::JmpInd | Mnemonic::CallInd => Some(BranchKind::Indirect),
+            _ => None,
+        }
+    }
+
+    /// True for instructions the hardware assists flag as *complex*
+    /// (`Flag_cmplx`): they are punted to the software/microcode path by
+    /// both the XLTx86 unit and the dual-mode decoder's fast path.
+    pub fn is_complex(self) -> bool {
+        matches!(
+            self,
+            Mnemonic::Movs
+                | Mnemonic::Stos
+                | Mnemonic::Lods
+                | Mnemonic::Pusha
+                | Mnemonic::Popa
+                | Mnemonic::Enter
+                | Mnemonic::Cpuid
+        )
+    }
+}
+
+/// A decoded x86 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub mnemonic: Mnemonic,
+    /// Operand width.
+    pub width: Width,
+    /// Destination operand (also first source for read-modify-write ops).
+    pub dst: Option<Operand>,
+    /// Source operand.
+    pub src: Option<Operand>,
+    /// Second source (three-operand `IMUL`, `ENTER`).
+    pub src2: Option<Operand>,
+    /// Encoded length in bytes (1–15).
+    pub len: u8,
+    /// `REP` prefix present (string instructions).
+    pub rep: bool,
+}
+
+impl Inst {
+    /// Creates an instruction with no operands.
+    pub fn nullary(mnemonic: Mnemonic, width: Width, len: u8) -> Inst {
+        Inst {
+            mnemonic,
+            width,
+            dst: None,
+            src: None,
+            src2: None,
+            len,
+            rep: false,
+        }
+    }
+
+    /// Direct branch target, if this is a direct CTI (absolute, resolved
+    /// at decode time).
+    pub fn direct_target(&self) -> Option<u32> {
+        match self.mnemonic {
+            Mnemonic::Jcc(_)
+            | Mnemonic::Jmp
+            | Mnemonic::Call
+            | Mnemonic::Loop
+            | Mnemonic::Jecxz => match self.src {
+                Some(Operand::Imm(t)) => Some(t as u32),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// True if execution falls through to the next sequential instruction
+    /// on at least one path.
+    pub fn may_fall_through(&self) -> bool {
+        !matches!(
+            self.mnemonic,
+            Mnemonic::Jmp | Mnemonic::JmpInd | Mnemonic::Ret | Mnemonic::Hlt
+        )
+    }
+
+    /// Number of memory operands this instruction touches architecturally
+    /// (not counting implicit stack traffic).
+    pub fn explicit_mem_operands(&self) -> usize {
+        [self.dst, self.src, self.src2]
+            .iter()
+            .filter(|o| matches!(o, Some(Operand::Mem(_))))
+            .count()
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name: String = match self.mnemonic {
+            Mnemonic::Alu(op) => format!("{op:?}").to_lowercase(),
+            Mnemonic::Shift(op) => format!("{op:?}").to_lowercase(),
+            Mnemonic::Jcc(c) => format!("j{c}"),
+            Mnemonic::Setcc(c) => format!("set{c}"),
+            Mnemonic::Cmovcc(c) => format!("cmov{c}"),
+            Mnemonic::Movzx(_) => "movzx".into(),
+            Mnemonic::Movsx(_) => "movsx".into(),
+            m => format!("{m:?}").to_lowercase(),
+        };
+        write!(f, "{name}")?;
+        if self.width != Width::W32 {
+            write!(f, ".{}", self.width)?;
+        }
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src {
+            write!(f, ", {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, ", {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cti_classification() {
+        assert_eq!(
+            Mnemonic::Jcc(Cond::E).branch_kind(),
+            Some(BranchKind::Conditional)
+        );
+        assert_eq!(Mnemonic::Ret.branch_kind(), Some(BranchKind::Return));
+        assert_eq!(Mnemonic::CallInd.branch_kind(), Some(BranchKind::Indirect));
+        assert!(Mnemonic::Mov.branch_kind().is_none());
+        assert!(Mnemonic::Jmp.is_cti());
+        assert!(!Mnemonic::Alu(AluOp::Add).is_cti());
+    }
+
+    #[test]
+    fn complex_set_matches_paper_model() {
+        assert!(Mnemonic::Movs.is_complex());
+        assert!(Mnemonic::Pusha.is_complex());
+        assert!(Mnemonic::Cpuid.is_complex());
+        assert!(!Mnemonic::Mov.is_complex());
+        assert!(!Mnemonic::Jcc(Cond::E).is_complex());
+    }
+
+    #[test]
+    fn direct_target_extraction() {
+        let i = Inst {
+            mnemonic: Mnemonic::Jmp,
+            width: Width::W32,
+            dst: None,
+            src: Some(Operand::Imm(0x40_1000)),
+            src2: None,
+            len: 5,
+            rep: false,
+        };
+        assert_eq!(i.direct_target(), Some(0x40_1000));
+        assert!(!i.may_fall_through());
+    }
+
+    #[test]
+    fn memref_display_and_builders() {
+        let m = MemRef::base_index(Gpr::Eax, Gpr::Ecx, 4, -8);
+        assert!(m.has_index());
+        assert_eq!(format!("{m}"), "[eax+ecx*4-0x8]");
+        let a = MemRef::abs(0x1000);
+        assert_eq!(format!("{a}"), "[0x1000]");
+    }
+
+    #[test]
+    #[should_panic]
+    fn esp_index_rejected() {
+        let _ = MemRef::base_index(Gpr::Eax, Gpr::Esp, 1, 0);
+    }
+
+    #[test]
+    fn explicit_mem_operand_count() {
+        let i = Inst {
+            mnemonic: Mnemonic::Alu(AluOp::Add),
+            width: Width::W32,
+            dst: Some(Operand::Mem(MemRef::base_disp(Gpr::Eax, 0))),
+            src: Some(Operand::Reg(Gpr::Ebx)),
+            src2: None,
+            len: 2,
+            rep: false,
+        };
+        assert_eq!(i.explicit_mem_operands(), 1);
+    }
+}

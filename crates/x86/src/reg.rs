@@ -1,0 +1,239 @@
+//! General-purpose registers and operand widths.
+
+/// The eight IA-32 general-purpose registers.
+///
+/// The numeric value is the hardware register number used in ModRM/SIB
+/// encodings. When an instruction operates at [`Width::W8`], numbers 0–3
+/// name the low bytes `AL`/`CL`/`DL`/`BL` and numbers 4–7 name the *high*
+/// bytes `AH`/`CH`/`DH`/`BH` of registers 0–3, exactly as in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Gpr {
+    /// Accumulator.
+    Eax = 0,
+    /// Counter.
+    Ecx = 1,
+    /// Data.
+    Edx = 2,
+    /// Base.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame pointer.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Gpr {
+    /// All registers in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    /// Builds a register from its 3-bit hardware number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn from_num(n: u8) -> Gpr {
+        Self::ALL[n as usize]
+    }
+
+    /// The 3-bit hardware register number.
+    pub fn num(self) -> u8 {
+        self as u8
+    }
+
+    /// The conventional 32-bit name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gpr::Eax => "eax",
+            Gpr::Ecx => "ecx",
+            Gpr::Edx => "edx",
+            Gpr::Ebx => "ebx",
+            Gpr::Esp => "esp",
+            Gpr::Ebp => "ebp",
+            Gpr::Esi => "esi",
+            Gpr::Edi => "edi",
+        }
+    }
+
+    /// The register name at a given operand width (e.g. `al`, `ax`, `eax`).
+    pub fn name_at(self, width: Width) -> &'static str {
+        const W8: [&str; 8] = ["al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"];
+        const W16: [&str; 8] = ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"];
+        match width {
+            Width::W8 => W8[self as usize],
+            Width::W16 => W16[self as usize],
+            Width::W32 => self.name(),
+        }
+    }
+}
+
+impl std::fmt::Display for Gpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Operand width of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Width {
+    /// 8-bit operands.
+    W8,
+    /// 16-bit operands (operand-size prefix `0x66`).
+    W16,
+    /// 32-bit operands (the default in our flat 32-bit model).
+    #[default]
+    W32,
+}
+
+impl Width {
+    /// Operand size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+        }
+    }
+
+    /// Operand size in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Mask selecting the low `bits()` of a 32-bit value.
+    pub fn mask(self) -> u32 {
+        match self {
+            Width::W8 => 0xff,
+            Width::W16 => 0xffff,
+            Width::W32 => 0xffff_ffff,
+        }
+    }
+
+    /// The sign bit for this width.
+    pub fn sign_bit(self) -> u32 {
+        match self {
+            Width::W8 => 0x80,
+            Width::W16 => 0x8000,
+            Width::W32 => 0x8000_0000,
+        }
+    }
+
+    /// Sign-extends a value of this width to 32 bits.
+    pub fn sext(self, v: u32) -> u32 {
+        match self {
+            Width::W8 => v as u8 as i8 as i32 as u32,
+            Width::W16 => v as u16 as i16 as i32 as u32,
+            Width::W32 => v,
+        }
+    }
+}
+
+impl std::fmt::Display for Width {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// Reads a register value at `width` from a flat GPR file, honouring
+/// high-byte registers (`AH`..`BH`) for 8-bit accesses.
+#[inline]
+pub(crate) fn read_gpr(gpr: &[u32; 8], reg: Gpr, width: Width) -> u32 {
+    let n = reg as usize;
+    match width {
+        Width::W32 => gpr[n],
+        Width::W16 => gpr[n] & 0xffff,
+        Width::W8 => {
+            if n < 4 {
+                gpr[n] & 0xff
+            } else {
+                (gpr[n - 4] >> 8) & 0xff
+            }
+        }
+    }
+}
+
+/// Writes a register value at `width` into a flat GPR file (merging into
+/// the containing 32-bit register as hardware does).
+#[inline]
+pub(crate) fn write_gpr(gpr: &mut [u32; 8], reg: Gpr, width: Width, value: u32) {
+    let n = reg as usize;
+    match width {
+        Width::W32 => gpr[n] = value,
+        Width::W16 => gpr[n] = (gpr[n] & 0xffff_0000) | (value & 0xffff),
+        Width::W8 => {
+            if n < 4 {
+                gpr[n] = (gpr[n] & 0xffff_ff00) | (value & 0xff);
+            } else {
+                gpr[n - 4] = (gpr[n - 4] & 0xffff_00ff) | ((value & 0xff) << 8);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for n in 0..8u8 {
+            assert_eq!(Gpr::from_num(n).num(), n);
+        }
+    }
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W32.mask(), u32::MAX);
+        assert_eq!(Width::W8.sign_bit(), 0x80);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Width::W8.sext(0x80), 0xffff_ff80);
+        assert_eq!(Width::W8.sext(0x7f), 0x7f);
+        assert_eq!(Width::W16.sext(0x8000), 0xffff_8000);
+        assert_eq!(Width::W32.sext(0x1234_5678), 0x1234_5678);
+    }
+
+    #[test]
+    fn high_byte_register_access() {
+        let mut gpr = [0u32; 8];
+        write_gpr(&mut gpr, Gpr::Eax, Width::W32, 0x1122_3344);
+        assert_eq!(read_gpr(&gpr, Gpr::Eax, Width::W8), 0x44); // AL
+        assert_eq!(read_gpr(&gpr, Gpr::Esp, Width::W8), 0x33); // AH (num 4)
+        write_gpr(&mut gpr, Gpr::Esp, Width::W8, 0xaa); // writes AH
+        assert_eq!(gpr[0], 0x1122_aa44);
+    }
+
+    #[test]
+    fn partial_writes_merge() {
+        let mut gpr = [0xdddd_dddd; 8];
+        write_gpr(&mut gpr, Gpr::Ecx, Width::W16, 0xbeef);
+        assert_eq!(gpr[1], 0xdddd_beef);
+        write_gpr(&mut gpr, Gpr::Ecx, Width::W8, 0x12); // CL
+        assert_eq!(gpr[1], 0xdddd_be12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::Eax.name_at(Width::W8), "al");
+        assert_eq!(Gpr::Esp.name_at(Width::W8), "ah");
+        assert_eq!(Gpr::Edi.name_at(Width::W16), "di");
+        assert_eq!(format!("{}", Gpr::Ebx), "ebx");
+    }
+}

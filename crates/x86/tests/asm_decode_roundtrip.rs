@@ -1,0 +1,173 @@
+//! Property test: everything the assembler can emit, the decoder decodes
+//! back to equivalent operands — across the whole instruction surface.
+
+use cdvm_x86::{decode, AluOp, Asm, Cond, Gpr, Inst, MemRef, Mnemonic, Operand, ShiftOp, Width};
+use proptest::prelude::*;
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..8).prop_map(Gpr::from_num)
+}
+
+fn memref() -> impl Strategy<Value = MemRef> {
+    (
+        prop::option::of(gpr()),
+        prop::option::of((0u8..8).prop_map(|n| Gpr::from_num(if n == 4 { 0 } else { n }))),
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, scale, disp)| MemRef {
+            base,
+            index,
+            scale: if index.is_some() { scale } else { 1 },
+            disp,
+        })
+}
+
+#[derive(Debug, Clone)]
+enum Emit {
+    MovRi(Gpr, u32),
+    MovRr(Gpr, Gpr),
+    MovRm(Gpr, MemRef),
+    MovMr(MemRef, Gpr),
+    MovMi(MemRef, u32),
+    AluRr(u8, Gpr, Gpr),
+    AluRi(u8, Gpr, i32),
+    AluRm(u8, Gpr, MemRef),
+    AluMr(u8, MemRef, Gpr),
+    ShiftRi(u8, Gpr, u8),
+    Lea(Gpr, MemRef),
+    Movzx(Gpr, Gpr, bool),
+    Movsx(Gpr, Gpr, bool),
+    Setcc(u8, Gpr),
+    Cmov(u8, Gpr, Gpr),
+    PushR(Gpr),
+    PopR(Gpr),
+    IncR(Gpr),
+    DecR(Gpr),
+    ImulRri(Gpr, Gpr, i32),
+    Ret(u16),
+}
+
+fn emit_strategy() -> impl Strategy<Value = Emit> {
+    prop_oneof![
+        (gpr(), any::<u32>()).prop_map(|(r, i)| Emit::MovRi(r, i)),
+        (gpr(), gpr()).prop_map(|(a, b)| Emit::MovRr(a, b)),
+        (gpr(), memref()).prop_map(|(r, m)| Emit::MovRm(r, m)),
+        (memref(), gpr()).prop_map(|(m, r)| Emit::MovMr(m, r)),
+        (memref(), any::<u32>()).prop_map(|(m, i)| Emit::MovMi(m, i)),
+        (0u8..8, gpr(), gpr()).prop_map(|(o, a, b)| Emit::AluRr(o, a, b)),
+        (0u8..8, gpr(), any::<i32>()).prop_map(|(o, r, i)| Emit::AluRi(o, r, i)),
+        (0u8..8, gpr(), memref()).prop_map(|(o, r, m)| Emit::AluRm(o, r, m)),
+        (0u8..8, memref(), gpr()).prop_map(|(o, m, r)| Emit::AluMr(o, m, r)),
+        (0u8..5, gpr(), 1u8..32).prop_map(|(o, r, c)| Emit::ShiftRi(o, r, c)),
+        (gpr(), memref()).prop_map(|(r, m)| Emit::Lea(r, m)),
+        (gpr(), gpr(), any::<bool>()).prop_map(|(a, b, w)| Emit::Movzx(a, b, w)),
+        (gpr(), gpr(), any::<bool>()).prop_map(|(a, b, w)| Emit::Movsx(a, b, w)),
+        (0u8..16, gpr()).prop_map(|(c, r)| Emit::Setcc(c, r)),
+        (0u8..16, gpr(), gpr()).prop_map(|(c, a, b)| Emit::Cmov(c, a, b)),
+        gpr().prop_map(Emit::PushR),
+        gpr().prop_map(Emit::PopR),
+        gpr().prop_map(Emit::IncR),
+        gpr().prop_map(Emit::DecR),
+        (gpr(), gpr(), any::<i32>()).prop_map(|(a, b, i)| Emit::ImulRri(a, b, i)),
+        any::<u16>().prop_map(Emit::Ret),
+    ]
+}
+
+fn alu(o: u8) -> AluOp {
+    AluOp::from_group_num(o % 8)
+}
+
+fn shiftop(o: u8) -> ShiftOp {
+    [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar, ShiftOp::Rol, ShiftOp::Ror][o as usize % 5]
+}
+
+fn apply(asm: &mut Asm, e: &Emit) {
+    match e.clone() {
+        Emit::MovRi(r, i) => asm.mov_ri(r, i),
+        Emit::MovRr(a, b) => asm.mov_rr(a, b),
+        Emit::MovRm(r, m) => asm.mov_rm(r, m),
+        Emit::MovMr(m, r) => asm.mov_mr(m, r),
+        Emit::MovMi(m, i) => asm.mov_mi(m, i),
+        Emit::AluRr(o, a, b) => asm.alu_rr(alu(o), a, b),
+        Emit::AluRi(o, r, i) => asm.alu_ri(alu(o), r, i),
+        Emit::AluRm(o, r, m) => {
+            let op = alu(o);
+            if op == AluOp::Test {
+                asm.alu_mr(op, m, r);
+            } else {
+                asm.alu_rm(op, r, m);
+            }
+        }
+        Emit::AluMr(o, m, r) => asm.alu_mr(alu(o), m, r),
+        Emit::ShiftRi(o, r, c) => asm.shift_ri(shiftop(o), r, c),
+        Emit::Lea(r, m) => asm.lea(r, m),
+        Emit::Movzx(a, b, w8) => {
+            asm.movzx_rr(a, b, if w8 { Width::W8 } else { Width::W16 })
+        }
+        Emit::Movsx(a, b, w8) => {
+            asm.movsx_rr(a, b, if w8 { Width::W8 } else { Width::W16 })
+        }
+        Emit::Setcc(c, r) => asm.setcc_r(Cond::from_num(c % 16), r),
+        Emit::Cmov(c, a, b) => asm.cmovcc_rr(Cond::from_num(c % 16), a, b),
+        Emit::PushR(r) => asm.push_r(r),
+        Emit::PopR(r) => asm.pop_r(r),
+        Emit::IncR(r) => asm.inc_r(r),
+        Emit::DecR(r) => asm.dec_r(r),
+        Emit::ImulRri(a, b, i) => asm.imul_rri(a, b, i),
+        Emit::Ret(n) => asm.ret_n(n),
+    }
+}
+
+fn decode_stream(code: &[u8], base: u32) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < code.len() {
+        let i = decode(&code[off..], base + off as u32).expect("stream decodes");
+        assert!(i.len > 0);
+        off += i.len as usize;
+        out.push(i);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn emitted_code_decodes_instruction_for_instruction(emits in prop::collection::vec(emit_strategy(), 1..40)) {
+        let mut asm = Asm::new(0x1000);
+        for e in &emits {
+            apply(&mut asm, e);
+        }
+        let code = asm.finish();
+        let insts = decode_stream(&code, 0x1000);
+        prop_assert_eq!(insts.len(), emits.len(), "one decoded inst per emitted inst");
+
+        // Spot-check operand fidelity for the unambiguous cases.
+        for (inst, e) in insts.iter().zip(&emits) {
+            match e {
+                Emit::MovRi(r, i) => {
+                    prop_assert_eq!(inst.mnemonic, Mnemonic::Mov);
+                    prop_assert_eq!(inst.dst, Some(Operand::Reg(*r)));
+                    prop_assert_eq!(inst.src, Some(Operand::Imm(*i as i32)));
+                }
+                Emit::Lea(r, m) => {
+                    prop_assert_eq!(inst.mnemonic, Mnemonic::Lea);
+                    prop_assert_eq!(inst.dst, Some(Operand::Reg(*r)));
+                    prop_assert_eq!(inst.src, Some(Operand::Mem(*m)));
+                }
+                Emit::AluRi(o, r, i) => {
+                    prop_assert_eq!(inst.mnemonic, Mnemonic::Alu(alu(*o)));
+                    prop_assert_eq!(inst.dst, Some(Operand::Reg(*r)));
+                    prop_assert_eq!(inst.src, Some(Operand::Imm(*i)));
+                }
+                Emit::Ret(n) => {
+                    prop_assert_eq!(inst.mnemonic, Mnemonic::Ret);
+                    prop_assert_eq!(inst.src, Some(Operand::Imm(*n as i32)));
+                }
+                _ => {}
+            }
+        }
+    }
+}

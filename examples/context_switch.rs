@@ -1,0 +1,57 @@
+//! Context-switch scenarios (§3.1 of the paper): after a disruption at
+//! mid-run, compare *code-cache startup* (scenario 3 — hardware caches
+//! cold, translations survive) against re-entering *memory startup*
+//! (scenario 2 — a long context switch also evicted every translation).
+
+use cdvm_core::{Status, System};
+use cdvm_uarch::MachineKind;
+use cdvm_workloads::{build_app, winstone2004};
+
+fn run(profile_idx: usize, scale: f64, disrupt: Option<bool>) -> (u64, u64) {
+    let profile = &winstone2004()[profile_idx];
+    let total = {
+        let wl = build_app(profile, scale);
+        let mut probe = System::new(MachineKind::RefSuperscalar, wl.mem, wl.entry);
+        assert_eq!(probe.run_to_completion(u64::MAX), Status::Halted);
+        probe.x86_retired()
+    };
+    let wl = build_app(profile, scale);
+    let mut sys = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
+    assert_eq!(sys.run_slice(total / 2), Status::Running);
+    match disrupt {
+        None => {}
+        Some(false) => sys.context_switch_flush(), // scenario 3
+        Some(true) => sys.long_context_switch(),   // scenario 2 again
+    }
+    let mid = sys.cycles();
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+    (mid, sys.cycles())
+}
+
+fn main() {
+    let scale = 0.02;
+    let (_, plain) = run(5, scale, None);
+    let (_, cache_flush) = run(5, scale, Some(false));
+    let (_, evicted) = run(5, scale, Some(true));
+
+    println!("Outlook at scale {scale} on VM.soft, disruption at mid-run:\n");
+    println!("  undisturbed run:                     {plain:>12} cycles");
+    println!(
+        "  scenario 3 (caches flushed):         {cache_flush:>12} cycles  (+{})",
+        cache_flush - plain
+    );
+    println!(
+        "  scenario 2 (translations evicted):   {evicted:>12} cycles  (+{})",
+        evicted - plain
+    );
+    println!();
+    let refill = cache_flush - plain;
+    let retrans = evicted - plain;
+    println!(
+        "re-translation costs {:.1}x the plain cache refill — \"this translation\n\
+         time is an additional VM startup overhead\" (§3.1, scenario 2).",
+        retrans as f64 / refill.max(1) as f64
+    );
+    assert!(cache_flush >= plain);
+    assert!(evicted > cache_flush, "eviction must cost more than a cache flush");
+}

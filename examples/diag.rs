@@ -1,0 +1,44 @@
+//! Development diagnostic: per-machine execution-mix dump for one app.
+use cdvm_core::{Status, System};
+use cdvm_uarch::{CycleCat, MachineKind};
+use cdvm_workloads::{build_app_run, winstone2004};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let lmult: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let profile = &winstone2004()[8]; // Winzip
+    let thr: u32 = std::env::var("THR").ok().and_then(|s| s.parse().ok()).unwrap_or(8000);
+    for kind in [MachineKind::RefSuperscalar, MachineKind::VmSoft] {
+        let wl = build_app_run(profile, scale, lmult);
+        let mut cfg = cdvm_uarch::MachineConfig::preset(kind);
+        cfg.hot_threshold = thr;
+        let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(st, Status::Halted);
+        println!("== {kind} cycles={} insts={} ipc={:.3}", sys.cycles(), sys.x86_retired(),
+                 sys.x86_retired() as f64 / sys.cycles() as f64);
+        println!("   coverage={:.3} bbt_ret={} sbt_ret={} x86mode={}",
+                 sys.hotspot_coverage(), sys.stats.bbt_retired, sys.stats.sbt_retired, sys.stats.x86_mode_retired);
+        for c in CycleCat::ALL { 
+            let f = sys.category_fraction(c);
+            if f > 0.001 { println!("   {c:?}: {:.1}%", f*100.0); }
+        }
+        if let Some(vm) = sys.vm.as_ref() {
+            println!("   vmstats: {:?}", vm.stats);
+            println!("   vm_exits={:?} total={} mode_switches={}", sys.stats.vm_exit_kinds, sys.stats.vm_exits, sys.stats.mode_switches);
+            println!("   uop fused frac (sbt): {:.3}", vm.stats.sbt_fused_uops as f64 / vm.stats.sbt_uops.max(1) as f64);
+            println!("   bbt uops/inst: {:.2}  sbt uops/inst: {:.2}",
+                     vm.stats.bbt_uops as f64 / vm.stats.bbt_x86_insts.max(1) as f64,
+                     vm.stats.sbt_uops as f64 / vm.stats.sbt_x86_insts.max(1) as f64);
+        }
+        // tail IPC over second half
+        let wl2 = build_app_run(profile, scale, lmult);
+        let mut cfg2 = cdvm_uarch::MachineConfig::preset(kind);
+        cfg2.hot_threshold = thr;
+        let mut sys2 = System::with_config(cfg2, wl2.mem, wl2.entry);
+        sys2.run_slice(wl2.approx_dynamic / 2);
+        let (c0, i0) = (sys2.cycles(), sys2.x86_retired());
+        sys2.run_to_completion(u64::MAX);
+        println!("   tail ipc: {:.3}", (sys2.x86_retired() - i0) as f64 / (sys2.cycles() - c0) as f64);
+    }
+}

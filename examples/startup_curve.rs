@@ -1,0 +1,77 @@
+//! Startup curves for one Winstone-like application on all machine
+//! configurations — a single-app, console-sized version of Figs. 2/8.
+//!
+//! ```sh
+//! cargo run --release --example startup_curve [app] [scale]
+//! ```
+
+use cdvm_core::{Status, System};
+use cdvm_stats::LogSampler;
+use cdvm_uarch::MachineKind;
+use cdvm_workloads::{build_app, winstone2004};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = args.get(1).map(String::as_str).unwrap_or("Excel");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+
+    let profiles = winstone2004();
+    let profile = profiles
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(app_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {app_name}; available:");
+            for p in &profiles {
+                eprintln!("  {}", p.name);
+            }
+            std::process::exit(1);
+        });
+
+    println!("app: {}  scale: {scale}\n", profile.name);
+    let mut curves = Vec::new();
+    for kind in [
+        MachineKind::RefSuperscalar,
+        MachineKind::VmSoft,
+        MachineKind::VmBe,
+        MachineKind::VmFe,
+    ] {
+        let wl = build_app(profile, scale);
+        let mut sys = System::new(kind, wl.mem, wl.entry);
+        let mut s = LogSampler::new(8);
+        loop {
+            let st = sys.run_slice(4096);
+            s.record(sys.cycles(), sys.x86_retired() as f64);
+            if st != Status::Running {
+                assert_eq!(st, Status::Halted);
+                break;
+            }
+        }
+        s.finish(sys.cycles(), sys.x86_retired() as f64);
+        println!(
+            "{:<18} finished in {:>12} cycles ({} instructions)",
+            kind.label(),
+            sys.cycles(),
+            sys.x86_retired()
+        );
+        curves.push((kind, s));
+    }
+
+    // Print the aggregate-IPC table at log-spaced points, normalized to
+    // the reference's final aggregate IPC.
+    let reference = &curves[0].1;
+    let norm = reference.samples().last().map(|p| p.rate()).unwrap_or(1.0);
+    println!("\n{:>12} {:>8} {:>8} {:>8} {:>8}", "cycles", "Ref", "VM.soft", "VM.be", "VM.fe");
+    let mut c = 1000u64;
+    let end = curves.iter().map(|(_, s)| s.samples().last().unwrap().cycles).max().unwrap();
+    while c <= end {
+        print!("{c:>12}");
+        for (_, s) in &curves {
+            let last = s.samples().last().unwrap();
+            let v = s.value_at(c.min(last.cycles)).unwrap_or(0.0);
+            print!(" {:>8.3}", v / c.min(last.cycles) as f64 / norm);
+        }
+        println!();
+        c *= 4;
+    }
+    println!("\n(normalized aggregate IPC; 1.0 = reference steady state)");
+}

@@ -1,0 +1,79 @@
+//! Code-cache pressure: with tiny caches the VM must flush, re-translate
+//! and still compute correctly — the paper's §1.1 multitasking concern
+//! ("a limited code cache size can cause hotspot re-translations").
+
+use cdvm_core::{Status, System};
+use cdvm_uarch::{MachineConfig, MachineKind};
+use cdvm_workloads::{build_app, winstone2004};
+
+#[test]
+fn tiny_bbt_cache_forces_retranslation_but_stays_correct() {
+    let profile = &winstone2004()[3]; // IE: biggest footprint
+    let reference = {
+        let wl = build_app(profile, 0.002);
+        let mut sys = System::new(MachineKind::RefSuperscalar, wl.mem, wl.entry);
+        assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+        sys.cpu().gpr
+    };
+
+    let wl = build_app(profile, 0.002);
+    let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+    cfg.bbt_cache_bytes = 4 << 10; // absurdly small: constant flushing
+    cfg.sbt_cache_bytes = 8 << 10;
+    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+    assert_eq!(sys.cpu().gpr, reference, "correctness under cache pressure");
+
+    let vm = sys.vm.as_ref().unwrap();
+    assert!(
+        vm.bbt_cache.stats().flushes > 0,
+        "the tiny cache must have flushed"
+    );
+    assert!(
+        vm.stats.bbt_retranslated_insts > 0,
+        "flushes force re-translation"
+    );
+}
+
+#[test]
+fn retranslation_cost_grows_as_cache_shrinks() {
+    let profile = &winstone2004()[3];
+    let mut costs = Vec::new();
+    for kib in [4usize, 64, 4096] {
+        let wl = build_app(profile, 0.002);
+        let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+        cfg.bbt_cache_bytes = kib << 10;
+        let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+        assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+        let vm = sys.vm.as_ref().unwrap();
+        costs.push((kib, vm.stats.bbt_x86_insts, sys.cycles()));
+    }
+    // Translation work is monotonically non-increasing with capacity.
+    assert!(costs[0].1 >= costs[1].1 && costs[1].1 >= costs[2].1);
+    // And the big cache never re-translates.
+    let wl = build_app(profile, 0.002);
+    let mut sys = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+    assert_eq!(sys.vm.as_ref().unwrap().stats.bbt_retranslated_insts, 0);
+}
+
+#[test]
+fn context_switch_cache_flush_is_transient_only() {
+    // Scenario 3 of §3.1: after a short context switch the translations
+    // survive; only the hardware caches refill.
+    let profile = &winstone2004()[0];
+    let wl = build_app(profile, 0.002);
+    let mut sys = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
+    sys.run_slice(40_000);
+    let translated_before = sys.vm.as_ref().unwrap().stats.bbt_blocks;
+
+    sys.context_switch_flush();
+    let st = sys.run_to_completion(u64::MAX);
+    assert_eq!(st, Status::Halted);
+
+    let translated_after = sys.vm.as_ref().unwrap().stats.bbt_blocks;
+    // New blocks may still be discovered, but nothing that was already
+    // translated needs re-translation from the flush alone.
+    assert_eq!(sys.vm.as_ref().unwrap().stats.bbt_retranslated_insts, 0);
+    assert!(translated_after >= translated_before);
+}

@@ -1,0 +1,209 @@
+//! Whole-system integration: every machine configuration must execute the
+//! same guest program to the same architectural result, while exhibiting
+//! the staged-translation behaviour the paper describes.
+
+use cdvm_core::{Status, System};
+use cdvm_mem::GuestMem;
+use cdvm_uarch::{CycleCat, MachineKind};
+use cdvm_workloads::{build_app, winstone2004};
+use cdvm_x86::{AluOp, Asm, Cond, Gpr, MemRef, Width};
+
+fn hand_program() -> (GuestMem, u32) {
+    // Nested loops + calls + memory traffic + a rep copy: exercises BBT,
+    // chaining, hot promotion and complex instructions.
+    let mut asm = Asm::new(0x40_0000);
+    let f_sum = asm.label();
+    let start = asm.label();
+    asm.jmp(start);
+
+    // f_sum: eax += sum of 1..=edx (clobbers edx)
+    asm.bind(f_sum);
+    let inner = asm.here();
+    asm.alu_rr(AluOp::Add, Gpr::Eax, Gpr::Edx);
+    asm.dec_r(Gpr::Edx);
+    asm.jcc(Cond::Ne, inner);
+    asm.ret();
+
+    asm.bind(start);
+    asm.mov_ri(Gpr::Eax, 0);
+    asm.mov_ri(Gpr::Ecx, 2000);
+    let outer = asm.here();
+    asm.mov_ri(Gpr::Edx, 10);
+    asm.call(f_sum);
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, outer);
+
+    // Block copy via rep movsd.
+    asm.mov_mi(MemRef::abs(0x10_0000), 0x1234_5678);
+    asm.mov_ri(Gpr::Esi, 0x10_0000);
+    asm.mov_ri(Gpr::Edi, 0x10_0100);
+    asm.mov_ri(Gpr::Ecx, 16);
+    asm.cld();
+    asm.movs(Width::W32, true);
+    asm.mov_rm(Gpr::Ebx, MemRef::abs(0x10_0100));
+    asm.hlt();
+
+    let mut mem = GuestMem::new();
+    mem.load(0x40_0000, &asm.finish());
+    (mem, 0x40_0000)
+}
+
+#[test]
+fn all_machines_agree_on_hand_program() {
+    let mut results = Vec::new();
+    for kind in MachineKind::ALL {
+        let (mem, entry) = hand_program();
+        let mut sys = System::new(kind, mem, entry);
+        let st = sys.run_to_completion(2_000_000_000);
+        assert_eq!(st, Status::Halted, "{kind} must halt");
+        let cpu = sys.cpu();
+        results.push((kind, cpu.gpr, cpu.flags.bits(), sys.x86_retired()));
+    }
+    let (_, gpr0, fl0, ret0) = results[0];
+    for (kind, gpr, fl, retired) in &results[1..] {
+        assert_eq!(*gpr, gpr0, "{kind} register divergence");
+        assert_eq!(*fl, fl0, "{kind} flag divergence");
+        assert_eq!(*retired, ret0, "{kind} retired-count divergence");
+    }
+    assert_eq!(gpr0[Gpr::Eax as usize], 2000 * 55);
+    assert_eq!(gpr0[Gpr::Ebx as usize], 0x1234_5678);
+}
+
+#[test]
+fn all_machines_agree_on_generated_workload() {
+    let profile = &winstone2004()[1]; // Excel
+    let reference = {
+        let wl = build_app(profile, 0.003);
+        let mut sys = System::new(MachineKind::RefSuperscalar, wl.mem, wl.entry);
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(st, Status::Halted);
+        (sys.cpu().gpr, sys.x86_retired())
+    };
+    for kind in [
+        MachineKind::VmSoft,
+        MachineKind::VmBe,
+        MachineKind::VmFe,
+        MachineKind::VmInterp,
+    ] {
+        let wl = build_app(profile, 0.003);
+        let mut sys = System::new(kind, wl.mem, wl.entry);
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(st, Status::Halted, "{kind}");
+        assert_eq!(sys.cpu().gpr, reference.0, "{kind} register divergence");
+        assert_eq!(sys.x86_retired(), reference.1, "{kind} retired divergence");
+    }
+}
+
+#[test]
+fn staged_translation_promotes_hotspots() {
+    // Lower the threshold so the tiny test trips SBT quickly.
+    let (mem, entry) = hand_program();
+    let mut cfg = cdvm_uarch::MachineConfig::preset(MachineKind::VmSoft);
+    cfg.hot_threshold = 100;
+    let mut sys = System::with_config(cfg, mem, entry);
+    let st = sys.run_to_completion(2_000_000_000);
+    assert_eq!(st, Status::Halted);
+    let vm = sys.vm.as_ref().unwrap();
+    assert!(vm.stats.bbt_blocks > 0, "BBT ran");
+    assert!(vm.stats.sbt_superblocks > 0, "hotspot was promoted");
+    assert!(vm.stats.sbt_fused_uops > 0, "fusion happened");
+    assert!(sys.stats.sbt_retired > 0, "optimized code executed");
+    assert!(
+        sys.hotspot_coverage() > 0.5,
+        "the hot loop dominates execution: coverage {}",
+        sys.hotspot_coverage()
+    );
+}
+
+#[test]
+fn vmfe_switches_modes_and_uses_bbb() {
+    let (mem, entry) = hand_program();
+    let mut cfg = cdvm_uarch::MachineConfig::preset(MachineKind::VmFe);
+    cfg.hot_threshold = 100;
+    let mut sys = System::with_config(cfg, mem, entry);
+    let st = sys.run_to_completion(2_000_000_000);
+    assert_eq!(st, Status::Halted);
+    assert!(sys.stats.x86_mode_retired > 0, "cold code ran in x86-mode");
+    assert!(sys.stats.sbt_retired > 0, "hot code ran natively");
+    assert_eq!(sys.stats.bbt_retired, 0, "VM.fe never runs BBT code");
+    assert!(sys.stats.mode_switches >= 2);
+    assert!(sys.bbb.as_ref().unwrap().hot_reports() > 0);
+    let vm = sys.vm.as_ref().unwrap();
+    assert_eq!(vm.stats.bbt_blocks, 0);
+}
+
+#[test]
+fn vm_interp_uses_low_threshold_and_interpretation() {
+    let (mem, entry) = hand_program();
+    let mut sys = System::new(MachineKind::VmInterp, mem, entry);
+    let st = sys.run_to_completion(4_000_000_000);
+    assert_eq!(st, Status::Halted);
+    assert!(sys.stats.interp_retired > 0, "interpretation happened");
+    assert!(
+        sys.stats.sbt_retired > 0,
+        "threshold 25 promotes the loop quickly"
+    );
+    assert!(sys.category_fraction(CycleCat::InterpEmu) > 0.0);
+}
+
+#[test]
+fn cycle_categories_partition_totals() {
+    let (mem, entry) = hand_program();
+    let mut sys = System::new(MachineKind::VmSoft, mem, entry);
+    sys.run_to_completion(2_000_000_000);
+    let total: f64 = CycleCat::ALL
+        .iter()
+        .map(|&c| sys.timing.category_cycles(c))
+        .sum();
+    let drift = (total - sys.timing.cycles_f()).abs() / sys.timing.cycles_f();
+    assert!(drift < 1e-9, "cycle attribution must partition: drift {drift}");
+}
+
+#[test]
+fn ref_machine_decoders_always_on_vm_soft_never() {
+    let (mem, entry) = hand_program();
+    let mut r = System::new(MachineKind::RefSuperscalar, mem, entry);
+    r.run_to_completion(2_000_000_000);
+    let frac = r.timing.decoder_active_cycles() / r.timing.cycles_f();
+    assert!(frac > 0.99, "Ref decoders on ~100% of cycles: {frac}");
+
+    let (mem, entry) = hand_program();
+    let mut v = System::new(MachineKind::VmSoft, mem, entry);
+    v.run_to_completion(2_000_000_000);
+    assert_eq!(
+        v.timing.decoder_active_cycles(),
+        0.0,
+        "VM.soft has no x86 decode hardware"
+    );
+}
+
+#[test]
+fn breakeven_ordering_on_small_workload() {
+    // Startup cost ordering: the assists must shrink total time on a
+    // short run dominated by translation overhead.
+    let profile = &winstone2004()[4]; // Norton: hot loops, small footprint
+    let mut cycles = std::collections::HashMap::new();
+    for kind in [
+        MachineKind::RefSuperscalar,
+        MachineKind::VmSoft,
+        MachineKind::VmBe,
+        MachineKind::VmFe,
+    ] {
+        let wl = build_app(profile, 0.004);
+        let mut sys = System::new(kind, wl.mem, wl.entry);
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(st, Status::Halted);
+        cycles.insert(kind, sys.cycles());
+    }
+    let soft = cycles[&MachineKind::VmSoft];
+    let be = cycles[&MachineKind::VmBe];
+    let fe = cycles[&MachineKind::VmFe];
+    assert!(
+        be < soft,
+        "the XLTx86 assist must shrink startup: be={be} soft={soft}"
+    );
+    assert!(
+        fe < soft,
+        "dual-mode decoding must shrink startup: fe={fe} soft={soft}"
+    );
+}
