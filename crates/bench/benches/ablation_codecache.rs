@@ -2,6 +2,8 @@
 //! multitasking concern of §1.1 ("a limited code cache size can cause
 //! hotspot re-translations when a switched-out task resumes").
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_core::{Status, System};
 use cdvm_stats::Table;

@@ -3,6 +3,8 @@
 //! degrades as the hardware decoder gets slower (a hardware-design-space
 //! answer the paper leaves implicit).
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_core::{Status, System};
 use cdvm_stats::Table;

@@ -2,6 +2,8 @@
 //! analytical model of §3.2, validated against *measured* M_BBT/M_SBT
 //! from real VM.soft runs.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_core::model;
 use cdvm_stats::{arith_mean, Table};

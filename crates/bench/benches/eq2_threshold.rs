@@ -2,6 +2,8 @@
 //! BBT→SBT, 25 for interp→SBT), plus an empirical threshold-sensitivity
 //! sweep — the "balanced trade-off" of §3.2.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_core::{model, Status, System};
 use cdvm_stats::Table;

@@ -3,6 +3,8 @@
 //! 2.7%) and BBT-translation execution (upper bars, paper avg ~35%) —
 //! plus the §5.3 textual anchors (9.9% for software BBT, SBT shares).
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_stats::{arith_mean, Table};
 use cdvm_uarch::{CycleCat, MachineKind};

@@ -2,6 +2,8 @@
 //! machines — always-on for the conventional superscalar, decaying for
 //! the assisted VMs, zero for the software VM.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_stats::Table;
 use cdvm_uarch::MachineKind;

@@ -2,6 +2,8 @@
 //! against a conventional superscalar — `Ref: superscalar`,
 //! `VM: Interp & SBT`, `VM: BBT & SBT`, and the VM steady-state line.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_stats::Table;
 use cdvm_uarch::MachineKind;

@@ -3,6 +3,8 @@
 //! and the distribution of dynamic instructions (right axis), with the
 //! 8K hot-threshold line and the M_BBT/M_SBT aggregates of §3.2.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use std::collections::HashMap;
 
 use cdvm_bench::*;

@@ -2,6 +2,8 @@
 //! comparison as Fig. 2 plus `VM.be` (XLTx86 backend unit) and `VM.fe`
 //! (dual-mode frontend decoders).
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_stats::Table;
 use cdvm_uarch::MachineKind;

@@ -2,6 +2,8 @@
 //! scheme needs to catch up with the reference superscalar's cumulative
 //! retired-instruction count.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_stats::{breakeven_cycles, Table};
 use cdvm_uarch::MachineKind;

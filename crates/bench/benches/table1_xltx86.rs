@@ -2,6 +2,8 @@
 //! demonstration of the hardware unit decoding/cracking x86 instructions
 //! into `Fdst`, with CSR fields per Fig. 6b.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_cracker::HwXlt;
 use cdvm_fisa::{encoding, XltAssist};

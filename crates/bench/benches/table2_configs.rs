@@ -1,5 +1,7 @@
 //! Table 2: the simulated machine configurations.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_bench::*;
 use cdvm_stats::Table;
 use cdvm_uarch::{MachineConfig, MachineKind};

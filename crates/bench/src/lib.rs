@@ -127,23 +127,22 @@ pub fn run_jobs(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let queue = crossbeam::queue::SegQueue::new();
-    for (i, j) in jobs.into_iter().enumerate() {
-        queue.push((i, j));
-    }
-    let results = parking_lot::Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    let jobs: Vec<(usize, (MachineKind, AppProfile))> = jobs.into_iter().enumerate().collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| {
-                while let Some((i, (kind, profile))) = queue.pop() {
-                    let r = run_curve(MachineConfig::preset(kind), &profile, scale, length_mult);
-                    results.lock().push((i, r));
-                }
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((i, (kind, profile))) = jobs.get(k) else {
+                    break;
+                };
+                let r = run_curve(MachineConfig::preset(*kind), profile, scale, length_mult);
+                results.lock().expect("worker panicked").push((*i, r));
             });
         }
-    })
-    .expect("worker panicked");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().expect("worker panicked");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()
 }

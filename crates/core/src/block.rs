@@ -85,6 +85,7 @@ pub fn scan_block(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_mem::GuestMem;

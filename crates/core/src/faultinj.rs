@@ -1,0 +1,207 @@
+//! Deterministic fault injection into guest code images.
+//!
+//! The robustness claim of the degradation ladder (see `error`) is only
+//! worth anything if it is exercised: this module corrupts guest code
+//! bytes the way a broken loader, a flaky disk, or self-modifying code
+//! gone wrong would, and the harness in `tests/fault_injection.rs`
+//! asserts that every machine configuration still ends every run in an
+//! architected state ([`crate::Status::Halted`] /
+//! [`crate::Status::Faulted`] / [`crate::Status::Exhausted`]) — never a
+//! host panic, and with faults equivalent to the reference interpreter.
+//!
+//! All randomness comes from a seeded [`Rng64`], so any failing campaign
+//! replays from its seed.
+
+use cdvm_mem::{GuestMem, Memory, Rng64};
+
+/// An x86 opcode byte the decoder is guaranteed not to implement
+/// (`SALC`, officially undefined), decoding to
+/// [`cdvm_x86::DecodeError::Unknown`].
+pub const INVALID_OPCODE: u8 = 0xd6;
+
+/// The kind of corruption to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one random bit of one code byte.
+    BitFlip,
+    /// Cut the image short: zero-fill from a random point to the end of
+    /// the region, as if the tail of the binary never loaded. Decoding
+    /// typically fails mid-instruction at the cut.
+    Truncate,
+    /// Overwrite one code byte with [`INVALID_OPCODE`].
+    InvalidOpcode,
+}
+
+impl FaultKind {
+    /// All kinds, for exhaustive campaigns.
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::BitFlip,
+        FaultKind::Truncate,
+        FaultKind::InvalidOpcode,
+    ];
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::BitFlip => write!(f, "bit-flip"),
+            FaultKind::Truncate => write!(f, "truncate"),
+            FaultKind::InvalidOpcode => write!(f, "invalid-opcode"),
+        }
+    }
+}
+
+/// What one injection did — enough to reproduce or report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// The kind of corruption performed.
+    pub kind: FaultKind,
+    /// First corrupted guest address.
+    pub addr: u32,
+    /// The byte previously at `addr`.
+    pub original: u8,
+    /// The byte now at `addr`.
+    pub injected: u8,
+}
+
+impl std::fmt::Display for InjectionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at {:#x}: {:#04x} -> {:#04x}",
+            self.kind, self.addr, self.original, self.injected
+        )
+    }
+}
+
+/// A seeded source of guest-code corruption.
+///
+/// One injector drives a whole campaign; each call draws fresh
+/// randomness from the same stream, so a campaign is identified by
+/// `(seed, round)` alone.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: Rng64,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a seed. Equal seeds give equal
+    /// injection sequences.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: Rng64::new(seed),
+            seed,
+        }
+    }
+
+    /// The seed this injector was built from (print it on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Injects one fault of the given kind somewhere in
+    /// `[base, base + len)`. `len` must be non-zero.
+    pub fn inject(
+        &mut self,
+        mem: &mut GuestMem,
+        base: u32,
+        len: u32,
+        kind: FaultKind,
+    ) -> InjectionReport {
+        debug_assert!(len > 0, "empty injection region");
+        let addr = base.wrapping_add(self.rng.below(u64::from(len.max(1))) as u32);
+        let original = mem.read_u8(addr);
+        let injected = match kind {
+            FaultKind::BitFlip => {
+                let flipped = original ^ (1u8 << self.rng.below(8));
+                mem.write_u8(addr, flipped);
+                flipped
+            }
+            FaultKind::Truncate => {
+                let end = base.wrapping_add(len);
+                let mut a = addr;
+                while a != end {
+                    mem.write_u8(a, 0);
+                    a = a.wrapping_add(1);
+                }
+                0
+            }
+            FaultKind::InvalidOpcode => {
+                mem.write_u8(addr, INVALID_OPCODE);
+                INVALID_OPCODE
+            }
+        };
+        InjectionReport {
+            kind,
+            addr,
+            original,
+            injected,
+        }
+    }
+
+    /// Injects one fault of a randomly chosen kind in
+    /// `[base, base + len)`.
+    pub fn inject_random(&mut self, mem: &mut GuestMem, base: u32, len: u32) -> InjectionReport {
+        let kind = FaultKind::ALL[self.rng.below(FaultKind::ALL.len() as u64) as usize];
+        self.inject(mem, base, len, kind)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = FaultInjector::new(42);
+        let mut b = FaultInjector::new(42);
+        let mut ma = GuestMem::new();
+        let mut mb = GuestMem::new();
+        ma.load(0x1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        mb.load(0x1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        for _ in 0..16 {
+            assert_eq!(
+                a.inject_random(&mut ma, 0x1000, 8),
+                b.inject_random(&mut mb, 0x1000, 8)
+            );
+        }
+    }
+
+    #[test]
+    fn injections_stay_in_region() {
+        let mut inj = FaultInjector::new(7);
+        let mut mem = GuestMem::new();
+        mem.load(0x2000, &[0x90; 32]);
+        mem.write_u8(0x1fff, 0xaa);
+        mem.write_u8(0x2020, 0xbb);
+        for _ in 0..64 {
+            let r = inj.inject_random(&mut mem, 0x2000, 32);
+            assert!((0x2000..0x2020).contains(&r.addr), "{r}");
+        }
+        assert_eq!(mem.read_u8(0x1fff), 0xaa, "byte before the region intact");
+        assert_eq!(mem.read_u8(0x2020), 0xbb, "byte after the region intact");
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut inj = FaultInjector::new(9);
+        let mut mem = GuestMem::new();
+        mem.load(0x3000, &[0x55; 16]);
+        let r = inj.inject(&mut mem, 0x3000, 16, FaultKind::BitFlip);
+        assert_eq!((r.original ^ r.injected).count_ones(), 1);
+        assert_eq!(mem.read_u8(r.addr), r.injected);
+    }
+
+    #[test]
+    fn truncate_zeroes_through_region_end() {
+        let mut inj = FaultInjector::new(11);
+        let mut mem = GuestMem::new();
+        mem.load(0x4000, &[0xff; 16]);
+        let r = inj.inject(&mut mem, 0x4000, 16, FaultKind::Truncate);
+        for a in r.addr..0x4010 {
+            assert_eq!(mem.read_u8(a), 0);
+        }
+    }
+}

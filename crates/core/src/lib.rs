@@ -44,6 +44,8 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod error;
+pub mod faultinj;
 pub mod model;
 mod opt;
 mod pcmap;
@@ -55,6 +57,8 @@ mod uasm;
 mod unchain_tests;
 pub mod vm;
 
+pub use error::{VmError, Watchdog};
+pub use faultinj::{FaultInjector, FaultKind, InjectionReport};
 pub use opt::{optimize_run, RunStats};
 pub use pcmap::PcMap;
 pub use system::{Status, System, SystemStats, DEFAULT_STACK_TOP};

@@ -69,6 +69,7 @@ pub fn interp_derivation() -> ThresholdDerivation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -241,11 +241,14 @@ fn fuse_pairs(run: &mut Vec<(Uop, u16)>) -> u32 {
     let mut i = 0;
     while i < run.len() {
         let head = run[i].0;
-        if head.fusible || !cdvm_fisa::is_fusion_candidate(&head) || uop_dest(&head).is_none() {
+        let Some(hd) = uop_dest(&head) else {
+            i += 1;
+            continue;
+        };
+        if head.fusible || !cdvm_fisa::is_fusion_candidate(&head) {
             i += 1;
             continue;
         }
-        let hd = uop_dest(&head).unwrap();
         let limit = (i + 1 + FUSION_WINDOW).min(run.len());
         let mut chosen = None;
         'search: for j in i + 1..limit {
@@ -294,6 +297,7 @@ pub fn optimize_run(run: &mut Vec<(Uop, u16)>, live_out: &[u8]) -> RunStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_fisa::regs;

@@ -129,6 +129,7 @@ impl EdgeProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

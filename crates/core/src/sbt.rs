@@ -10,8 +10,9 @@
 use cdvm_cracker::{crack, CtiSpec};
 use cdvm_fisa::{can_fuse, regs, ExitCode, Op, SysOp, Uop};
 use cdvm_mem::GuestMem;
-use cdvm_x86::{BranchKind, DecodeError, Decoder, Inst, Width};
+use cdvm_x86::{BranchKind, Decoder, Inst, Width};
 
+use crate::error::VmError;
 use crate::opt::optimize_run;
 use crate::uasm::{UAsm, ULabel, STUB_BYTES};
 use crate::vm::{bcc, bnz, bz, lower_rep, TransKind, TranslateOutcome, Vm};
@@ -43,12 +44,19 @@ enum SbStep {
 }
 
 /// Forms the superblock path from the edge profile.
+///
+/// A decode error on the *speculative* path does not fault the guest —
+/// it only means the profile led formation astray (or the bytes are
+/// corrupt); the path is cut just before the undecodable instruction so
+/// the side exit dispatches there and the lower tiers handle it. An
+/// error on the very first instruction is a real failure, propagated so
+/// the caller demotes the entry.
 fn form_path(
     decoder: &mut Decoder,
     mem: &mut GuestMem,
     vm: &Vm,
     entry: u32,
-) -> Result<Vec<SbStep>, DecodeError> {
+) -> Result<Vec<SbStep>, VmError> {
     let mut steps = Vec::new();
     let mut visited = std::collections::HashSet::new();
     let mut pc = entry;
@@ -62,7 +70,14 @@ fn form_path(
             steps.push(SbStep::Cap(pc));
             break;
         }
-        let inst = decoder.decode_at(mem, pc)?;
+        let inst = match decoder.decode_at(mem, pc) {
+            Ok(inst) => inst,
+            Err(err) if steps.is_empty() => return Err(VmError::Decode { pc, err }),
+            Err(_) => {
+                steps.push(SbStep::Cap(pc));
+                break;
+            }
+        };
         let next = pc.wrapping_add(inst.len as u32);
         match inst.mnemonic.branch_kind() {
             None => {
@@ -78,7 +93,10 @@ fn form_path(
                 pc = next;
             }
             Some(BranchKind::Conditional) => {
-                let target = inst.direct_target().unwrap();
+                let Some(target) = inst.direct_target() else {
+                    steps.push(SbStep::Final(pc, inst));
+                    break;
+                };
                 let p = vm.edges.taken_prob(pc);
                 if p >= 0.5 {
                     if target == entry {
@@ -93,7 +111,10 @@ fn form_path(
                 }
             }
             Some(BranchKind::Unconditional) => {
-                let target = inst.direct_target().unwrap();
+                let Some(target) = inst.direct_target() else {
+                    steps.push(SbStep::Final(pc, inst));
+                    break;
+                };
                 if target == entry {
                     steps.push(SbStep::LoopBack(pc, inst));
                     break;
@@ -102,7 +123,10 @@ fn form_path(
                 pc = target;
             }
             Some(BranchKind::Call) => {
-                let target = inst.direct_target().unwrap();
+                let Some(target) = inst.direct_target() else {
+                    steps.push(SbStep::Final(pc, inst));
+                    break;
+                };
                 if target == entry {
                     steps.push(SbStep::Final(pc, inst));
                     break;
@@ -124,13 +148,16 @@ fn form_path(
 ///
 /// # Errors
 ///
-/// Propagates decode faults (recovered architecturally by the caller).
+/// Returns a [`VmError`] when the entry instruction fails to decode or
+/// crack, or the superblock cannot fit the code cache. The caller
+/// demotes: the entry keeps running from its BBT translation (or the
+/// interpreter) and is blacklisted from further promotion.
 pub fn translate_sbt(
     vm: &mut Vm,
     decoder: &mut Decoder,
     mem: &mut GuestMem,
     entry: u32,
-) -> Result<(TranslateOutcome, Vec<u32>), DecodeError> {
+) -> Result<(TranslateOutcome, Vec<u32>), VmError> {
     let steps = form_path(decoder, mem, vm, entry)?;
     let mut ua = UAsm::new();
     let head = ua.here();
@@ -177,7 +204,7 @@ pub fn translate_sbt(
         let inst_idx = idx as u16;
         match step {
             SbStep::Inst(pc, inst) => {
-                let cracked = crack(inst, *pc);
+                let cracked = crack(inst, *pc)?;
                 if cracked.complex {
                     complex += 1;
                     vm.stats.complex_insts += 1;
@@ -193,13 +220,13 @@ pub fn translate_sbt(
                 }
             }
             SbStep::Straight(pc, inst) => {
-                let cracked = crack(inst, *pc);
+                let cracked = crack(inst, *pc)?;
                 x86_count += 1;
                 run.extend(cracked.uops.iter().map(|&u| (u, inst_idx)));
                 run_credit += 1;
             }
             SbStep::AssertTaken(pc, inst) | SbStep::AssertNotTaken(pc, inst) => {
-                let cracked = crack(inst, *pc);
+                let cracked = crack(inst, *pc)?;
                 x86_count += 1;
                 run.extend(cracked.uops.iter().map(|&u| (u, inst_idx)));
                 run_credit += 1;
@@ -234,7 +261,7 @@ pub fn translate_sbt(
                 deferred.push((l, exit_target));
             }
             SbStep::LoopBack(pc, inst) => {
-                let cracked = crack(inst, *pc);
+                let cracked = crack(inst, *pc)?;
                 x86_count += 1;
                 run.extend(cracked.uops.iter().map(|&u| (u, inst_idx)));
                 run_credit += 1;
@@ -277,7 +304,7 @@ pub fn translate_sbt(
                 }
             }
             SbStep::Final(pc, inst) => {
-                let cracked = crack(inst, *pc);
+                let cracked = crack(inst, *pc)?;
                 if cracked.complex {
                     complex += 1;
                 }
@@ -289,11 +316,21 @@ pub fn translate_sbt(
                         flush!(&[reg], Option::<Uop>::None);
                         lower_indirect_exit(vm, &mut ua, *pc, reg, &mut deferred);
                     }
+                    // A trap at the superblock entry has no preceding
+                    // steps, so raising it directly is precise; an exit
+                    // stub here would dispatch straight back into this
+                    // superblock.
+                    Some(CtiSpec::Trap { code }) if *pc == entry => {
+                        run.extend(cracked.uops.iter().map(|&u| (u, inst_idx)));
+                        run_credit += 1;
+                        flush!(&[], Option::<Uop>::None);
+                        ua.push(Uop::alui(Op::Sys(SysOp::Trap), 0, 0, code as i32));
+                    }
                     Some(spec) => {
                         run.extend(cracked.uops.iter().map(|&u| (u, inst_idx)));
                         run_credit += 1;
                         flush!(&[], Option::<Uop>::None);
-                        lower_final(&mut ua, spec);
+                        lower_final(&mut ua, *pc, spec);
                     }
                     None => {
                         // Hlt/Int3 arrive without CtiSpec only if the
@@ -332,7 +369,7 @@ pub fn translate_sbt(
 
     ua.pad_to(STUB_BYTES);
     let uop_count = ua.uop_count() as u32;
-    let (translation, mut invalidate) = vm.install(ua, entry, TransKind::Sbt, x86_count, None);
+    let (translation, mut invalidate) = vm.install(ua, entry, TransKind::Sbt, x86_count, None)?;
 
     vm.stats.sbt_superblocks += 1;
     vm.stats.sbt_x86_insts += x86_count as u64;
@@ -356,8 +393,9 @@ pub fn translate_sbt(
     ))
 }
 
-/// Final-exit lowering shared with the BBT shapes.
-fn lower_final(ua: &mut UAsm, spec: CtiSpec) {
+/// Final-exit lowering shared with the BBT shapes. `pc` is the address
+/// of the instruction being lowered, used to re-dispatch traps.
+fn lower_final(ua: &mut UAsm, pc: u32, spec: CtiSpec) {
     match spec {
         CtiSpec::CondFlags { cond, target, fall } => {
             let l = ua.label();
@@ -388,7 +426,14 @@ fn lower_final(ua: &mut UAsm, spec: CtiSpec) {
             ua.push(Uop::vmexit(ExitCode::IndirectMiss));
         }
         CtiSpec::Halt => ua.push(Uop::alui(Op::Sys(SysOp::Halt), 0, 0, 0)),
-        CtiSpec::Trap { code } => ua.push(Uop::alui(Op::Sys(SysOp::Trap), 0, 0, code as i32)),
+        // A trap inside a superblock cannot raise the Sys Trap uop
+        // directly: fault recovery replays from the superblock entry,
+        // which would re-execute the body. Exit to the trap's own pc
+        // instead; the next tier (BBT or interpreter) raises it with a
+        // precise guest PC.
+        CtiSpec::Trap { .. } => {
+            ua.exit_stub(ExitCode::TranslateMiss, pc);
+        }
         CtiSpec::Rep { .. } => unreachable!("REP handled inline"),
     }
 }
@@ -483,6 +528,7 @@ fn lower_indirect_exit(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_x86::{AluOp, Asm, Cond, Gpr};

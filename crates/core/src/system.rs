@@ -15,14 +15,15 @@
 //! * **VM.interp** — interpretation (threshold 25) before SBT, the
 //!   second curve of Fig. 2.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cdvm_cracker::crack;
 use cdvm_fisa::{ExitCode, Executor, NExit, NFault, NativeState};
 use cdvm_mem::GuestMem;
 use cdvm_uarch::{Bbb, BbbConfig, CycleCat, MachineConfig, MachineKind, Timing};
-use cdvm_x86::{BranchKind, Cpu, DecodeError, Fault, Interp};
+use cdvm_x86::{BranchKind, Cpu, Fault, Interp};
 
+use crate::error::{VmError, Watchdog};
 use crate::pcmap::PcMap;
 use crate::profile::{dispatch_slot, COUNTER_BASE, DISPATCH_BASE, DISPATCH_ENTRIES};
 use crate::sbt::translate_sbt;
@@ -40,6 +41,24 @@ pub enum Status {
     Halted,
     /// An architectural fault reached the VMM unhandled.
     Faulted(Fault),
+    /// An armed resource watchdog terminated a pathological guest.
+    Exhausted(Watchdog),
+    /// A VMM invariant broke (bad native fetch/encoding, fault
+    /// divergence): the run stops rather than execute wrong code. This
+    /// is a VMM bug surfaced as data, never a host panic.
+    Broken(VmError),
+}
+
+impl Status {
+    /// True for every architected end state a guest can reach
+    /// (`Halted`, `Faulted`, or watchdog-`Exhausted`). `Broken` is not
+    /// architected — it reports a VMM defect.
+    pub fn is_architected_end(&self) -> bool {
+        matches!(
+            self,
+            Status::Halted | Status::Faulted(_) | Status::Exhausted(_)
+        )
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +84,17 @@ pub struct SystemStats {
     pub vm_exits: u64,
     /// VMM exits by kind: [TranslateMiss, IndirectMiss, HotTrap].
     pub vm_exit_kinds: [u64; 3],
+    /// Blocks demoted from BBT to interpretation (translation failed).
+    pub bbt_demotions: u64,
+    /// Hot entries demoted from SBT to their previous tier (superblock
+    /// translation failed; the entry is blacklisted from promotion).
+    pub sbt_demotions: u64,
+    /// Native faults recovered at an exact instruction boundary (BBT).
+    pub exact_fault_recoveries: u64,
+    /// Native faults recovered by replaying from the region entry (SBT).
+    pub inexact_fault_recoveries: u64,
+    /// Resource watchdogs that tripped (at most one per run).
+    pub watchdog_trips: u64,
 }
 
 /// One guest program running on one simulated machine.
@@ -95,6 +125,20 @@ pub struct System {
     sbt_gen_seen: u64,
     decode_uops: PcMap,
     interp_counters: HashMap<u32, u32>,
+    /// Blocks that failed BBT translation: they execute through the
+    /// interpreter instead (degradation ladder, see DESIGN.md).
+    demoted: HashSet<u32>,
+    /// Hot entries that failed superblock translation: never re-promoted.
+    sbt_blacklist: HashSet<u32>,
+    /// The most recent translation/VMM error (demotions keep running, so
+    /// this is diagnostic, not fatal).
+    last_vm_error: Option<VmError>,
+    watchdog_fuel: Option<u64>,
+    watchdog_max_translations: Option<u64>,
+    watchdog_storm_flushes: Option<u32>,
+    tripped: Option<Watchdog>,
+    retired_at_last_flush: u64,
+    storm_consecutive: u32,
     /// Summary counters.
     pub stats: SystemStats,
 }
@@ -173,8 +217,44 @@ impl System {
             sbt_gen_seen: 0,
             decode_uops: PcMap::with_capacity(1 << 16),
             interp_counters: HashMap::new(),
+            demoted: HashSet::new(),
+            sbt_blacklist: HashSet::new(),
+            last_vm_error: None,
+            watchdog_fuel: None,
+            watchdog_max_translations: None,
+            watchdog_storm_flushes: None,
+            tripped: None,
+            retired_at_last_flush: 0,
+            storm_consecutive: 0,
             stats: SystemStats::default(),
         }
+    }
+
+    /// Arms the instruction-fuel watchdog: the run ends
+    /// [`Status::Exhausted`] once `limit` x86 instructions have retired.
+    pub fn arm_fuel_watchdog(&mut self, limit: u64) {
+        self.watchdog_fuel = Some(limit);
+    }
+
+    /// Arms the translation-budget watchdog: the run ends
+    /// [`Status::Exhausted`] once the VM has produced `limit` translated
+    /// regions (BBT blocks + superblocks, including retranslations).
+    pub fn arm_translation_watchdog(&mut self, limit: u64) {
+        self.watchdog_max_translations = Some(limit);
+    }
+
+    /// Arms the retranslation-storm watchdog: the run ends
+    /// [`Status::Exhausted`] after `flushes` consecutive code-cache
+    /// pressure flushes with almost no guest progress between them.
+    pub fn arm_storm_watchdog(&mut self, flushes: u32) {
+        self.watchdog_storm_flushes = Some(flushes.max(1));
+    }
+
+    /// The most recent structured VMM error, if any. Demotions keep the
+    /// guest running, so this is diagnostic: it names the error that
+    /// caused the latest tier demotion (or the [`Status::Broken`] cause).
+    pub fn last_vm_error(&self) -> Option<VmError> {
+        self.last_vm_error
     }
 
     /// Total elapsed cycles.
@@ -227,22 +307,26 @@ impl System {
     }
 
     /// Runs until `max_insts` more x86 instructions retire, the guest
-    /// halts, or a fault surfaces.
+    /// halts, a fault surfaces, or an armed watchdog trips.
     pub fn run_slice(&mut self, max_insts: u64) -> Status {
         if self.halted {
             return Status::Halted;
+        }
+        if let Some(w) = self.tripped {
+            return Status::Exhausted(w);
         }
         if !self.started {
             self.started = true;
             if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe) {
                 let entry = self.cpu.eip;
-                if let Err(e) = self.dispatch_to(entry) {
-                    return Status::Faulted(Fault::Decode { pc: entry, err: e });
-                }
+                self.dispatch_to(entry);
             }
         }
         let goal = self.x86_retired + max_insts;
         while self.x86_retired < goal {
+            if let Some(w) = self.check_watchdogs() {
+                return self.trip(w);
+            }
             let st = match self.mode {
                 Mode::X86 => self.step_x86(),
                 Mode::Native => self.step_native(),
@@ -251,18 +335,48 @@ impl System {
                 Status::Running => {}
                 other => return other,
             }
+            if let Some(w) = self.tripped {
+                // The storm detector trips from inside translation.
+                self.stats.watchdog_trips += 1;
+                return Status::Exhausted(w);
+            }
         }
         Status::Running
     }
 
+    fn trip(&mut self, w: Watchdog) -> Status {
+        self.tripped = Some(w);
+        self.stats.watchdog_trips += 1;
+        Status::Exhausted(w)
+    }
+
+    fn check_watchdogs(&mut self) -> Option<Watchdog> {
+        if let Some(limit) = self.watchdog_fuel {
+            if self.x86_retired >= limit {
+                return Some(Watchdog::Fuel { limit });
+            }
+        }
+        if let Some(limit) = self.watchdog_max_translations {
+            if let Some(vm) = self.vm.as_ref() {
+                if vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit {
+                    return Some(Watchdog::Translations { limit });
+                }
+            }
+        }
+        None
+    }
+
     /// Cracked micro-op count of the instruction at `pc` (the hardware
-    /// decoder's dispatch-slot demand).
+    /// decoder's dispatch-slot demand). An uncrackable instruction (it
+    /// already executed architecturally, so this is timing-only) counts
+    /// as one slot.
     fn uop_count_for(&mut self, pc: u32, inst: &cdvm_x86::Inst) -> u32 {
         if let Some(n) = self.decode_uops.get(pc) {
             return n;
         }
-        let cracked = crack(inst, pc);
-        let n = (cracked.uops.len() as u32 + cracked.cti.is_some() as u32).max(1);
+        let n = crack(inst, pc)
+            .map(|c| (c.uops.len() as u32 + c.cti.is_some() as u32).max(1))
+            .unwrap_or(1);
         self.decode_uops.insert(pc, n);
         n
     }
@@ -273,7 +387,12 @@ impl System {
             Ok(r) => r,
             Err(f) => return Status::Faulted(f),
         };
-        let interp_tier = self.kind == MachineKind::VmInterp;
+        // VM.soft/VM.be have no x86-mode hardware path: when a demoted
+        // block forces them into x86-mode they pay interpreter timing.
+        let interp_tier = matches!(
+            self.kind,
+            MachineKind::VmInterp | MachineKind::VmSoft | MachineKind::VmBe
+        );
         // A REP string instruction retires once architecturally; its
         // iterations are microcode (each still pays its timing below).
         let mid_rep_iteration = r.inst.rep && r.next_pc == r.pc;
@@ -302,7 +421,7 @@ impl System {
         // Profile + hotspot detection + mode switching (VM machines).
         if let Some(b) = r.branch {
             if self.vm.is_some() {
-                let vm = self.vm.as_mut().unwrap();
+                let vm = self.vm.as_mut().expect("checked above");
                 match b.kind {
                     BranchKind::Conditional => vm.edges.observe_cond(r.pc, b.taken),
                     BranchKind::Indirect | BranchKind::Return => {
@@ -316,7 +435,7 @@ impl System {
                     if b.taken {
                         hot = bbb.observe_taken(b.target);
                     }
-                } else if interp_tier && b.taken {
+                } else if self.kind == MachineKind::VmInterp && b.taken {
                     let c = self.interp_counters.entry(b.target).or_insert(0);
                     *c += 1;
                     if *c == self.cfg.interp_hot_threshold {
@@ -324,16 +443,24 @@ impl System {
                     }
                 }
                 if let Some(hot_pc) = hot {
-                    if let Err(e) = self.sbt_translate(hot_pc) {
-                        return Status::Faulted(Fault::Decode { pc: hot_pc, err: e });
-                    }
+                    self.sbt_translate(hot_pc);
                 }
                 // Enter optimized code when the target has a translation.
-                let vm = self.vm.as_mut().unwrap();
+                let vm = self.vm.as_mut().expect("checked above");
                 if let Some(native) = vm.lookup(self.cpu.eip) {
                     self.timing.set_category(CycleCat::Vmm);
                     self.timing.charge_vmm_instrs(6.0); // jump-table dispatch
                     self.enter_native(native.0, self.cpu.eip);
+                } else if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe)
+                    && !self.demoted.contains(&self.cpu.eip)
+                {
+                    // These machines interpret only demoted blocks, so a
+                    // control transfer out of one goes back through the
+                    // VMM: translatable successors rejoin BBT execution.
+                    self.timing.set_category(CycleCat::Vmm);
+                    self.timing.charge_vmm_instrs(20.0);
+                    let target = self.cpu.eip;
+                    self.dispatch_to(target);
                 }
             }
         }
@@ -397,34 +524,49 @@ impl System {
 
     fn recover_fault(&mut self, f: NFault) -> Status {
         // Precise-state recovery via the interpreter (Fig. 1's
-        // "Precise State Mapping — May Use Interpreter" arc). In BBT
-        // code architected state is exact at the faulting instruction;
-        // for SBT code we recover to the region entry (our workloads are
-        // fault-free in hotspots; see DESIGN.md).
-        let x86_pc = match f {
-            NFault::DivideError { native_pc } | NFault::Trap { native_pc, .. } => self
-                .vm
-                .as_ref()
-                .and_then(|vm| vm.fault_x86_at(native_pc))
-                .unwrap_or(self.cur_region_entry),
-            NFault::BadFetch { addr } | NFault::BadEncoding { addr } => {
-                panic!("VMM internal error: {f} at {addr:#x}")
+        // "Precise State Mapping — May Use Interpreter" arc).
+        let native_pc = match f {
+            NFault::DivideError { native_pc } | NFault::Trap { native_pc, .. } => native_pc,
+            // These mean the VMM itself broke (stale pointer followed,
+            // corrupt translation): stop with structured evidence
+            // rather than execute wrong code or panic the host.
+            NFault::BadFetch { addr } => return self.broken(VmError::BadNativeFetch { addr }),
+            NFault::BadEncoding { addr } => {
+                return self.broken(VmError::BadNativeEncoding { addr })
             }
             NFault::NoXltUnit { native_pc } => {
-                panic!("XLTx86 executed without a unit at {native_pc:#x}")
+                return self.broken(VmError::NoXltUnit { native_pc })
             }
         };
-        self.leave_native(x86_pc);
         self.timing.set_category(CycleCat::Vmm);
         self.timing.charge_vmm_instrs(200.0); // fault handling
-        match self.interp.step(&mut self.cpu, &mut self.mem) {
-            Err(fault) => Status::Faulted(fault),
-            Ok(_) => {
-                // The micro-op fault did not reproduce architecturally —
-                // that is a translator bug.
-                panic!("fault divergence: {f} did not reproduce at {x86_pc:#x}")
+        match self.vm.as_ref().and_then(|vm| vm.fault_x86_at(native_pc)) {
+            // BBT code: architected state is exact at the faulting
+            // instruction. Replay it through the interpreter; it must
+            // raise the same architectural fault.
+            Some(x86_pc) => {
+                self.stats.exact_fault_recoveries += 1;
+                self.leave_native(x86_pc);
+                match self.interp.step(&mut self.cpu, &mut self.mem) {
+                    Err(fault) => Status::Faulted(fault),
+                    Ok(_) => self.broken(VmError::FaultDivergence { x86_pc }),
+                }
+            }
+            // SBT code: state is exact only at the region entry. Resume
+            // interpreting from there; the fault re-raises with a
+            // precise guest PC when the interpreter reaches it (see
+            // DESIGN.md for the re-execution caveat).
+            None => {
+                self.stats.inexact_fault_recoveries += 1;
+                self.leave_native(self.cur_region_entry);
+                Status::Running
             }
         }
+    }
+
+    fn broken(&mut self, e: VmError) -> Status {
+        self.last_vm_error = Some(e);
+        Status::Broken(e)
     }
 
     fn handle_vmexit(&mut self, code: ExitCode, arg: u32) -> Status {
@@ -452,9 +594,7 @@ impl System {
         match code {
             ExitCode::TranslateMiss => {
                 self.timing.charge_vmm_instrs(20.0);
-                if let Err(e) = self.dispatch_to(arg) {
-                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
-                }
+                self.dispatch_to(arg);
             }
             ExitCode::IndirectMiss => {
                 // Translation-lookup-table search, as counted inside the
@@ -464,9 +604,7 @@ impl System {
                 if let Some(vm) = self.vm.as_mut() {
                     vm.mark_profile_candidate(arg);
                 }
-                if let Err(e) = self.dispatch_to(arg) {
-                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
-                }
+                self.dispatch_to(arg);
                 // Populate the inline-sieve dispatch table when the
                 // target landed in optimized code, so translated code can
                 // resolve this target without the VMM next time.
@@ -484,14 +622,11 @@ impl System {
                 }
             }
             ExitCode::HotTrap => {
-                if let Err(e) = self.sbt_translate(arg) {
-                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
-                }
-                // Resume in the freshly optimized code (architected state
-                // is intact: only VMM registers were touched).
-                if let Err(e) = self.dispatch_to(arg) {
-                    return Status::Faulted(Fault::Decode { pc: arg, err: e });
-                }
+                self.sbt_translate(arg);
+                // Resume in the optimized code if translation succeeded,
+                // or the previous tier if it was demoted (architected
+                // state is intact: only VMM registers were touched).
+                self.dispatch_to(arg);
             }
             ExitCode::TranslatorDone => {}
         }
@@ -500,8 +635,14 @@ impl System {
 
     /// Continues execution at x86 address `target`: existing translation,
     /// fresh BBT translation, or x86-mode/interpreter depending on the
-    /// machine.
-    fn dispatch_to(&mut self, target: u32) -> Result<(), DecodeError> {
+    /// machine. Never fails: a target whose translation fails is demoted
+    /// to interpretation and execution continues architecturally.
+    fn dispatch_to(&mut self, target: u32) {
+        // Demoted blocks stay on the interpreter tier.
+        if self.demoted.contains(&target) {
+            self.fall_back_to_x86(target);
+            return;
+        }
         let vm = self.vm.as_mut().expect("dispatch requires a VM");
         // A previously-translated block that has since become a profile
         // candidate (a loop head discovered late) is re-translated with a
@@ -509,51 +650,94 @@ impl System {
         // hot loop could never be detected.
         if vm.needs_profile_upgrade(target) {
             let old = vm.blocks.get(&target).copied();
-            self.bbt_translate(target)?;
-            let vm = self.vm.as_mut().unwrap();
+            if let Err(e) = self.bbt_translate(target) {
+                self.demote(target, e);
+                return;
+            }
+            let vm = self.vm.as_mut().expect("dispatch requires a VM");
             let new_native = vm.lookup(target).expect("just installed");
             if let Some(old) = old {
                 let inval = vm.redirect_old_entry(target, old, new_native);
                 self.apply_invalidation(&inval);
             }
             self.enter_native(new_native.0, target);
-            return Ok(());
+            return;
         }
         let vm = self.vm.as_mut().expect("dispatch requires a VM");
         if let Some(native) = vm.lookup(target) {
             // Late chaining: patch the exiting stub directly (cheap here;
             // pre-chaining at install covers the common case).
             self.enter_native(native.0, target);
-            return Ok(());
+            return;
         }
         match self.kind {
             MachineKind::VmFe | MachineKind::VmInterp => {
                 // No BBT tier: fall back to x86-mode / interpretation.
-                if self.mode == Mode::Native {
-                    self.leave_native(target);
-                } else {
-                    self.cpu.eip = target;
+                self.fall_back_to_x86(target);
+            }
+            _ => match self.bbt_translate(target) {
+                Ok(()) => {
+                    let vm = self.vm.as_mut().expect("dispatch requires a VM");
+                    let native = vm.lookup(target).expect("translation just installed");
+                    self.enter_native(native.0, target);
                 }
-                Ok(())
-            }
-            _ => {
-                self.bbt_translate(target)?;
-                let vm = self.vm.as_mut().unwrap();
-                let native = vm.lookup(target).expect("translation just installed");
-                self.enter_native(native.0, target);
-                Ok(())
-            }
+                Err(e) => self.demote(target, e),
+            },
         }
+    }
+
+    /// Continues at `target` on the x86/interpreter tier.
+    fn fall_back_to_x86(&mut self, target: u32) {
+        if self.mode == Mode::Native {
+            self.leave_native(target);
+        } else {
+            self.cpu.eip = target;
+        }
+    }
+
+    /// BBT → interpreter demotion: the block at `target` could not be
+    /// translated (undecodable or uncrackable guest bytes, or a block
+    /// larger than the whole code cache). The guest keeps running on the
+    /// interpreter, which re-derives any architectural fault — precisely
+    /// — when execution actually reaches the bad bytes.
+    fn demote(&mut self, target: u32, e: VmError) {
+        self.last_vm_error = Some(e);
+        self.stats.bbt_demotions += 1;
+        self.demoted.insert(target);
+        self.fall_back_to_x86(target);
     }
 
     fn apply_invalidation(&mut self, list: &[u32]) {
         if list.contains(&u32::MAX) {
+            self.note_pressure_flush();
             self.exec.invalidate();
             self.maybe_clear_dispatch_table();
             return;
         }
         for &a in list {
             self.exec.invalidate_at(a);
+        }
+    }
+
+    /// Feeds the retranslation-storm detector: a code-cache pressure
+    /// flush with almost no guest progress since the previous one is a
+    /// storm symptom (a working set that can never fit, retranslated
+    /// forever). Context-switch flushes don't come through here.
+    fn note_pressure_flush(&mut self) {
+        const MIN_PROGRESS_INSTS: u64 = 64;
+        let progress = self.x86_retired - self.retired_at_last_flush;
+        self.retired_at_last_flush = self.x86_retired;
+        if progress >= MIN_PROGRESS_INSTS {
+            self.storm_consecutive = 0;
+            return;
+        }
+        self.storm_consecutive += 1;
+        if let Some(limit) = self.watchdog_storm_flushes {
+            if self.storm_consecutive >= limit && self.tripped.is_none() {
+                self.tripped = Some(Watchdog::RetranslationStorm {
+                    flushes: self.storm_consecutive,
+                });
+            }
         }
     }
 
@@ -574,7 +758,7 @@ impl System {
         self.timing.charge_vmm_instrs(2.0 * DISPATCH_ENTRIES as f64);
     }
 
-    fn bbt_translate(&mut self, entry: u32) -> Result<(), DecodeError> {
+    fn bbt_translate(&mut self, entry: u32) -> Result<(), VmError> {
         let vm = self.vm.as_mut().expect("BBT requires a VM");
         let (out, invalidate) = vm.translate_bbt(&mut self.interp.decoder, &mut self.mem, entry)?;
         self.apply_invalidation(&invalidate);
@@ -597,30 +781,49 @@ impl System {
         Ok(())
     }
 
-    fn sbt_translate(&mut self, entry: u32) -> Result<(), DecodeError> {
+    /// Promotes a hot entry to a superblock. Never fails: if superblock
+    /// translation errors, the entry is demoted to whatever tier was
+    /// already running it (BBT translation or the interpreter) and
+    /// blacklisted so the promotion is not retried forever.
+    fn sbt_translate(&mut self, entry: u32) {
+        if self.sbt_blacklist.contains(&entry) {
+            return;
+        }
         // Skip if an SBT translation already exists (counter raced).
         {
-            let vm = self.vm.as_mut().unwrap();
+            let vm = self.vm.as_mut().expect("SBT requires a VM");
             if matches!(
                 vm.blocks.get(&entry),
                 Some(t) if t.kind == TransKind::Sbt && t.generation == vm.sbt_cache.generation()
             ) {
-                return Ok(());
+                return;
             }
         }
-        let vm = self.vm.as_mut().unwrap();
-        let (out, invalidate) = translate_sbt(vm, &mut self.interp.decoder, &mut self.mem, entry)?;
-        self.apply_invalidation(&invalidate);
-        self.timing.set_category(CycleCat::SbtXlate);
-        let cc = out.translation.native.0;
-        for i in 0..out.translation.x86_count {
-            self.timing
-                .charge_sbt_inst(out.src_pc.wrapping_add(i * 3), cc + i * 12);
+        let vm = self.vm.as_mut().expect("SBT requires a VM");
+        match translate_sbt(vm, &mut self.interp.decoder, &mut self.mem, entry) {
+            Ok((out, invalidate)) => {
+                self.apply_invalidation(&invalidate);
+                self.timing.set_category(CycleCat::SbtXlate);
+                let cc = out.translation.native.0;
+                for i in 0..out.translation.x86_count {
+                    self.timing
+                        .charge_sbt_inst(out.src_pc.wrapping_add(i * 3), cc + i * 12);
+                }
+            }
+            Err(e) => {
+                self.last_vm_error = Some(e);
+                self.stats.sbt_demotions += 1;
+                self.sbt_blacklist.insert(entry);
+                // Disarm the planted hotness counter so the failed
+                // promotion doesn't re-trap on every execution.
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.reset_counter(&mut self.mem, entry);
+                }
+            }
         }
         if let Some(bbb) = self.bbb.as_mut() {
             bbb.reset(entry);
         }
-        Ok(())
     }
 
     /// Models a major context switch: every cache level is flushed while

@@ -191,6 +191,7 @@ impl UAsm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_fisa::encoding::decode_all;

@@ -1,6 +1,7 @@
 //! Focused tests for chain/unchain lifecycle across code-cache flushes.
 
 #![cfg(test)]
+#![allow(clippy::unwrap_used, clippy::panic)]
 
 use cdvm_mem::{CodeCache, CodeCacheConfig, GuestMem};
 use cdvm_x86::{Asm, Cond, Decoder, Gpr};

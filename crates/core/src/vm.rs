@@ -5,12 +5,13 @@ use std::collections::HashMap;
 use cdvm_cracker::{crack, CtiSpec};
 use cdvm_fisa::{encoding, regs, ExitCode, Op, SysOp, Uop};
 use cdvm_mem::{
-    ChainRegistry, CodeCache, CodeCacheConfig, GuestMem, LookupOutcome, Memory, NativePc,
-    TranslationTable,
+    CacheError, ChainRegistry, CodeCache, CodeCacheConfig, GuestMem, LookupOutcome, Memory,
+    NativePc, TranslationTable,
 };
-use cdvm_x86::{Cond, DecodeError, Decoder, Width};
+use cdvm_x86::{Cond, Decoder, Width};
 
 use crate::block::scan_block;
+use crate::error::VmError;
 use crate::pcmap::PcMap;
 use crate::profile::{CounterFile, EdgeProfile};
 use crate::uasm::{UAsm, ULabel, STUB_BYTES};
@@ -281,15 +282,18 @@ impl Vm {
     ///
     /// # Errors
     ///
-    /// Propagates decode errors (the VMM surfaces those architecturally
-    /// via the interpreter).
+    /// Returns a [`VmError`] when the guest bytes fail to decode or
+    /// crack, or when the translation cannot fit the code cache. The
+    /// dispatcher *demotes* on error — the region runs interpreted and
+    /// any architectural fault surfaces there, at its precise PC.
     pub fn translate_bbt(
         &mut self,
         decoder: &mut Decoder,
         mem: &mut GuestMem,
         entry: u32,
-    ) -> Result<(TranslateOutcome, Vec<u32>), DecodeError> {
-        let block = scan_block(decoder, mem, entry)?;
+    ) -> Result<(TranslateOutcome, Vec<u32>), VmError> {
+        let block =
+            scan_block(decoder, mem, entry).map_err(|err| VmError::Decode { pc: entry, err })?;
         let had_live_translation = matches!(
             self.blocks.get(&entry),
             Some(t) if t.kind == TransKind::Bbt && t.generation == self.bbt_cache.generation()
@@ -366,7 +370,7 @@ impl Vm {
         let mut term: Option<(u32, CtiSpec)> = None;
         for (k, (pc, inst)) in block.insts.iter().enumerate() {
             ua.mark_credit(1, *pc);
-            let cracked = crack(inst, *pc);
+            let cracked = crack(inst, *pc)?;
             if cracked.complex {
                 complex += 1;
                 self.stats.complex_insts += 1;
@@ -415,7 +419,7 @@ impl Vm {
 
         ua.pad_to(STUB_BYTES);
         let uop_count = ua.uop_count() as u32;
-        let outcome = self.install(ua, entry, TransKind::Bbt, block.len() as u32, counter_addr);
+        let outcome = self.install(ua, entry, TransKind::Bbt, block.len() as u32, counter_addr)?;
 
         self.stats.bbt_blocks += 1;
         self.stats.bbt_x86_insts += block.len() as u64;
@@ -490,6 +494,12 @@ impl Vm {
 
     /// Installs an assembled translation, handling code-cache flushes and
     /// chaining. Returns the translation and executor-invalidation list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the cache's allocation error when the translation cannot
+    /// fit even an empty arena. The allocation happens *before* any VM
+    /// state is mutated, so a failed install leaves the subsystem intact.
     pub(crate) fn install(
         &mut self,
         ua: UAsm,
@@ -497,7 +507,7 @@ impl Vm {
         kind: TransKind,
         x86_count: u32,
         counter_addr: Option<u32>,
-    ) -> (Translation, Vec<u32>) {
+    ) -> Result<(Translation, Vec<u32>), CacheError> {
         let boundaries: Vec<(u32, u32, u32)> = ua.boundaries().to_vec();
         let stubs: Vec<(u32, u32, ExitCode)> = ua.stubs().to_vec();
         let uop_count = ua.uop_count() as u32;
@@ -511,9 +521,7 @@ impl Vm {
                 TransKind::Sbt => &mut self.sbt_cache,
             };
             let gen_before = cache.generation();
-            let native = cache
-                .alloc(&code_bytes)
-                .expect("translation larger than the whole code cache");
+            let native = cache.alloc(&code_bytes)?;
             (native, cache.generation() != gen_before, cache.generation())
         };
         if flushed {
@@ -616,7 +624,7 @@ impl Vm {
         // Chain every pending site waiting for this entry.
         invalidate.extend(self.chain_to(entry, native));
 
-        (translation, invalidate)
+        Ok((translation, invalidate))
     }
 
     /// Patches all pending chain sites targeting `entry` to jump straight
@@ -849,11 +857,16 @@ fn write_exit_stub(cache: &mut CodeCache, site_addr: u32, x86_target: u32) {
     let bytes = encoding::encode(&stub);
     assert_eq!(bytes.len() as u32, STUB_BYTES);
     for (k, chunk) in bytes.chunks(4).enumerate() {
-        cache.patch_u32(
-            site_addr + 4 * k as u32,
-            u32::from_le_bytes(chunk.try_into().unwrap()),
-        );
+        cache.patch_u32(site_addr + 4 * k as u32, word_of(chunk));
     }
+}
+
+/// A little-endian word from an encoder chunk (stub encodings are
+/// word-multiples by construction).
+fn word_of(chunk: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b[..chunk.len().min(4)].copy_from_slice(&chunk[..chunk.len().min(4)]);
+    u32::from_le_bytes(b)
 }
 
 /// Patches a chain site (a 12-byte stub slot) to transfer directly to
@@ -873,7 +886,7 @@ fn patch_chain(cache: &mut CodeCache, site_addr: u32, native_target: u32) {
             fusible: false,
         };
         let bytes = encoding::encode(&[br]);
-        cache.patch_u32(site_addr, u32::from_le_bytes(bytes[..4].try_into().unwrap()));
+        cache.patch_u32(site_addr, word_of(&bytes[..4]));
     } else {
         let far = [
             Uop::alui(
@@ -888,10 +901,7 @@ fn patch_chain(cache: &mut CodeCache, site_addr: u32, native_target: u32) {
         let bytes = encoding::encode(&far);
         assert_eq!(bytes.len() as u32, STUB_BYTES, "far chain must fill the stub");
         for (k, chunk) in bytes.chunks(4).enumerate() {
-            cache.patch_u32(
-                site_addr + 4 * k as u32,
-                u32::from_le_bytes(chunk.try_into().unwrap()),
-            );
+            cache.patch_u32(site_addr + 4 * k as u32, word_of(chunk));
         }
     }
 }
@@ -950,6 +960,7 @@ pub(crate) fn lower_rep(ua: &mut UAsm, body: &[Uop]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_x86::{AluOp, Asm, Gpr};

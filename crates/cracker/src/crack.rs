@@ -99,11 +99,94 @@ impl Cracked {
     }
 }
 
+/// A structural failure while cracking one instruction.
+///
+/// These arise from malformed [`Inst`] values — operands a decoder bug or
+/// a corrupted decoded-instruction cache could produce — and from the
+/// bounded temporary register file overflowing. They are *not*
+/// architectural faults: callers demote the instruction (hardware punts
+/// to software, translators fall back to the interpreter) rather than
+/// raising a guest-visible exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrackError {
+    /// The instruction is missing an operand its mnemonic requires.
+    MissingOperand {
+        /// Address of the instruction.
+        pc: u32,
+    },
+    /// A direct-branch mnemonic without a resolvable direct target.
+    MissingTarget {
+        /// Address of the instruction.
+        pc: u32,
+    },
+    /// The cracking-temporary file (R8–R15) overflowed.
+    TempsExhausted {
+        /// Address of the instruction.
+        pc: u32,
+    },
+    /// An operand shape the mnemonic cannot accept (e.g. an immediate
+    /// destination or a memory-sourced shift count).
+    BadOperand {
+        /// Address of the instruction.
+        pc: u32,
+    },
+}
+
+impl CrackError {
+    /// Address of the instruction that failed to crack.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            CrackError::MissingOperand { pc }
+            | CrackError::MissingTarget { pc }
+            | CrackError::TempsExhausted { pc }
+            | CrackError::BadOperand { pc } => pc,
+        }
+    }
+}
+
+impl std::fmt::Display for CrackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrackError::MissingOperand { pc } => {
+                write!(f, "missing operand cracking instruction at {pc:#x}")
+            }
+            CrackError::MissingTarget { pc } => {
+                write!(f, "missing direct target cracking instruction at {pc:#x}")
+            }
+            CrackError::TempsExhausted { pc } => {
+                write!(f, "cracking temporaries exhausted at {pc:#x}")
+            }
+            CrackError::BadOperand { pc } => {
+                write!(f, "malformed operand cracking instruction at {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrackError {}
+
+/// Unwraps an operand slot a mnemonic requires.
+fn need(op: Option<Operand>, pc: u32) -> Result<Operand, CrackError> {
+    op.ok_or(CrackError::MissingOperand { pc })
+}
+
+/// Unwraps the direct target of a direct-branch mnemonic.
+fn need_target(inst: &Inst, pc: u32) -> Result<u32, CrackError> {
+    inst.direct_target().ok_or(CrackError::MissingTarget { pc })
+}
+
 /// Micro-op emission context: collects micro-ops and allocates the
 /// cracking temporaries R8–R15.
+///
+/// Rather than threading `Result` through every helper, the context
+/// *accumulates* the first structural failure; [`crack`] checks it once
+/// at the end. Emission after a failure is harmless — the uops are
+/// discarded with the error.
 struct E {
     uops: Vec<Uop>,
     tmp: u8,
+    pc: u32,
+    failed: Option<CrackError>,
 }
 
 /// Addressing mode resolved for the memory micro-ops.
@@ -114,16 +197,24 @@ enum Addr {
 }
 
 impl E {
-    fn new() -> E {
+    fn new(pc: u32) -> E {
         E {
             uops: Vec::with_capacity(4),
             tmp: regs::T0,
+            pc,
+            failed: None,
         }
     }
 
     fn t(&mut self) -> u8 {
         let r = self.tmp;
-        assert!(r <= regs::T7, "cracking temporaries exhausted");
+        if r > regs::T7 {
+            // Saturate instead of panicking: record the failure and keep
+            // handing out T7 so emission stays well-formed until crack()
+            // discards it.
+            self.failed.get_or_insert(CrackError::TempsExhausted { pc: self.pc });
+            return regs::T7;
+        }
         self.tmp += 1;
         r
     }
@@ -298,7 +389,9 @@ impl E {
                 }
             }
             Operand::Mem(m) => self.store(w, m, val),
-            Operand::Imm(_) => unreachable!("immediate destination"),
+            Operand::Imm(_) => {
+                self.failed.get_or_insert(CrackError::BadOperand { pc: self.pc });
+            }
         }
     }
 
@@ -357,16 +450,24 @@ fn shift_op(op: ShiftOp) -> Op {
 /// against a [`cdvm_fisa::NativeState`] whose low registers mirror the
 /// architected state reproduces the interpreter's effects exactly
 /// (property-tested). CTIs additionally return a [`CtiSpec`].
-pub fn crack(inst: &Inst, pc: u32) -> Cracked {
-    let mut e = E::new();
+///
+/// # Errors
+///
+/// Returns a [`CrackError`] when the instruction is structurally
+/// malformed (missing or impossible operands) or exhausts the cracking
+/// temporaries. Callers are expected to *demote*: the hardware assists
+/// punt to software and the translators leave the instruction to the
+/// interpreter.
+pub fn crack(inst: &Inst, pc: u32) -> Result<Cracked, CrackError> {
+    let mut e = E::new(pc);
     let w = inst.width;
     let fall = pc.wrapping_add(inst.len as u32);
     let mut cti = None;
 
     match inst.mnemonic {
         Mnemonic::Mov => {
-            let dst = inst.dst.unwrap();
-            let src = inst.src.unwrap();
+            let dst = need(inst.dst, pc)?;
+            let src = need(inst.src, pc)?;
             match (dst, src, w) {
                 (Operand::Reg(r), Operand::Imm(i), Width::W32) => {
                     e.limm(r.num(), i as u32);
@@ -384,25 +485,25 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             }
         }
         Mnemonic::Movzx(sw) => {
-            let v = e.read_val(inst.src.unwrap(), sw);
+            let v = e.read_val(need(inst.src, pc)?, sw);
             let t = e.t();
             let op = if sw == Width::W8 { Op::Zext8 } else { Op::Zext16 };
             e.push(Uop::alui(op, t, v, 0));
-            e.write(inst.dst.unwrap(), w, t);
+            e.write(need(inst.dst, pc)?, w, t);
         }
         Mnemonic::Movsx(sw) => {
-            let v = e.read_val(inst.src.unwrap(), sw);
+            let v = e.read_val(need(inst.src, pc)?, sw);
             let t = e.t();
             let op = if sw == Width::W8 { Op::Sext8 } else { Op::Sext16 };
             e.push(Uop::alui(op, t, v, 0));
-            e.write(inst.dst.unwrap(), w, t);
+            e.write(need(inst.dst, pc)?, w, t);
         }
         Mnemonic::Lea => {
             let Some(Operand::Mem(m)) = inst.src else {
-                unreachable!("LEA without memory source")
+                return Err(CrackError::BadOperand { pc });
             };
             let Some(Operand::Reg(rd)) = inst.dst else {
-                unreachable!("LEA without register destination")
+                return Err(CrackError::BadOperand { pc });
             };
             let rd = rd.num();
             match (m.base, m.index) {
@@ -429,8 +530,8 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             }
         }
         Mnemonic::Xchg => {
-            let a = inst.dst.unwrap();
-            let b = inst.src.unwrap();
+            let a = need(inst.dst, pc)?;
+            let b = need(inst.src, pc)?;
             match (a, b, w) {
                 (Operand::Reg(ra), Operand::Reg(rb), Width::W32) => {
                     let t = e.t();
@@ -449,12 +550,12 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             }
         }
         Mnemonic::Push => {
-            let v = e.read_val(inst.src.unwrap(), Width::W32);
+            let v = e.read_val(need(inst.src, pc)?, Width::W32);
             e.push(Uop::st(Width::W32, v, regs::ESP, -4));
             e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
         }
         Mnemonic::Pop => {
-            let dst = inst.dst.unwrap();
+            let dst = need(inst.dst, pc)?;
             match dst {
                 Operand::Reg(r) if r != Gpr::Esp => {
                     e.push(Uop::ld(Width::W32, r.num(), regs::ESP, 0));
@@ -469,8 +570,8 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             }
         }
         Mnemonic::Alu(op) => {
-            let dst = inst.dst.unwrap();
-            let src = inst.src.unwrap();
+            let dst = need(inst.dst, pc)?;
+            let src = need(inst.src, pc)?;
             let nop = alu_op(op);
             if op == AluOp::Cmp || op == AluOp::Test {
                 let a = e.read_val(dst, w);
@@ -496,7 +597,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
                         e.aluf(nop, w, t, a, b);
                         e.store(w, m, t);
                     }
-                    Operand::Imm(_) => unreachable!(),
+                    Operand::Imm(_) => return Err(CrackError::BadOperand { pc }),
                 }
             }
         }
@@ -506,7 +607,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
                 Mnemonic::Dec => Op::DecF,
                 _ => Op::Neg,
             };
-            let dst = inst.dst.unwrap();
+            let dst = need(inst.dst, pc)?;
             match dst {
                 Operand::Reg(r) if w == Width::W32 => {
                     let mut u = Uop::alui(op, r.num(), r.num(), 0).with_flags(w);
@@ -522,7 +623,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             }
         }
         Mnemonic::Not => {
-            let dst = inst.dst.unwrap();
+            let dst = need(inst.dst, pc)?;
             match dst {
                 Operand::Reg(r) if w == Width::W32 => {
                     e.push(Uop::alui(Op::Not, r.num(), r.num(), 0));
@@ -541,7 +642,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             } else {
                 Op::MulHiS
             };
-            let b = e.read_val(inst.dst.unwrap(), w);
+            let b = e.read_val(need(inst.dst, pc)?, w);
             let lo = e.t();
             let hi = e.t();
             let mut u = Uop::alu(Op::MulLo, lo, regs::EAX, b);
@@ -569,14 +670,14 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
         Mnemonic::Imul => {
             let (a, b) = match inst.src2 {
                 Some(Operand::Imm(i)) => {
-                    let a = e.read_val(inst.src.unwrap(), w);
+                    let a = e.read_val(need(inst.src, pc)?, w);
                     let t = e.t();
                     e.limm(t, i as u32);
                     (a, t)
                 }
                 _ => {
-                    let a = e.read_val(inst.dst.unwrap(), w);
-                    let b = e.read_val(inst.src.unwrap(), w);
+                    let a = e.read_val(need(inst.dst, pc)?, w);
+                    let b = e.read_val(need(inst.src, pc)?, w);
                     (a, b)
                 }
             };
@@ -587,7 +688,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             e.push(u);
             // flags come from the widening-compare semantics
             e.push(Uop::alu(Op::MulHiS, hi, a, b).with_flags(w));
-            e.write(inst.dst.unwrap(), w, lo);
+            e.write(need(inst.dst, pc)?, w, lo);
         }
         Mnemonic::Div | Mnemonic::Idiv => {
             let (qop, rop) = if inst.mnemonic == Mnemonic::Div {
@@ -595,7 +696,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             } else {
                 (Op::IDivQ, Op::IDivR)
             };
-            let d = e.read_val(inst.dst.unwrap(), w);
+            let d = e.read_val(need(inst.dst, pc)?, w);
             let q = e.t();
             let r = e.t();
             let mut uq = Uop::alu(qop, q, d, regs::VMM_SP);
@@ -621,11 +722,11 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
         }
         Mnemonic::Shift(op) => {
             let nop = shift_op(op);
-            let dst = inst.dst.unwrap();
-            let count = match inst.src.unwrap() {
+            let dst = need(inst.dst, pc)?;
+            let count = match need(inst.src, pc)? {
                 Operand::Imm(i) => FlagSrc::Imm(i & 31),
                 Operand::Reg(_) => FlagSrc::Reg(regs::ECX),
-                Operand::Mem(_) => unreachable!("shift count from memory"),
+                Operand::Mem(_) => return Err(CrackError::BadOperand { pc }),
             };
             match dst {
                 Operand::Reg(r) if w == Width::W32 => {
@@ -642,17 +743,17 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
         Mnemonic::Jcc(cond) => {
             cti = Some(CtiSpec::CondFlags {
                 cond,
-                target: inst.direct_target().unwrap(),
+                target: need_target(inst, pc)?,
                 fall,
             });
         }
         Mnemonic::Jmp => {
             cti = Some(CtiSpec::Direct {
-                target: inst.direct_target().unwrap(),
+                target: need_target(inst, pc)?,
             });
         }
         Mnemonic::JmpInd => {
-            let t = e.read_val(inst.src.unwrap(), Width::W32);
+            let t = e.read_val(need(inst.src, pc)?, Width::W32);
             cti = Some(CtiSpec::Indirect { reg: t });
         }
         Mnemonic::Call => {
@@ -661,12 +762,12 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             e.push(Uop::st(Width::W32, t, regs::ESP, -4));
             e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
             cti = Some(CtiSpec::DirectCall {
-                target: inst.direct_target().unwrap(),
+                target: need_target(inst, pc)?,
                 fall,
             });
         }
         Mnemonic::CallInd => {
-            let target = e.read_val(inst.src.unwrap(), Width::W32);
+            let target = e.read_val(need(inst.src, pc)?, Width::W32);
             let t = e.t();
             e.limm(t, fall);
             e.push(Uop::st(Width::W32, t, regs::ESP, -4));
@@ -687,14 +788,14 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
             e.push(Uop::alui(Op::Add, regs::ECX, regs::ECX, -1));
             cti = Some(CtiSpec::CondNz {
                 reg: regs::ECX,
-                target: inst.direct_target().unwrap(),
+                target: need_target(inst, pc)?,
                 fall,
             });
         }
         Mnemonic::Jecxz => {
             cti = Some(CtiSpec::CondZ {
                 reg: regs::ECX,
-                target: inst.direct_target().unwrap(),
+                target: need_target(inst, pc)?,
                 fall,
             });
         }
@@ -710,11 +811,11 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
                 set_flags: false,
                 fusible: false,
             });
-            e.write(inst.dst.unwrap(), Width::W8, t);
+            e.write(need(inst.dst, pc)?, Width::W8, t);
         }
         Mnemonic::Cmovcc(cond) => {
-            let v = e.read_val(inst.src.unwrap(), w);
-            match inst.dst.unwrap() {
+            let v = e.read_val(need(inst.src, pc)?, w);
+            match need(inst.dst, pc)? {
                 Operand::Reg(r) if w == Width::W32 => {
                     e.push(Uop {
                         op: Op::Cmovcc(cond),
@@ -802,7 +903,7 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
         }
         Mnemonic::Enter => {
             let Some(Operand::Imm(frame)) = inst.src else {
-                unreachable!("ENTER without frame")
+                return Err(CrackError::BadOperand { pc });
             };
             e.push(Uop::st(Width::W32, regs::EBP, regs::ESP, -4));
             e.push(Uop::alui(Op::Add, regs::ESP, regs::ESP, -4));
@@ -830,11 +931,14 @@ pub fn crack(inst: &Inst, pc: u32) -> Cracked {
         }
     }
 
-    Cracked {
+    if let Some(err) = e.failed {
+        return Err(err);
+    }
+    Ok(Cracked {
         uops: e.uops,
         cti,
         complex: inst.mnemonic.is_complex(),
-    }
+    })
 }
 
 /// One iteration of a string instruction, with runtime DF handling.
@@ -885,6 +989,7 @@ fn crack_string(e: &mut E, inst: &Inst, cti: &mut Option<CtiSpec>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_x86::{decode, Asm};
@@ -894,7 +999,7 @@ mod tests {
         build(&mut asm);
         let code = asm.finish();
         let inst = decode(&code, 0x1000).expect("decodes");
-        crack(&inst, 0x1000)
+        crack(&inst, 0x1000).expect("cracks")
     }
 
     #[test]
@@ -1029,6 +1134,32 @@ mod tests {
             assert!(c.uops.len() <= 4);
             assert!(c.encoded_uop_bytes() <= 16);
         }
+    }
+
+    #[test]
+    fn malformed_inst_is_an_error_not_a_panic() {
+        // A MOV with no operands at all, as a corrupted decode cache
+        // could hand us.
+        let inst = Inst {
+            dst: None,
+            src: None,
+            ..decode(&[0x90], 0x2000).expect("nop decodes")
+        };
+        let bad = Inst {
+            mnemonic: Mnemonic::Mov,
+            ..inst
+        };
+        assert!(matches!(
+            crack(&bad, 0x2000),
+            Err(CrackError::MissingOperand { pc: 0x2000 })
+        ));
+    }
+
+    #[test]
+    fn crack_error_reports_pc() {
+        let e = CrackError::TempsExhausted { pc: 0x1234 };
+        assert_eq!(e.pc(), 0x1234);
+        assert!(e.to_string().contains("0x1234"));
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl XltAssist for HwXlt {
             // will raise the architectural fault path.
             return punt(0, false, self);
         };
-        let cracked = crack(&inst, x86_pc);
+        let Ok(cracked) = crack(&inst, x86_pc) else {
+            // Structurally uncrackable: same punt path as complex
+            // instructions — software microcode handles it.
+            return punt(inst.len, false, self);
+        };
         let uop_bytes = encoding::encode(&cracked.uops);
         // The 4-bit uops_bytes CSR field limits the fast path to 15 bytes
         // of generated micro-ops; longer expansions are complex (paper:
@@ -94,6 +98,7 @@ impl XltAssist for HwXlt {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_fisa::encoding::decode_all;

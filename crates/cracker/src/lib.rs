@@ -27,16 +27,21 @@
 //!
 //! // add eax, ebx
 //! let inst = decode(&[0x01, 0xd8], 0x1000)?;
-//! let cracked = crack(&inst, 0x1000);
+//! let cracked = crack(&inst, 0x1000).expect("well-formed instruction");
 //! assert_eq!(cracked.uops.len(), 1);
 //! assert!(!cracked.complex);
 //! # Ok::<(), cdvm_x86::DecodeError>(())
 //! ```
+//!
+//! [`crack`] is total over well-formed [`cdvm_x86::Inst`] values; a
+//! malformed instruction (or one that exhausts the cracking temporaries)
+//! yields a structured [`CrackError`] instead of a panic, and callers
+//! demote — hardware punts, translators fall back to the interpreter.
 
 #![warn(missing_docs)]
 
 mod crack;
 mod hwxlt;
 
-pub use crack::{crack, Cracked, CtiSpec, RepKind};
+pub use crack::{crack, CrackError, Cracked, CtiSpec, RepKind};
 pub use hwxlt::HwXlt;

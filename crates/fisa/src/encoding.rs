@@ -810,6 +810,7 @@ pub fn decode_all(bytes: &[u8]) -> Result<Vec<Uop>, EncodingError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -626,6 +626,7 @@ impl Executor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_mem::GuestMem;

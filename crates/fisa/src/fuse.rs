@@ -125,6 +125,7 @@ pub fn can_fuse(head: &Uop, tail: &Uop) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::regs;

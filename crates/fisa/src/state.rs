@@ -69,6 +69,7 @@ impl NativeState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use cdvm_x86::Gpr;

@@ -479,6 +479,7 @@ impl std::fmt::Display for Uop {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

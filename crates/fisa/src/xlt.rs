@@ -64,6 +64,7 @@ pub trait XltAssist {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -1,133 +1,114 @@
-//! Property test: every micro-op the builders can construct round-trips
-//! through the 16/32-bit binary encoding bit-exactly.
+//! Randomized property test: every micro-op the builders can construct
+//! round-trips through the 16/32-bit binary encoding bit-exactly.
+//! Deterministic seeded generation (no external property-testing crate);
+//! the failing seed is printed for replay.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_fisa::{encoding, regs, ExitCode, Op, SysOp, Uop};
+use cdvm_mem::Rng64;
 use cdvm_x86::{Cond, Width};
-use proptest::prelude::*;
 
-fn reg() -> impl Strategy<Value = u8> {
-    0u8..31 // R31 is the immediate sentinel; builders use it implicitly
+fn reg(rng: &mut Rng64) -> u8 {
+    // R31 is the immediate sentinel; builders use it implicitly.
+    rng.range_u32(0, 31) as u8
 }
 
-fn width() -> impl Strategy<Value = Width> {
-    prop::sample::select(vec![Width::W8, Width::W16, Width::W32])
+fn width(rng: &mut Rng64) -> Width {
+    [Width::W8, Width::W16, Width::W32][rng.range_usize(0, 3)]
 }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    (0u8..16).prop_map(Cond::from_num)
+fn cond(rng: &mut Rng64) -> Cond {
+    Cond::from_num(rng.range_u32(0, 16) as u8)
+}
+
+fn opt_width(rng: &mut Rng64) -> Option<Width> {
+    if rng.bool(0.5) {
+        Some(width(rng))
+    } else {
+        None
+    }
 }
 
 /// Canonical (encodable) micro-ops, as the translators build them.
-fn uop() -> impl Strategy<Value = Uop> {
-    let alu_rr = (
-        prop::sample::select(vec![
-            Op::Add,
-            Op::Adc,
-            Op::Sub,
-            Op::Sbb,
-            Op::And,
-            Op::Or,
-            Op::Xor,
-        ]),
-        reg(),
-        reg(),
-        reg(),
-        prop::option::of(width()),
-        any::<bool>(),
-    )
-        .prop_map(|(op, rd, rs1, rs2, fw, fus)| {
-            let mut u = Uop::alu(op, rd, rs1, rs2);
-            if let Some(w) = fw {
+fn random_uop(rng: &mut Rng64) -> Uop {
+    match rng.range_u32(0, 11) {
+        0 => {
+            // alu_rr
+            let op = [Op::Add, Op::Adc, Op::Sub, Op::Sbb, Op::And, Op::Or, Op::Xor]
+                [rng.range_usize(0, 7)];
+            let mut u = Uop::alu(op, reg(rng), reg(rng), reg(rng));
+            if let Some(w) = opt_width(rng) {
                 u = u.with_flags(w);
             }
-            if fus {
+            if rng.bool(0.5) {
                 u = u.fused();
             }
             u
-        });
-    let alu_ri = (
-        prop::sample::select(vec![Op::Add, Op::And, Op::Or, Op::Xor]),
-        reg(),
-        reg(),
-        -128i32..128,
-        prop::option::of(width()),
-    )
-        .prop_map(|(op, rd, rs1, imm, fw)| {
-            let mut u = Uop::alui(op, rd, rs1, imm);
-            if let Some(w) = fw {
+        }
+        1 => {
+            // alu_ri
+            let op = [Op::Add, Op::And, Op::Or, Op::Xor][rng.range_usize(0, 4)];
+            let mut u = Uop::alui(op, reg(rng), reg(rng), rng.range_i32(-128, 128));
+            if let Some(w) = opt_width(rng) {
                 u.imm = u.imm.clamp(-32, 31);
                 u = u.with_flags(w);
             }
             u
-        });
-    let shift = (
-        prop::sample::select(vec![Op::Shl, Op::Shr, Op::Sar, Op::Rol, Op::Ror]),
-        reg(),
-        reg(),
-        0i32..32,
-        prop::option::of(width()),
-    )
-        .prop_map(|(op, rd, rs1, c, fw)| {
-            let mut u = Uop::alui(op, rd, rs1, c);
-            if let Some(w) = fw {
+        }
+        2 => {
+            // shift
+            let op = [Op::Shl, Op::Shr, Op::Sar, Op::Rol, Op::Ror][rng.range_usize(0, 5)];
+            let mut u = Uop::alui(op, reg(rng), reg(rng), rng.range_i32(0, 32));
+            if let Some(w) = opt_width(rng) {
                 u = u.with_flags(w);
             }
             u
-        });
-    let mem = (
-        any::<bool>(),
-        width(),
-        reg(),
-        reg(),
-        -8192i32..8192,
-    )
-        .prop_map(|(is_ld, w, a, b, d)| {
-            if is_ld {
+        }
+        3 => {
+            // mem, base+disp
+            let w = width(rng);
+            let (a, b, d) = (reg(rng), reg(rng), rng.range_i32(-8192, 8192));
+            if rng.bool(0.5) {
                 Uop::ld(w, a, b, d)
             } else {
                 Uop::st(w, a, b, d)
             }
-        });
-    let mem_idx = (
-        any::<bool>(),
-        width(),
-        reg(),
-        reg(),
-        reg(),
-        prop::sample::select(vec![1u8, 2, 4, 8]),
-        -32i32..32,
-    )
-        .prop_map(|(is_ld, w, rd, rs1, rs2, scale, d)| Uop {
-            op: if is_ld {
-                Op::Ld {
-                    w,
-                    indexed: true,
-                    scale,
-                }
-            } else {
-                Op::St {
-                    w,
-                    indexed: true,
-                    scale,
-                }
-            },
-            rd,
-            rs1,
-            rs2,
-            imm: d,
-            w: Width::W32,
-            set_flags: false,
-            fusible: false,
-        });
-    let limm = (reg(), any::<u32>()).prop_map(|(rd, v)| Uop::limm32(rd, v)[0]);
-    let branch = (
-        prop::sample::select(vec![0u8, 1, 2]),
-        cond(),
-        reg(),
-        -30000i32..30000,
-        any::<bool>(),
-    )
-        .prop_map(|(kind, c, r, off, fus)| {
+        }
+        4 => {
+            // mem, indexed
+            let w = width(rng);
+            let scale = [1u8, 2, 4, 8][rng.range_usize(0, 4)];
+            let is_ld = rng.bool(0.5);
+            Uop {
+                op: if is_ld {
+                    Op::Ld {
+                        w,
+                        indexed: true,
+                        scale,
+                    }
+                } else {
+                    Op::St {
+                        w,
+                        indexed: true,
+                        scale,
+                    }
+                },
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                imm: rng.range_i32(-32, 32),
+                w: Width::W32,
+                set_flags: false,
+                fusible: false,
+            }
+        }
+        5 => Uop::limm32(reg(rng), rng.next_u32())[0],
+        6 => {
+            // branch
+            let kind = rng.range_u32(0, 3) as u8;
+            let c = cond(rng);
+            let r = reg(rng);
             let op = match kind {
                 0 => Op::Bcc(c),
                 1 => Op::Bnz,
@@ -138,74 +119,73 @@ fn uop() -> impl Strategy<Value = Uop> {
                 rd: 0,
                 rs1: if kind == 0 { 0 } else { r },
                 rs2: regs::VMM_SP,
-                imm: off,
+                imm: rng.range_i32(-30000, 30000),
                 w: Width::W32,
                 set_flags: false,
-                fusible: fus,
+                fusible: rng.bool(0.5),
             }
-        });
-    let special = prop::sample::select(vec![
-        Uop::vmexit(ExitCode::TranslateMiss),
-        Uop::vmexit(ExitCode::IndirectMiss),
-        Uop::vmexit(ExitCode::HotTrap),
-        Uop::alui(Op::Sys(SysOp::Halt), 0, 0, 0),
-        Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0),
-        Uop::alui(Op::Sys(SysOp::Cld), 0, 0, 0),
-        Uop::alui(Op::Sys(SysOp::Std), 0, 0, 0),
-        Uop::alui(Op::RdDf, regs::T0, 0, 0),
-        Uop::alu(Op::Jr, 0, regs::T2, regs::VMM_SP),
-    ]);
-    let unary = (
-        prop::sample::select(vec![
-            Op::Sext8,
-            Op::Sext16,
-            Op::Zext8,
-            Op::Zext16,
-            Op::Not,
-            Op::ExtHi8,
-        ]),
-        reg(),
-        reg(),
-    )
-        .prop_map(|(op, rd, rs1)| Uop::alui(op, rd, rs1, 0));
-    let dep = (
-        prop::sample::select(vec![Op::DepLo8, Op::DepHi8, Op::Dep16]),
-        reg(),
-        reg(),
-        reg(),
-    )
-        .prop_map(|(op, rd, rs1, rs2)| Uop::alu(op, rd, rs1, rs2));
-    let setcc = (cond(), reg()).prop_map(|(c, rd)| Uop {
-        op: Op::Setcc(c),
-        rd,
-        rs1: 0,
-        rs2: 0,
-        imm: 0,
-        w: Width::W32,
-        set_flags: false,
-        fusible: false,
-    });
-
-    prop_oneof![
-        alu_rr, alu_ri, shift, mem, mem_idx, limm, branch, special, unary, dep, setcc
-    ]
+        }
+        7 => {
+            // special
+            let choices = [
+                Uop::vmexit(ExitCode::TranslateMiss),
+                Uop::vmexit(ExitCode::IndirectMiss),
+                Uop::vmexit(ExitCode::HotTrap),
+                Uop::alui(Op::Sys(SysOp::Halt), 0, 0, 0),
+                Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0),
+                Uop::alui(Op::Sys(SysOp::Cld), 0, 0, 0),
+                Uop::alui(Op::Sys(SysOp::Std), 0, 0, 0),
+                Uop::alui(Op::RdDf, regs::T0, 0, 0),
+                Uop::alu(Op::Jr, 0, regs::T2, regs::VMM_SP),
+            ];
+            choices[rng.range_usize(0, choices.len())]
+        }
+        8 => {
+            // unary
+            let op = [Op::Sext8, Op::Sext16, Op::Zext8, Op::Zext16, Op::Not, Op::ExtHi8]
+                [rng.range_usize(0, 6)];
+            Uop::alui(op, reg(rng), reg(rng), 0)
+        }
+        9 => {
+            // deposit
+            let op = [Op::DepLo8, Op::DepHi8, Op::Dep16][rng.range_usize(0, 3)];
+            Uop::alu(op, reg(rng), reg(rng), reg(rng))
+        }
+        _ => Uop {
+            op: Op::Setcc(cond(rng)),
+            rd: reg(rng),
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+            w: Width::W32,
+            set_flags: false,
+            fusible: false,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn encode_decode_round_trip(u in uop()) {
+#[test]
+fn encode_decode_round_trip() {
+    for case in 0..512u64 {
+        let seed = 0xF15A_0000 + case;
+        let mut rng = Rng64::new(seed);
+        let u = random_uop(&mut rng);
         let bytes = encoding::encode(&[u]);
         let (decoded, len) = encoding::decode_one(&bytes, 0).expect("decodes");
-        prop_assert_eq!(len as usize, bytes.len());
-        prop_assert_eq!(decoded, u, "round-trip mismatch");
+        assert_eq!(len as usize, bytes.len(), "seed {seed:#x}");
+        assert_eq!(decoded, u, "round-trip mismatch (seed {seed:#x})");
     }
+}
 
-    #[test]
-    fn streams_round_trip(uops in prop::collection::vec(uop(), 1..64)) {
+#[test]
+fn streams_round_trip() {
+    for case in 0..128u64 {
+        let seed = 0x57A3_0000 + case;
+        let mut rng = Rng64::new(seed);
+        let n = rng.range_usize(1, 64);
+        let uops: Vec<Uop> = (0..n).map(|_| random_uop(&mut rng)).collect();
         let bytes = encoding::encode(&uops);
         let decoded = encoding::decode_all(&bytes).expect("stream decodes");
-        prop_assert_eq!(decoded, uops);
+        assert_eq!(decoded, uops, "seed {seed:#x}");
     }
 }

@@ -106,6 +106,7 @@ impl ChainRegistry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

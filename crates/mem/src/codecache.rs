@@ -1,6 +1,48 @@
 //! Concealed-memory code cache arenas.
 
-use bytes::BytesMut;
+/// A structured code-cache failure.
+///
+/// Cache exhaustion is a *recoverable* condition for the VMM: the
+/// degradation ladder falls back to a lower translation tier (or the
+/// interpreter) instead of aborting the guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheError {
+    /// The requested block is larger than the entire arena, so no number
+    /// of flushes can ever make it fit (a configuration error surfaced to
+    /// the caller rather than an infinite flush loop).
+    TooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// Arena capacity in bytes.
+        capacity: usize,
+    },
+    /// An access touched bytes outside the live region of the arena.
+    OutOfRange {
+        /// Address of the access.
+        addr: u32,
+        /// Length of the access in bytes.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::TooLarge {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "translation of {requested} bytes exceeds the {capacity}-byte arena"
+            ),
+            CacheError::OutOfRange { addr, len } => {
+                write!(f, "{len}-byte access at {addr:#x} outside the live arena")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
 
 /// Address of a translation entry point inside a code cache.
 ///
@@ -83,7 +125,7 @@ pub struct CodeCacheStats {
 #[derive(Debug, Clone)]
 pub struct CodeCache {
     config: CodeCacheConfig,
-    bytes: BytesMut,
+    bytes: Vec<u8>,
     generation: u64,
     stats: CodeCacheStats,
 }
@@ -98,7 +140,7 @@ impl CodeCache {
         assert!(config.capacity > 0, "code cache capacity must be non-zero");
         CodeCache {
             config,
-            bytes: BytesMut::with_capacity(config.capacity),
+            bytes: Vec::with_capacity(config.capacity),
             generation: 0,
             stats: CodeCacheStats::default(),
         }
@@ -129,12 +171,16 @@ impl CodeCache {
 
     /// Allocates `code` in the arena, flushing first if necessary.
     ///
-    /// Returns the simulated address of the copied code, or `None` if the
-    /// code is larger than the whole arena (a configuration error surfaced
-    /// to the caller rather than an infinite flush loop).
-    pub fn alloc(&mut self, code: &[u8]) -> Option<NativePc> {
+    /// Returns the simulated address of the copied code, or
+    /// [`CacheError::TooLarge`] if the code is larger than the whole
+    /// arena (arena-wrap would otherwise flush forever without making
+    /// progress).
+    pub fn alloc(&mut self, code: &[u8]) -> Result<NativePc, CacheError> {
         if code.len() > self.config.capacity {
-            return None;
+            return Err(CacheError::TooLarge {
+                requested: code.len(),
+                capacity: self.config.capacity,
+            });
         }
         if !self.fits(code.len()) {
             self.flush();
@@ -143,7 +189,7 @@ impl CodeCache {
         self.bytes.extend_from_slice(code);
         self.stats.total_bytes_written += code.len() as u64;
         self.stats.resident_translations += 1;
-        Some(NativePc(self.config.base + offset as u32))
+        Ok(NativePc(self.config.base + offset as u32))
     }
 
     /// Discards every translation and bumps the generation.
@@ -184,7 +230,7 @@ impl CodeCache {
     /// Panics if the range is outside the live region.
     pub fn read_u16(&self, addr: u32) -> u16 {
         let o = self.offset(addr);
-        u16::from_le_bytes(self.bytes[o..o + 2].try_into().unwrap())
+        u16::from_le_bytes([self.bytes[o], self.bytes[o + 1]])
     }
 
     /// Reads a little-endian word of translated code.
@@ -194,7 +240,12 @@ impl CodeCache {
     /// Panics if the range is outside the live region.
     pub fn read_u32(&self, addr: u32) -> u32 {
         let o = self.offset(addr);
-        u32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap())
+        u32::from_le_bytes([
+            self.bytes[o],
+            self.bytes[o + 1],
+            self.bytes[o + 2],
+            self.bytes[o + 3],
+        ])
     }
 
     /// Patches a halfword in place (used by branch chaining).
@@ -228,6 +279,7 @@ impl CodeCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -264,7 +316,13 @@ mod tests {
     #[test]
     fn oversized_allocation_rejected() {
         let mut cc = small();
-        assert!(cc.alloc(&[0; 17]).is_none());
+        assert_eq!(
+            cc.alloc(&[0; 17]),
+            Err(CacheError::TooLarge {
+                requested: 17,
+                capacity: 16
+            })
+        );
         assert_eq!(cc.generation(), 0);
     }
 

@@ -32,8 +32,10 @@ mod chain;
 mod codecache;
 mod lookup;
 mod memory;
+mod rng;
 
 pub use chain::{ChainRegistry, ChainSite};
-pub use codecache::{CodeCache, CodeCacheConfig, CodeCacheStats, NativePc};
+pub use codecache::{CacheError, CodeCache, CodeCacheConfig, CodeCacheStats, NativePc};
 pub use lookup::{LookupOutcome, TranslationTable};
 pub use memory::{GuestMem, Memory, PAGE_SIZE};
+pub use rng::Rng64;

@@ -158,7 +158,9 @@ impl Memory for GuestMem {
         let off = (addr as usize) & (PAGE_SIZE - 1);
         if off <= PAGE_SIZE - 4 {
             let page = self.page(addr >> PAGE_SHIFT);
-            u32::from_le_bytes(page[off..off + 4].try_into().unwrap())
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&page[off..off + 4]);
+            u32::from_le_bytes(b)
         } else {
             u32::from(self.read_u16(addr)) | (u32::from(self.read_u16(addr.wrapping_add(2))) << 16)
         }
@@ -178,6 +180,7 @@ impl Memory for GuestMem {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -1,9 +1,7 @@
 //! Log-spaced time series.
 
-use serde::{Deserialize, Serialize};
-
 /// One sample point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Elapsed cycles at the sample.
     pub cycles: u64,
@@ -39,7 +37,7 @@ impl Sample {
 /// let last = s.samples().last().unwrap();
 /// assert!((last.rate() - 0.8).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogSampler {
     next_threshold: f64,
     step: f64,
@@ -95,7 +93,7 @@ impl LogSampler {
         }
         match s.binary_search_by_key(&cycles, |p| p.cycles) {
             Ok(i) => Some(s[i].value),
-            Err(i) if i >= s.len() => Some(s.last().unwrap().value),
+            Err(i) if i >= s.len() => s.last().map(|p| p.value),
             Err(i) => {
                 let (a, b) = (s[i - 1], s[i]);
                 let t = (cycles - a.cycles) as f64 / (b.cycles - a.cycles) as f64;

@@ -106,7 +106,7 @@ impl Cache {
         // LRU victim.
         let victim = (0..self.config.ways)
             .min_by_key(|&i| self.lru[base + i])
-            .unwrap();
+            .expect("a cache set has at least one way");
         self.tags[base + victim] = tag;
         self.lru[base + victim] = self.tick;
         false
@@ -217,6 +217,7 @@ impl Hierarchy {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -1,9 +1,7 @@
 //! Machine configurations (Table 2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// The four simulated machines of the evaluation (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineKind {
     /// `Ref: superscalar` — conventional x86 superscalar with hardware
     /// decoders; the baseline every startup comparison is made against.
@@ -63,7 +61,7 @@ impl std::fmt::Display for MachineKind {
 /// constants of the interval core model; their defaults land the
 /// steady-state VM-vs-reference IPC gap at the paper's ≈+8% for
 /// Winstone-like fusion rates (DESIGN.md §5 documents the derivation).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
     /// Which machine this is.
     pub kind: MachineKind,
@@ -152,6 +150,7 @@ impl MachineConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -332,6 +332,7 @@ impl Timing {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::config::{MachineConfig, MachineKind};

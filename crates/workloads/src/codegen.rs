@@ -1,9 +1,7 @@
 //! The workload code generator.
 
-use cdvm_mem::{GuestMem, Memory};
+use cdvm_mem::{GuestMem, Memory, Rng64};
 use cdvm_x86::{AluOp, Asm, Cond, Gpr, MemRef, ShiftOp, Width};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::AppProfile;
 
@@ -85,7 +83,7 @@ pub fn build_app(profile: &AppProfile, scale: f64) -> Workload {
 /// counts grow while the hot threshold stays fixed, which is what makes
 /// hotspot coverage rise on longer traces.
 pub fn build_app_run(profile: &AppProfile, scale: f64, length_mult: f64) -> Workload {
-    let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let mut rng = Rng64::new(profile.seed);
     let nfuncs = ((profile.funcs as f64 * scale) as usize).max(32);
     let ncalls = ((profile.calls as f64 * scale * length_mult) as usize).max(200);
 
@@ -156,7 +154,7 @@ pub fn build_app_run(profile: &AppProfile, scale: f64, length_mult: f64) -> Work
     let mut prefix = Vec::with_capacity(nfuncs + 1);
     prefix.push(0.0);
     for w in &weights {
-        prefix.push(prefix.last().unwrap() + w);
+        prefix.push(prefix.last().copied().unwrap_or(0.0) + w);
     }
 
     let mut approx_dynamic = 0u64;
@@ -170,14 +168,14 @@ pub fn build_app_run(profile: &AppProfile, scale: f64, length_mult: f64) -> Work
         // Cumulative window: later phases can reach colder functions.
         let window = ((phase + 1) * nfuncs / phases).clamp(1, nfuncs);
         let total = prefix[window];
-        let x: f64 = rng.gen::<f64>() * total;
+        let x: f64 = rng.f64() * total;
         let idx = match prefix[..=window]
-            .binary_search_by(|p| p.partial_cmp(&x).unwrap())
+            .binary_search_by(|p| p.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less))
         {
             Ok(i) => i.min(window - 1),
             Err(i) => (i - 1).min(window - 1),
         };
-        let batch = rng.gen_range(4..16usize).min(ncalls - c);
+        let batch = rng.range_usize(4, 16).min(ncalls - c);
         for _ in 0..batch {
             mem.write_u32(SCHED_BASE + 4 * c as u32, idx as u32);
             approx_dynamic += funcs[idx].per_call + 8;
@@ -198,9 +196,9 @@ pub fn build_app_run(profile: &AppProfile, scale: f64, length_mult: f64) -> Work
 /// Entry shim: the driver expects `EBP == FTAB_BASE`; `System` starts
 /// with zeroed registers, so workloads prepend this initialisation by
 /// convention — `build_app` emits it as the first instruction.
-fn gen_util(e: &mut Emitter, rng: &mut SmallRng, profile: &AppProfile) {
+fn gen_util(e: &mut Emitter, rng: &mut Rng64, profile: &AppProfile) {
     // Small straight-line helper: a few ALU ops on caller-saved regs.
-    let n = rng.gen_range(3..8);
+    let n = rng.range_usize(3, 8);
     for _ in 0..n {
         gen_alu_op(e, rng, profile, &[Gpr::Eax, Gpr::Ecx, Gpr::Edx]);
     }
@@ -211,15 +209,15 @@ fn gen_util(e: &mut Emitter, rng: &mut SmallRng, profile: &AppProfile) {
 /// instruction count.
 fn gen_func(
     e: &mut Emitter,
-    rng: &mut SmallRng,
+    rng: &mut Rng64,
     profile: &AppProfile,
     inner: u32,
     utils: &[u32],
 ) -> u64 {
     let mut per_call = 0u64;
     // Globals this function touches.
-    let g = |rng: &mut SmallRng| {
-        DATA_BASE + rng.gen_range(0..(profile.data_kb * 1024 / 4)) * 4
+    let g = |rng: &mut Rng64| {
+        DATA_BASE + rng.range_u32(0, profile.data_kb * 1024 / 4) * 4
     };
     let g0 = g(rng);
     let g1 = g(rng);
@@ -233,15 +231,15 @@ fn gen_func(
     per_call += 2;
 
     // A few straight-line blocks with a biased forward branch each.
-    let nblocks = rng.gen_range(2..5usize);
+    let nblocks = rng.range_usize(2, 5);
     for _ in 0..nblocks {
-        let n = rng.gen_range(3..7);
+        let n = rng.range_usize(3, 7);
         for _ in 0..n {
             gen_body_op(e, rng, profile, g0, g1);
         }
         per_call += n as u64;
         // Alternating or biased conditional.
-        if rng.gen_bool(0.5) {
+        if rng.bool(0.5) {
             // Alternating on a global counter (gshare food).
             emit!(e, 4, {
                 e.asm.mov_rm(Gpr::Eax, MemRef::abs(g0));
@@ -259,7 +257,7 @@ fn gen_func(
         }
         let skip = e.asm.label();
         emit!(e, 1, e.asm.jcc(Cond::Ne, skip));
-        let filler = rng.gen_range(1..4);
+        let filler = rng.range_usize(1, 4);
         for _ in 0..filler {
             gen_alu_op(e, rng, profile, &[Gpr::Ecx, Gpr::Edx]);
         }
@@ -268,7 +266,7 @@ fn gen_func(
     }
 
     // The hot inner loop.
-    let loop_body = rng.gen_range(2..5usize);
+    let loop_body = rng.range_usize(2, 5);
     emit!(e, 1, e.asm.mov_ri(Gpr::Ecx, inner));
     let top = e.asm.here();
     for _ in 0..loop_body {
@@ -281,8 +279,8 @@ fn gen_func(
     per_call += 1 + (loop_body as u64 + 2) * inner as u64;
 
     // Occasional REP MOVS block copy (complex path; Winzip-heavy).
-    if rng.gen_bool(profile.rep_prob) {
-        let words = rng.gen_range(4..16u32);
+    if rng.bool(profile.rep_prob) {
+        let words = rng.range_u32(4, 16);
         emit!(e, 7, {
             e.asm.push_r(Gpr::Esi);
             e.asm.push_r(Gpr::Edi);
@@ -300,8 +298,8 @@ fn gen_func(
     }
 
     // Occasional direct call into a shared utility (call depth 2).
-    if rng.gen_bool(0.35) {
-        let u = utils[rng.gen_range(0..utils.len())];
+    if rng.bool(0.35) {
+        let u = utils[rng.range_usize(0, utils.len())];
         // Register-indirect call to the shared utility (the call/return
         // pairing still exercises the RAS).
         emit!(e, 2, {
@@ -320,33 +318,33 @@ fn gen_func(
 }
 
 /// One register-only ALU instruction.
-fn gen_alu_op(e: &mut Emitter, rng: &mut SmallRng, profile: &AppProfile, regs: &[Gpr]) {
-    let chained = rng.gen_bool(profile.chain_prob);
-    let d = regs[rng.gen_range(0..regs.len())];
-    let s = regs[rng.gen_range(0..regs.len())];
+fn gen_alu_op(e: &mut Emitter, rng: &mut Rng64, profile: &AppProfile, regs: &[Gpr]) {
+    let chained = rng.bool(profile.chain_prob);
+    let d = regs[rng.range_usize(0, regs.len())];
+    let s = regs[rng.range_usize(0, regs.len())];
     let ops = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor];
-    let op = ops[rng.gen_range(0..ops.len())];
+    let op = ops[rng.range_usize(0, ops.len())];
     emit!(e, 1, {
         if chained && d != s {
             e.asm.alu_rr(op, d, s);
-        } else if rng.gen_bool(0.3) {
+        } else if rng.bool(0.3) {
             e.asm.shift_ri(
-                [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][rng.gen_range(0..3)],
+                [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][rng.range_usize(0, 3)],
                 d,
-                rng.gen_range(1..8),
+                rng.range_u32(1, 8) as u8,
             );
         } else {
-            e.asm.alu_ri(op, d, rng.gen_range(-64..64));
+            e.asm.alu_ri(op, d, rng.range_i32(-64, 64));
         }
     });
 }
 
 /// One body operation: ALU or memory, per the profile's mix.
-fn gen_body_op(e: &mut Emitter, rng: &mut SmallRng, profile: &AppProfile, g0: u32, g1: u32) {
-    if rng.gen_bool(profile.mem_ratio) {
-        let addr = if rng.gen_bool(0.5) { g0 } else { g1 };
-        let addr = addr.wrapping_add(rng.gen_range(0..16) * 4) & !3;
-        match rng.gen_range(0..3) {
+fn gen_body_op(e: &mut Emitter, rng: &mut Rng64, profile: &AppProfile, g0: u32, g1: u32) {
+    if rng.bool(profile.mem_ratio) {
+        let addr = if rng.bool(0.5) { g0 } else { g1 };
+        let addr = addr.wrapping_add(rng.range_u32(0, 16) * 4) & !3;
+        match rng.range_u32(0, 3) {
             0 => emit!(e, 1, e.asm.mov_rm(Gpr::Edx, MemRef::abs(addr))),
             1 => emit!(e, 1, e.asm.mov_mr(MemRef::abs(addr), Gpr::Eax)),
             _ => emit!(e, 1, e.asm.alu_rm(AluOp::Add, Gpr::Eax, MemRef::abs(addr))),

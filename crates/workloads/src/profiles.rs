@@ -1,13 +1,11 @@
 //! The ten calibrated application profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters describing one synthetic application.
 ///
 /// Scale-free quantities are specified at the paper's reference length of
 /// 100M dynamic instructions; [`build_app`](crate::build_app) scales them
 /// to the requested run length.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppProfile {
     /// Application name (the Winstone2004 Business member it stands for).
     pub name: &'static str,

@@ -52,7 +52,7 @@ impl AluOp {
             AluOp::Sub => 5,
             AluOp::Xor => 6,
             AluOp::Cmp => 7,
-            AluOp::Test => panic!("TEST has no group encoding"),
+            AluOp::Test => unreachable!("TEST has no group encoding"),
         }
     }
 
@@ -71,7 +71,7 @@ impl AluOp {
             5 => AluOp::Sub,
             6 => AluOp::Xor,
             7 => AluOp::Cmp,
-            _ => panic!("invalid ALU group {n}"),
+            _ => unreachable!("invalid ALU group {n}"),
         }
     }
 }
@@ -356,6 +356,7 @@ pub fn idiv(w: Width, lo: u32, hi: u32, divisor: u32) -> Option<(u32, u32)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

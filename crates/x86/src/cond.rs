@@ -133,6 +133,7 @@ impl std::fmt::Display for Cond {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

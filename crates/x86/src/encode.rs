@@ -195,7 +195,7 @@ impl Asm {
                 2 => 1,
                 4 => 2,
                 8 => 3,
-                s => panic!("invalid scale {s}"),
+                s => unreachable!("invalid scale {s}"),
             };
             let index_bits = match m.index {
                 Some(i) => i.num(),
@@ -211,7 +211,7 @@ impl Asm {
             self.u8((reg << 3) | 5);
             self.u32(m.disp as u32);
         } else {
-            let base = m.base.unwrap();
+            let base = m.base.expect("checked is_none above");
             self.u8((md << 6) | (reg << 3) | base.num());
             match disp_w {
                 Some(Width::W8) => self.u8(m.disp as u8),
@@ -733,6 +733,7 @@ impl Asm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::{decode, Inst, Mnemonic, Operand};

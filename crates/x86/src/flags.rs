@@ -121,6 +121,7 @@ pub(crate) fn parity(v: u32) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -351,6 +351,7 @@ impl std::fmt::Display for Inst {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

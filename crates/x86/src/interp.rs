@@ -92,7 +92,7 @@ impl MemList {
 
     /// Iterates over the recorded accesses.
     pub fn iter(&self) -> impl Iterator<Item = MemAccess> + '_ {
-        self.items[..self.len as usize].iter().map(|a| a.unwrap())
+        self.items[..self.len as usize].iter().filter_map(|a| *a)
     }
 }
 
@@ -307,72 +307,72 @@ pub fn exec(
 
     match inst.mnemonic {
         Mnemonic::Mov => {
-            let v = read_operand(cpu, mem, inst.src.unwrap(), w, &mut acc);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, v, &mut acc);
+            let v = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, v, &mut acc);
         }
         Mnemonic::Movzx(sw) => {
-            let v = read_operand(cpu, mem, inst.src.unwrap(), sw, &mut acc);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, v, &mut acc);
+            let v = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), sw, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, v, &mut acc);
         }
         Mnemonic::Movsx(sw) => {
-            let v = read_operand(cpu, mem, inst.src.unwrap(), sw, &mut acc);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, sw.sext(v), &mut acc);
+            let v = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), sw, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, sw.sext(v), &mut acc);
         }
         Mnemonic::Lea => {
-            let Operand::Mem(m) = inst.src.unwrap() else {
+            let Operand::Mem(m) = inst.src.expect("decoder invariant: source operand present") else {
                 unreachable!("LEA with non-memory source");
             };
             let a = cpu.effective_addr(m);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, a, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, a, &mut acc);
         }
         Mnemonic::Xchg => {
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
-            let b = read_operand(cpu, mem, inst.src.unwrap(), w, &mut acc);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, b, &mut acc);
-            write_operand(cpu, mem, inst.src.unwrap(), w, a, &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
+            let b = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, b, &mut acc);
+            write_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, a, &mut acc);
         }
         Mnemonic::Push => {
-            let v = read_operand(cpu, mem, inst.src.unwrap(), Width::W32, &mut acc);
+            let v = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), Width::W32, &mut acc);
             push32(cpu, mem, v, &mut acc);
         }
         Mnemonic::Pop => {
             let v = pop32(cpu, mem, &mut acc);
-            write_operand(cpu, mem, inst.dst.unwrap(), Width::W32, v, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), Width::W32, v, &mut acc);
         }
         Mnemonic::Alu(op) => {
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
-            let b = read_operand(cpu, mem, inst.src.unwrap(), w, &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
+            let b = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, &mut acc);
             let (r, s) = alu::alu(op, w, a, b, cpu.flags.cf());
             if !op.discards_result() {
-                write_operand(cpu, mem, inst.dst.unwrap(), w, r, &mut acc);
+                write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, r, &mut acc);
             }
             cpu.flags.set_status(s);
         }
         Mnemonic::Inc => {
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
             let (r, s) = alu::inc(w, a);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, r, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, r, &mut acc);
             cpu.flags.set_status_keep_cf(s);
         }
         Mnemonic::Dec => {
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
             let (r, s) = alu::dec(w, a);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, r, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, r, &mut acc);
             cpu.flags.set_status_keep_cf(s);
         }
         Mnemonic::Neg => {
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
             let (r, s) = alu::neg(w, a);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, r, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, r, &mut acc);
             cpu.flags.set_status(s);
         }
         Mnemonic::Not => {
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, !a & w.mask(), &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, !a & w.mask(), &mut acc);
         }
         Mnemonic::Mul | Mnemonic::ImulWide => {
             let a = cpu.read(Gpr::Eax, w);
-            let b = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
+            let b = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
             let (lo, hi, s) = if inst.mnemonic == Mnemonic::Mul {
                 alu::mul(w, a, b)
             } else {
@@ -390,20 +390,20 @@ pub fn exec(
         Mnemonic::Imul => {
             let (a, b) = match inst.src2 {
                 Some(Operand::Imm(i)) => (
-                    read_operand(cpu, mem, inst.src.unwrap(), w, &mut acc),
+                    read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, &mut acc),
                     (i as u32) & w.mask(),
                 ),
                 _ => (
-                    read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc),
-                    read_operand(cpu, mem, inst.src.unwrap(), w, &mut acc),
+                    read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc),
+                    read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, &mut acc),
                 ),
             };
             let (r, s) = alu::imul_trunc(w, a, b);
-            write_operand(cpu, mem, inst.dst.unwrap(), w, r, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, r, &mut acc);
             cpu.flags.set_status(s);
         }
         Mnemonic::Div | Mnemonic::Idiv => {
-            let divisor = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
+            let divisor = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
             let (lo, hi) = match w {
                 Width::W8 => {
                     let ax = cpu.read(Gpr::Eax, Width::W16);
@@ -428,19 +428,19 @@ pub fn exec(
             }
         }
         Mnemonic::Shift(op) => {
-            let count = match inst.src.unwrap() {
+            let count = match inst.src.expect("decoder invariant: source operand present") {
                 Operand::Imm(i) => i as u32,
                 Operand::Reg(_) => cpu.read(Gpr::Ecx, Width::W8),
                 Operand::Mem(_) => unreachable!("shift count from memory"),
             };
-            let a = read_operand(cpu, mem, inst.dst.unwrap(), w, &mut acc);
+            let a = read_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, &mut acc);
             if let Some((r, f)) = alu::shift(op, w, a, count, cpu.flags) {
-                write_operand(cpu, mem, inst.dst.unwrap(), w, r, &mut acc);
+                write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, r, &mut acc);
                 cpu.flags = f;
             }
         }
         Mnemonic::Jcc(c) => {
-            let target = inst.direct_target().unwrap();
+            let target = inst.direct_target().expect("decoder invariant: direct branch target present");
             let taken = c.eval(cpu.flags);
             if taken {
                 next = target;
@@ -452,7 +452,7 @@ pub fn exec(
             });
         }
         Mnemonic::Jmp => {
-            next = inst.direct_target().unwrap();
+            next = inst.direct_target().expect("decoder invariant: direct branch target present");
             branch = Some(BranchOutcome {
                 kind: BranchKind::Unconditional,
                 taken: true,
@@ -460,7 +460,7 @@ pub fn exec(
             });
         }
         Mnemonic::JmpInd => {
-            next = read_operand(cpu, mem, inst.src.unwrap(), Width::W32, &mut acc);
+            next = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), Width::W32, &mut acc);
             branch = Some(BranchOutcome {
                 kind: BranchKind::Indirect,
                 taken: true,
@@ -469,7 +469,7 @@ pub fn exec(
         }
         Mnemonic::Call => {
             push32(cpu, mem, fall, &mut acc);
-            next = inst.direct_target().unwrap();
+            next = inst.direct_target().expect("decoder invariant: direct branch target present");
             branch = Some(BranchOutcome {
                 kind: BranchKind::Call,
                 taken: true,
@@ -477,7 +477,7 @@ pub fn exec(
             });
         }
         Mnemonic::CallInd => {
-            let target = read_operand(cpu, mem, inst.src.unwrap(), Width::W32, &mut acc);
+            let target = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), Width::W32, &mut acc);
             push32(cpu, mem, fall, &mut acc);
             next = target;
             branch = Some(BranchOutcome {
@@ -502,7 +502,7 @@ pub fn exec(
             let c = cpu.gpr[Gpr::Ecx as usize].wrapping_sub(1);
             cpu.gpr[Gpr::Ecx as usize] = c;
             let taken = c != 0;
-            let target = inst.direct_target().unwrap();
+            let target = inst.direct_target().expect("decoder invariant: direct branch target present");
             if taken {
                 next = target;
             }
@@ -514,7 +514,7 @@ pub fn exec(
         }
         Mnemonic::Jecxz => {
             let taken = cpu.gpr[Gpr::Ecx as usize] == 0;
-            let target = inst.direct_target().unwrap();
+            let target = inst.direct_target().expect("decoder invariant: direct branch target present");
             if taken {
                 next = target;
             }
@@ -526,12 +526,12 @@ pub fn exec(
         }
         Mnemonic::Setcc(c) => {
             let v = c.eval(cpu.flags) as u32;
-            write_operand(cpu, mem, inst.dst.unwrap(), Width::W8, v, &mut acc);
+            write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), Width::W8, v, &mut acc);
         }
         Mnemonic::Cmovcc(c) => {
-            let v = read_operand(cpu, mem, inst.src.unwrap(), w, &mut acc);
+            let v = read_operand(cpu, mem, inst.src.expect("decoder invariant: source operand present"), w, &mut acc);
             if c.eval(cpu.flags) {
-                write_operand(cpu, mem, inst.dst.unwrap(), w, v, &mut acc);
+                write_operand(cpu, mem, inst.dst.expect("decoder invariant: destination operand present"), w, v, &mut acc);
             }
         }
         Mnemonic::Cwde => {
@@ -728,6 +728,7 @@ fn exec_string(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::{Asm, AluOp, Cond};

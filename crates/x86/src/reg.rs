@@ -184,6 +184,7 @@ pub(crate) fn write_gpr(gpr: &mut [u32; 8], reg: Gpr, width: Width, value: u32) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -1,26 +1,32 @@
-//! Property test: everything the assembler can emit, the decoder decodes
-//! back to equivalent operands — across the whole instruction surface.
+//! Randomized property test: everything the assembler can emit, the
+//! decoder decodes back to equivalent operands — across the whole
+//! instruction surface. Deterministic seeded generation (no external
+//! property-testing crate); the failing seed is printed for replay.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
+use cdvm_mem::Rng64;
 use cdvm_x86::{decode, AluOp, Asm, Cond, Gpr, Inst, MemRef, Mnemonic, Operand, ShiftOp, Width};
-use proptest::prelude::*;
 
-fn gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..8).prop_map(Gpr::from_num)
+fn gpr(rng: &mut Rng64) -> Gpr {
+    Gpr::from_num(rng.range_u32(0, 8) as u8)
 }
 
-fn memref() -> impl Strategy<Value = MemRef> {
-    (
-        prop::option::of(gpr()),
-        prop::option::of((0u8..8).prop_map(|n| Gpr::from_num(if n == 4 { 0 } else { n }))),
-        prop::sample::select(vec![1u8, 2, 4, 8]),
-        any::<i32>(),
-    )
-        .prop_map(|(base, index, scale, disp)| MemRef {
-            base,
-            index,
-            scale: if index.is_some() { scale } else { 1 },
-            disp,
-        })
+fn memref(rng: &mut Rng64) -> MemRef {
+    let base = if rng.bool(0.5) { Some(gpr(rng)) } else { None };
+    let index = if rng.bool(0.5) {
+        let n = rng.range_u32(0, 8) as u8;
+        Some(Gpr::from_num(if n == 4 { 0 } else { n }))
+    } else {
+        None
+    };
+    let scale = [1u8, 2, 4, 8][rng.range_usize(0, 4)];
+    MemRef {
+        base,
+        index,
+        scale: if index.is_some() { scale } else { 1 },
+        disp: rng.next_u32() as i32,
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -48,30 +54,34 @@ enum Emit {
     Ret(u16),
 }
 
-fn emit_strategy() -> impl Strategy<Value = Emit> {
-    prop_oneof![
-        (gpr(), any::<u32>()).prop_map(|(r, i)| Emit::MovRi(r, i)),
-        (gpr(), gpr()).prop_map(|(a, b)| Emit::MovRr(a, b)),
-        (gpr(), memref()).prop_map(|(r, m)| Emit::MovRm(r, m)),
-        (memref(), gpr()).prop_map(|(m, r)| Emit::MovMr(m, r)),
-        (memref(), any::<u32>()).prop_map(|(m, i)| Emit::MovMi(m, i)),
-        (0u8..8, gpr(), gpr()).prop_map(|(o, a, b)| Emit::AluRr(o, a, b)),
-        (0u8..8, gpr(), any::<i32>()).prop_map(|(o, r, i)| Emit::AluRi(o, r, i)),
-        (0u8..8, gpr(), memref()).prop_map(|(o, r, m)| Emit::AluRm(o, r, m)),
-        (0u8..8, memref(), gpr()).prop_map(|(o, m, r)| Emit::AluMr(o, m, r)),
-        (0u8..5, gpr(), 1u8..32).prop_map(|(o, r, c)| Emit::ShiftRi(o, r, c)),
-        (gpr(), memref()).prop_map(|(r, m)| Emit::Lea(r, m)),
-        (gpr(), gpr(), any::<bool>()).prop_map(|(a, b, w)| Emit::Movzx(a, b, w)),
-        (gpr(), gpr(), any::<bool>()).prop_map(|(a, b, w)| Emit::Movsx(a, b, w)),
-        (0u8..16, gpr()).prop_map(|(c, r)| Emit::Setcc(c, r)),
-        (0u8..16, gpr(), gpr()).prop_map(|(c, a, b)| Emit::Cmov(c, a, b)),
-        gpr().prop_map(Emit::PushR),
-        gpr().prop_map(Emit::PopR),
-        gpr().prop_map(Emit::IncR),
-        gpr().prop_map(Emit::DecR),
-        (gpr(), gpr(), any::<i32>()).prop_map(|(a, b, i)| Emit::ImulRri(a, b, i)),
-        any::<u16>().prop_map(Emit::Ret),
-    ]
+fn random_emit(rng: &mut Rng64) -> Emit {
+    match rng.range_u32(0, 21) {
+        0 => Emit::MovRi(gpr(rng), rng.next_u32()),
+        1 => Emit::MovRr(gpr(rng), gpr(rng)),
+        2 => Emit::MovRm(gpr(rng), memref(rng)),
+        3 => Emit::MovMr(memref(rng), gpr(rng)),
+        4 => Emit::MovMi(memref(rng), rng.next_u32()),
+        5 => Emit::AluRr(rng.range_u32(0, 8) as u8, gpr(rng), gpr(rng)),
+        6 => Emit::AluRi(rng.range_u32(0, 8) as u8, gpr(rng), rng.next_u32() as i32),
+        7 => Emit::AluRm(rng.range_u32(0, 8) as u8, gpr(rng), memref(rng)),
+        8 => Emit::AluMr(rng.range_u32(0, 8) as u8, memref(rng), gpr(rng)),
+        9 => Emit::ShiftRi(
+            rng.range_u32(0, 5) as u8,
+            gpr(rng),
+            rng.range_u32(1, 32) as u8,
+        ),
+        10 => Emit::Lea(gpr(rng), memref(rng)),
+        11 => Emit::Movzx(gpr(rng), gpr(rng), rng.bool(0.5)),
+        12 => Emit::Movsx(gpr(rng), gpr(rng), rng.bool(0.5)),
+        13 => Emit::Setcc(rng.range_u32(0, 16) as u8, gpr(rng)),
+        14 => Emit::Cmov(rng.range_u32(0, 16) as u8, gpr(rng), gpr(rng)),
+        15 => Emit::PushR(gpr(rng)),
+        16 => Emit::PopR(gpr(rng)),
+        17 => Emit::IncR(gpr(rng)),
+        18 => Emit::DecR(gpr(rng)),
+        19 => Emit::ImulRri(gpr(rng), gpr(rng), rng.next_u32() as i32),
+        _ => Emit::Ret(rng.next_u32() as u16),
+    }
 }
 
 fn alu(o: u8) -> AluOp {
@@ -131,40 +141,47 @@ fn decode_stream(code: &[u8], base: u32) -> Vec<Inst> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn emitted_code_decodes_instruction_for_instruction() {
+    for case in 0..256u64 {
+        let seed = 0xA5E0_0000 + case;
+        let mut rng = Rng64::new(seed);
+        let n = rng.range_usize(1, 40);
+        let emits: Vec<Emit> = (0..n).map(|_| random_emit(&mut rng)).collect();
 
-    #[test]
-    fn emitted_code_decodes_instruction_for_instruction(emits in prop::collection::vec(emit_strategy(), 1..40)) {
         let mut asm = Asm::new(0x1000);
         for e in &emits {
             apply(&mut asm, e);
         }
         let code = asm.finish();
         let insts = decode_stream(&code, 0x1000);
-        prop_assert_eq!(insts.len(), emits.len(), "one decoded inst per emitted inst");
+        assert_eq!(
+            insts.len(),
+            emits.len(),
+            "one decoded inst per emitted inst (seed {seed:#x})"
+        );
 
         // Spot-check operand fidelity for the unambiguous cases.
         for (inst, e) in insts.iter().zip(&emits) {
             match e {
                 Emit::MovRi(r, i) => {
-                    prop_assert_eq!(inst.mnemonic, Mnemonic::Mov);
-                    prop_assert_eq!(inst.dst, Some(Operand::Reg(*r)));
-                    prop_assert_eq!(inst.src, Some(Operand::Imm(*i as i32)));
+                    assert_eq!(inst.mnemonic, Mnemonic::Mov, "seed {seed:#x}");
+                    assert_eq!(inst.dst, Some(Operand::Reg(*r)), "seed {seed:#x}");
+                    assert_eq!(inst.src, Some(Operand::Imm(*i as i32)), "seed {seed:#x}");
                 }
                 Emit::Lea(r, m) => {
-                    prop_assert_eq!(inst.mnemonic, Mnemonic::Lea);
-                    prop_assert_eq!(inst.dst, Some(Operand::Reg(*r)));
-                    prop_assert_eq!(inst.src, Some(Operand::Mem(*m)));
+                    assert_eq!(inst.mnemonic, Mnemonic::Lea, "seed {seed:#x}");
+                    assert_eq!(inst.dst, Some(Operand::Reg(*r)), "seed {seed:#x}");
+                    assert_eq!(inst.src, Some(Operand::Mem(*m)), "seed {seed:#x}");
                 }
                 Emit::AluRi(o, r, i) => {
-                    prop_assert_eq!(inst.mnemonic, Mnemonic::Alu(alu(*o)));
-                    prop_assert_eq!(inst.dst, Some(Operand::Reg(*r)));
-                    prop_assert_eq!(inst.src, Some(Operand::Imm(*i)));
+                    assert_eq!(inst.mnemonic, Mnemonic::Alu(alu(*o)), "seed {seed:#x}");
+                    assert_eq!(inst.dst, Some(Operand::Reg(*r)), "seed {seed:#x}");
+                    assert_eq!(inst.src, Some(Operand::Imm(*i)), "seed {seed:#x}");
                 }
                 Emit::Ret(n) => {
-                    prop_assert_eq!(inst.mnemonic, Mnemonic::Ret);
-                    prop_assert_eq!(inst.src, Some(Operand::Imm(*n as i32)));
+                    assert_eq!(inst.mnemonic, Mnemonic::Ret, "seed {seed:#x}");
+                    assert_eq!(inst.src, Some(Operand::Imm(*n as i32)), "seed {seed:#x}");
                 }
                 _ => {}
             }

@@ -33,7 +33,7 @@ fn main() {
     let mut pc = 0x40_000fu32; // first loop-body instruction
     for _ in 0..6 {
         let inst = dec.decode_at(&mut mem, pc).unwrap();
-        let cracked = cdvm_cracker::crack(&inst, pc);
+        let cracked = cdvm_cracker::crack(&inst, pc).expect("demo instructions crack");
         println!("{pc:#x}: {inst}");
         for u in &cracked.uops {
             println!("         {u}");

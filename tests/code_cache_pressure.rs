@@ -2,6 +2,8 @@
 //! and still compute correctly — the paper's §1.1 multitasking concern
 //! ("a limited code cache size can cause hotspot re-translations").
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_core::{Status, System};
 use cdvm_uarch::{MachineConfig, MachineKind};
 use cdvm_workloads::{build_app, winstone2004};
@@ -55,6 +57,110 @@ fn retranslation_cost_grows_as_cache_shrinks() {
     let mut sys = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
     assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
     assert_eq!(sys.vm.as_ref().unwrap().stats.bbt_retranslated_insts, 0);
+}
+
+#[test]
+fn retranslation_storm_watchdog_catches_a_thrashing_working_set() {
+    // Two hot regions that together exceed a starved BBT cache: every
+    // dispatch evicts the other side, so the VM re-translates forever
+    // while the guest barely advances. The storm watchdog turns this
+    // pathology into a structured, architected end state.
+    use cdvm_core::Watchdog;
+    use cdvm_mem::GuestMem;
+    use cdvm_x86::{AluOp, Asm, Cond, Gpr};
+
+    let base = 0x40_0000;
+    let mut asm = Asm::new(base);
+    asm.mov_ri(Gpr::Ecx, 50_000);
+    let far = asm.label();
+    let top = asm.here();
+    // Bulk the block up so two copies cannot share a few-hundred-byte
+    // cache.
+    for _ in 0..12 {
+        asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+        asm.alu_rr(AluOp::Xor, Gpr::Edx, Gpr::Eax);
+    }
+    asm.jmp(far);
+    asm.bind(far);
+    for _ in 0..12 {
+        asm.alu_ri(AluOp::Add, Gpr::Ebx, 1);
+        asm.alu_rr(AluOp::Xor, Gpr::Edx, Gpr::Ebx);
+    }
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.hlt();
+    let image = asm.finish();
+    let mut mem = GuestMem::new();
+    mem.load(base, &image);
+
+    let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+    // Each loop block translates to ~85-110 native bytes: either fits
+    // alone, the pair does not, so the two sides evict each other.
+    cfg.bbt_cache_bytes = 128;
+    cfg.sbt_cache_bytes = 512;
+    let mut sys = System::with_config(cfg, mem, base);
+    sys.arm_storm_watchdog(6);
+    let st = sys.run_to_completion(u64::MAX);
+    assert!(
+        matches!(st, Status::Exhausted(Watchdog::RetranslationStorm { .. })),
+        "thrashing run ended {st:?}"
+    );
+    assert_eq!(sys.stats.watchdog_trips, 1);
+    assert!(st.is_architected_end());
+}
+
+#[test]
+fn injected_decode_faults_under_pressure_keep_stats_consistent() {
+    // Corrupt the working set, squeeze the cache, and check that the
+    // robustness counters tell a coherent story: every run ends in an
+    // architected state, demotions are recorded whenever a structured
+    // error was, and retirement keeps making progress.
+    use cdvm_core::FaultInjector;
+    use cdvm_mem::GuestMem;
+    use cdvm_x86::{AluOp, Asm, Cond, Gpr};
+
+    let base = 0x40_0000;
+    let mut asm = Asm::new(base);
+    asm.mov_ri(Gpr::Eax, 0);
+    asm.mov_ri(Gpr::Ecx, 2_000);
+    let top = asm.here();
+    for _ in 0..8 {
+        asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+    }
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.hlt();
+    let image = asm.finish();
+
+    for seed in 1..=10u64 {
+        let mut mem = GuestMem::new();
+        mem.load(base, &image);
+        let mut injector = FaultInjector::new(seed);
+        let report = injector.inject_random(&mut mem, base, image.len() as u32);
+
+        let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+        cfg.hot_threshold = 60;
+        cfg.bbt_cache_bytes = 1 << 10;
+        cfg.sbt_cache_bytes = 1 << 10;
+        let mut sys = System::with_config(cfg, mem, base);
+        sys.arm_fuel_watchdog(1_000_000);
+        let st = sys.run_to_completion(u64::MAX);
+        assert!(
+            st.is_architected_end(),
+            "seed {seed} ({report}) ended {st:?}"
+        );
+        if sys.last_vm_error().is_some() {
+            assert!(
+                sys.stats.bbt_demotions + sys.stats.sbt_demotions > 0,
+                "seed {seed} ({report}): a structured error was recorded \
+                 but no demotion was counted"
+            );
+        }
+        assert!(
+            sys.x86_retired() > 0,
+            "seed {seed} ({report}): the valid prefix must still retire"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,323 @@
+//! Fault-injection campaign: corrupted guests, hostile byte streams and
+//! starved resources must end every machine configuration in an
+//! architected state — `Halted`, `Faulted` or watchdog-`Exhausted` —
+//! never a host panic and never `Broken`. Faults that the reference
+//! interpreter raises must surface identically (same `Fault`, same
+//! guest PC) through the translated tiers.
+
+#![allow(clippy::unwrap_used, clippy::panic)]
+use cdvm_core::{FaultInjector, FaultKind, Status, System, Watchdog};
+use cdvm_mem::GuestMem;
+use cdvm_uarch::{MachineConfig, MachineKind};
+use cdvm_x86::{AluOp, Asm, Cond, Gpr};
+
+const BASE: u32 = 0x40_0000;
+
+const ALL_KINDS: [MachineKind; 5] = [
+    MachineKind::RefSuperscalar,
+    MachineKind::VmSoft,
+    MachineKind::VmBe,
+    MachineKind::VmFe,
+    MachineKind::VmInterp,
+];
+
+/// A small but multi-block guest: a hot accumulation loop, a called
+/// helper and a cold epilogue. Low thresholds in [`sys_for`] push the
+/// loop through BBT and into SBT on the translating configs.
+fn guest_image() -> Vec<u8> {
+    let mut asm = Asm::new(BASE);
+    asm.mov_ri(Gpr::Eax, 0);
+    asm.mov_ri(Gpr::Ecx, 300);
+    let helper = asm.label();
+    let done = asm.label();
+    let top = asm.here();
+    asm.alu_ri(AluOp::Add, Gpr::Eax, 3);
+    asm.alu_rr(AluOp::Xor, Gpr::Edx, Gpr::Eax);
+    asm.call(helper);
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.jmp(done);
+    asm.bind(helper);
+    asm.alu_ri(AluOp::Add, Gpr::Ebx, 1);
+    asm.ret();
+    asm.bind(done);
+    asm.alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ebx);
+    asm.hlt();
+    asm.finish()
+}
+
+fn pristine_mem(image: &[u8]) -> GuestMem {
+    let mut mem = GuestMem::new();
+    mem.load(BASE, image);
+    mem
+}
+
+/// Builds a system with low hot thresholds so short tests still climb
+/// the full interpreter -> BBT -> SBT ladder.
+fn sys_for(kind: MachineKind, mem: GuestMem) -> System {
+    let mut cfg = MachineConfig::preset(kind);
+    cfg.hot_threshold = 60;
+    cfg.interp_hot_threshold = 20;
+    System::with_config(cfg, mem, BASE)
+}
+
+#[test]
+fn random_corruption_ends_architected_on_every_machine() {
+    let image = guest_image();
+    let len = image.len() as u32;
+    for seed in 1..=12u64 {
+        let mut injector = FaultInjector::new(seed);
+        let mut corrupted = pristine_mem(&image);
+        let shots = 1 + (seed % 3) as usize;
+        let reports: Vec<_> = (0..shots)
+            .map(|_| injector.inject_random(&mut corrupted, BASE, len))
+            .collect();
+        for kind in ALL_KINDS {
+            let mut sys = sys_for(kind, corrupted.clone());
+            // Corruption can legitimately create endless loops; the
+            // fuel watchdog is the architected bound on those.
+            sys.arm_fuel_watchdog(200_000);
+            let st = sys.run_to_completion(u64::MAX);
+            assert!(
+                st.is_architected_end(),
+                "seed {seed} on {kind:?} ended {st:?} (injected: {reports:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn decode_fault_equivalence_with_reference() {
+    // Invalid-opcode and truncation injections corrupt the *static*
+    // code image, so the interpreter and every translated tier see the
+    // same bytes; the fault (if any) must be bit-identical.
+    let image = guest_image();
+    let len = image.len() as u32;
+    for seed in 100..=115u64 {
+        let kind_choice = if seed % 2 == 0 {
+            FaultKind::InvalidOpcode
+        } else {
+            FaultKind::Truncate
+        };
+        let mut injector = FaultInjector::new(seed);
+        let mut corrupted = pristine_mem(&image);
+        let report = injector.inject(&mut corrupted, BASE, len, kind_choice);
+
+        let mut reference = sys_for(MachineKind::RefSuperscalar, corrupted.clone());
+        reference.arm_fuel_watchdog(200_000);
+        let ref_st = reference.run_to_completion(u64::MAX);
+        assert!(ref_st.is_architected_end(), "seed {seed}: ref ended {ref_st:?}");
+
+        for kind in [
+            MachineKind::VmSoft,
+            MachineKind::VmBe,
+            MachineKind::VmFe,
+            MachineKind::VmInterp,
+        ] {
+            let mut sys = sys_for(kind, corrupted.clone());
+            sys.arm_fuel_watchdog(200_000);
+            let st = sys.run_to_completion(u64::MAX);
+            match (&ref_st, &st) {
+                (Status::Faulted(a), Status::Faulted(b)) => assert_eq!(
+                    a, b,
+                    "seed {seed} ({report}) on {kind:?}: fault diverged from reference"
+                ),
+                (Status::Halted, Status::Halted) => assert_eq!(
+                    sys.cpu().gpr,
+                    reference.cpu().gpr,
+                    "seed {seed} ({report}) on {kind:?}: halted with different state"
+                ),
+                (Status::Exhausted(_), Status::Exhausted(_)) => {}
+                (a, b) => panic!(
+                    "seed {seed} ({report}) on {kind:?}: reference ended {a:?} but VM ended {b:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_int3_faults_at_the_same_pc_everywhere() {
+    let mut asm = Asm::new(BASE);
+    asm.mov_ri(Gpr::Eax, 7);
+    asm.mov_ri(Gpr::Ecx, 50);
+    let top = asm.here();
+    asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.int3();
+    asm.hlt();
+    let image = asm.finish();
+
+    let mut reference = sys_for(MachineKind::RefSuperscalar, pristine_mem(&image));
+    let ref_st = reference.run_to_completion(u64::MAX);
+    let Status::Faulted(ref_fault) = ref_st else {
+        panic!("reference should hit the breakpoint, got {ref_st:?}");
+    };
+    for kind in ALL_KINDS {
+        let mut sys = sys_for(kind, pristine_mem(&image));
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(
+            st,
+            Status::Faulted(ref_fault),
+            "{kind:?}: breakpoint must surface with the reference PC"
+        );
+    }
+}
+
+#[test]
+fn divide_error_faults_at_the_same_pc_everywhere() {
+    let mut asm = Asm::new(BASE);
+    asm.mov_ri(Gpr::Eax, 41);
+    asm.mov_ri(Gpr::Ecx, 80);
+    let top = asm.here();
+    asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.mov_ri(Gpr::Edx, 0);
+    asm.mov_ri(Gpr::Ebx, 0);
+    asm.div_r(Gpr::Ebx);
+    asm.hlt();
+    let image = asm.finish();
+
+    let mut reference = sys_for(MachineKind::RefSuperscalar, pristine_mem(&image));
+    let ref_st = reference.run_to_completion(u64::MAX);
+    let Status::Faulted(ref_fault) = ref_st else {
+        panic!("reference should divide by zero, got {ref_st:?}");
+    };
+    for kind in ALL_KINDS {
+        let mut sys = sys_for(kind, pristine_mem(&image));
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(
+            st,
+            Status::Faulted(ref_fault),
+            "{kind:?}: divide error must surface with the reference PC"
+        );
+    }
+}
+
+#[test]
+fn undecodable_entry_block_demotes_and_faults_precisely() {
+    // An invalid opcode planted at a block entry breaks translation of
+    // that block; the ladder must demote it to the interpreter, which
+    // raises the architected decode fault at exactly that PC.
+    // The entry block jumps to a second block whose first byte we
+    // then smash.
+    let mut asm = Asm::new(BASE);
+    asm.mov_ri(Gpr::Eax, 5);
+    let second = asm.label();
+    asm.jmp(second);
+    asm.bind(second);
+    let second_entry = asm.pc();
+    asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+    asm.hlt();
+    let image = asm.finish();
+    let mut corrupted = pristine_mem(&image);
+    let mut injector = FaultInjector::new(1);
+    let report = injector.inject(&mut corrupted, second_entry, 1, FaultKind::InvalidOpcode);
+
+    let mut reference = sys_for(MachineKind::RefSuperscalar, corrupted.clone());
+    let ref_st = reference.run_to_completion(u64::MAX);
+    let Status::Faulted(ref_fault) = ref_st else {
+        panic!("reference should fault on {report}, got {ref_st:?}");
+    };
+    for kind in [MachineKind::VmSoft, MachineKind::VmBe] {
+        let mut sys = sys_for(kind, corrupted.clone());
+        let st = sys.run_to_completion(u64::MAX);
+        assert_eq!(st, Status::Faulted(ref_fault), "{kind:?} fault mismatch");
+        assert!(
+            sys.stats.bbt_demotions >= 1,
+            "{kind:?}: the undecodable block must be demoted, not retried forever"
+        );
+        assert!(sys.last_vm_error().is_some(), "{kind:?}: structured error recorded");
+    }
+}
+
+#[test]
+fn tiny_code_cache_still_completes_and_under_corruption_stays_architected() {
+    let image = guest_image();
+
+    // Pristine run under a few-hundred-byte cache: correct completion.
+    let reference = {
+        let mut sys = sys_for(MachineKind::RefSuperscalar, pristine_mem(&image));
+        assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+        sys.cpu().gpr
+    };
+    for kind in [MachineKind::VmSoft, MachineKind::VmBe, MachineKind::VmFe] {
+        let mut cfg = MachineConfig::preset(kind);
+        cfg.hot_threshold = 60;
+        cfg.interp_hot_threshold = 20;
+        cfg.bbt_cache_bytes = 384;
+        cfg.sbt_cache_bytes = 384;
+        let mut sys = System::with_config(cfg, pristine_mem(&image), BASE);
+        assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted, "{kind:?}");
+        assert_eq!(sys.cpu().gpr, reference, "{kind:?} wrong result under tiny cache");
+
+        // And with corruption on top of starvation: still architected.
+        for seed in 1..=4u64 {
+            let mut corrupted = pristine_mem(&image);
+            let mut injector = FaultInjector::new(seed);
+            let report = injector.inject_random(&mut corrupted, BASE, image.len() as u32);
+            let mut cfg = MachineConfig::preset(kind);
+            cfg.hot_threshold = 60;
+            cfg.interp_hot_threshold = 20;
+            cfg.bbt_cache_bytes = 384;
+            cfg.sbt_cache_bytes = 384;
+            let mut sys = System::with_config(cfg, corrupted, BASE);
+            sys.arm_fuel_watchdog(200_000);
+            let st = sys.run_to_completion(u64::MAX);
+            assert!(
+                st.is_architected_end(),
+                "seed {seed} ({report}) on {kind:?} with tiny cache ended {st:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuel_watchdog_bounds_a_runaway_guest_on_every_machine() {
+    let mut asm = Asm::new(BASE);
+    let top = asm.here();
+    asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+    asm.jmp(top);
+    let image = asm.finish();
+
+    for kind in ALL_KINDS {
+        let mut sys = sys_for(kind, pristine_mem(&image));
+        sys.arm_fuel_watchdog(10_000);
+        let st = sys.run_to_completion(u64::MAX);
+        assert!(
+            matches!(st, Status::Exhausted(Watchdog::Fuel { limit: 10_000 })),
+            "{kind:?} ended {st:?}"
+        );
+        assert!(sys.x86_retired() >= 10_000, "{kind:?} tripped early");
+        assert_eq!(sys.stats.watchdog_trips, 1, "{kind:?}");
+    }
+}
+
+#[test]
+fn translation_watchdog_bounds_translator_work() {
+    // A chain of tiny blocks: each jmp target is a fresh translation
+    // unit, so a budget of 3 regions must trip before the chain ends.
+    let mut asm = Asm::new(BASE);
+    for _ in 0..8 {
+        asm.alu_ri(AluOp::Add, Gpr::Eax, 1);
+        let next = asm.label();
+        asm.jmp(next);
+        asm.bind(next);
+    }
+    asm.hlt();
+    let image = asm.finish();
+
+    let mut sys = sys_for(MachineKind::VmSoft, pristine_mem(&image));
+    sys.arm_translation_watchdog(3);
+    let st = sys.run_to_completion(u64::MAX);
+    assert!(
+        matches!(st, Status::Exhausted(Watchdog::Translations { limit: 3 })),
+        "ended {st:?}"
+    );
+
+    // The same guest without the budget halts normally.
+    let mut sys = sys_for(MachineKind::VmSoft, pristine_mem(&image));
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+}

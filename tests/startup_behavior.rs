@@ -1,6 +1,8 @@
 //! Startup-behaviour invariants: the qualitative claims of the paper's
 //! evaluation must hold on a mid-sized generated workload.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_core::{Status, System};
 use cdvm_stats::{breakeven_cycles, LogSampler};
 use cdvm_uarch::{CycleCat, MachineKind};

@@ -2,6 +2,8 @@
 //! same guest program to the same architectural result, while exhibiting
 //! the staged-translation behaviour the paper describes.
 
+
+#![allow(clippy::unwrap_used, clippy::panic)]
 use cdvm_core::{Status, System};
 use cdvm_mem::GuestMem;
 use cdvm_uarch::{CycleCat, MachineKind};
