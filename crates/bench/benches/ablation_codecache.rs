@@ -25,6 +25,7 @@ fn main() {
         "finish cycles (M)",
     ]);
     let mut csv = String::from("kib,flushes,retranslated,bbt_xlate_pct,cycles_m\n");
+    let mut runs = Vec::new();
     for &kib in &sizes_kib {
         let wl = build_app(profile, scale);
         let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
@@ -48,9 +49,13 @@ fn main() {
             "{kib},{flushes},{retrans},{frac:.3},{:.3}\n",
             sys.cycles() as f64 / 1e6
         ));
+        let mut m = system_metrics(profile.name, &mut sys);
+        m.set("bbt_cache_kib", kib);
+        runs.push(m);
     }
     println!("{}", table.to_markdown());
     println!("(undersized caches thrash: every flush forces cold code back through");
     println!(" Δ_BBT, the startup overhead the hardware assists attack)");
     write_artifact("ablation_codecache.csv", &csv);
+    emit_metrics("ablation_codecache", scale, runs);
 }

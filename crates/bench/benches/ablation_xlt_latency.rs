@@ -25,6 +25,7 @@ fn main() {
         "finish cycles (M, avg)",
     ]);
     let mut csv = String::from("latency,haloop,bbt_xlate_pct,cycles_m\n");
+    let mut runs = Vec::new();
     for lat in [1u32, 2, 4, 8, 16] {
         let mut fracs = Vec::new();
         let mut cycs = Vec::new();
@@ -41,6 +42,9 @@ fn main() {
             assert_eq!(st, Status::Halted);
             fracs.push(100.0 * sys.timing.category_cycles(CycleCat::BbtXlate) / sys.timing.cycles_f());
             cycs.push(sys.cycles() as f64 / 1e6);
+            let mut m = system_metrics(p.name, &mut sys);
+            m.set("xlt_latency", u64::from(lat));
+            runs.push(m);
         }
         let f = cdvm_stats::arith_mean(&fracs);
         let c = cdvm_stats::arith_mean(&cycs);
@@ -57,4 +61,5 @@ fn main() {
     println!(" BBT cost is dominated by the HAloop bookkeeping, not the unit's latency,");
     println!(" so even a pessimistic 8–16-cycle decoder preserves most of the benefit)");
     write_artifact("ablation_xlt_latency.csv", &csv);
+    emit_metrics("ablation_xlt_latency", scale, runs);
 }

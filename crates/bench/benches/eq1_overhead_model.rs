@@ -59,4 +59,12 @@ fn main() {
         arith_mean(&ratios)
     );
     println!(" which Eq. 1 does not model — the residual is the memory-hierarchy term)");
+    let mut summary = cdvm_stats::Metrics::new();
+    summary.set("measured_over_model_ratio", arith_mean(&ratios));
+    emit_metrics_with(
+        "eq1_overhead_model",
+        scale,
+        results.iter().map(|r| r.metrics.clone()).collect(),
+        summary,
+    );
 }

@@ -42,6 +42,7 @@ fn main() {
         "M_SBT (avg)",
     ]);
     let mut csv = String::from("threshold,cycles_m,sbt_xlate_pct,coverage_pct,m_sbt\n");
+    let mut runs = Vec::new();
     for &t in &thresholds {
         let mut cyc = Vec::new();
         let mut sx = Vec::new();
@@ -61,6 +62,9 @@ fn main() {
             );
             cov.push(100.0 * sys.hotspot_coverage());
             msbt.push(sys.vm.as_ref().unwrap().stats.sbt_x86_insts as f64);
+            let mut m = system_metrics(p.name, &mut sys);
+            m.set("hot_threshold", u64::from(t));
+            runs.push(m);
         }
         let row = (
             cdvm_stats::arith_mean(&cyc),
@@ -82,4 +86,5 @@ fn main() {
     println!(" thresholds inflate SBT overhead and M_SBT, high ones sacrifice");
     println!(" coverage — the paper's argument for the balanced 8K setting)");
     write_artifact("eq2_threshold_sweep.csv", &csv);
+    emit_metrics("eq2_threshold", scale, runs);
 }

@@ -85,4 +85,15 @@ fn main() {
         cdvm_uarch::MachineConfig::preset(MachineKind::VmBe).bbt_be_cycles
     );
     write_artifact("fig10_bbt_overhead.csv", &csv);
+    let mut summary = cdvm_stats::Metrics::new();
+    summary
+        .set("vmbe_bbt_overhead_pct", arith_mean(&ovh))
+        .set("vmbe_bbt_emu_pct", arith_mean(&emu))
+        .set("vmsoft_bbt_overhead_pct", arith_mean(&soft_ovh));
+    emit_metrics_with(
+        "fig10_bbt_overhead",
+        scale,
+        results.iter().map(|r| r.metrics.clone()).collect(),
+        summary,
+    );
 }

@@ -62,4 +62,9 @@ fn main() {
     println!("to negligible by ~100M; VM.fe decays later (active until hotspots cover");
     println!("execution); VM.soft is identically zero.");
     write_artifact("fig11_assist_activity.csv", &csv);
+    emit_metrics(
+        "fig11_assist_activity",
+        scale,
+        results.iter().map(|r| r.metrics.clone()).collect(),
+    );
 }

@@ -99,4 +99,26 @@ fn main() {
         arith_mean(&m_sbt) * 1674.0 / 1e6
     );
     write_artifact("fig3_frequency_profile.csv", &csv);
+
+    // No `System` runs here (pure functional interpretation), so the runs
+    // carry the histogram aggregates instead of phase cycles.
+    let runs: Vec<cdvm_stats::Metrics> = per_app
+        .iter()
+        .map(|(name, h)| {
+            let mut m = cdvm_stats::Metrics::new();
+            m.set("app", name.as_str())
+                .set("m_bbt_static_insts", h.static_total())
+                .set("m_sbt_static_insts", h.hot_static(hot))
+                .set("hot_dynamic_fraction", h.hot_dynamic_fraction(hot))
+                .set("dynamic_insts", h.dynamic_total());
+            m
+        })
+        .collect();
+    let mut summary = cdvm_stats::Metrics::new();
+    summary
+        .set("hot_threshold_scaled", hot)
+        .set("avg_m_bbt", arith_mean(&m_bbt))
+        .set("avg_m_sbt", arith_mean(&m_sbt))
+        .set("avg_hot_dynamic_pct", arith_mean(&cover));
+    emit_metrics_with("fig3_frequency_profile", scale, runs, summary);
 }

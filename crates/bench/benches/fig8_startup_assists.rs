@@ -91,4 +91,12 @@ fn main() {
     }
 
     write_artifact("fig8_startup_assists.csv", &csv);
+    let mut summary = cdvm_stats::Metrics::new();
+    summary.set("vm_steady_normalized_ipc", steady);
+    emit_metrics_with(
+        "fig8_startup_assists",
+        scale,
+        results.iter().map(|r| r.metrics.clone()).collect(),
+        summary,
+    );
 }

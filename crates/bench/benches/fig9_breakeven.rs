@@ -59,4 +59,9 @@ fn main() {
     println!("(\">trace\" = did not break even within the simulated trace,");
     println!(" the paper's bars above 200M cycles; Project is expected to stay there.)");
     write_artifact("fig9_breakeven.csv", &csv);
+    emit_metrics(
+        "fig9_breakeven",
+        scale,
+        results.iter().map(|r| r.metrics.clone()).collect(),
+    );
 }

@@ -9,17 +9,19 @@
 #![allow(clippy::unwrap_used, clippy::panic)]
 use std::time::Instant;
 
+use cdvm_bench::emit_metrics;
 use cdvm_core::{Status, System};
 use cdvm_cracker::{crack, HwXlt};
 use cdvm_fisa::XltAssist;
 use cdvm_mem::GuestMem;
+use cdvm_stats::Metrics;
 use cdvm_uarch::MachineKind;
 use cdvm_workloads::{build_app, winstone2004};
 use cdvm_x86::{decode, Asm, AluOp, Cond, Gpr, MemRef};
 
-/// Times `f` (which performs `elements` units of work per call) and
-/// prints mean ns/call and element throughput.
-fn bench<R>(name: &str, elements: u64, mut f: impl FnMut() -> R) {
+/// Times `f` (which performs `elements` units of work per call), prints
+/// mean ns/call and element throughput, and records both in `runs`.
+fn bench<R>(runs: &mut Vec<Metrics>, name: &str, elements: u64, mut f: impl FnMut() -> R) {
     // Warmup.
     for _ in 0..3 {
         std::hint::black_box(f());
@@ -40,6 +42,12 @@ fn bench<R>(name: &str, elements: u64, mut f: impl FnMut() -> R) {
         "{name:<32} {per_call:>12.1} ns/iter  {:>10.1} Melem/s ({iters} iters)",
         1e3 / per_elem
     );
+    let mut m = Metrics::new();
+    m.set("app", name)
+        .set("ns_per_iter", per_call)
+        .set("melem_per_s", 1e3 / per_elem)
+        .set("iters", iters);
+    runs.push(m);
 }
 
 fn sample_code() -> Vec<u8> {
@@ -57,9 +65,9 @@ fn sample_code() -> Vec<u8> {
     asm.finish()
 }
 
-fn bench_decode() {
+fn bench_decode(runs: &mut Vec<Metrics>) {
     let code = sample_code();
-    bench("decode/x86_decode_stream", 321, || {
+    bench(runs, "decode/x86_decode_stream", 321, || {
         let mut pc = 0x40_0000u32;
         let mut off = 0usize;
         let mut n = 0u32;
@@ -73,7 +81,7 @@ fn bench_decode() {
     });
 }
 
-fn bench_crack() {
+fn bench_crack(runs: &mut Vec<Metrics>) {
     let code = sample_code();
     let mut insts = Vec::new();
     let mut pc = 0x40_0000u32;
@@ -84,7 +92,7 @@ fn bench_crack() {
         off += i.len as usize;
         pc += i.len as u32;
     }
-    bench("crack/crack_stream", insts.len() as u64, || {
+    bench(runs, "crack/crack_stream", insts.len() as u64, || {
         insts
             .iter()
             .map(|(pc, i)| crack(i, *pc).map(|c| c.uops.len()).unwrap_or(0))
@@ -92,22 +100,22 @@ fn bench_crack() {
     });
 }
 
-fn bench_xlt_unit() {
+fn bench_xlt_unit(runs: &mut Vec<Metrics>) {
     let mut unit = HwXlt::new();
     let mut fsrc = [0u8; 16];
     fsrc[..3].copy_from_slice(&[0x8b, 0x45, 0xf8]); // mov eax,[ebp-8]
-    bench("xltx86_invocation", 1, || {
+    bench(runs, "xltx86_invocation", 1, || {
         unit.xlt(&fsrc, 0x40_0000).csr.to_bits()
     });
 }
 
-fn bench_system_throughput() {
+fn bench_system_throughput(runs: &mut Vec<Metrics>) {
     let profile = &winstone2004()[1];
     for kind in [MachineKind::RefSuperscalar, MachineKind::VmSoft, MachineKind::VmFe] {
         // Setup is outside the timed region by re-timing per call; System
         // construction is cheap next to 200k simulated instructions.
         let name = format!("system/run_200k_insts_{kind}");
-        bench(&name, 200_000, || {
+        bench(runs, &name, 200_000, || {
             let wl = build_app(profile, 0.01);
             let mut sys = System::new(kind, wl.mem, wl.entry);
             let st = sys.run_slice(200_000);
@@ -117,20 +125,24 @@ fn bench_system_throughput() {
     }
 }
 
-fn bench_guest_mem() {
+fn bench_guest_mem(runs: &mut Vec<Metrics>) {
     use cdvm_mem::Memory;
     let mut mem = GuestMem::new();
     let mut a = 0u32;
-    bench("guestmem_read_u32_seq", 1, || {
+    bench(runs, "guestmem_read_u32_seq", 1, || {
         a = a.wrapping_add(4);
         mem.read_u32(a & 0xf_ffff)
     });
 }
 
 fn main() {
-    bench_decode();
-    bench_crack();
-    bench_xlt_unit();
-    bench_system_throughput();
-    bench_guest_mem();
+    let mut runs = Vec::new();
+    bench_decode(&mut runs);
+    bench_crack(&mut runs);
+    bench_xlt_unit(&mut runs);
+    bench_system_throughput(&mut runs);
+    bench_guest_mem(&mut runs);
+    // Wall-clock microbenchmarks are scale-free; the system runs above use
+    // a fixed 0.01 workload scale.
+    emit_metrics("micro_translators", 0.01, runs);
 }

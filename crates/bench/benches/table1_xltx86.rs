@@ -10,7 +10,8 @@ use cdvm_fisa::{encoding, XltAssist};
 use cdvm_stats::Table;
 
 fn main() {
-    banner("Table 1", "hardware accelerator — the XLTx86 instruction", env_scale());
+    let scale = env_scale();
+    banner("Table 1", "hardware accelerator — the XLTx86 instruction", scale);
     println!();
     println!("NEW INSTRUCTION:   XLTX86 FSRC, FDST");
     println!("BRIEF DESCRIPTION: Decode an x86 instruction aligned at the beginning of");
@@ -31,6 +32,7 @@ fn main() {
     ];
 
     let mut unit = HwXlt::new();
+    let mut runs = Vec::new();
     let mut table = Table::new(&[
         "x86 instruction",
         "ilen",
@@ -61,6 +63,13 @@ fn main() {
             if out.csr.flag_cti { "1" } else { "0" }.into(),
             uops,
         ]);
+        let mut m = cdvm_stats::Metrics::new();
+        m.set("app", name)
+            .set("x86_ilen", u64::from(out.csr.x86_ilen))
+            .set("uops_bytes", u64::from(out.csr.uops_bytes))
+            .set("flag_cmplx", out.csr.flag_cmplx)
+            .set("flag_cti", out.csr.flag_cti);
+        runs.push(m);
     }
     println!("{}", table.to_markdown());
     println!(
@@ -69,4 +78,9 @@ fn main() {
         unit.complex_punts()
     );
     println!("latency model: 4 cycles per invocation, issued through an FP/media port (§4.2).");
+    let mut summary = cdvm_stats::Metrics::new();
+    summary
+        .set("invocations", unit.invocations())
+        .set("complex_punts", unit.complex_punts());
+    emit_metrics_with("table1_xltx86", scale, runs, summary);
 }

@@ -7,7 +7,8 @@ use cdvm_stats::Table;
 use cdvm_uarch::{MachineConfig, MachineKind};
 
 fn main() {
-    banner("Table 2", "machine configurations", env_scale());
+    let scale = env_scale();
+    banner("Table 2", "machine configurations", scale);
 
     let mut table = Table::new(&["parameter", "Ref: superscalar", "VM.soft", "VM.be", "VM.fe"]);
     table.row(&[
@@ -98,4 +99,28 @@ fn main() {
         soft.sbt_native_instrs,
         soft.sbt_cycles()
     );
+
+    let runs: Vec<cdvm_stats::Metrics> = [
+        MachineKind::RefSuperscalar,
+        MachineKind::VmSoft,
+        MachineKind::VmBe,
+        MachineKind::VmFe,
+    ]
+    .iter()
+    .map(|&k| {
+        let c = MachineConfig::preset(k);
+        let mut m = cdvm_stats::Metrics::new();
+        m.set("machine", format!("{k}"))
+            .set("width", c.width)
+            .set("util", c.util)
+            .set("native_front_depth", u64::from(c.native_front_depth))
+            .set("x86_front_depth", u64::from(c.x86_front_depth))
+            .set("mem_latency", u64::from(c.mem_latency))
+            .set("hot_threshold", u64::from(c.hot_threshold))
+            .set("bbt_cache_bytes", c.bbt_cache_bytes)
+            .set("sbt_cache_bytes", c.sbt_cache_bytes);
+        m
+    })
+    .collect();
+    emit_metrics("table2_configs", scale, runs);
 }

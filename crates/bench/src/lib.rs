@@ -12,8 +12,8 @@
 
 use std::path::PathBuf;
 
-use cdvm_core::{Status, System};
-use cdvm_stats::{harmonic_mean, LogSampler};
+use cdvm_core::{Phase, Status, System, NUM_PHASES};
+use cdvm_stats::{harmonic_mean, LogSampler, Metrics};
 use cdvm_uarch::{CycleCat, MachineConfig, MachineKind, NUM_CATS};
 use cdvm_workloads::{winstone2004, AppProfile};
 
@@ -47,6 +47,11 @@ pub struct CurveResult {
     pub m_sbt: u64,
     /// Fraction of SBT-emitted micro-ops in fused pairs.
     pub fused_frac: f64,
+    /// Per-phase cycle totals (indexed by `Phase as usize`; they sum to
+    /// `cycles` by construction).
+    pub phase_cycles: [f64; NUM_PHASES],
+    /// The run's machine-readable metrics (see [`system_metrics`]).
+    pub metrics: Metrics,
 }
 
 /// Runs one application on one machine, sampling startup curves.
@@ -90,6 +95,7 @@ pub fn run_curve(
         ),
         None => (0, 0, 0.0),
     };
+    let metrics = system_metrics(profile.name, &mut sys);
     CurveResult {
         kind: cfg.kind,
         app: profile.name.to_string(),
@@ -102,7 +108,128 @@ pub fn run_curve(
         m_bbt,
         m_sbt,
         fused_frac,
+        phase_cycles: sys.stats.phase_cycles,
+        metrics,
     }
+}
+
+/// Snapshots one finished (or in-flight) [`System`] into a metrics map:
+/// identity, cycle totals, per-phase and per-category cycle breakdowns,
+/// VM-layer counters, and the trace summary when tracing is enabled.
+///
+/// # Panics
+///
+/// Panics if the per-phase totals fail to sum to the run's total cycles
+/// within 0.1% — that would mean a cycle-charging site in the system
+/// loop is missing its phase attribution.
+pub fn system_metrics(app: &str, sys: &mut System) -> Metrics {
+    let phases = sys.phase_snapshot();
+    let total = sys.timing.cycles_f();
+    let phase_sum: f64 = phases.iter().sum();
+    assert!(
+        (phase_sum - total).abs() <= total.abs() * 1e-3 + 1e-6,
+        "phase cycles {phase_sum} do not sum to total {total}"
+    );
+    let mut m = Metrics::new();
+    m.set("machine", format!("{}", sys.kind));
+    m.set("app", app);
+    m.set("cycles", sys.cycles());
+    m.set("x86_retired", sys.x86_retired());
+    m.set(
+        "ipc",
+        if sys.cycles() == 0 {
+            0.0
+        } else {
+            sys.x86_retired() as f64 / sys.cycles() as f64
+        },
+    );
+    m.set("hotspot_coverage", sys.hotspot_coverage());
+
+    let mut ph = Metrics::new();
+    for p in Phase::ALL {
+        ph.set(p.name(), phases[p as usize]);
+    }
+    m.set("phase_cycles", ph);
+    m.set("phase_cycles_total", phase_sum);
+
+    let cats = sys.timing.category_snapshot();
+    let mut cm = Metrics::new();
+    for (i, c) in CycleCat::ALL.iter().enumerate() {
+        cm.set(&format!("{c:?}"), cats[i]);
+    }
+    m.set("category_cycles", cm);
+
+    let mut sm = Metrics::new();
+    sm.set("mode_switches", sys.stats.mode_switches)
+        .set("vm_exits", sys.stats.vm_exits)
+        .set("bbt_demotions", sys.stats.bbt_demotions)
+        .set("sbt_demotions", sys.stats.sbt_demotions)
+        .set("exact_fault_recoveries", sys.stats.exact_fault_recoveries)
+        .set("inexact_fault_recoveries", sys.stats.inexact_fault_recoveries)
+        .set("watchdog_trips", sys.stats.watchdog_trips);
+    m.set("system", sm);
+
+    if let Some(vm) = sys.vm.as_ref() {
+        let mut v = Metrics::new();
+        v.set("bbt_blocks", vm.stats.bbt_blocks)
+            .set("bbt_x86_insts", vm.stats.bbt_x86_insts)
+            .set("bbt_retranslated_insts", vm.stats.bbt_retranslated_insts)
+            .set("sbt_superblocks", vm.stats.sbt_superblocks)
+            .set("sbt_x86_insts", vm.stats.sbt_x86_insts)
+            .set("chains_applied", vm.stats.chains_applied)
+            .set("bbt_cache_flushes", vm.bbt_cache.stats().flushes)
+            .set(
+                "bbt_cache_evicted_translations",
+                vm.bbt_cache.stats().evicted_translations,
+            )
+            .set("sbt_cache_flushes", vm.sbt_cache.stats().flushes)
+            .set(
+                "sbt_cache_evicted_translations",
+                vm.sbt_cache.stats().evicted_translations,
+            )
+            .set("bbt_table_entries", vm.bbt_table.len())
+            .set("bbt_table_stale_evictions", vm.bbt_table.stale_evictions())
+            .set("sbt_table_entries", vm.sbt_table.len())
+            .set("sbt_table_stale_evictions", vm.sbt_table.stale_evictions());
+        m.set("vm", v);
+    }
+
+    if let Some(t) = sys.trace() {
+        let mut tr = Metrics::new();
+        tr.set("recorded", t.recorded()).set("dropped", t.dropped());
+        let mut kinds = Metrics::new();
+        for (k, c) in t.kind_counts() {
+            kinds.set(k, c);
+        }
+        tr.set("kind_counts", kinds);
+        m.set("trace", tr);
+    }
+    m
+}
+
+/// Writes the bench's machine-readable metrics: a top-level document
+/// with the bench name, scale and one entry per run, saved both as
+/// `<bench>.metrics.json` and as `metrics.json` (latest run) under
+/// `target/figures/`.
+pub fn emit_metrics(bench: &str, scale: f64, runs: Vec<Metrics>) {
+    emit_metrics_with(bench, scale, runs, Metrics::new())
+}
+
+/// [`emit_metrics`] plus a bench-specific `summary` section (aggregates
+/// that don't belong to any single run).
+pub fn emit_metrics_with(bench: &str, scale: f64, runs: Vec<Metrics>, summary: Metrics) {
+    let mut top = Metrics::new();
+    top.set("bench", bench);
+    top.set("scale", scale);
+    if !summary.is_empty() {
+        top.set("summary", summary);
+    }
+    top.set("runs", runs);
+    let json = top.to_json();
+    let path = out_dir().join(format!("{bench}.metrics.json"));
+    std::fs::write(&path, &json).expect("write metrics artifact");
+    std::fs::write(out_dir().join("metrics.json"), &json).expect("write metrics.json");
+    println!("[metrics] {}", path.display());
 }
 
 /// Runs all ten apps × the given machines, in parallel.
@@ -117,12 +244,48 @@ pub fn run_matrix(kinds: &[MachineKind], scale: f64, length_mult: f64) -> Vec<Cu
     run_jobs(jobs, scale, length_mult)
 }
 
+/// One job that panicked inside [`run_jobs_with`].
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Machine the job was running.
+    pub kind: MachineKind,
+    /// Application name.
+    pub app: String,
+    /// The panic message.
+    pub message: String,
+}
+
 /// Runs an explicit job list in parallel (bounded by available cores).
+/// A job that panics is reported on stderr and dropped; the other jobs
+/// still complete and their results are returned.
 pub fn run_jobs(
     jobs: Vec<(MachineKind, AppProfile)>,
     scale: f64,
     length_mult: f64,
 ) -> Vec<CurveResult> {
+    let (ok, failed) = run_jobs_with(jobs, |kind, profile| {
+        run_curve(MachineConfig::preset(kind), profile, scale, length_mult)
+    });
+    for f in &failed {
+        eprintln!("[job failed] {} on {:?}: {}", f.app, f.kind, f.message);
+    }
+    ok
+}
+
+/// Runs each `(machine, app)` job through `runner` on a bounded worker
+/// pool. Each job is isolated with `catch_unwind`: a panic in one job
+/// becomes a [`JobFailure`] instead of aborting the whole scope (and the
+/// results lock is recovered rather than treated as poisoned), so one
+/// bad app/machine pair cannot take down a whole figure run. Successes
+/// and failures each come back in submission order.
+pub fn run_jobs_with<F>(
+    jobs: Vec<(MachineKind, AppProfile)>,
+    runner: F,
+) -> (Vec<CurveResult>, Vec<JobFailure>)
+where
+    F: Fn(MachineKind, &AppProfile) -> CurveResult + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -130,6 +293,7 @@ pub fn run_jobs(
     let jobs: Vec<(usize, (MachineKind, AppProfile))> = jobs.into_iter().enumerate().collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results = std::sync::Mutex::new(Vec::new());
+    let failures = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -137,14 +301,51 @@ pub fn run_jobs(
                 let Some((i, (kind, profile))) = jobs.get(k) else {
                     break;
                 };
-                let r = run_curve(MachineConfig::preset(*kind), profile, scale, length_mult);
-                results.lock().expect("worker panicked").push((*i, r));
+                match catch_unwind(AssertUnwindSafe(|| runner(*kind, profile))) {
+                    Ok(r) => {
+                        // A lock poisoned by a panic elsewhere still
+                        // guards coherent data (pushes are atomic from
+                        // the Vec's point of view): recover it.
+                        results
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((*i, r));
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        failures.lock().unwrap_or_else(|e| e.into_inner()).push((
+                            *i,
+                            JobFailure {
+                                kind: *kind,
+                                app: profile.name.to_string(),
+                                message,
+                            },
+                        ));
+                    }
+                }
             });
         }
     });
-    let mut v = results.into_inner().expect("worker panicked");
+    let mut v = results.into_inner().unwrap_or_else(|e| e.into_inner());
     v.sort_by_key(|(i, _)| *i);
-    v.into_iter().map(|(_, r)| r).collect()
+    let mut f = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    f.sort_by_key(|(i, _)| *i);
+    (
+        v.into_iter().map(|(_, r)| r).collect(),
+        f.into_iter().map(|(_, r)| r).collect(),
+    )
+}
+
+/// Extracts a human-readable message from a panic payload (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The reference machine's steady-state IPC for an app set: tail rate of
@@ -300,4 +501,58 @@ pub fn banner(fig: &str, what: &str, scale: f64) {
         (100.0 * scale).round()
     );
     println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported() {
+        let profiles = winstone2004();
+        let jobs = vec![
+            (MachineKind::RefSuperscalar, profiles[0].clone()),
+            (MachineKind::VmSoft, profiles[0].clone()),
+            (MachineKind::RefSuperscalar, profiles[1].clone()),
+        ];
+        // Silence the default panic hook for the injected panic so test
+        // output stays readable; restore it afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (ok, failed) = run_jobs_with(jobs, |kind, profile| {
+            if kind == MachineKind::VmSoft {
+                panic!("injected failure for {}", profile.name);
+            }
+            run_curve(MachineConfig::preset(kind), profile, 0.01, 1.0)
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(ok.len(), 2, "surviving jobs complete");
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].kind, MachineKind::VmSoft);
+        assert!(failed[0].message.contains("injected failure"), "{}", failed[0].message);
+    }
+
+    #[test]
+    fn phase_cycles_sum_to_total_and_reach_metrics() {
+        let profiles = winstone2004();
+        let r = run_curve(
+            MachineConfig::preset(MachineKind::VmSoft),
+            &profiles[0],
+            0.01,
+            1.0,
+        );
+        let sum: f64 = r.phase_cycles.iter().sum();
+        let total = r.cycles as f64;
+        assert!(
+            (sum - total).abs() <= total * 1e-3 + 1.0,
+            "phase sum {sum} vs total {total}"
+        );
+        assert!(r.metrics.get("phase_cycles").is_some());
+        assert!(r.metrics.get("cycles").is_some());
+        // The JSON document is well-formed enough to contain every phase.
+        let json = r.metrics.to_json();
+        for p in Phase::ALL {
+            assert!(json.contains(p.name()), "missing phase {}", p.name());
+        }
+    }
 }

@@ -52,6 +52,7 @@ mod pcmap;
 pub mod profile;
 pub mod sbt;
 mod system;
+pub mod trace;
 mod uasm;
 #[cfg(test)]
 mod unchain_tests;
@@ -62,4 +63,5 @@ pub use faultinj::{FaultInjector, FaultKind, InjectionReport};
 pub use opt::{optimize_run, RunStats};
 pub use pcmap::PcMap;
 pub use system::{Status, System, SystemStats, DEFAULT_STACK_TOP};
+pub use trace::{Phase, Trace, TraceBuffer, TraceEvent, TraceRecord, NUM_PHASES};
 pub use uasm::{UAsm, ULabel, STUB_BYTES};

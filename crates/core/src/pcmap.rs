@@ -97,9 +97,12 @@ impl PcMap {
     }
 
     /// Adds `delta` to the value at `key`, inserting `delta` if absent;
-    /// returns the new value.
+    /// returns the new value. Saturates at `u32::MAX`: values are hotness
+    /// and credit counters, and a counter that wrapped past the maximum
+    /// would read as cold again — a long-running hot block would silently
+    /// lose its promotion eligibility.
     pub fn add(&mut self, key: u32, delta: u32) -> u32 {
-        let v = self.get(key).unwrap_or(0).wrapping_add(delta);
+        let v = self.get(key).unwrap_or(0).saturating_add(delta);
         self.insert(key, v);
         v
     }
@@ -168,6 +171,17 @@ mod tests {
         let mut m = PcMap::default();
         assert_eq!(m.add(8, 5), 5);
         assert_eq!(m.add(8, 3), 8);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let mut m = PcMap::default();
+        m.insert(8, u32::MAX - 1);
+        assert_eq!(m.add(8, 1), u32::MAX);
+        // One past the boundary: must stay hot, not wrap to cold.
+        assert_eq!(m.add(8, 1), u32::MAX);
+        assert_eq!(m.add(8, 1000), u32::MAX);
+        assert_eq!(m.get(8), Some(u32::MAX));
     }
 
     #[test]

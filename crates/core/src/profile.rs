@@ -28,8 +28,16 @@ pub const DISPATCH_BASE: u32 = 0xd000_0000;
 pub const DISPATCH_ENTRIES: u32 = 8192;
 
 /// The dispatch-table slot address for an architected target PC.
+///
+/// x86 instructions are byte-aligned, so the index must mix *all* PC
+/// bits: a `pc >> 2` index would alias every group of four neighbouring
+/// byte addresses onto one sieve slot (and conflict-evict each other's
+/// entries). A Fibonacci multiply-shift hash spreads byte-granular
+/// targets across the whole table.
 pub fn dispatch_slot(x86_pc: u32) -> u32 {
-    DISPATCH_BASE + ((x86_pc >> 2) & (DISPATCH_ENTRIES - 1)) * 8
+    debug_assert!(DISPATCH_ENTRIES.is_power_of_two());
+    let h = x86_pc.wrapping_mul(0x9e37_79b9) >> (32 - DISPATCH_ENTRIES.trailing_zeros());
+    DISPATCH_BASE + (h & (DISPATCH_ENTRIES - 1)) * 8
 }
 
 /// Allocates hotness-counter slots in concealed memory.
@@ -142,6 +150,48 @@ mod tests {
         assert_eq!(cf.slot_addr(0x1000), a);
         assert_eq!(cf.len(), 2);
         assert!(a >= COUNTER_BASE);
+    }
+
+    #[test]
+    fn dispatch_slots_stay_in_table() {
+        for pc in [0u32, 1, 0x40_0001, 0xffff_ffff, 0x8000_0000] {
+            let slot = dispatch_slot(pc);
+            assert!(slot >= DISPATCH_BASE);
+            assert!(slot < DISPATCH_BASE + DISPATCH_ENTRIES * 8);
+            assert_eq!(slot % 8, 0, "slots are 8-byte records");
+        }
+    }
+
+    #[test]
+    fn unaligned_targets_do_not_alias() {
+        // Byte-aligned x86 targets differing only in the low two bits
+        // must land in distinct sieve slots (the old `pc >> 2` index
+        // collapsed all four onto one).
+        let base = 0x40_1000u32;
+        let slots: Vec<u32> = (0..4).map(|k| dispatch_slot(base + k)).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(
+                    slots[i], slots[j],
+                    "targets {:#x} and {:#x} alias",
+                    base + i as u32,
+                    base + j as u32
+                );
+            }
+        }
+        // And the hash should spread a realistic set of unaligned call
+        // targets with few collisions (far better than the 4x forced
+        // aliasing of the shift index).
+        let mut seen = std::collections::HashSet::new();
+        let n = 1024u32;
+        for i in 0..n {
+            seen.insert(dispatch_slot(0x40_0000 + i * 5 + (i % 3)));
+        }
+        assert!(
+            seen.len() as u32 > n * 9 / 10,
+            "excessive collisions: {} distinct of {n}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -376,6 +376,13 @@ pub fn translate_sbt(
     vm.stats.sbt_uops += uop_count as u64;
     vm.stats.sbt_fused_uops += fused;
     vm.stats.sbt_flags_elided += elided;
+    vm.trace
+        .record_with(|| crate::trace::TraceEvent::SuperblockFormed {
+            entry,
+            native: translation.native.0,
+            x86_count,
+            uops: uop_count,
+        });
 
     // Redirect the cold BBT entry into the optimized code and disarm the
     // hotness counter.
@@ -467,7 +474,12 @@ fn lower_indirect_exit(
         ua.exit_stub(ExitCode::TranslateMiss, pred);
         ua.bind(sieve);
     }
-    // Sieve: S1 = (reg >> 2) & (ENTRIES-1); probe [BASE + S1*8].
+    // Sieve: S1 = (reg * 0x9e37_79b9) >> (32 - log2(ENTRIES)); probe
+    // [BASE + S1*8]. The index computation must match
+    // [`crate::profile::dispatch_slot`] bit-for-bit — the VMM fills the
+    // table at that slot on misses. (A plain `reg >> 2` index would
+    // alias all four byte-aligned neighbours onto one slot.)
+    const HASH: u32 = 0x9e37_79b9;
     ua.push(Uop::alui(
         Op::Limm,
         regs::VMM_S0,
@@ -480,14 +492,15 @@ fn lower_indirect_exit(
         0,
         (crate::profile::DISPATCH_BASE >> 16) as i32,
     ));
-    ua.push(Uop::alui(Op::Shr, regs::VMM_S1, reg, 2));
+    ua.push(Uop::alui(Op::Limm, regs::VMM_S1, 0, (HASH as u16) as i16 as i32));
+    ua.push(Uop::alui(Op::Limmh, regs::VMM_S1, 0, (HASH >> 16) as i32));
+    ua.push(Uop::alu(Op::MulLo, regs::VMM_S1, regs::VMM_S1, reg));
     ua.push(Uop::alui(
-        Op::Limm,
-        regs::VMM_S2,
-        0,
-        (crate::profile::DISPATCH_ENTRIES - 1) as i32,
+        Op::Shr,
+        regs::VMM_S1,
+        regs::VMM_S1,
+        (32 - crate::profile::DISPATCH_ENTRIES.trailing_zeros()) as i32,
     ));
-    ua.push(Uop::alu(Op::And, regs::VMM_S1, regs::VMM_S1, regs::VMM_S2));
     // key probe
     ua.push(Uop {
         op: Op::Ld {

@@ -27,6 +27,7 @@ use crate::error::{VmError, Watchdog};
 use crate::pcmap::PcMap;
 use crate::profile::{dispatch_slot, COUNTER_BASE, DISPATCH_BASE, DISPATCH_ENTRIES};
 use crate::sbt::translate_sbt;
+use crate::trace::{env_trace_capacity, Phase, TierKind, TraceBuffer, TraceEvent, NUM_PHASES};
 use crate::vm::{TransKind, Vm};
 
 /// Default initial stack pointer for guest programs.
@@ -95,6 +96,11 @@ pub struct SystemStats {
     pub inexact_fault_recoveries: u64,
     /// Resource watchdogs that tripped (at most one per run).
     pub watchdog_trips: u64,
+    /// Cycles attributed to each [`Phase`] (indexed by `Phase as usize`).
+    /// Updated at phase transitions; call [`System::phase_snapshot`] to
+    /// flush the tail of the current phase before reading. The totals
+    /// always sum to [`System::cycles`].
+    pub phase_cycles: [f64; NUM_PHASES],
 }
 
 /// One guest program running on one simulated machine.
@@ -139,6 +145,10 @@ pub struct System {
     tripped: Option<Watchdog>,
     retired_at_last_flush: u64,
     storm_consecutive: u32,
+    /// Phase the cycles since `phase_mark` belong to.
+    cur_phase: Phase,
+    /// Cycle count at the last phase transition.
+    phase_mark: f64,
     /// Summary counters.
     pub stats: SystemStats,
 }
@@ -168,7 +178,7 @@ impl System {
         let kind = cfg.kind;
         let mut cpu = Cpu::at(entry);
         cpu.gpr[cdvm_x86::Gpr::Esp as usize] = DEFAULT_STACK_TOP;
-        let vm = match kind {
+        let mut vm = match kind {
             MachineKind::RefSuperscalar => None,
             MachineKind::VmFe => Some(Vm::new(
                 cfg.bbt_cache_bytes,
@@ -189,6 +199,9 @@ impl System {
                 true,
             )),
         };
+        if let (Some(vm), Some(cap)) = (vm.as_mut(), env_trace_capacity()) {
+            vm.trace.enable(cap);
+        }
         let bbb = (kind == MachineKind::VmFe).then(|| {
             Bbb::new(BbbConfig {
                 entries: 4096,
@@ -226,7 +239,59 @@ impl System {
             tripped: None,
             retired_at_last_flush: 0,
             storm_consecutive: 0,
+            cur_phase: Phase::Vmm,
+            phase_mark: 0.0,
             stats: SystemStats::default(),
+        }
+    }
+
+    /// Enables the event trace with a ring of `capacity` events. No-op on
+    /// the reference machine (it has no VM, hence nothing to trace).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        if let Some(vm) = self.vm.as_mut() {
+            vm.trace.enable(capacity);
+        }
+    }
+
+    /// The recorded event trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.vm.as_ref().and_then(|vm| vm.trace.buffer())
+    }
+
+    /// Attributes the cycles since the last transition to the phase that
+    /// just ended, then switches to `p`. Mirrors `timing.set_category`
+    /// sites; pure observation — never charges cycles itself, so enabling
+    /// phase accounting cannot perturb simulated results.
+    #[inline]
+    fn set_phase(&mut self, p: Phase) {
+        if p == self.cur_phase {
+            return;
+        }
+        let now = self.timing.cycles_f();
+        self.stats.phase_cycles[self.cur_phase as usize] += now - self.phase_mark;
+        self.phase_mark = now;
+        self.cur_phase = p;
+    }
+
+    /// Flushes the in-progress phase and returns per-phase cycle totals
+    /// (indexed by `Phase as usize`). The totals sum exactly to
+    /// [`System::cycles`] — attribution is a telescoping sum over every
+    /// cycle charged so far.
+    pub fn phase_snapshot(&mut self) -> [f64; NUM_PHASES] {
+        let now = self.timing.cycles_f();
+        self.stats.phase_cycles[self.cur_phase as usize] += now - self.phase_mark;
+        self.phase_mark = now;
+        self.stats.phase_cycles
+    }
+
+    /// Advances the trace clock to the current cycle count (events
+    /// recorded by the VM layer are stamped with the latest tick).
+    #[inline]
+    fn tick_trace(&mut self) {
+        if let Some(vm) = self.vm.as_mut() {
+            if vm.trace.is_enabled() {
+                vm.trace.tick(self.timing.cycles());
+            }
         }
     }
 
@@ -338,6 +403,10 @@ impl System {
             if let Some(w) = self.tripped {
                 // The storm detector trips from inside translation.
                 self.stats.watchdog_trips += 1;
+                self.tick_trace();
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.trace.record(TraceEvent::WatchdogTrip { which: w });
+                }
                 return Status::Exhausted(w);
             }
         }
@@ -347,6 +416,10 @@ impl System {
     fn trip(&mut self, w: Watchdog) -> Status {
         self.tripped = Some(w);
         self.stats.watchdog_trips += 1;
+        self.tick_trace();
+        if let Some(vm) = self.vm.as_mut() {
+            vm.trace.record(TraceEvent::WatchdogTrip { which: w });
+        }
         Status::Exhausted(w)
     }
 
@@ -397,12 +470,14 @@ impl System {
         // iterations are microcode (each still pays its timing below).
         let mid_rep_iteration = r.inst.rep && r.next_pc == r.pc;
         if interp_tier {
+            self.set_phase(Phase::Interp);
             self.timing.set_category(CycleCat::InterpEmu);
             self.timing.charge_interp_inst(&r);
             if !mid_rep_iteration {
                 self.stats.interp_retired += 1;
             }
         } else {
+            self.set_phase(Phase::X86Mode);
             self.timing.set_category(CycleCat::X86Mode);
             let uops = self.uop_count_for(r.pc, &r.inst);
             self.timing.retire_x86(&r, uops);
@@ -448,6 +523,7 @@ impl System {
                 // Enter optimized code when the target has a translation.
                 let vm = self.vm.as_mut().expect("checked above");
                 if let Some(native) = vm.lookup(self.cpu.eip) {
+                    self.set_phase(Phase::Vmm);
                     self.timing.set_category(CycleCat::Vmm);
                     self.timing.charge_vmm_instrs(6.0); // jump-table dispatch
                     self.enter_native(native.0, self.cpu.eip);
@@ -457,6 +533,7 @@ impl System {
                     // These machines interpret only demoted blocks, so a
                     // control transfer out of one goes back through the
                     // VMM: translatable successors rejoin BBT execution.
+                    self.set_phase(Phase::Vmm);
                     self.timing.set_category(CycleCat::Vmm);
                     self.timing.charge_vmm_instrs(20.0);
                     let target = self.cpu.eip;
@@ -496,12 +573,14 @@ impl System {
             Err(f) => return self.recover_fault(f),
         };
         let in_sbt = r.pc >= vm.sbt_cache.config().base;
+        self.set_phase(Phase::Native);
         self.timing.set_category(if in_sbt {
             CycleCat::SbtEmu
         } else {
             CycleCat::BbtEmu
         });
         self.timing.retire_uop(&r);
+        let vm = self.vm.as_ref().expect("native mode requires a VM");
         let credit = vm.credit_at(r.pc);
         if credit > 0 {
             self.x86_retired += credit as u64;
@@ -538,14 +617,20 @@ impl System {
                 return self.broken(VmError::NoXltUnit { native_pc })
             }
         };
+        self.set_phase(Phase::FaultRecovery);
         self.timing.set_category(CycleCat::Vmm);
         self.timing.charge_vmm_instrs(200.0); // fault handling
+        self.tick_trace();
         match self.vm.as_ref().and_then(|vm| vm.fault_x86_at(native_pc)) {
             // BBT code: architected state is exact at the faulting
             // instruction. Replay it through the interpreter; it must
             // raise the same architectural fault.
             Some(x86_pc) => {
                 self.stats.exact_fault_recoveries += 1;
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.trace
+                        .record(TraceEvent::FaultRecovered { native_pc, exact: true });
+                }
                 self.leave_native(x86_pc);
                 match self.interp.step(&mut self.cpu, &mut self.mem) {
                     Err(fault) => Status::Faulted(fault),
@@ -558,6 +643,10 @@ impl System {
             // DESIGN.md for the re-execution caveat).
             None => {
                 self.stats.inexact_fault_recoveries += 1;
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.trace
+                        .record(TraceEvent::FaultRecovered { native_pc, exact: false });
+                }
                 self.leave_native(self.cur_region_entry);
                 Status::Running
             }
@@ -570,6 +659,7 @@ impl System {
     }
 
     fn handle_vmexit(&mut self, code: ExitCode, arg: u32) -> Status {
+        self.tick_trace();
         if self.pending_evict {
             // A VMM exit is a precise boundary: apply the deferred long
             // context switch before continuing at `arg`.
@@ -580,6 +670,7 @@ impl System {
             self.exec.invalidate();
             self.timing.flush_caches();
             self.maybe_clear_dispatch_table();
+            self.set_phase(Phase::Vmm);
             self.timing.set_category(CycleCat::Vmm);
             self.timing.charge_vmm_instrs(2000.0); // swap-in handling
         }
@@ -590,6 +681,7 @@ impl System {
             ExitCode::HotTrap => self.stats.vm_exit_kinds[2] += 1,
             ExitCode::TranslatorDone => {}
         }
+        self.set_phase(Phase::Vmm);
         self.timing.set_category(CycleCat::Vmm);
         match code {
             ExitCode::TranslateMiss => {
@@ -615,6 +707,7 @@ impl System {
                         use cdvm_mem::Memory;
                         self.mem.write_u32(slot, arg);
                         self.mem.write_u32(slot + 4, self.nstate.pc);
+                        self.set_phase(Phase::Vmm);
                         self.timing.set_category(CycleCat::Vmm);
                         self.timing.charge_vmm_instrs(6.0);
                         self.timing.vmm_data_touch(slot);
@@ -638,6 +731,7 @@ impl System {
     /// machine. Never fails: a target whose translation fails is demoted
     /// to interpretation and execution continues architecturally.
     fn dispatch_to(&mut self, target: u32) {
+        self.tick_trace();
         // Demoted blocks stay on the interpreter tier.
         if self.demoted.contains(&target) {
             self.fall_back_to_x86(target);
@@ -703,6 +797,13 @@ impl System {
     fn demote(&mut self, target: u32, e: VmError) {
         self.last_vm_error = Some(e);
         self.stats.bbt_demotions += 1;
+        if let Some(vm) = self.vm.as_mut() {
+            vm.trace.record(TraceEvent::Demoted {
+                entry: target,
+                tier: TierKind::Bbt,
+                error: e,
+            });
+        }
         self.demoted.insert(target);
         self.fall_back_to_x86(target);
     }
@@ -754,11 +855,20 @@ impl System {
         for i in 0..DISPATCH_ENTRIES {
             self.mem.write_u32(DISPATCH_BASE + i * 8, 0);
         }
+        self.set_phase(Phase::Vmm);
         self.timing.set_category(CycleCat::Vmm);
         self.timing.charge_vmm_instrs(2.0 * DISPATCH_ENTRIES as f64);
     }
 
     fn bbt_translate(&mut self, entry: u32) -> Result<(), VmError> {
+        self.tick_trace();
+        // VM.be runs BBT through the XLTx86 hardware assist loop; that is
+        // its own phase in the taxonomy (the paper's Fig. 6a HAloop).
+        self.set_phase(if self.kind == MachineKind::VmBe {
+            Phase::XltAssist
+        } else {
+            Phase::BbtXlate
+        });
         let vm = self.vm.as_mut().expect("BBT requires a VM");
         let (out, invalidate) = vm.translate_bbt(&mut self.interp.decoder, &mut self.mem, entry)?;
         self.apply_invalidation(&invalidate);
@@ -799,6 +909,8 @@ impl System {
                 return;
             }
         }
+        self.tick_trace();
+        self.set_phase(Phase::SbtXlate);
         let vm = self.vm.as_mut().expect("SBT requires a VM");
         match translate_sbt(vm, &mut self.interp.decoder, &mut self.mem, entry) {
             Ok((out, invalidate)) => {
@@ -813,6 +925,13 @@ impl System {
             Err(e) => {
                 self.last_vm_error = Some(e);
                 self.stats.sbt_demotions += 1;
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.trace.record(TraceEvent::Demoted {
+                        entry,
+                        tier: TierKind::Sbt,
+                        error: e,
+                    });
+                }
                 self.sbt_blacklist.insert(entry);
                 // Disarm the planted hotness counter so the failed
                 // promotion doesn't re-trap on every execution.
@@ -839,6 +958,7 @@ impl System {
     /// (immediately, when executing in x86-mode).
     pub fn long_context_switch(&mut self) {
         self.timing.flush_caches();
+        self.tick_trace();
         if self.vm.is_none() || self.mode == Mode::X86 {
             if let Some(vm) = self.vm.as_mut() {
                 vm.full_flush();

@@ -14,6 +14,7 @@ use crate::block::scan_block;
 use crate::error::VmError;
 use crate::pcmap::PcMap;
 use crate::profile::{CounterFile, EdgeProfile};
+use crate::trace::{TierKind, Trace, TraceEvent};
 use crate::uasm::{UAsm, ULabel, STUB_BYTES};
 
 /// Which translator produced a translation.
@@ -169,6 +170,9 @@ pub struct Vm {
     seen_bbt: HashMap<u32, ()>,
     /// Statistics.
     pub stats: VmStats,
+    /// Observability event trace (disabled by default; the system driver
+    /// advances its clock and enables it).
+    pub trace: Trace,
 }
 
 impl std::fmt::Debug for Vm {
@@ -206,6 +210,7 @@ impl Vm {
             applied_chains: Vec::new(),
             seen_bbt: HashMap::new(),
             stats: VmStats::default(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -431,6 +436,12 @@ impl Vm {
                 self.stats.bbt_retranslated_insts += block.len() as u64;
             }
         }
+        self.trace.record_with(|| TraceEvent::BlockTranslated {
+            entry,
+            native: outcome.0.native.0,
+            x86_count: outcome.0.x86_count,
+            uops: outcome.0.uop_count,
+        });
 
         Ok((
             TranslateOutcome {
@@ -527,18 +538,31 @@ impl Vm {
         if flushed {
             // Everything in this cache died: drop credits, stale chains
             // and metadata; the executor must drop its decode cache.
-            match kind {
+            // Sweeping the lookup table here (instead of waiting for each
+            // dead entry to be looked up) keeps table memory proportional
+            // to live translations under sustained cache pressure.
+            let swept = match kind {
                 TransKind::Bbt => {
                     self.bbt_credits.clear();
                     self.bbt_chains.clear();
+                    self.bbt_table.sweep_stale(generation)
                 }
                 TransKind::Sbt => {
                     self.sbt_credits.clear();
                     self.sbt_chains.clear();
+                    self.sbt_table.sweep_stale(generation)
                 }
-            }
+            };
             self.blocks.retain(|_, t| t.kind != kind);
             self.unchain_into(kind);
+            self.trace.record(TraceEvent::CacheFlush {
+                cache: match kind {
+                    TransKind::Bbt => TierKind::Bbt,
+                    TransKind::Sbt => TierKind::Sbt,
+                },
+                generation,
+                swept_entries: swept as u64,
+            });
             invalidate.push(u32::MAX); // sentinel: full invalidation
         }
 
@@ -594,6 +618,11 @@ impl Vm {
                 };
                 patch_chain(cache, site, dest.0);
                 self.stats.chains_applied += 1;
+                self.trace.record_with(|| TraceEvent::Chained {
+                    site,
+                    target,
+                    dest: dest.0,
+                });
                 self.applied_chains.push(AppliedChain {
                     site,
                     x86_target: target,
@@ -643,6 +672,11 @@ impl Vm {
         for site in bbt_sites {
             patch_chain(&mut self.bbt_cache, site.patch_addr, native.0);
             self.stats.chains_applied += 1;
+            self.trace.record_with(|| TraceEvent::Chained {
+                site: site.patch_addr,
+                target: entry,
+                dest: native.0,
+            });
             self.applied_chains.push(AppliedChain {
                 site: site.patch_addr,
                 x86_target: entry,
@@ -670,6 +704,11 @@ impl Vm {
             }
             patch_chain(&mut self.sbt_cache, site.patch_addr, native.0);
             self.stats.chains_applied += 1;
+            self.trace.record_with(|| TraceEvent::Chained {
+                site: site.patch_addr,
+                target: entry,
+                dest: native.0,
+            });
             self.applied_chains.push(AppliedChain {
                 site: site.patch_addr,
                 x86_target: entry,
@@ -713,6 +752,10 @@ impl Vm {
                 TransKind::Sbt => &mut self.sbt_cache,
             };
             write_exit_stub(cache, c.site, c.x86_target);
+            self.trace.record_with(|| TraceEvent::Unchained {
+                site: c.site,
+                target: c.x86_target,
+            });
             if let Some(entry) = c.redirect_of {
                 // The slot was a whole block entry: force a fresh
                 // translation on the next dispatch.
@@ -821,6 +864,16 @@ impl Vm {
     pub fn full_flush(&mut self) {
         self.bbt_cache.flush();
         self.sbt_cache.flush();
+        self.trace.record(TraceEvent::CacheFlush {
+            cache: TierKind::Bbt,
+            generation: self.bbt_cache.generation(),
+            swept_entries: self.bbt_table.len() as u64,
+        });
+        self.trace.record(TraceEvent::CacheFlush {
+            cache: TierKind::Sbt,
+            generation: self.sbt_cache.generation(),
+            swept_entries: self.sbt_table.len() as u64,
+        });
         self.bbt_table.clear();
         self.sbt_table.clear();
         self.bbt_chains.clear();

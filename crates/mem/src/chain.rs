@@ -83,6 +83,12 @@ impl ChainRegistry {
         self.pending.len()
     }
 
+    /// Total pending sites across all targets (registry footprint; the
+    /// metrics exporter reports it alongside lookup-table sizes).
+    pub fn pending_sites(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
     /// Total sites ever registered.
     pub fn registered(&self) -> u64 {
         self.registered
@@ -160,6 +166,7 @@ mod tests {
         );
         assert!(cr.take_sites_for(100, 0).is_empty());
         assert_eq!(cr.pending_targets(), 1);
+        assert_eq!(cr.pending_sites(), 1);
     }
 
     #[test]

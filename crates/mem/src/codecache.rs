@@ -102,6 +102,8 @@ pub struct CodeCacheStats {
     pub resident_translations: usize,
     /// Number of whole-arena flushes performed to make room.
     pub flushes: u64,
+    /// Translations discarded by flushes (lifetime total).
+    pub evicted_translations: u64,
 }
 
 /// A bump-allocated arena of translated code with flush-style eviction.
@@ -197,6 +199,7 @@ impl CodeCache {
         self.bytes.clear();
         self.generation += 1;
         self.stats.flushes += 1;
+        self.stats.evicted_translations += self.stats.resident_translations as u64;
         self.stats.resident_translations = 0;
     }
 
@@ -311,6 +314,7 @@ mod tests {
         assert_eq!(pc, NativePc(0x8000_0000));
         assert_eq!(cc.stats().flushes, 1);
         assert_eq!(cc.stats().resident_translations, 1);
+        assert_eq!(cc.stats().evicted_translations, 1);
     }
 
     #[test]

@@ -90,6 +90,19 @@ impl TranslationTable {
         self.map.clear();
     }
 
+    /// Sweeps every entry whose generation is not `generation`, counting
+    /// them as stale evictions. Called eagerly when the code cache
+    /// flushes, so table memory tracks live translations instead of
+    /// accumulating dead entries that are only reclaimed if their PC
+    /// happens to be looked up again. Returns the number swept.
+    pub fn sweep_stale(&mut self, generation: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, &mut (_, gen)| gen == generation);
+        let swept = before - self.map.len();
+        self.stale_evictions += swept as u64;
+        swept
+    }
+
     /// Number of registered (possibly stale) entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -164,6 +177,21 @@ mod tests {
         assert_eq!(tt.peek(5, 3), Some(NativePc(0x8000_0000)));
         assert_eq!(tt.peek(5, 4), None);
         assert_eq!(tt.lookups(), 0);
+    }
+
+    #[test]
+    fn sweep_stale_drops_dead_generations() {
+        let mut tt = TranslationTable::new();
+        tt.insert(1, NativePc(0x8000_0000), 0);
+        tt.insert(2, NativePc(0x8000_0010), 0);
+        tt.insert(3, NativePc(0x8000_0020), 2);
+        let swept = tt.sweep_stale(2);
+        assert_eq!(swept, 2);
+        assert_eq!(tt.len(), 1);
+        assert_eq!(tt.stale_evictions(), 2);
+        assert_eq!(tt.peek(3, 2), Some(NativePc(0x8000_0020)));
+        // Sweeping again is a no-op.
+        assert_eq!(tt.sweep_stale(2), 0);
     }
 
     #[test]

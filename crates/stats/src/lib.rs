@@ -9,18 +9,22 @@
 //! * [`breakeven_cycles`] — the catch-up point between two cumulative
 //!   instruction curves (Fig. 9's metric);
 //! * [`FreqHistogram`] — Fig. 3's static/dynamic frequency profile;
-//! * [`harmonic_mean`] / [`Table`] — aggregation and rendering.
+//! * [`harmonic_mean`] / [`Table`] — aggregation and rendering;
+//! * [`Metrics`] — an insertion-ordered metrics registry with JSON
+//!   export (`metrics.json` emitted by every bench run).
 
 #![warn(missing_docs)]
 
 mod breakeven;
 mod histogram;
+mod metrics;
 mod series;
 mod summary;
 mod table;
 
 pub use breakeven::breakeven_cycles;
 pub use histogram::{FreqBucket, FreqHistogram};
+pub use metrics::{MetricValue, Metrics};
 pub use series::{LogSampler, Sample};
 pub use summary::{arith_mean, geo_mean, harmonic_mean};
 pub use table::Table;

@@ -3,23 +3,17 @@
 /// Harmonic mean — the paper's aggregation for IPC across the ten
 /// Winstone applications.
 ///
-/// Returns 0.0 for an empty input.
-///
-/// # Panics
-///
-/// Panics if any value is not strictly positive (an IPC of zero has no
-/// harmonic mean).
+/// Returns 0.0 for an empty input, and 0.0 when any value is zero or
+/// negative: the harmonic mean is undefined there (a zero rate
+/// contributes an infinite reciprocal), and 0.0 is its limit as any
+/// rate approaches zero — a report row showing 0.0 is an obvious "this
+/// run produced no throughput" signal, where `inf`/`NaN` would poison
+/// every downstream aggregate silently.
 pub fn harmonic_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
         return 0.0;
     }
-    let sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "harmonic mean requires positive values");
-            1.0 / v
-        })
-        .sum();
+    let sum: f64 = values.iter().map(|&v| 1.0 / v).sum();
     values.len() as f64 / sum
 }
 
@@ -34,20 +28,14 @@ pub fn arith_mean(values: &[f64]) -> f64 {
 
 /// Geometric mean (0.0 for empty input).
 ///
-/// # Panics
-///
-/// Panics if any value is not strictly positive.
+/// Like [`harmonic_mean`], returns 0.0 when any value is zero or
+/// negative (the log is undefined; 0.0 is the one-sided limit) instead
+/// of propagating `NaN` into report tables.
 pub fn geo_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
         return 0.0;
     }
-    let s: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geometric mean requires positive values");
-            v.ln()
-        })
-        .sum();
+    let s: f64 = values.iter().map(|&v| v.ln()).sum();
     (s / values.len() as f64).exp()
 }
 
@@ -72,8 +60,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_rejected() {
-        harmonic_mean(&[0.0]);
+    fn non_positive_values_yield_zero_not_inf() {
+        assert_eq!(harmonic_mean(&[0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[2.0, 0.0, 3.0]), 0.0);
+        assert_eq!(harmonic_mean(&[-1.0, 2.0]), 0.0);
+        assert_eq!(geo_mean(&[0.0]), 0.0);
+        assert_eq!(geo_mean(&[4.0, -2.0]), 0.0);
+        // Non-finite inputs are also guarded, never propagated.
+        assert_eq!(harmonic_mean(&[f64::INFINITY, 1.0]), 0.0);
+        assert_eq!(geo_mean(&[f64::NAN]), 0.0);
+        // Sanity: the guarded results are finite and usable in tables.
+        assert!(harmonic_mean(&[2.0, 0.0]).is_finite());
     }
 }

@@ -129,6 +129,12 @@ impl Timing {
         self.cat[cat as usize]
     }
 
+    /// All category totals at once (indexed by `CycleCat as usize`) —
+    /// the metrics exporter snapshots every category per run.
+    pub fn category_snapshot(&self) -> [f64; NUM_CATS] {
+        self.cat
+    }
+
     /// Cycles during which x86 decode logic was powered on (Fig. 11).
     pub fn decoder_active_cycles(&self) -> f64 {
         self.decoder_active

@@ -1,11 +1,53 @@
 //! Development diagnostic: per-machine execution-mix dump for one app.
-use cdvm_core::{Status, System};
+//!
+//! `--trace` enables the VM event trace and prints a human-readable
+//! timeline (first [`TIMELINE_CAP`] events plus per-kind totals) and the
+//! per-phase cycle table after each run.
+use cdvm_core::{Phase, Status, System};
 use cdvm_uarch::{CycleCat, MachineKind};
 use cdvm_workloads::{build_app_run, winstone2004};
 
+/// Max timeline rows printed before eliding (the ring holds far more).
+const TIMELINE_CAP: usize = 200;
+
+fn print_trace(sys: &System) {
+    let Some(buf) = sys.trace() else {
+        return;
+    };
+    println!("   -- event timeline ({} recorded, {} dropped) --", buf.recorded(), buf.dropped());
+    for (i, rec) in buf.iter().enumerate() {
+        if i >= TIMELINE_CAP {
+            println!("   ... ({} more events in buffer)", buf.len() - TIMELINE_CAP);
+            break;
+        }
+        println!("   [{:>12}] #{:<6} {}", rec.cycle, rec.seq, rec.event);
+    }
+    let mut kinds: Vec<(&'static str, u64)> = buf.kind_counts().into_iter().collect();
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("   -- event totals --");
+    for (kind, n) in kinds {
+        println!("   {kind:<20} {n}");
+    }
+}
+
+fn print_phases(sys: &mut System) {
+    let phases = sys.phase_snapshot();
+    let total: f64 = phases.iter().sum();
+    println!("   -- phase cycles (sum {:.0}) --", total);
+    for p in Phase::ALL {
+        let v = phases[p as usize];
+        if v > 0.0 {
+            println!("   {:<16} {:>14.0} ({:.1}%)", p.name(), v, 100.0 * v / total.max(1.0));
+        }
+    }
+}
+
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
-    let lmult: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    args.retain(|a| a != "--trace");
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let lmult: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5.0);
     let profile = &winstone2004()[8]; // Winzip
     let thr: u32 = std::env::var("THR").ok().and_then(|s| s.parse().ok()).unwrap_or(8000);
     for kind in [MachineKind::RefSuperscalar, MachineKind::VmSoft] {
@@ -13,13 +55,16 @@ fn main() {
         let mut cfg = cdvm_uarch::MachineConfig::preset(kind);
         cfg.hot_threshold = thr;
         let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+        if trace {
+            sys.enable_trace(cdvm_core::trace::DEFAULT_TRACE_CAPACITY);
+        }
         let st = sys.run_to_completion(u64::MAX);
         assert_eq!(st, Status::Halted);
         println!("== {kind} cycles={} insts={} ipc={:.3}", sys.cycles(), sys.x86_retired(),
                  sys.x86_retired() as f64 / sys.cycles() as f64);
         println!("   coverage={:.3} bbt_ret={} sbt_ret={} x86mode={}",
                  sys.hotspot_coverage(), sys.stats.bbt_retired, sys.stats.sbt_retired, sys.stats.x86_mode_retired);
-        for c in CycleCat::ALL { 
+        for c in CycleCat::ALL {
             let f = sys.category_fraction(c);
             if f > 0.001 { println!("   {c:?}: {:.1}%", f*100.0); }
         }
@@ -30,6 +75,10 @@ fn main() {
             println!("   bbt uops/inst: {:.2}  sbt uops/inst: {:.2}",
                      vm.stats.bbt_uops as f64 / vm.stats.bbt_x86_insts.max(1) as f64,
                      vm.stats.sbt_uops as f64 / vm.stats.sbt_x86_insts.max(1) as f64);
+        }
+        if trace {
+            print_phases(&mut sys);
+            print_trace(&sys);
         }
         // tail IPC over second half
         let wl2 = build_app_run(profile, scale, lmult);

@@ -60,6 +60,71 @@ fn retranslation_cost_grows_as_cache_shrinks() {
 }
 
 #[test]
+fn translation_table_is_swept_on_every_flush() {
+    // A flush retires a whole cache generation; the lookup table must
+    // shed the dead entries eagerly instead of accreting one tombstone
+    // per translated block forever. After a thrash-heavy run the table
+    // holds exactly the resident (current-generation) translations.
+    let profile = &winstone2004()[3];
+    let wl = build_app(profile, 0.002);
+    let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+    cfg.bbt_cache_bytes = 4 << 10;
+    cfg.sbt_cache_bytes = 8 << 10;
+    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+
+    let vm = sys.vm.as_ref().unwrap();
+    let flushes = vm.bbt_cache.stats().flushes;
+    assert!(flushes > 1, "need repeated flushes, got {flushes}");
+    assert_eq!(
+        vm.bbt_table.len(),
+        vm.bbt_cache.stats().resident_translations,
+        "BBT table must only hold live-generation entries"
+    );
+    assert_eq!(
+        vm.sbt_table.len(),
+        vm.sbt_cache.stats().resident_translations,
+        "SBT table must only hold live-generation entries"
+    );
+    // The sweep actually fired (dead generations were evicted eagerly).
+    assert!(vm.bbt_table.stale_evictions() > 0);
+    // Sanity: far more blocks were translated over the run than are live.
+    assert!(
+        vm.bbt_cache.stats().evicted_translations
+            > vm.bbt_cache.stats().resident_translations as u64,
+        "the run must have discarded past generations"
+    );
+}
+
+#[test]
+fn table_stays_bounded_across_repeated_flush_cycles() {
+    // Run the same starved configuration for several independent slices
+    // and check the table never grows beyond the live set between
+    // observations — i.e. repeated flush cycles do not leak entries.
+    let profile = &winstone2004()[3];
+    let wl = build_app(profile, 0.002);
+    let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+    cfg.bbt_cache_bytes = 4 << 10;
+    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+
+    loop {
+        let st = sys.run_slice(20_000);
+        let vm = sys.vm.as_ref().unwrap();
+        assert_eq!(
+            vm.bbt_table.len(),
+            vm.bbt_cache.stats().resident_translations,
+            "table leaked entries after {} flushes",
+            vm.bbt_cache.stats().flushes
+        );
+        if st == Status::Halted {
+            break;
+        }
+    }
+    let flushes = sys.vm.as_ref().unwrap().bbt_cache.stats().flushes;
+    assert!(flushes > 1, "scenario must actually thrash");
+}
+
+#[test]
 fn retranslation_storm_watchdog_catches_a_thrashing_working_set() {
     // Two hot regions that together exceed a starved BBT cache: every
     // dispatch evicts the other side, so the VM re-translates forever
