@@ -1,0 +1,179 @@
+//! Host-side engine throughput: wall-clock nanoseconds per retired guest
+//! instruction on the fig2 startup path (reference superscalar,
+//! interpreter+SBT, BBT+SBT). This measures the *simulator engine*, not
+//! the modeled machine — modeled cycle counts are pinned bit-for-bit by
+//! `tests/engine_differential.rs`; this bench tracks how fast the host
+//! regenerates them.
+//!
+//! Results go to `target/figures/micro_engine.metrics.json` and a CSV.
+//! The repo root carries `BENCH_engine.json`, the checked-in baseline;
+//! with `CDVM_BENCH_CHECK=1` the bench exits non-zero when the aggregate
+//! ns/guest-inst regresses more than 25% against that baseline (the CI
+//! smoke job). Refresh the baseline with `CDVM_BENCH_WRITE_BASELINE=1`.
+
+#![allow(clippy::unwrap_used, clippy::panic)]
+use std::time::Instant;
+
+use cdvm_bench::{banner, emit_metrics_with, write_artifact};
+use cdvm_core::{Status, System};
+use cdvm_stats::Metrics;
+use cdvm_uarch::{MachineConfig, MachineKind};
+use cdvm_workloads::{build_app_run, winstone2004};
+
+/// Fixed workload scale, independent of `CDVM_SCALE`: baseline numbers
+/// must stay comparable across invocations.
+const MICRO_SCALE: f64 = 0.02;
+const REPS: usize = 4;
+
+struct Lane {
+    name: &'static str,
+    kind: MachineKind,
+    ns_per_inst: f64,
+    guest_insts: u64,
+}
+
+fn run_lane(name: &'static str, kind: MachineKind, profile_idx: usize) -> Lane {
+    let profile = &winstone2004()[profile_idx];
+    let wl = build_app_run(profile, MICRO_SCALE, 1.0);
+    let mut best = f64::INFINITY;
+    let mut guest_insts = 0u64;
+    // One warmup rep, then take the best of the timed reps (least noise).
+    for rep in 0..=REPS {
+        let mem = wl.mem.clone();
+        let mut sys = System::with_config(MachineConfig::preset(kind), mem, wl.entry);
+        let t0 = Instant::now();
+        let st = sys.run_to_completion(u64::MAX);
+        let ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(st, Status::Halted, "{name} must complete");
+        guest_insts = sys.x86_retired();
+        if rep > 0 {
+            best = best.min(ns / guest_insts.max(1) as f64);
+        }
+        std::hint::black_box(sys.cycles());
+    }
+    Lane {
+        name,
+        kind,
+        ns_per_inst: best,
+        guest_insts,
+    }
+}
+
+/// Pulls `"key": <number>` out of the flat baseline JSON without a JSON
+/// dependency (the baseline is machine-written by this bench).
+fn baseline_value(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+fn main() {
+    banner(
+        "micro_engine",
+        "host ns per guest instruction on the fig2 startup path",
+        MICRO_SCALE,
+    );
+
+    // MICRO_LANES=interp_sbt,bbt_sbt runs a subset (profiling one lane in
+    // isolation, quicker CI smoke runs). Default: all lanes.
+    let lane_filter = std::env::var("MICRO_LANES").ok();
+    let want = |name: &str| {
+        lane_filter
+            .as_deref()
+            .is_none_or(|f| f.split(',').any(|l| l.trim() == name))
+    };
+    let all: [(&'static str, MachineKind, usize); 4] = [
+        ("ref_superscalar", MachineKind::RefSuperscalar, 0),
+        ("interp_sbt", MachineKind::VmInterp, 0),
+        ("bbt_sbt", MachineKind::VmSoft, 0),
+        ("bbt_sbt_big_footprint", MachineKind::VmSoft, 3),
+    ];
+    let lanes: Vec<Lane> = all
+        .into_iter()
+        .filter(|(name, _, _)| want(name))
+        .map(|(name, kind, idx)| run_lane(name, kind, idx))
+        .collect();
+    assert!(!lanes.is_empty(), "MICRO_LANES matched no lane");
+
+    // Aggregate: total host time over total guest instructions, i.e. the
+    // instruction-weighted mean the startup figures actually pay for.
+    let total_ns: f64 = lanes.iter().map(|l| l.ns_per_inst * l.guest_insts as f64).sum();
+    let total_insts: u64 = lanes.iter().map(|l| l.guest_insts).sum();
+    let aggregate = total_ns / total_insts.max(1) as f64;
+
+    let mut runs = Vec::new();
+    let mut csv = String::from("lane,machine,guest_insts,ns_per_inst\n");
+    for l in &lanes {
+        println!(
+            "{:<24} {:>12} guest insts   {:>8.2} ns/inst   {:>7.1} M guest-inst/s",
+            l.name,
+            l.guest_insts,
+            l.ns_per_inst,
+            1e3 / l.ns_per_inst
+        );
+        csv.push_str(&format!(
+            "{},{:?},{},{:.4}\n",
+            l.name, l.kind, l.guest_insts, l.ns_per_inst
+        ));
+        let mut m = Metrics::new();
+        m.set("app", l.name)
+            .set("machine", format!("{:?}", l.kind))
+            .set("guest_insts", l.guest_insts)
+            .set("ns_per_inst", l.ns_per_inst);
+        runs.push(m);
+    }
+    println!("aggregate: {aggregate:.2} ns/guest-inst");
+    csv.push_str(&format!("aggregate,,{total_insts},{aggregate:.4}\n"));
+    write_artifact("micro_engine.csv", &csv);
+
+    let mut summary = Metrics::new();
+    summary.set("ns_per_inst_aggregate", aggregate);
+    emit_metrics_with("micro_engine", MICRO_SCALE, runs, summary);
+
+    if lane_filter.is_some() {
+        // Partial runs have a different aggregate mix; never compare or
+        // overwrite the all-lane baseline from one.
+        println!("[baseline] skipped (MICRO_LANES subset run)");
+        return;
+    }
+    let path = baseline_path();
+    if std::env::var_os("CDVM_BENCH_WRITE_BASELINE").is_some() {
+        let mut json = String::from("{\n  \"bench\": \"micro_engine\",\n");
+        json.push_str(&format!("  \"scale\": {MICRO_SCALE},\n"));
+        for l in &lanes {
+            json.push_str(&format!("  \"{}_ns_per_inst\": {:.4},\n", l.name, l.ns_per_inst));
+        }
+        json.push_str(&format!("  \"ns_per_inst_aggregate\": {aggregate:.4}\n}}\n"));
+        std::fs::write(&path, json).expect("write BENCH_engine.json");
+        println!("[baseline] wrote {}", path.display());
+        return;
+    }
+
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let base = baseline_value(&text, "ns_per_inst_aggregate")
+                .expect("BENCH_engine.json lacks ns_per_inst_aggregate");
+            let ratio = aggregate / base;
+            println!(
+                "baseline aggregate: {base:.2} ns/guest-inst (current/baseline = {ratio:.2}x)"
+            );
+            if std::env::var_os("CDVM_BENCH_CHECK").is_some() && ratio > 1.25 {
+                eprintln!(
+                    "FAIL: {aggregate:.2} ns/guest-inst is a {:.0}% regression over the \
+                     checked-in baseline {base:.2}",
+                    (ratio - 1.0) * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(_) => println!("no BENCH_engine.json baseline yet (CDVM_BENCH_WRITE_BASELINE=1 to create)"),
+    }
+}

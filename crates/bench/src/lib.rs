@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use cdvm_core::{Phase, Status, System, NUM_PHASES};
 use cdvm_stats::{harmonic_mean, LogSampler, Metrics};
 use cdvm_uarch::{CycleCat, MachineConfig, MachineKind, NUM_CATS};
-use cdvm_workloads::{winstone2004, AppProfile};
+use cdvm_workloads::{winstone2004, AppProfile, Workload};
 
 pub use cdvm_workloads::env_scale;
 
@@ -64,7 +64,15 @@ pub fn run_curve(
     length_mult: f64,
 ) -> CurveResult {
     let wl = cdvm_workloads::build_app_run(profile, scale, length_mult);
-    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+    run_prebuilt(cfg, &wl)
+}
+
+/// Runs one machine against an already-built workload image. The memory
+/// image is cloned copy-on-write (page directory only, no page bytes),
+/// so one `build_app_run` can feed every machine configuration — that is
+/// how [`run_jobs`] amortizes workload generation across the matrix.
+pub fn run_prebuilt(cfg: MachineConfig, wl: &Workload) -> CurveResult {
+    let mut sys = System::with_config(cfg, wl.mem.clone(), wl.entry);
     let mut instrs = LogSampler::new(12);
     let mut activity = LogSampler::new(12);
     loop {
@@ -72,7 +80,7 @@ pub fn run_curve(
         instrs.record(sys.cycles(), sys.x86_retired() as f64);
         activity.record(sys.cycles(), sys.timing.decoder_active_cycles());
         if st != Status::Running {
-            assert_eq!(st, Status::Halted, "{} on {}", profile.name, cfg.kind);
+            assert_eq!(st, Status::Halted, "{} on {}", wl.name, cfg.kind);
             break;
         }
     }
@@ -95,10 +103,10 @@ pub fn run_curve(
         ),
         None => (0, 0, 0.0),
     };
-    let metrics = system_metrics(profile.name, &mut sys);
+    let metrics = system_metrics(&wl.name, &mut sys);
     CurveResult {
         kind: cfg.kind,
-        app: profile.name.to_string(),
+        app: wl.name.clone(),
         instrs,
         activity,
         cycles: sys.cycles(),
@@ -263,8 +271,22 @@ pub fn run_jobs(
     scale: f64,
     length_mult: f64,
 ) -> Vec<CurveResult> {
+    // Build each distinct app image once up front; every machine config
+    // then shares it through a copy-on-write memory clone instead of
+    // regenerating the same guest program per job.
+    let mut images: Vec<(&'static str, Workload)> = Vec::new();
+    for (_, p) in &jobs {
+        if !images.iter().any(|(n, _)| *n == p.name) {
+            images.push((p.name, cdvm_workloads::build_app_run(p, scale, length_mult)));
+        }
+    }
     let (ok, failed) = run_jobs_with(jobs, |kind, profile| {
-        run_curve(MachineConfig::preset(kind), profile, scale, length_mult)
+        let wl = images
+            .iter()
+            .find(|(n, _)| *n == profile.name)
+            .map(|(_, w)| w)
+            .expect("image prebuilt for every job profile");
+        run_prebuilt(MachineConfig::preset(kind), wl)
     });
     for f in &failed {
         eprintln!("[job failed] {} on {:?}: {}", f.app, f.kind, f.message);

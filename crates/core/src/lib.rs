@@ -61,7 +61,7 @@ pub mod vm;
 pub use error::{VmError, Watchdog};
 pub use faultinj::{FaultInjector, FaultKind, InjectionReport};
 pub use opt::{optimize_run, RunStats};
-pub use pcmap::PcMap;
+pub use pcmap::{CreditMap, PcCounter, PcMap, PcSet};
 pub use system::{Status, System, SystemStats, DEFAULT_STACK_TOP};
 pub use trace::{Phase, Trace, TraceBuffer, TraceEvent, TraceRecord, NUM_PHASES};
 pub use uasm::{UAsm, ULabel, STUB_BYTES};

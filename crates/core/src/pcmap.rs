@@ -45,7 +45,7 @@ impl PcMap {
 
     #[inline]
     fn slot(&self, key: u32) -> usize {
-        (key.wrapping_mul(0x9e37_79b9) as usize >> 7) & self.mask
+        cdvm_mem::fib_slot(key, self.mask)
     }
 
     /// Inserts or overwrites.
@@ -102,9 +102,26 @@ impl PcMap {
     /// would read as cold again — a long-running hot block would silently
     /// lose its promotion eligibility.
     pub fn add(&mut self, key: u32, delta: u32) -> u32 {
-        let v = self.get(key).unwrap_or(0).saturating_add(delta);
-        self.insert(key, v);
-        v
+        assert_ne!(key, 0, "key 0 is reserved");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                let v = self.vals[i].saturating_add(delta);
+                self.vals[i] = v;
+                return v;
+            }
+            if k == 0 {
+                self.keys[i] = key;
+                self.vals[i] = delta;
+                self.len += 1;
+                return delta;
+            }
+            i = (i + 1) & self.mask;
+        }
     }
 
     /// Removes every entry.
@@ -123,6 +140,8 @@ impl PcMap {
     }
 
     fn grow(&mut self) {
+        // Note: `insert` below re-checks the load factor, but growth has
+        // just made room, so it never recurses.
         let new_len = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![0; new_len]);
         let old_vals = std::mem::take(&mut self.vals);
@@ -137,10 +156,272 @@ impl PcMap {
     }
 }
 
+/// Set of `u32` PCs built on [`PcMap`].
+///
+/// Unlike the raw map, key `0` is allowed (held in a side bit): demotion
+/// and blacklist sets must tolerate whatever targets fault-injected or
+/// corrupted control flow produces, including address 0.
+#[derive(Debug, Clone, Default)]
+pub struct PcSet {
+    map: PcMap,
+    zero: bool,
+}
+
+impl PcSet {
+    /// Creates an empty set.
+    pub fn new() -> PcSet {
+        PcSet::default()
+    }
+
+    /// Inserts `key`; returns true if it was not already present.
+    pub fn insert(&mut self, key: u32) -> bool {
+        if key == 0 {
+            return !std::mem::replace(&mut self.zero, true);
+        }
+        if self.map.contains(key) {
+            return false;
+        }
+        self.map.insert(key, 1);
+        true
+    }
+
+    /// True if `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        if key == 0 {
+            self.zero
+        } else {
+            self.map.contains(key)
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.map.len() + usize::from(self.zero)
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.zero = false;
+    }
+}
+
+/// Flat map from native code-cache PCs to credit values, indexed by
+/// halfword offset from the arena base.
+///
+/// Retirement credit is consulted once per executed micro-op, the single
+/// hottest lookup in the whole driver. Native PCs are confined to one
+/// bump-allocated arena (`[base, base + capacity)`) and micro-ops are
+/// 2-byte aligned, so a direct-indexed array gives the lookup in one load
+/// with no hashing or probing. Each slot packs a presence bit above the
+/// 32-bit value so absent (`None`) and stored-zero are distinct — BBT
+/// credit tags are x86 PCs, and under fault injection a translated block
+/// can legitimately sit at guest address 0.
+#[derive(Debug, Clone)]
+pub struct CreditMap {
+    base: u32,
+    /// Maximum slot count (arena capacity / 2); the live vector tracks
+    /// the bump allocator's high-water mark instead of being sized for
+    /// the whole arena up front (default arenas are megabytes).
+    max_slots: usize,
+    slots: Vec<u64>,
+}
+
+const PRESENT: u64 = 1 << 32;
+
+impl CreditMap {
+    /// Creates a map covering `capacity` bytes of arena at `base`.
+    pub fn new(base: u32, capacity: usize) -> CreditMap {
+        CreditMap {
+            base,
+            max_slots: capacity.div_ceil(2),
+            slots: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u32) -> Option<usize> {
+        let off = pc.wrapping_sub(self.base);
+        let i = (off >> 1) as usize;
+        if off & 1 == 0 && i < self.slots.len() {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Like `idx`, but grows the live vector toward the arena capacity
+    /// when `pc` lands beyond the current high-water mark.
+    fn idx_grow(&mut self, pc: u32) -> Option<usize> {
+        let off = pc.wrapping_sub(self.base);
+        let i = (off >> 1) as usize;
+        if off & 1 != 0 || i >= self.max_slots {
+            return None;
+        }
+        if i >= self.slots.len() {
+            let want = (i + 1).next_power_of_two().max(4096).min(self.max_slots);
+            self.slots.resize(want, 0);
+        }
+        Some(i)
+    }
+
+    /// Looks up the credit at `pc`; addresses outside the arena are
+    /// simply absent.
+    #[inline]
+    pub fn get(&self, pc: u32) -> Option<u32> {
+        match self.idx(pc) {
+            Some(i) => {
+                let s = self.slots[i];
+                if s & PRESENT != 0 {
+                    Some(s as u32)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts or overwrites the credit at `pc` (ignored outside the
+    /// arena — translation never produces such addresses).
+    pub fn insert(&mut self, pc: u32, val: u32) {
+        if let Some(i) = self.idx_grow(pc) {
+            self.slots[i] = PRESENT | u64::from(val);
+        }
+    }
+
+    /// Adds `delta` to the credit at `pc` (saturating), inserting `delta`
+    /// if absent; mirrors [`PcMap::add`].
+    pub fn add(&mut self, pc: u32, delta: u32) {
+        if let Some(i) = self.idx_grow(pc) {
+            let s = self.slots[i];
+            let v = if s & PRESENT != 0 {
+                (s as u32).saturating_add(delta)
+            } else {
+                delta
+            };
+            self.slots[i] = PRESENT | u64::from(v);
+        }
+    }
+
+    /// Removes every credit (code-cache flush).
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+
+    /// Iterates over `(native_pc, credit)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s & PRESENT != 0)
+            .map(|(i, &s)| (self.base + (i as u32) * 2, s as u32))
+    }
+}
+
+/// Saturating per-PC hit counter built on [`PcMap`]; key `0` is allowed
+/// via a side counter, for the same reason as [`PcSet`].
+#[derive(Debug, Clone, Default)]
+pub struct PcCounter {
+    map: PcMap,
+    zero: u32,
+}
+
+impl PcCounter {
+    /// Creates an empty counter table.
+    pub fn new() -> PcCounter {
+        PcCounter::default()
+    }
+
+    /// Adds one to `key`'s counter and returns the new count.
+    #[inline]
+    pub fn bump(&mut self, key: u32) -> u32 {
+        if key == 0 {
+            self.zero = self.zero.saturating_add(1);
+            self.zero
+        } else {
+            self.map.add(key, 1)
+        }
+    }
+
+    /// Resets every counter.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.zero = 0;
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pcset_insert_contains_zero_key() {
+        let mut s = PcSet::new();
+        assert!(s.insert(0x40_0000));
+        assert!(!s.insert(0x40_0000));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.contains(0x40_0000));
+        assert!(s.contains(0));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn creditmap_round_trips_and_distinguishes_zero_values() {
+        let mut m = CreditMap::new(0x8000_0000, 1 << 16);
+        assert_eq!(m.get(0x8000_0000), None);
+        m.insert(0x8000_0000, 0); // stored zero != absent
+        assert_eq!(m.get(0x8000_0000), Some(0));
+        m.insert(0x8000_0010, u32::MAX);
+        assert_eq!(m.get(0x8000_0010), Some(u32::MAX));
+        m.add(0x8000_0010, 5); // saturates
+        assert_eq!(m.get(0x8000_0010), Some(u32::MAX));
+        m.add(0x8000_0020, 3);
+        m.add(0x8000_0020, 4);
+        assert_eq!(m.get(0x8000_0020), Some(7));
+        // Outside the arena, below base, and at the very end.
+        assert_eq!(m.get(0x7fff_fffe), None);
+        assert_eq!(m.get(0x8001_0000), None);
+        m.insert(0x8000_fffe, 9);
+        assert_eq!(m.get(0x8000_fffe), Some(9));
+        let mut all: Vec<_> = m.iter().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            vec![
+                (0x8000_0000, 0),
+                (0x8000_0010, u32::MAX),
+                (0x8000_0020, 7),
+                (0x8000_fffe, 9),
+            ]
+        );
+        m.clear();
+        assert_eq!(m.get(0x8000_0000), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn pccounter_bumps_and_allows_zero() {
+        let mut c = PcCounter::new();
+        assert_eq!(c.bump(8), 1);
+        assert_eq!(c.bump(8), 2);
+        assert_eq!(c.bump(0), 1);
+        assert_eq!(c.bump(0), 2);
+        c.clear();
+        assert_eq!(c.bump(8), 1);
+    }
 
     #[test]
     fn insert_get_overwrite() {

@@ -15,7 +15,6 @@
 //! * **VM.interp** — interpretation (threshold 25) before SBT, the
 //!   second curve of Fig. 2.
 
-use std::collections::{HashMap, HashSet};
 
 use cdvm_cracker::crack;
 use cdvm_fisa::{ExitCode, Executor, NExit, NFault, NativeState};
@@ -24,7 +23,7 @@ use cdvm_uarch::{Bbb, BbbConfig, CycleCat, MachineConfig, MachineKind, Timing};
 use cdvm_x86::{BranchKind, Cpu, Fault, Interp};
 
 use crate::error::{VmError, Watchdog};
-use crate::pcmap::PcMap;
+use crate::pcmap::{PcCounter, PcMap, PcSet};
 use crate::profile::{dispatch_slot, COUNTER_BASE, DISPATCH_BASE, DISPATCH_ENTRIES};
 use crate::sbt::translate_sbt;
 use crate::trace::{env_trace_capacity, Phase, TierKind, TraceBuffer, TraceEvent, NUM_PHASES};
@@ -127,15 +126,18 @@ pub struct System {
     halted: bool,
     x86_retired: u64,
     cur_region_entry: u32,
+    /// SBT arena base, cached off the VM config so the per-uop
+    /// BBT-vs-SBT attribution test is one compare.
+    sbt_base: u32,
     pending_evict: bool,
     sbt_gen_seen: u64,
     decode_uops: PcMap,
-    interp_counters: HashMap<u32, u32>,
+    interp_counters: PcCounter,
     /// Blocks that failed BBT translation: they execute through the
     /// interpreter instead (degradation ladder, see DESIGN.md).
-    demoted: HashSet<u32>,
+    demoted: PcSet,
     /// Hot entries that failed superblock translation: never re-promoted.
-    sbt_blacklist: HashSet<u32>,
+    sbt_blacklist: PcSet,
     /// The most recent translation/VMM error (demotions keep running, so
     /// this is diagnostic, not fatal).
     last_vm_error: Option<VmError>,
@@ -210,6 +212,9 @@ impl System {
         });
         let mut nstate = NativeState::new();
         nstate.r[cdvm_fisa::regs::PROF_BASE as usize] = COUNTER_BASE;
+        let sbt_base = vm
+            .as_ref()
+            .map_or(u32::MAX, |vm| vm.sbt_cache.config().base);
         System {
             kind,
             cfg,
@@ -226,12 +231,13 @@ impl System {
             halted: false,
             x86_retired: 0,
             cur_region_entry: entry,
+            sbt_base,
             pending_evict: false,
             sbt_gen_seen: 0,
             decode_uops: PcMap::with_capacity(1 << 16),
-            interp_counters: HashMap::new(),
-            demoted: HashSet::new(),
-            sbt_blacklist: HashSet::new(),
+            interp_counters: PcCounter::new(),
+            demoted: PcSet::new(),
+            sbt_blacklist: PcSet::new(),
             last_vm_error: None,
             watchdog_fuel: None,
             watchdog_max_translations: None,
@@ -332,6 +338,12 @@ impl System {
         self.x86_retired
     }
 
+    /// Decoded micro-op runs currently cached by the native executor
+    /// (diagnostic: code-cache flushes must shed stale generations).
+    pub fn decoded_runs(&self) -> usize {
+        self.exec.cached_runs()
+    }
+
     /// True after the guest executed `HLT`.
     pub fn halted(&self) -> bool {
         self.halted
@@ -393,8 +405,8 @@ impl System {
                 return self.trip(w);
             }
             let st = match self.mode {
-                Mode::X86 => self.step_x86(),
-                Mode::Native => self.step_native(),
+                Mode::X86 => self.step_x86(goal),
+                Mode::Native => self.step_native(goal),
             };
             match st {
                 Status::Running => {}
@@ -454,8 +466,32 @@ impl System {
         n
     }
 
+    /// X86-mode (or interpreted) instructions, batched: as long as a
+    /// step leaves the mode in x86 and trips nothing, the only state the
+    /// outer `run_slice` loop inspects between steps is `x86_retired`,
+    /// so the loop stays here with the goal and watchdog checks inlined
+    /// at the same sequence points (goal first, then watchdogs). Mode
+    /// switches, trips, halts, and faults return to `run_slice`.
+    fn step_x86(&mut self, goal: u64) -> Status {
+        loop {
+            match self.step_x86_one() {
+                Status::Running => {}
+                other => return other,
+            }
+            if self.mode != Mode::X86 || self.tripped.is_some() {
+                return Status::Running;
+            }
+            if self.x86_retired >= goal {
+                return Status::Running;
+            }
+            if let Some(w) = self.check_watchdogs() {
+                return self.trip(w);
+            }
+        }
+    }
+
     /// One x86-mode (or interpreted) instruction.
-    fn step_x86(&mut self) -> Status {
+    fn step_x86_one(&mut self) -> Status {
         let r = match self.interp.step(&mut self.cpu, &mut self.mem) {
             Ok(r) => r,
             Err(f) => return Status::Faulted(f),
@@ -511,9 +547,7 @@ impl System {
                         hot = bbb.observe_taken(b.target);
                     }
                 } else if self.kind == MachineKind::VmInterp && b.taken {
-                    let c = self.interp_counters.entry(b.target).or_insert(0);
-                    *c += 1;
-                    if *c == self.cfg.interp_hot_threshold {
+                    if self.interp_counters.bump(b.target) == self.cfg.interp_hot_threshold {
                         hot = Some(b.target);
                     }
                 }
@@ -528,7 +562,7 @@ impl System {
                     self.timing.charge_vmm_instrs(6.0); // jump-table dispatch
                     self.enter_native(native.0, self.cpu.eip);
                 } else if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe)
-                    && !self.demoted.contains(&self.cpu.eip)
+                    && !self.demoted.contains(self.cpu.eip)
                 {
                     // These machines interpret only demoted blocks, so a
                     // control transfer out of one goes back through the
@@ -561,43 +595,99 @@ impl System {
         self.stats.mode_switches += 1;
     }
 
-    /// One translated micro-op.
-    fn step_native(&mut self) -> Status {
-        let vm = self.vm.as_ref().expect("native mode requires a VM");
-        let code = vm.code();
-        let r = match self
-            .exec
-            .step(&mut self.nstate, &mut self.mem, &code, None)
-        {
-            Ok(r) => r,
-            Err(f) => return self.recover_fault(f),
-        };
-        let in_sbt = r.pc >= vm.sbt_cache.config().base;
-        self.set_phase(Phase::Native);
-        self.timing.set_category(if in_sbt {
-            CycleCat::SbtEmu
-        } else {
-            CycleCat::BbtEmu
-        });
-        self.timing.retire_uop(&r);
-        let vm = self.vm.as_ref().expect("native mode requires a VM");
-        let credit = vm.credit_at(r.pc);
-        if credit > 0 {
-            self.x86_retired += credit as u64;
-            if in_sbt {
-                self.stats.sbt_retired += credit as u64;
-            } else {
-                self.stats.bbt_retired += credit as u64;
-            }
+    /// Translated micro-ops, batched: micro-ops that retire no x86
+    /// credit and raise no exit cannot change any state the outer
+    /// `run_slice` loop inspects between steps (`x86_retired`, the goal,
+    /// translation counts, `tripped`), so running them back-to-back here
+    /// is observation-equivalent to returning after every micro-op —
+    /// while keeping the loop bookkeeping off the per-uop hot path.
+    ///
+    /// Credited micro-ops keep looping too: the goal and watchdog checks
+    /// the outer loop would perform between steps are inlined at the
+    /// credit boundary in the same order (goal first, then watchdogs),
+    /// so trip points and return values are unchanged. The exit paths
+    /// (vmexit, halt, fault) still return to `run_slice`, because those
+    /// can translate code and set `tripped`.
+    fn step_native(&mut self, goal: u64) -> Status {
+        // Why the batch loop ends.
+        enum BatchEnd {
+            Fault(NFault),
+            Halt,
+            VmExit { code: ExitCode, arg: u32 },
+            Goal,
+            Watchdog(Watchdog),
         }
-        match r.exit {
-            None => Status::Running,
-            Some(NExit::Halt) => {
+        // Nothing inside the batch changes the phase, so the telescoping
+        // set_phase runs once up front instead of per micro-op.
+        self.set_phase(Phase::Native);
+        // The VM (and its code view) are borrowed once for the whole
+        // batch; every exit path below can translate code or mutate the
+        // VM, so they run after the borrow ends. Inside the loop only
+        // disjoint fields (exec/nstate/mem/timing/stats) are touched.
+        let end = {
+            let vm = self.vm.as_ref().expect("native mode requires a VM");
+            let code = vm.code();
+            loop {
+                let r = match self
+                    .exec
+                    .step(&mut self.nstate, &mut self.mem, &code, None)
+                {
+                    Ok(r) => r,
+                    Err(f) => break BatchEnd::Fault(f),
+                };
+                let in_sbt = r.pc >= self.sbt_base;
+                self.timing.set_category(if in_sbt {
+                    CycleCat::SbtEmu
+                } else {
+                    CycleCat::BbtEmu
+                });
+                self.timing.retire_uop(&r);
+                let credit = vm.credit_at(r.pc);
+                if credit > 0 {
+                    self.x86_retired += credit as u64;
+                    if in_sbt {
+                        self.stats.sbt_retired += credit as u64;
+                    } else {
+                        self.stats.bbt_retired += credit as u64;
+                    }
+                }
+                match r.exit {
+                    None => {
+                        if credit > 0 {
+                            // Same sequence the outer loop runs between
+                            // steps: goal first, then watchdogs
+                            // (check_watchdogs inlined — it only reads).
+                            if self.x86_retired >= goal {
+                                break BatchEnd::Goal;
+                            }
+                            if let Some(limit) = self.watchdog_fuel {
+                                if self.x86_retired >= limit {
+                                    break BatchEnd::Watchdog(Watchdog::Fuel { limit });
+                                }
+                            }
+                            if let Some(limit) = self.watchdog_max_translations {
+                                if vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit {
+                                    break BatchEnd::Watchdog(Watchdog::Translations { limit });
+                                }
+                            }
+                        }
+                        // Otherwise: keep executing micro-ops.
+                    }
+                    Some(NExit::Halt) => break BatchEnd::Halt,
+                    Some(NExit::VmExit { code, arg }) => break BatchEnd::VmExit { code, arg },
+                }
+            }
+        };
+        match end {
+            BatchEnd::Fault(f) => self.recover_fault(f),
+            BatchEnd::Halt => {
                 self.halted = true;
                 self.cpu = self.nstate.to_cpu();
                 Status::Halted
             }
-            Some(NExit::VmExit { code, arg }) => self.handle_vmexit(code, arg),
+            BatchEnd::VmExit { code, arg } => self.handle_vmexit(code, arg),
+            BatchEnd::Goal => Status::Running,
+            BatchEnd::Watchdog(w) => self.trip(w),
         }
     }
 
@@ -733,7 +823,7 @@ impl System {
     fn dispatch_to(&mut self, target: u32) {
         self.tick_trace();
         // Demoted blocks stay on the interpreter tier.
-        if self.demoted.contains(&target) {
+        if self.demoted.contains(target) {
             self.fall_back_to_x86(target);
             return;
         }
@@ -815,9 +905,7 @@ impl System {
             self.maybe_clear_dispatch_table();
             return;
         }
-        for &a in list {
-            self.exec.invalidate_at(a);
-        }
+        self.exec.invalidate_all_at(list);
     }
 
     /// Feeds the retranslation-storm detector: a code-cache pressure
@@ -896,7 +984,7 @@ impl System {
     /// already running it (BBT translation or the interpreter) and
     /// blacklisted so the promotion is not retried forever.
     fn sbt_translate(&mut self, entry: u32) {
-        if self.sbt_blacklist.contains(&entry) {
+        if self.sbt_blacklist.contains(entry) {
             return;
         }
         // Skip if an SBT translation already exists (counter raced).

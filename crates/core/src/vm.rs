@@ -12,7 +12,7 @@ use cdvm_x86::{Cond, Decoder, Width};
 
 use crate::block::scan_block;
 use crate::error::VmError;
-use crate::pcmap::PcMap;
+use crate::pcmap::{CreditMap, PcSet};
 use crate::profile::{CounterFile, EdgeProfile};
 use crate::trace::{TierKind, Trace, TraceEvent};
 use crate::uasm::{UAsm, ULabel, STUB_BYTES};
@@ -150,15 +150,15 @@ pub struct Vm {
     /// Sampled edge profile for superblock formation.
     pub edges: EdgeProfile,
     /// Retired-instruction credit marks for BBT code.
-    pub bbt_credits: PcMap,
+    pub bbt_credits: CreditMap,
     /// Retired-instruction credit marks for SBT code.
-    pub sbt_credits: PcMap,
+    pub sbt_credits: CreditMap,
     /// Installed translations by x86 entry (the freshest per kind wins
     /// through the lookup order).
     pub blocks: HashMap<u32, Translation>,
     /// Entries that should carry software profiling when BBT-translated
     /// (backward-branch / call / indirect targets).
-    profile_candidates: HashMap<u32, ()>,
+    profile_candidates: PcSet,
     /// Plant software profiling micro-ops in BBT code (off for machines
     /// with hardware hotspot detection).
     pub software_profiling: bool,
@@ -167,7 +167,7 @@ pub struct Vm {
     applied_chains: Vec<AppliedChain>,
     /// Every entry ever BBT-translated (survives flushes; sizes M_BBT and
     /// detects flush-forced re-translations).
-    seen_bbt: HashMap<u32, ()>,
+    seen_bbt: PcSet,
     /// Statistics.
     pub stats: VmStats,
     /// Observability event trace (disabled by default; the system driver
@@ -192,23 +192,25 @@ impl Vm {
         hot_threshold: u32,
         software_profiling: bool,
     ) -> Vm {
+        let bbt_cfg = CodeCacheConfig::bbt(bbt_bytes);
+        let sbt_cfg = CodeCacheConfig::sbt(sbt_bytes);
         Vm {
-            bbt_cache: CodeCache::new(CodeCacheConfig::bbt(bbt_bytes)),
-            sbt_cache: CodeCache::new(CodeCacheConfig::sbt(sbt_bytes)),
+            bbt_cache: CodeCache::new(bbt_cfg),
+            sbt_cache: CodeCache::new(sbt_cfg),
             bbt_table: TranslationTable::new(),
             sbt_table: TranslationTable::new(),
             bbt_chains: ChainRegistry::new(),
             sbt_chains: ChainRegistry::new(),
             counters: CounterFile::new(),
             edges: EdgeProfile::new(),
-            bbt_credits: PcMap::with_capacity(1 << 16),
-            sbt_credits: PcMap::with_capacity(1 << 14),
+            bbt_credits: CreditMap::new(bbt_cfg.base, bbt_cfg.capacity),
+            sbt_credits: CreditMap::new(sbt_cfg.base, sbt_cfg.capacity),
             blocks: HashMap::new(),
-            profile_candidates: HashMap::new(),
+            profile_candidates: PcSet::new(),
             software_profiling,
             hot_threshold,
             applied_chains: Vec::new(),
-            seen_bbt: HashMap::new(),
+            seen_bbt: PcSet::new(),
             stats: VmStats::default(),
             trace: Trace::disabled(),
         }
@@ -274,11 +276,11 @@ impl Vm {
     /// Marks `x86_pc` as a profile candidate (backward-branch, call or
     /// indirect target).
     pub fn mark_profile_candidate(&mut self, x86_pc: u32) {
-        self.profile_candidates.insert(x86_pc, ());
+        self.profile_candidates.insert(x86_pc);
     }
 
     fn should_profile(&self, entry: u32) -> bool {
-        self.software_profiling && self.profile_candidates.contains_key(&entry)
+        self.software_profiling && self.profile_candidates.contains(entry)
     }
 
     /// Translates the basic block at `entry` with the BBT and installs
@@ -429,7 +431,7 @@ impl Vm {
         self.stats.bbt_blocks += 1;
         self.stats.bbt_x86_insts += block.len() as u64;
         self.stats.bbt_uops += uop_count as u64;
-        if self.seen_bbt.insert(entry, ()).is_some() {
+        if !self.seen_bbt.insert(entry) {
             if had_live_translation {
                 self.stats.bbt_upgraded_insts += block.len() as u64;
             } else {
@@ -784,7 +786,7 @@ impl Vm {
     /// discovered after its first translation) — the dispatcher should
     /// re-translate it with a counter.
     pub fn needs_profile_upgrade(&self, entry: u32) -> bool {
-        if !self.software_profiling || !self.profile_candidates.contains_key(&entry) {
+        if !self.software_profiling || !self.profile_candidates.contains(entry) {
             return false;
         }
         matches!(
@@ -1094,7 +1096,7 @@ mod tests {
         });
         vm.translate_bbt(&mut dec, &mut mem, 0x40_0000).unwrap();
         // Backward taken target marked as a profile candidate.
-        assert!(vm.profile_candidates.contains_key(&0x40_0000));
+        assert!(vm.profile_candidates.contains(0x40_0000));
         // The self-loop stub was chained at install; the fall-through
         // stub stays pending.
         assert_eq!(vm.bbt_chains.pending_targets(), 1);

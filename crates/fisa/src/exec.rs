@@ -107,24 +107,47 @@ pub struct NRetired {
     pub exit: Option<NExit>,
 }
 
-/// A minimal open-addressing decode cache (u32 key, never removed
-/// individually — whole-cache invalidation only). SipHash-free for the
-/// per-micro-op hot path.
-struct DecodeCache {
+/// A decoded straight-line run: `dense[start..end]` holds the micro-ops
+/// decoded forward from the entry PC up to (and including) the first
+/// unconditional redirect — `Br`, `Jr`, `VmExit`, `Halt`, `Trap` — or the
+/// length cap. Conditional branches stay *inside* runs: superblocks with
+/// side exits execute end-to-end off one run on the not-taken path.
+#[derive(Clone, Copy)]
+struct Run {
+    start: u32,
+    end: u32,
+    /// First native PC past the run (for patch-address containment).
+    end_pc: u32,
+}
+
+/// Open-addressing map from run entry PC to [`Run`]. SipHash-free for
+/// the dispatch path; key 0 is free (native PC 0 is never code).
+struct RunMap {
     keys: Vec<u32>,
-    vals: Vec<(Uop, u8)>,
+    vals: Vec<Run>,
     len: usize,
     mask: usize,
 }
 
 const EMPTY_KEY: u32 = 0;
 
-impl DecodeCache {
+/// Safety cap on run length (a run normally ends at a redirect long
+/// before this; the cap bounds decode-ahead over degenerate byte runs).
+const MAX_RUN: usize = 256;
+
+impl RunMap {
     fn new() -> Self {
-        let n = 1 << 14;
-        DecodeCache {
+        let n = 1 << 12;
+        RunMap {
             keys: vec![EMPTY_KEY; n],
-            vals: vec![(Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0), 0); n],
+            vals: vec![
+                Run {
+                    start: 0,
+                    end: 0,
+                    end_pc: 0
+                };
+                n
+            ],
             len: 0,
             mask: n - 1,
         }
@@ -136,7 +159,7 @@ impl DecodeCache {
     }
 
     #[inline]
-    fn get(&self, key: u32) -> Option<(Uop, u8)> {
+    fn get(&self, key: u32) -> Option<Run> {
         let mut i = self.slot(key);
         loop {
             let k = self.keys[i];
@@ -150,7 +173,7 @@ impl DecodeCache {
         }
     }
 
-    fn insert(&mut self, key: u32, val: (Uop, u8)) {
+    fn insert(&mut self, key: u32, val: Run) {
         debug_assert_ne!(key, EMPTY_KEY, "native PC 0 is never translated code");
         if (self.len + 1) * 4 > self.keys.len() * 3 {
             self.grow();
@@ -195,6 +218,28 @@ impl DecodeCache {
         }
     }
 
+    /// Removes every run whose decoded PC range contains any of `addrs`
+    /// (code patches landed there, so the cached micro-ops are stale).
+    /// Patches are per-chain events, orders of magnitude rarer than
+    /// dispatch, and arrive in clusters — one table sweep handles the
+    /// whole cluster.
+    fn remove_containing(&mut self, addrs: &[u32]) {
+        let mut stale = Vec::new();
+        for i in 0..self.keys.len() {
+            let k = self.keys[i];
+            if k == EMPTY_KEY {
+                continue;
+            }
+            let end = self.vals[i].end_pc;
+            if addrs.iter().any(|&a| k <= a && a < end) {
+                stale.push(k);
+            }
+        }
+        for k in stale {
+            self.remove(k);
+        }
+    }
+
     fn clear(&mut self) {
         self.keys.fill(EMPTY_KEY);
         self.len = 0;
@@ -205,7 +250,14 @@ impl DecodeCache {
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_len]);
         let old_vals = std::mem::replace(
             &mut self.vals,
-            vec![(Uop::alui(Op::Sys(SysOp::Nop), 0, 0, 0), 0); new_len],
+            vec![
+                Run {
+                    start: 0,
+                    end: 0,
+                    end_pc: 0
+                };
+                new_len
+            ],
         );
         self.mask = new_len - 1;
         self.len = 0;
@@ -217,21 +269,44 @@ impl DecodeCache {
     }
 }
 
+/// True if `op` unconditionally redirects control (and therefore ends a
+/// decoded run).
+fn ends_run(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Br | Op::Jr | Op::VmExit(_) | Op::Sys(SysOp::Halt) | Op::Sys(SysOp::Trap)
+    )
+}
+
 /// The implementation-ISA functional executor.
 ///
-/// Decoded micro-ops are cached per native PC (a stand-in for the real
-/// machine's pipeline decode; the encoded bytes in the code cache remain
-/// the ground truth). The VMM must call [`Executor::invalidate`] whenever
-/// a code-cache generation is flushed.
+/// Decoded micro-ops are cached as straight-line *runs* (a stand-in for
+/// the real machine's pipeline decode; the encoded bytes in the code
+/// cache remain the ground truth). Sequential execution is served from a
+/// cursor into the dense run storage — no per-micro-op table probe; only
+/// control transfers re-probe the run map. The VMM must call
+/// [`Executor::invalidate`] whenever a code-cache generation is flushed
+/// and [`Executor::invalidate_at`] for every patched site.
 pub struct Executor {
-    cache: DecodeCache,
+    runs: RunMap,
+    dense: Vec<(Uop, u8)>,
+    // Cursor over the run currently executing: `dense[cur_pos]` is the
+    // next micro-op iff the machine's PC equals `cur_pc` (a taken branch
+    // or fault retry breaks the equality and falls back to the map).
+    cur_pos: usize,
+    cur_end: usize,
+    cur_pc: u32,
     retired: u64,
 }
 
 impl Default for Executor {
     fn default() -> Self {
         Executor {
-            cache: DecodeCache::new(),
+            runs: RunMap::new(),
+            dense: Vec::new(),
+            cur_pos: 0,
+            cur_end: 0,
+            cur_pc: 0,
             retired: 0,
         }
     }
@@ -240,7 +315,8 @@ impl Default for Executor {
 impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
-            .field("cached_uops", &self.cache.len)
+            .field("cached_runs", &self.runs.len)
+            .field("cached_uops", &self.dense.len())
             .field("retired", &self.retired)
             .finish()
     }
@@ -257,25 +333,81 @@ impl Executor {
         self.retired
     }
 
+    /// Decoded runs currently cached (diagnostic: invalidation tests
+    /// check that flushed code-cache generations are shed, not accreted).
+    pub fn cached_runs(&self) -> usize {
+        self.runs.len
+    }
+
     /// Clears the decode cache (call after any code-cache flush/patch).
     pub fn invalidate(&mut self) {
-        self.cache.clear();
+        self.runs.clear();
+        self.dense.clear();
+        self.reset_cursor();
     }
 
-    /// Invalidates a single address (after chaining patches one site).
+    /// Invalidates a single address (after chaining patches one site):
+    /// every cached run covering it is dropped and re-decoded on next
+    /// entry.
     pub fn invalidate_at(&mut self, addr: u32) {
-        self.cache.remove(addr);
+        self.invalidate_all_at(&[addr]);
     }
 
-    fn decode(&mut self, code: &impl CodeSource, pc: u32) -> Result<(Uop, u8), NFault> {
-        if let Some(hit) = self.cache.get(pc) {
-            return Ok(hit);
+    /// Batched [`Executor::invalidate_at`]: one run-table sweep for a
+    /// whole cluster of patched sites.
+    pub fn invalidate_all_at(&mut self, addrs: &[u32]) {
+        if addrs.is_empty() {
+            return;
         }
+        self.runs.remove_containing(addrs);
+        // The cursor may be mid-way through a dropped run.
+        self.reset_cursor();
+    }
+
+    fn reset_cursor(&mut self) {
+        self.cur_pos = 0;
+        self.cur_end = 0;
+        self.cur_pc = 0;
+    }
+
+    /// Decodes forward from `pc` to the next unconditional redirect,
+    /// caches the run, points the cursor past its first micro-op, and
+    /// returns that first micro-op.
+    #[inline(never)]
+    fn build_run(&mut self, code: &impl CodeSource, pc: u32) -> Result<(Uop, u8), NFault> {
         let window = code.fetch_window(pc).ok_or(NFault::BadFetch { addr: pc })?;
-        let (u, len) =
+        let first =
             encoding::decode_one(&window, 0).map_err(|_| NFault::BadEncoding { addr: pc })?;
-        self.cache.insert(pc, (u, len));
-        Ok((u, len))
+        let start = self.dense.len();
+        self.dense.push(first);
+        let mut p = pc.wrapping_add(first.1 as u32);
+        let mut last = first.0.op;
+        // Decode ahead while the code stays straight-line and decodable;
+        // an undecodable tail is not an error here — execution only
+        // faults if it actually reaches it (and then re-decodes at that
+        // PC, reporting the same fault the per-step path would).
+        while !ends_run(&last) && self.dense.len() - start < MAX_RUN {
+            let Some(w) = code.fetch_window(p) else { break };
+            let Ok((u, l)) = encoding::decode_one(&w, 0) else {
+                break;
+            };
+            self.dense.push((u, l));
+            p = p.wrapping_add(l as u32);
+            last = u.op;
+        }
+        let end = self.dense.len();
+        self.runs.insert(
+            pc,
+            Run {
+                start: start as u32,
+                end: end as u32,
+                end_pc: p,
+            },
+        );
+        self.cur_pos = start + 1;
+        self.cur_end = end;
+        self.cur_pc = pc.wrapping_add(first.1 as u32);
+        Ok(first)
     }
 
     /// Executes one micro-op at `st.pc`.
@@ -292,7 +424,23 @@ impl Executor {
         mut xlt: Option<&mut dyn XltAssist>,
     ) -> Result<NRetired, NFault> {
         let pc = st.pc;
-        let (u, len) = self.decode(code, pc)?;
+        let (u, len) = if pc == self.cur_pc && self.cur_pos < self.cur_end {
+            // Sequential: serve straight from the run cursor.
+            let hit = self.dense[self.cur_pos];
+            self.cur_pos += 1;
+            self.cur_pc = pc.wrapping_add(hit.1 as u32);
+            hit
+        } else if let Some(run) = self.runs.get(pc) {
+            // Control transfer into a cached run (block entry, side-exit
+            // target, loop back-edge).
+            let hit = self.dense[run.start as usize];
+            self.cur_pos = run.start as usize + 1;
+            self.cur_end = run.end as usize;
+            self.cur_pc = pc.wrapping_add(hit.1 as u32);
+            hit
+        } else {
+            self.build_run(code, pc)?
+        };
         let fall = pc.wrapping_add(len as u32);
         let mut next = fall;
         let mut mem_acc = None;

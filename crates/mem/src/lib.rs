@@ -36,6 +36,6 @@ mod rng;
 
 pub use chain::{ChainRegistry, ChainSite};
 pub use codecache::{CacheError, CodeCache, CodeCacheConfig, CodeCacheStats, NativePc};
-pub use lookup::{LookupOutcome, TranslationTable};
+pub use lookup::{fib_slot, LookupOutcome, TranslationTable};
 pub use memory::{GuestMem, Memory, PAGE_SIZE};
 pub use rng::Rng64;

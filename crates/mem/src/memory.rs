@@ -1,11 +1,40 @@
 //! Byte-addressable guest memory.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Size of one guest page in bytes.
 pub const PAGE_SIZE: usize = 4096;
 
 const PAGE_SHIFT: u32 = 12;
+/// Page-index bits resolved by the second (leaf) directory level; the
+/// remaining `20 - L2_BITS` bits index the top-level directory.
+const L2_BITS: u32 = 10;
+const L2_LEN: usize = 1 << L2_BITS;
+const DIR_LEN: usize = 1 << (32 - PAGE_SHIFT - L2_BITS);
+const PAGE_IDX_MASK: u32 = (1 << (32 - PAGE_SHIFT)) - 1;
+
+type Page = [u8; PAGE_SIZE];
+
+/// Backs reads of never-written pages, so reads neither allocate nor copy.
+static ZERO_PAGE: Page = [0u8; PAGE_SIZE];
+
+/// Bumped by every [`GuestMem::clone`]. Cloning turns uniquely-owned pages
+/// into shared ones *behind the original's back* (`clone` only gets
+/// `&self`, so it cannot fix up the original's cached write pointer). Each
+/// cached write pointer therefore remembers the epoch it was established
+/// in and is trusted only while the global epoch is unchanged; after any
+/// clone, writes re-run the slow path, where [`Arc::make_mut`] restores
+/// unique ownership. This is pessimistic across unrelated images, but
+/// clones happen per job, not per access.
+///
+/// Soundness of `Relaxed`: a cached write pointer to a page can only
+/// become stale through a clone of the image owning that page, and a clone
+/// (`&self`) cannot race a write (`&mut self`) to the same image. Any
+/// cross-thread hand-off of an image synchronizes through the mechanism
+/// that moves it (scope spawn, channel, mutex), which also publishes the
+/// epoch bump.
+static CLONE_EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// A little-endian byte-addressable memory.
 ///
@@ -56,28 +85,122 @@ pub trait Memory {
             self.write_u8(addr.wrapping_add(i as u32), *b);
         }
     }
+
+    /// Borrows `len` bytes starting at `addr` without copying, when the
+    /// range is contiguous in the implementation's storage. `None` means
+    /// the caller must fall back to [`Memory::read_bytes`]; it is *not* a
+    /// fault. The default implementation never offers a slice.
+    fn read_slice(&mut self, addr: u32, len: usize) -> Option<&[u8]> {
+        let _ = (addr, len);
+        None
+    }
+
+    /// Monotonic counter bumped whenever a store may have modified bytes
+    /// previously reported to [`Memory::note_code_fetch`]. Decoded-code
+    /// caches compare this against their snapshot to detect self-modifying
+    /// code. The default implementation never reports modification.
+    fn code_version(&self) -> u64 {
+        0
+    }
+
+    /// Tells the memory that `len` bytes at `addr` were fetched as code,
+    /// so later stores overlapping them bump [`Memory::code_version`].
+    /// Granularity is implementation-defined (a page for [`GuestMem`]).
+    fn note_code_fetch(&mut self, addr: u32, len: u32) {
+        let _ = (addr, len);
+    }
+}
+
+/// One leaf of the page directory: up to [`L2_LEN`] copy-on-write pages
+/// plus a bitmap of pages the decoder has fetched code from.
+struct PageTable {
+    pages: [Option<Arc<Page>>; L2_LEN],
+    code_bits: [u64; L2_LEN / 64],
+}
+
+impl PageTable {
+    fn new_boxed() -> Box<PageTable> {
+        Box::new(PageTable {
+            pages: std::array::from_fn(|_| None),
+            code_bits: [0; L2_LEN / 64],
+        })
+    }
+
+    #[inline]
+    fn code_marked(&self, lo: usize) -> bool {
+        (self.code_bits[lo >> 6] >> (lo & 63)) & 1 != 0
+    }
+}
+
+impl Clone for PageTable {
+    fn clone(&self) -> Self {
+        PageTable {
+            pages: self.pages.clone(),
+            code_bits: self.code_bits,
+        }
+    }
 }
 
 /// A sparse, demand-allocated guest memory image.
 ///
-/// Pages are allocated (zero-filled) on first touch, so callers never see a
-/// memory fault; the x86 subset we model raises faults only through explicit
+/// Pages live behind a two-level directory (10 + 10 page-index bits), so a
+/// page walk is two array indexings instead of a hash. Pages themselves are
+/// `Arc`-shared copy-on-write: cloning an image is O(touched leaf tables)
+/// and the clone copies a page only when one side writes it, which makes
+/// harness fan-out (one image, many machine configs) cheap. Reads of
+/// never-written pages are served from a static zero page and allocate
+/// nothing; the x86 subset we model raises faults only through explicit
 /// instructions (e.g. `INT3`) or arithmetic conditions, matching the
-/// user-mode traces the paper simulates. A one-entry page cache makes
-/// sequential access patterns (instruction fetch, stack traffic) fast.
+/// user-mode traces the paper simulates.
+///
+/// A small direct-mapped translation cache (`tc_*`, [`PCACHE_WAYS`] ways)
+/// short-circuits the walk for the pages the hot loop cycles through
+/// (instruction fetch, stack, profiling counters, guest data). Cached
+/// write access is additionally gated on [`CLONE_EPOCH`] and on the page
+/// not being marked as code, so copy-on-write and self-modifying-code
+/// detection ([`Memory::code_version`]) cannot be bypassed.
 pub struct GuestMem {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
-    last_page: Option<(u32, *mut [u8; PAGE_SIZE])>,
+    dir: Vec<Option<Box<PageTable>>>,
+    resident: usize,
+    code_version: u64,
+    /// Page index cached per way; `u32::MAX` (not a valid 20-bit page
+    /// index) when the way is empty.
+    tc_idx: [u32; PCACHE_WAYS],
+    tc_ptr: [*mut Page; PCACHE_WAYS],
+    /// [`CLONE_EPOCH`] value at which the way's pointer was established
+    /// as uniquely owned and writable; `u64::MAX` marks a read-only fill
+    /// (shared page, zero page, or code page).
+    tc_epoch: [u64; PCACHE_WAYS],
 }
 
-// SAFETY: `last_page` points into `pages`, which is owned by `self` and only
-// mutated through `&mut self`; the raw pointer never escapes.
+/// Ways in the page-translation cache, direct-mapped by the low page-index
+/// bits. One entry covers straight-line fetch, but the translated-code hot
+/// loop interleaves stack traffic, profiling-counter stores
+/// (`0xc000_0000…`), dispatch-sieve probes (`0xd000_0000…`) and guest
+/// data — four ways keep those from evicting each other every block.
+const PCACHE_WAYS: usize = 4;
+
+#[inline]
+fn tc_way(page_idx: u32) -> usize {
+    (page_idx as usize) & (PCACHE_WAYS - 1)
+}
+
+// SAFETY: each `tc_ptr` way targets either the immutable `ZERO_PAGE` or a
+// page allocation kept alive by an `Arc` stored in `self.dir`, and is only
+// dereferenced from `&mut self` methods. No `&self` method touches the
+// pointee, so sharing `&GuestMem` across threads exposes only plain data
+// and `Arc` refcounts (atomic). Writable dereferences are additionally
+// gated on `CLONE_EPOCH` (see `page_mut`), which forces the slow path —
+// and thus `Arc::make_mut` — after any clone could have shared the page.
 unsafe impl Send for GuestMem {}
+// SAFETY: as above — `&GuestMem` gives access to counters and refcounted
+// pointers only, never to page contents through the cached pointer.
+unsafe impl Sync for GuestMem {}
 
 impl std::fmt::Debug for GuestMem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GuestMem")
-            .field("resident_pages", &self.pages.len())
+            .field("resident_pages", &self.resident)
             .finish()
     }
 }
@@ -90,9 +213,16 @@ impl Default for GuestMem {
 
 impl Clone for GuestMem {
     fn clone(&self) -> Self {
+        // Pages become shared as of now; invalidate every cached write
+        // pointer in the process (see `CLONE_EPOCH`).
+        CLONE_EPOCH.fetch_add(1, Ordering::Relaxed);
         GuestMem {
-            pages: self.pages.clone(),
-            last_page: None,
+            dir: self.dir.clone(),
+            resident: self.resident,
+            code_version: self.code_version,
+            tc_idx: [u32::MAX; PCACHE_WAYS],
+            tc_ptr: [std::ptr::null_mut(); PCACHE_WAYS],
+            tc_epoch: [u64::MAX; PCACHE_WAYS],
         }
     }
 }
@@ -101,19 +231,23 @@ impl GuestMem {
     /// Creates an empty memory image.
     pub fn new() -> Self {
         GuestMem {
-            pages: HashMap::new(),
-            last_page: None,
+            dir: (0..DIR_LEN).map(|_| None).collect(),
+            resident: 0,
+            code_version: 0,
+            tc_idx: [u32::MAX; PCACHE_WAYS],
+            tc_ptr: [std::ptr::null_mut(); PCACHE_WAYS],
+            tc_epoch: [u64::MAX; PCACHE_WAYS],
         }
     }
 
-    /// Number of resident (touched) pages.
+    /// Number of resident (written-to) pages. Reads never allocate.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     /// Total resident bytes.
     pub fn resident_bytes(&self) -> usize {
-        self.pages.len() * PAGE_SIZE
+        self.resident * PAGE_SIZE
     }
 
     /// Loads a byte image at `base`, as the OS loader would place a binary.
@@ -121,43 +255,144 @@ impl GuestMem {
         self.write_bytes(base, image);
     }
 
-    fn page(&mut self, page_idx: u32) -> &mut [u8; PAGE_SIZE] {
-        if let Some((idx, ptr)) = self.last_page {
-            if idx == page_idx {
-                // SAFETY: pointer was derived from a live entry of
-                // `self.pages`; entries are never removed or moved (Box).
-                return unsafe { &mut *ptr };
-            }
+    #[inline(always)]
+    fn page_ref(&mut self, page_idx: u32) -> &Page {
+        let w = tc_way(page_idx);
+        if self.tc_idx[w] == page_idx {
+            // SAFETY: see the impl-level comment; the pointee is kept
+            // alive by `self.dir` (or is `ZERO_PAGE`) and reads through a
+            // possibly-shared page are always fine.
+            return unsafe { &*self.tc_ptr[w] };
         }
-        let entry = self
-            .pages
-            .entry(page_idx)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        let ptr: *mut [u8; PAGE_SIZE] = &mut **entry;
-        self.last_page = Some((page_idx, ptr));
-        // SAFETY: as above.
+        self.page_ref_slow(page_idx)
+    }
+
+    #[inline(never)]
+    fn page_ref_slow(&mut self, page_idx: u32) -> &Page {
+        let hi = (page_idx >> L2_BITS) as usize;
+        let lo = (page_idx as usize) & (L2_LEN - 1);
+        let mut write_epoch = u64::MAX;
+        let ptr: *const Page = match self.dir[hi].as_mut() {
+            Some(t) => {
+                let code = t.code_marked(lo);
+                match t.pages[lo].as_mut() {
+                    // A resident page this image owns exclusively (and
+                    // that is not marked as code) can be cached writable
+                    // right away: read-then-write traffic to one page
+                    // (stack, heap counters) then stays on the fast path
+                    // for both directions. Shared pages fill read-only, so
+                    // copy-on-write still routes writes through
+                    // `page_mut_slow`.
+                    Some(arc) => match Arc::get_mut(arc) {
+                        Some(p) if !code => {
+                            write_epoch = CLONE_EPOCH.load(Ordering::Relaxed);
+                            p as *mut Page as *const Page
+                        }
+                        _ => Arc::as_ptr(arc),
+                    },
+                    None => &ZERO_PAGE,
+                }
+            }
+            None => &ZERO_PAGE,
+        };
+        let w = tc_way(page_idx);
+        self.tc_idx[w] = page_idx;
+        self.tc_ptr[w] = ptr as *mut Page;
+        // `u64::MAX` = read-only fill: the page may be shared (or the zero
+        // page, or code), so a later write must take the slow path.
+        self.tc_epoch[w] = write_epoch;
+        // SAFETY: as in `page_ref`.
+        unsafe { &*ptr }
+    }
+
+    #[inline(always)]
+    fn page_mut(&mut self, page_idx: u32) -> &mut Page {
+        let w = tc_way(page_idx);
+        if self.tc_idx[w] == page_idx && self.tc_epoch[w] == CLONE_EPOCH.load(Ordering::Relaxed) {
+            // SAFETY: the epoch check proves no clone happened since this
+            // pointer was established via `Arc::make_mut`, so the page is
+            // still uniquely owned by this image (and is not a code page —
+            // those are cached read-only).
+            return unsafe { &mut *self.tc_ptr[w] };
+        }
+        self.page_mut_slow(page_idx)
+    }
+
+    #[inline(never)]
+    fn page_mut_slow(&mut self, page_idx: u32) -> &mut Page {
+        let hi = (page_idx >> L2_BITS) as usize;
+        let lo = (page_idx as usize) & (L2_LEN - 1);
+        let table = self.dir[hi].get_or_insert_with(PageTable::new_boxed);
+        let mut fresh = false;
+        let slot = table.pages[lo].get_or_insert_with(|| {
+            fresh = true;
+            Arc::new(ZERO_PAGE)
+        });
+        // Copy-on-write: clones the page iff it is shared with another image.
+        let ptr: *mut Page = Arc::make_mut(slot);
+        let is_code = table.code_marked(lo);
+        if fresh {
+            self.resident += 1;
+        }
+        let w = tc_way(page_idx);
+        self.tc_idx[w] = page_idx;
+        self.tc_ptr[w] = ptr;
+        if is_code {
+            // A store into a page the decoder fetched from: flag it, and
+            // never cache a writable pointer to such a page so *every*
+            // store to it comes back here.
+            self.code_version += 1;
+            self.tc_epoch[w] = u64::MAX;
+        } else {
+            self.tc_epoch[w] = CLONE_EPOCH.load(Ordering::Relaxed);
+        }
+        // SAFETY: `ptr` came from `Arc::make_mut` on an Arc owned by
+        // `self.dir`; the borrow of `self.dir` has ended and nothing else
+        // aliases the (uniquely owned) page.
         unsafe { &mut *ptr }
+    }
+
+    fn mark_code_page(&mut self, page_idx: u32) {
+        let hi = (page_idx >> L2_BITS) as usize;
+        let lo = (page_idx as usize) & (L2_LEN - 1);
+        let table = self.dir[hi].get_or_insert_with(PageTable::new_boxed);
+        table.code_bits[lo >> 6] |= 1 << (lo & 63);
+        // A cached writable pointer to this page would let stores skip the
+        // code-version bump; demote it to read-only.
+        let w = tc_way(page_idx);
+        if self.tc_idx[w] == page_idx {
+            self.tc_epoch[w] = u64::MAX;
+        }
     }
 }
 
 impl Memory for GuestMem {
-    #[inline]
+    #[inline(always)]
     fn read_u8(&mut self, addr: u32) -> u8 {
-        let page = self.page(addr >> PAGE_SHIFT);
-        page[(addr as usize) & (PAGE_SIZE - 1)]
+        self.page_ref(addr >> PAGE_SHIFT)[(addr as usize) & (PAGE_SIZE - 1)]
     }
 
-    #[inline]
+    #[inline(always)]
     fn write_u8(&mut self, addr: u32, value: u8) {
-        let page = self.page(addr >> PAGE_SHIFT);
-        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        self.page_mut(addr >> PAGE_SHIFT)[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
-    #[inline]
+    #[inline(always)]
+    fn read_u16(&mut self, addr: u32) -> u16 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 2 {
+            let page = self.page_ref(addr >> PAGE_SHIFT);
+            u16::from_le_bytes([page[off], page[off + 1]])
+        } else {
+            u16::from(self.read_u8(addr)) | (u16::from(self.read_u8(addr.wrapping_add(1))) << 8)
+        }
+    }
+
+    #[inline(always)]
     fn read_u32(&mut self, addr: u32) -> u32 {
         let off = (addr as usize) & (PAGE_SIZE - 1);
         if off <= PAGE_SIZE - 4 {
-            let page = self.page(addr >> PAGE_SHIFT);
+            let page = self.page_ref(addr >> PAGE_SHIFT);
             let mut b = [0u8; 4];
             b.copy_from_slice(&page[off..off + 4]);
             u32::from_le_bytes(b)
@@ -166,15 +401,81 @@ impl Memory for GuestMem {
         }
     }
 
-    #[inline]
+    #[inline(always)]
+    fn write_u16(&mut self, addr: u32, value: u16) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 2 {
+            let page = self.page_mut(addr >> PAGE_SHIFT);
+            page[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write_u8(addr, value as u8);
+            self.write_u8(addr.wrapping_add(1), (value >> 8) as u8);
+        }
+    }
+
+    #[inline(always)]
     fn write_u32(&mut self, addr: u32, value: u32) {
         let off = (addr as usize) & (PAGE_SIZE - 1);
         if off <= PAGE_SIZE - 4 {
-            let page = self.page(addr >> PAGE_SHIFT);
+            let page = self.page_mut(addr >> PAGE_SHIFT);
             page[off..off + 4].copy_from_slice(&value.to_le_bytes());
         } else {
             self.write_u16(addr, value as u16);
             self.write_u16(addr.wrapping_add(2), (value >> 16) as u16);
+        }
+    }
+
+    fn read_bytes(&mut self, addr: u32, buf: &mut [u8]) {
+        let mut addr = addr;
+        let mut buf = &mut buf[..];
+        while !buf.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - off).min(buf.len());
+            let page = self.page_ref(addr >> PAGE_SHIFT);
+            buf[..n].copy_from_slice(&page[off..off + n]);
+            buf = &mut buf[n..];
+            addr = addr.wrapping_add(n as u32);
+        }
+    }
+
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let mut addr = addr;
+        let mut bytes = bytes;
+        while !bytes.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - off).min(bytes.len());
+            let page = self.page_mut(addr >> PAGE_SHIFT);
+            page[off..off + n].copy_from_slice(&bytes[..n]);
+            bytes = &bytes[n..];
+            addr = addr.wrapping_add(n as u32);
+        }
+    }
+
+    #[inline(always)]
+    fn read_slice(&mut self, addr: u32, len: usize) -> Option<&[u8]> {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + len <= PAGE_SIZE {
+            let page = self.page_ref(addr >> PAGE_SHIFT);
+            Some(&page[off..off + len])
+        } else {
+            None
+        }
+    }
+
+    fn code_version(&self) -> u64 {
+        self.code_version
+    }
+
+    fn note_code_fetch(&mut self, addr: u32, len: u32) {
+        let first = addr >> PAGE_SHIFT;
+        let last = addr.wrapping_add(len.saturating_sub(1)) >> PAGE_SHIFT;
+        let mut p = first;
+        loop {
+            self.mark_code_page(p);
+            if p == last {
+                break;
+            }
+            p = p.wrapping_add(1) & PAGE_IDX_MASK;
         }
     }
 }
@@ -189,6 +490,15 @@ mod tests {
         let mut m = GuestMem::new();
         assert_eq!(m.read_u8(0), 0);
         assert_eq!(m.read_u32(0xffff_fff0), 0);
+    }
+
+    #[test]
+    fn reads_do_not_allocate() {
+        let mut m = GuestMem::new();
+        let mut buf = [0u8; 64];
+        m.read_bytes(0x1_0000, &mut buf);
+        assert_eq!(m.read_u32(0xdead_0000), 0);
+        assert_eq!(m.resident_pages(), 0);
     }
 
     #[test]
@@ -222,6 +532,16 @@ mod tests {
     }
 
     #[test]
+    fn cross_u16_access() {
+        let mut m = GuestMem::new();
+        let addr = (PAGE_SIZE as u32) - 1;
+        m.write_u16(addr, 0x1122);
+        assert_eq!(m.read_u16(addr), 0x1122);
+        assert_eq!(m.read_u8(addr), 0x22);
+        assert_eq!(m.read_u8(addr + 1), 0x11);
+    }
+
+    #[test]
     fn load_places_image() {
         let mut m = GuestMem::new();
         m.load(0x40_0000, &[1, 2, 3, 4, 5]);
@@ -239,6 +559,17 @@ mod tests {
     }
 
     #[test]
+    fn read_slice_serves_in_page_ranges() {
+        let mut m = GuestMem::new();
+        m.write_bytes(0x3000, &[9, 8, 7, 6]);
+        assert_eq!(m.read_slice(0x3000, 4), Some(&[9u8, 8, 7, 6][..]));
+        // Untouched page: a slice of zeros, not a fault.
+        assert_eq!(m.read_slice(0x9000, 3), Some(&[0u8, 0, 0][..]));
+        // Crossing a page boundary is not contiguous.
+        assert_eq!(m.read_slice(0x3ffc, 8), None);
+    }
+
+    #[test]
     fn clone_is_deep() {
         let mut a = GuestMem::new();
         a.write_u32(0, 7);
@@ -246,5 +577,52 @@ mod tests {
         b.write_u32(0, 9);
         assert_eq!(a.read_u32(0), 7);
         assert_eq!(b.read_u32(0), 9);
+    }
+
+    #[test]
+    fn clone_invalidates_cached_write_pointer() {
+        let mut a = GuestMem::new();
+        // Establish a cached writable pointer to page 0, then share the
+        // page; the next write must copy, not write through the clone.
+        a.write_u8(0, 1);
+        let mut b = a.clone();
+        a.write_u8(1, 2);
+        assert_eq!(b.read_u8(1), 0);
+        assert_eq!(a.read_u8(1), 2);
+        assert_eq!(b.read_u8(0), 1);
+    }
+
+    #[test]
+    fn code_version_tracks_stores_to_fetched_pages() {
+        let mut m = GuestMem::new();
+        m.write_bytes(0x1000, &[0x90; 16]);
+        assert_eq!(m.code_version(), 0);
+        m.note_code_fetch(0x1000, 16);
+        m.write_u8(0x2000, 1); // different page: no bump
+        assert_eq!(m.code_version(), 0);
+        m.write_u8(0x1004, 0xc3);
+        assert_eq!(m.code_version(), 1);
+        m.write_u8(0x1005, 0xc3); // every store to a code page bumps
+        assert_eq!(m.code_version(), 2);
+    }
+
+    #[test]
+    fn code_mark_demotes_cached_write_pointer() {
+        let mut m = GuestMem::new();
+        // Cached writable pointer to the page, *then* the decoder fetches
+        // from it: the following store must still bump the version.
+        m.write_u8(0x5000, 0x90);
+        m.note_code_fetch(0x5000, 2);
+        m.write_u8(0x5001, 0xc3);
+        assert_eq!(m.code_version(), 1);
+    }
+
+    #[test]
+    fn code_fetch_spanning_pages_marks_both() {
+        let mut m = GuestMem::new();
+        m.note_code_fetch(0x1ff8, 16);
+        m.write_u8(0x1ffc, 1);
+        m.write_u8(0x2004, 1);
+        assert_eq!(m.code_version(), 2);
     }
 }

@@ -49,6 +49,12 @@ pub struct Cache {
     config: CacheConfig,
     tags: Vec<u32>,
     lru: Vec<u64>,
+    // Most-recently-used way per set, a pure memo: the interleaved access
+    // streams the simulator produces (stack, counters, heap) land in
+    // different sets, so each set's MRU way is stable and one tag compare
+    // usually replaces the way scan. Never consulted for correctness —
+    // a stale entry just falls through to the scan.
+    mru: Vec<u8>,
     tick: u64,
     stats: CacheStats,
     set_shift: u32,
@@ -71,6 +77,7 @@ impl Cache {
             config,
             tags: vec![INVALID; sets * config.ways],
             lru: vec![0; sets * config.ways],
+            mru: vec![0; sets],
             tick: 0,
             stats: CacheStats::default(),
             set_shift: config.line.trailing_zeros(),
@@ -97,9 +104,16 @@ impl Cache {
         let set = (line_addr & self.set_mask) as usize;
         let tag = line_addr;
         let base = set * self.config.ways;
-        let ways = &mut self.tags[base..base + self.config.ways];
+        // MRU fast path: one compare instead of the way scan.
+        let m = self.mru[set] as usize;
+        if self.tags[base + m] == tag {
+            self.lru[base + m] = self.tick;
+            return true;
+        }
+        let ways = &self.tags[base..base + self.config.ways];
         if let Some(i) = ways.iter().position(|&t| t == tag) {
             self.lru[base + i] = self.tick;
+            self.mru[set] = i as u8;
             return true;
         }
         self.stats.misses += 1;
@@ -109,6 +123,7 @@ impl Cache {
             .expect("a cache set has at least one way");
         self.tags[base + victim] = tag;
         self.lru[base + victim] = self.tick;
+        self.mru[set] = victim as u8;
         false
     }
 

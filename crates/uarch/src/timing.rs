@@ -87,12 +87,34 @@ pub struct Timing {
     uops_retired: u64,
     fused_retired: u64,
     x86_mode_retired: u64,
+    // Precomputed slot-cost quotients. Every retirement divides a slot
+    // count by the effective width; the operands are fixed at
+    // construction, so the quotients are too — the cached values are
+    // bit-identical to dividing on every retirement (same operands,
+    // same IEEE-754 operation) and keep the FP divider off the per-uop
+    // path. `SLOT_TABLE_LEN` covers every crackable uop count; larger
+    // counts (impossible today) fall back to the live division.
+    slot_cost_one: f64,
+    slot_cost_profiling: f64,
+    slot_cost_fused_half: f64,
+    slot_cost_complex: f64,
+    x86_slot_cost: [f64; SLOT_TABLE_LEN],
 }
+
+/// Precomputed `k / eff_width` quotients for `k < SLOT_TABLE_LEN`
+/// dispatch slots (the cracker emits well under 32 uops per x86
+/// instruction).
+const SLOT_TABLE_LEN: usize = 33;
 
 impl Timing {
     /// Creates cold-start timing state (empty caches — the paper's
     /// memory-startup scenario 2).
     pub fn new(cfg: MachineConfig) -> Self {
+        let ew = cfg.width * cfg.util;
+        let mut x86_slot_cost = [0.0; SLOT_TABLE_LEN];
+        for (k, c) in x86_slot_cost.iter_mut().enumerate() {
+            *c = k as f64 / ew;
+        }
         Timing {
             cfg,
             hier: Hierarchy::table2(cfg.mem_latency),
@@ -106,10 +128,16 @@ impl Timing {
             uops_retired: 0,
             fused_retired: 0,
             x86_mode_retired: 0,
+            slot_cost_one: 1.0 / ew,
+            slot_cost_profiling: cfg.profiling_slot_cost / ew,
+            slot_cost_fused_half: (cfg.fused_pair_slots / 2.0) / ew,
+            slot_cost_complex: 2.0 / ew,
+            x86_slot_cost,
         }
     }
 
     /// Selects the attribution category for subsequent charges.
+    #[inline]
     pub fn set_category(&mut self, cat: CycleCat) {
         self.cur = cat;
     }
@@ -162,6 +190,7 @@ impl Timing {
 
     /// Raw cycle charge in the current category (translator loops,
     /// fixed-cost events).
+    #[inline]
     pub fn charge_cycles(&mut self, c: f64) {
         self.add(c);
     }
@@ -181,17 +210,26 @@ impl Timing {
         let last = pc.wrapping_add(len.saturating_sub(1)) >> 6;
         if first != self.last_fetch_line {
             let cost = self.hier.fetch(pc);
-            self.add(cost.stall as f64);
+            if cost.stall != 0 {
+                self.add(cost.stall as f64);
+            }
         }
         if last != first {
             let cost = self.hier.fetch(pc.wrapping_add(len - 1));
-            self.add(cost.stall as f64);
+            if cost.stall != 0 {
+                self.add(cost.stall as f64);
+            }
         }
         self.last_fetch_line = last;
     }
 
     fn data(&mut self, addr: u32) {
         let cost = self.hier.data(addr);
+        if cost.stall == 0 {
+            // L1 hit: adding +0.0 to a non-negative total is the
+            // identity, so skipping the FP work is bit-identical.
+            return;
+        }
         // Memory-level parallelism: overlapped misses hide part of the
         // latency; long-latency memory misses overlap less at startup.
         let overlap = if cost.to_memory { 0.75 } else { 0.6 };
@@ -221,20 +259,20 @@ impl Timing {
             .mem
             .is_some_and(|m| (0xc000_0000..0xe000_0000).contains(&m.addr))
             || is_vmm_bookkeeping(&r.uop);
-        let slot = if profiling {
-            self.cfg.profiling_slot_cost
+        let slot_cost = if profiling {
+            self.slot_cost_profiling
         } else if self.fused_tail_pending {
             self.fused_tail_pending = false;
             self.fused_retired += 1;
-            self.cfg.fused_pair_slots / 2.0
+            self.slot_cost_fused_half
         } else if r.uop.fusible {
             self.fused_tail_pending = true;
             self.fused_retired += 1;
-            self.cfg.fused_pair_slots / 2.0
+            self.slot_cost_fused_half
         } else {
-            1.0
+            self.slot_cost_one
         };
-        self.add(slot / self.eff_width());
+        self.add(slot_cost);
         if r.uop.op.is_long_latency() {
             // Partially-hidden long-latency execution (div/mul chains).
             let extra = match r.uop.op {
@@ -264,8 +302,11 @@ impl Timing {
     pub fn retire_x86(&mut self, r: &Retired, uop_count: u32) {
         self.x86_mode_retired += 1;
         let before = self.cycles;
-        let slots = uop_count.max(1) as f64;
-        self.add(slots / self.eff_width());
+        let slots = uop_count.max(1) as usize;
+        self.add(match self.x86_slot_cost.get(slots) {
+            Some(&c) => c,
+            None => slots as f64 / self.eff_width(),
+        });
         self.fetch(r.pc, r.len as u32);
         for m in r.mem.iter() {
             self.data(m.addr);
@@ -276,7 +317,7 @@ impl Timing {
         }
         if r.inst.mnemonic.is_complex() {
             // Microcode sequencing overhead for complex instructions.
-            self.add(2.0 / self.eff_width());
+            self.add(self.slot_cost_complex);
         }
         // x86 decode logic is on for the whole duration.
         self.decoder_active += self.cycles - before;
@@ -284,6 +325,7 @@ impl Timing {
 
     /// Charges `n` native instructions of VMM software work (translator,
     /// runtime) through the dependency-limited translator IPC.
+    #[inline]
     pub fn charge_vmm_instrs(&mut self, n: f64) {
         self.add(n / self.cfg.vmm_ipc);
     }

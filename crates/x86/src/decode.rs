@@ -6,9 +6,7 @@
 //! decoder model and the `XLTx86` backend unit — in silicon these would
 //! share PLAs; here they share this module.
 
-use std::collections::HashMap;
-
-use cdvm_mem::Memory;
+use cdvm_mem::{fib_slot, Memory};
 
 use crate::{AluOp, Cond, Gpr, Inst, MemRef, Mnemonic, Operand, ShiftOp, Width};
 
@@ -71,10 +69,25 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
+        // One bounds check when the whole word fits in the window and under
+        // the length limit; the byte-at-a-time fallback preserves the exact
+        // Truncated/TooLong precedence at the edges.
+        if self.pos + 2 <= MAX_INST_LEN {
+            if let Some(s) = self.bytes.get(self.pos..self.pos + 2) {
+                self.pos += 2;
+                return Ok(u16::from_le_bytes([s[0], s[1]]));
+            }
+        }
         Ok(u16::from(self.u8()?) | (u16::from(self.u8()?) << 8))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
+        if self.pos + 4 <= MAX_INST_LEN {
+            if let Some(s) = self.bytes.get(self.pos..self.pos + 4) {
+                self.pos += 4;
+                return Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]));
+            }
+        }
         Ok(u32::from(self.u16()?) | (u32::from(self.u16()?) << 16))
     }
 
@@ -605,23 +618,167 @@ fn decode_0f(r: &mut Reader<'_>, wide: Width, pc: u32) -> Result<Inst, DecodeErr
     }
 }
 
-/// A decoder with a per-PC decoded-instruction cache.
+/// Sequential-successor link value meaning "not discovered yet".
+const NO_SEQ: u32 = u32::MAX;
+/// Initial slot count of the decoded-cache table (power of two).
+const DECODER_SLOTS: usize = 1024;
+
+/// A decoder with a flat decoded-instruction cache.
 ///
-/// Guest code in our model is never self-modifying (the paper's traces are
-/// user-mode Windows applications; the VMM would flush translations on a
-/// code write), so caching decoded forms by PC is sound and makes repeated
-/// interpretation fast.
-#[derive(Debug, Default)]
+/// Decoded instructions live in an arena (`Vec<Inst>` laid out in discovery
+/// order, i.e. the decoded basic blocks of the running program) addressed
+/// through a power-of-two open-addressing table keyed by PC, with two fast
+/// paths layered on top:
+///
+/// * every arena entry carries a *sequential link* to the instruction that
+///   textually follows it, and a one-entry hint remembers the instruction
+///   just served — so straight-line interpretation follows a pointer chain
+///   instead of probing the table per PC;
+/// * instruction fetch uses [`Memory::read_slice`] to borrow the bytes in
+///   place, falling back to a copied window only across page boundaries.
+///
+/// Invalidation is generation-based: [`Decoder::clear`] bumps a 32-bit
+/// generation tag instead of scrubbing the table (O(1)); slots with a
+/// mismatched tag act as tombstones and are reclaimed on insert or rehash.
+/// If the tag counter wraps, the table is scrubbed for real and the counter
+/// restarts — same semantics, different clear cost. Self-modifying code is
+/// caught by comparing [`Memory::code_version`] on every request against
+/// the version observed last time; each decoded range is reported back via
+/// [`Memory::note_code_fetch`] so the memory knows which stores to flag.
+#[derive(Debug)]
 pub struct Decoder {
-    cache: HashMap<u32, Inst>,
+    keys: Vec<u32>,
+    /// Generation tag per slot; `0` = empty, current generation = live,
+    /// anything else = tombstone.
+    tags: Vec<u32>,
+    idxs: Vec<u32>,
+    arena: Vec<Inst>,
+    seq: Vec<u32>,
+    generation: u32,
+    /// Slots holding any key, live or stale; drives the growth policy.
+    occupied: usize,
+    /// Live entries — distinct PCs decoded since the last clear.
+    footprint: usize,
+    /// [`Memory::code_version`] observed at the previous request.
+    mem_version: u64,
+    /// `(expected next PC, arena index of the predecessor)` hint.
+    last: Option<(u32, u32)>,
     decodes: u64,
     cache_hits: u64,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Decoder {
+            keys: vec![0; DECODER_SLOTS],
+            tags: vec![0; DECODER_SLOTS],
+            idxs: vec![0; DECODER_SLOTS],
+            arena: Vec::new(),
+            seq: Vec::new(),
+            generation: 1,
+            occupied: 0,
+            footprint: 0,
+            mem_version: 0,
+            last: None,
+            decodes: 0,
+            cache_hits: 0,
+        }
+    }
 }
 
 impl Decoder {
     /// Creates an empty decoder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    #[inline]
+    fn find(&self, pc: u32) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut i = fib_slot(pc, mask);
+        loop {
+            let t = self.tags[i];
+            if t == 0 {
+                return None;
+            }
+            if t == self.generation && self.keys[i] == pc {
+                return Some(self.idxs[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, pc: u32, idx: u32) {
+        if (self.occupied + 1) * 4 > self.keys.len() * 3 {
+            self.rehash();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = fib_slot(pc, mask);
+        let mut grave = None;
+        loop {
+            let t = self.tags[i];
+            if t == 0 {
+                // Prefer reclaiming the first tombstone on the probe path.
+                let at = match grave {
+                    Some(g) => g,
+                    None => {
+                        self.occupied += 1;
+                        i
+                    }
+                };
+                self.keys[at] = pc;
+                self.tags[at] = self.generation;
+                self.idxs[at] = idx;
+                self.footprint += 1;
+                return;
+            }
+            if t == self.generation && self.keys[i] == pc {
+                self.idxs[i] = idx;
+                return;
+            }
+            if t != self.generation && grave.is_none() {
+                grave = Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Re-places live entries into a table big enough for them, dropping
+    /// tombstones accumulated by generation bumps.
+    fn rehash(&mut self) {
+        let mut cap = self.keys.len();
+        while (self.footprint + 1) * 4 > cap * 3 {
+            cap *= 2;
+        }
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_tags = std::mem::replace(&mut self.tags, vec![0; cap]);
+        let old_idxs = std::mem::replace(&mut self.idxs, vec![0; cap]);
+        self.occupied = 0;
+        let mask = cap - 1;
+        for (s, t) in old_tags.iter().copied().enumerate() {
+            if t != self.generation {
+                continue;
+            }
+            let mut i = fib_slot(old_keys[s], mask);
+            while self.tags[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = old_keys[s];
+            self.tags[i] = self.generation;
+            self.idxs[i] = old_idxs[s];
+            self.occupied += 1;
+        }
+    }
+
+    /// Records `idx` as the sequential successor of the previously served
+    /// instruction when `pc` continues it.
+    #[inline]
+    fn link_last(&mut self, pc: u32, idx: u32) {
+        if let Some((expect, prev)) = self.last {
+            if expect == pc {
+                self.seq[prev as usize] = idx;
+            }
+        }
     }
 
     /// Decodes the instruction at `pc`, fetching bytes from `mem`.
@@ -631,14 +788,45 @@ impl Decoder {
     /// Propagates [`DecodeError`] from [`decode`].
     pub fn decode_at(&mut self, mem: &mut impl Memory, pc: u32) -> Result<Inst, DecodeError> {
         self.decodes += 1;
-        if let Some(i) = self.cache.get(&pc) {
-            self.cache_hits += 1;
-            return Ok(*i);
+        let v = mem.code_version();
+        if v != self.mem_version {
+            // A store hit a page we decoded from: drop everything.
+            self.mem_version = v;
+            self.clear();
         }
-        let mut window = [0u8; MAX_INST_LEN + 1];
-        mem.read_bytes(pc, &mut window);
-        let i = decode(&window, pc)?;
-        self.cache.insert(pc, i);
+        if let Some((expect, prev)) = self.last {
+            if expect == pc {
+                let nxt = self.seq[prev as usize];
+                if nxt != NO_SEQ {
+                    self.cache_hits += 1;
+                    let i = self.arena[nxt as usize];
+                    self.last = Some((pc.wrapping_add(u32::from(i.len)), nxt));
+                    return Ok(i);
+                }
+            }
+        }
+        if let Some(idx) = self.find(pc) {
+            self.cache_hits += 1;
+            self.link_last(pc, idx);
+            let i = self.arena[idx as usize];
+            self.last = Some((pc.wrapping_add(u32::from(i.len)), idx));
+            return Ok(i);
+        }
+        let i = match mem.read_slice(pc, MAX_INST_LEN + 1) {
+            Some(window) => decode(window, pc),
+            None => {
+                let mut window = [0u8; MAX_INST_LEN + 1];
+                mem.read_bytes(pc, &mut window);
+                decode(&window, pc)
+            }
+        }?;
+        mem.note_code_fetch(pc, u32::from(i.len));
+        let idx = self.arena.len() as u32;
+        self.arena.push(i);
+        self.seq.push(NO_SEQ);
+        self.insert(pc, idx);
+        self.link_last(pc, idx);
+        self.last = Some((pc.wrapping_add(u32::from(i.len)), idx));
         Ok(i)
     }
 
@@ -655,12 +843,36 @@ impl Decoder {
     /// Number of distinct PCs decoded — the *static* instruction footprint
     /// touched so far (the paper's M_BBT measurement for this engine).
     pub fn static_footprint(&self) -> usize {
-        self.cache.len()
+        self.footprint
     }
 
-    /// Drops all cached decodes.
+    /// Drops all cached decodes (O(1): bumps the invalidation generation;
+    /// the table is only scrubbed if the 32-bit tag space wraps).
     pub fn clear(&mut self) {
-        self.cache.clear();
+        self.arena.clear();
+        self.seq.clear();
+        self.footprint = 0;
+        self.last = None;
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.tags.fill(0);
+            self.occupied = 0;
+            self.generation = 1;
+        }
+    }
+
+    /// Current invalidation generation (test scaffolding).
+    #[doc(hidden)]
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Test scaffolding: jumps the invalidation generation forward so the
+    /// wrap-around path is reachable without four billion clears. Must only
+    /// move the counter forward, never back onto a tag still in the table.
+    #[doc(hidden)]
+    pub fn force_generation(&mut self, generation: u32) {
+        self.generation = generation;
     }
 }
 

@@ -229,6 +229,133 @@ fn injected_decode_faults_under_pressure_keep_stats_consistent() {
 }
 
 #[test]
+fn smc_store_invalidates_decoded_instructions() {
+    // Self-modifying code on the interpreted tier: a store into a page
+    // the decoder fetched from bumps `Memory::code_version`, which must
+    // drop the decoded-instruction cache so the next pass executes the
+    // patched bytes, not a stale decode.
+    use cdvm_mem::GuestMem;
+    use cdvm_x86::{AluOp, Asm, Cond, Gpr, MemRef};
+
+    let base = 0x40_0000;
+    let mut asm = Asm::new(base);
+    asm.mov_ri(Gpr::Eax, 0);
+    asm.mov_ri(Gpr::Ecx, 2);
+    let top = asm.here();
+    let patched = asm.pc(); // `mov ebx, imm32` — imm32 low byte at +1
+    asm.mov_ri(Gpr::Ebx, 5);
+    asm.alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ebx);
+    // Overwrite the immediate's low byte with CL (2, then 1).
+    asm.mov_mr8(MemRef::abs(patched + 1), Gpr::Ecx);
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.hlt();
+    let image = asm.finish();
+    let mut mem = GuestMem::new();
+    mem.load(base, &image);
+
+    // VmInterp keeps short-lived code on the interpreted tier (the loop
+    // runs twice, far below interp_hot_threshold), where SMC coherence
+    // is architected.
+    let mut sys = System::new(MachineKind::VmInterp, mem, base);
+    let gen_before = sys.interp.decoder.generation();
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+    // Pass 1 adds the original 5 and patches the immediate to 2;
+    // pass 2 must see the patch: eax = 5 + 2.
+    assert_eq!(sys.cpu().gpr[Gpr::Eax as usize], 7, "stale decode served");
+    assert!(
+        sys.interp.decoder.generation() > gen_before,
+        "the SMC store must have cleared the decoded-instruction cache"
+    );
+}
+
+#[test]
+fn code_cache_flush_sheds_decoded_runs() {
+    // The native executor memoizes decoded micro-op runs keyed by code
+    // cache PC. A flush retires the whole generation and reuses the same
+    // addresses for different code, so the run cache must be swept on
+    // every flush — both for correctness (asserted against the reference
+    // machine) and so it tracks the live code set instead of accreting
+    // every generation ever translated.
+    let profile = &winstone2004()[3];
+    let reference = {
+        let wl = build_app(profile, 0.002);
+        let mut sys = System::new(MachineKind::RefSuperscalar, wl.mem, wl.entry);
+        assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+        sys.cpu().gpr
+    };
+
+    let wl = build_app(profile, 0.002);
+    let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+    cfg.bbt_cache_bytes = 4 << 10;
+    cfg.sbt_cache_bytes = 8 << 10;
+    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+    let mut peak_runs = 0usize;
+    loop {
+        let st = sys.run_slice(20_000);
+        peak_runs = peak_runs.max(sys.decoded_runs());
+        if st == Status::Halted {
+            break;
+        }
+        assert_eq!(st, Status::Running);
+    }
+    assert_eq!(sys.cpu().gpr, reference, "correctness across flush cycles");
+
+    let vm = sys.vm.as_ref().unwrap();
+    assert!(vm.bbt_cache.stats().flushes > 1, "scenario must thrash");
+    assert!(peak_runs > 0, "native execution must have cached runs");
+    let total_translated = vm.stats.bbt_blocks + vm.stats.sbt_superblocks;
+    assert!(
+        (sys.decoded_runs() as u64) < total_translated,
+        "run cache holds {} entries but only the live generation of {} \
+         translations should remain",
+        sys.decoded_runs(),
+        total_translated
+    );
+}
+
+#[test]
+fn decoder_generation_rollover_keeps_smc_coherent() {
+    // `Decoder::clear` is O(1): it bumps a 32-bit generation tag instead
+    // of scrubbing the table. When the tag wraps, the table must be
+    // scrubbed for real — otherwise slots from four billion clears ago
+    // would read as live. Start the counter near the wrap point and force
+    // several clears through it via repeated SMC stores.
+    use cdvm_mem::GuestMem;
+    use cdvm_x86::{AluOp, Asm, Cond, Gpr, MemRef};
+
+    let base = 0x40_0000;
+    let mut asm = Asm::new(base);
+    asm.mov_ri(Gpr::Eax, 0);
+    asm.mov_ri(Gpr::Ecx, 6);
+    let top = asm.here();
+    let patched = asm.pc();
+    asm.mov_ri(Gpr::Ebx, 7);
+    asm.alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ebx);
+    asm.mov_mr8(MemRef::abs(patched + 1), Gpr::Ecx);
+    asm.dec_r(Gpr::Ecx);
+    asm.jcc(Cond::Ne, top);
+    asm.hlt();
+    let image = asm.finish();
+    let mut mem = GuestMem::new();
+    mem.load(base, &image);
+
+    let mut sys = System::new(MachineKind::VmInterp, mem, base);
+    // Three clears away from wrapping; the six SMC passes march the
+    // counter through zero.
+    sys.interp.decoder.force_generation(u32::MAX - 3);
+    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+    // Pass k sees the previous pass's patch (initial immediate 7, then
+    // CL = 6, 5, 4, 3, 2): eax = 7 + 6 + 5 + 4 + 3 + 2.
+    assert_eq!(sys.cpu().gpr[Gpr::Eax as usize], 27, "stale decode after rollover");
+    let generation = sys.interp.decoder.generation();
+    assert!(
+        generation < 10,
+        "generation must have wrapped and restarted, got {generation}"
+    );
+}
+
+#[test]
 fn context_switch_cache_flush_is_transient_only() {
     // Scenario 3 of §3.1: after a short context switch the translations
     // survive; only the hardware caches refill.

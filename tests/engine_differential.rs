@@ -1,0 +1,196 @@
+//! Differential test for the host-side engine overhaul: every *modeled*
+//! output — cycles, phase accounting, translation/lookup statistics,
+//! decoder statistics and the event-trace stream — must be bit-identical
+//! to the values the seed (pre-optimisation, HashMap-per-instruction)
+//! engine produced on the fig2/table2 workloads. The seed values are
+//! checked in as `tests/golden/engine_stats.txt`; regenerate with
+//!
+//! ```text
+//! CDVM_GOLDEN_REGEN=1 cargo test -p cdvm-core --test engine_differential
+//! ```
+//!
+//! The fixture was generated from the unmodified seed engine, so a pass
+//! here *is* the slow-path-vs-fast-path differential: the fast flat-table
+//! engine replays the exact statistics the slow hash-based engine emitted.
+
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+use std::fmt::Write as _;
+
+use cdvm_core::{Status, System};
+use cdvm_uarch::{MachineConfig, MachineKind};
+use cdvm_workloads::{build_app, winstone2004};
+
+const SCALE: f64 = 0.002;
+const TRACE_CAPACITY: usize = 1 << 14;
+
+/// FNV-1a over a byte stream; used to fingerprint the trace record stream
+/// (cycle, sequence number and full event payload for every record).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+}
+
+fn push(out: &mut Vec<(String, String)>, label: &str, field: &str, value: impl std::fmt::Display) {
+    out.push((format!("{label}.{field}"), value.to_string()));
+}
+
+/// Runs one (machine, workload) pair to completion and flattens every
+/// modeled output into `(key, value)` lines.
+fn fingerprint(label: &str, cfg: MachineConfig, profile_idx: usize) -> Vec<(String, String)> {
+    let profile = &winstone2004()[profile_idx];
+    let wl = build_app(profile, SCALE);
+    let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+    sys.enable_trace(TRACE_CAPACITY);
+    let status = sys.run_to_completion(u64::MAX);
+    assert_eq!(status, Status::Halted, "{label}: run must complete");
+
+    let mut out = Vec::new();
+    push(&mut out, label, "cycles", sys.cycles());
+    push(&mut out, label, "x86_retired", sys.x86_retired());
+
+    let phases = sys.phase_snapshot();
+    for (i, p) in phases.iter().enumerate() {
+        // Exact bits, not a rounded rendering: the guarantee is
+        // *bit-identical*, and f64 formatting can hide ULP drift.
+        push(&mut out, label, &format!("phase_cycles[{i}]"), format!("{:#018x}", p.to_bits()));
+    }
+
+    let s = &sys.stats;
+    push(&mut out, label, "x86_mode_retired", s.x86_mode_retired);
+    push(&mut out, label, "interp_retired", s.interp_retired);
+    push(&mut out, label, "bbt_retired", s.bbt_retired);
+    push(&mut out, label, "sbt_retired", s.sbt_retired);
+    push(&mut out, label, "mode_switches", s.mode_switches);
+    push(&mut out, label, "vm_exits", s.vm_exits);
+    for (i, k) in s.vm_exit_kinds.iter().enumerate() {
+        push(&mut out, label, &format!("vm_exit_kinds[{i}]"), k);
+    }
+    push(&mut out, label, "bbt_demotions", s.bbt_demotions);
+    push(&mut out, label, "sbt_demotions", s.sbt_demotions);
+
+    let dec = &sys.interp.decoder;
+    push(&mut out, label, "decoder.decodes", dec.decodes());
+    push(&mut out, label, "decoder.cache_hits", dec.cache_hits());
+    push(&mut out, label, "decoder.static_footprint", dec.static_footprint());
+
+    if let Some(vm) = sys.vm.as_ref() {
+        for (t, table) in [("bbt_table", &vm.bbt_table), ("sbt_table", &vm.sbt_table)] {
+            push(&mut out, label, &format!("{t}.lookups"), table.lookups());
+            push(&mut out, label, &format!("{t}.hits"), table.hits());
+            push(&mut out, label, &format!("{t}.stale_evictions"), table.stale_evictions());
+            push(&mut out, label, &format!("{t}.len"), table.len());
+        }
+        let v = &vm.stats;
+        push(&mut out, label, "vm.bbt_blocks", v.bbt_blocks);
+        push(&mut out, label, "vm.bbt_x86_insts", v.bbt_x86_insts);
+        push(&mut out, label, "vm.bbt_retranslated_insts", v.bbt_retranslated_insts);
+        push(&mut out, label, "vm.bbt_upgraded_insts", v.bbt_upgraded_insts);
+        push(&mut out, label, "vm.sbt_superblocks", v.sbt_superblocks);
+        push(&mut out, label, "vm.sbt_x86_insts", v.sbt_x86_insts);
+        push(&mut out, label, "vm.bbt_uops", v.bbt_uops);
+        push(&mut out, label, "vm.sbt_uops", v.sbt_uops);
+        push(&mut out, label, "vm.sbt_fused_uops", v.sbt_fused_uops);
+        push(&mut out, label, "vm.sbt_flags_elided", v.sbt_flags_elided);
+        push(&mut out, label, "vm.chains_applied", v.chains_applied);
+        push(&mut out, label, "vm.complex_insts", v.complex_insts);
+    }
+
+    if let Some(buf) = sys.trace() {
+        let mut h = Fnv::new();
+        for rec in buf.iter() {
+            h.eat(&rec.cycle.to_le_bytes());
+            h.eat(&rec.seq.to_le_bytes());
+            h.eat(format!("{:?}", rec.event).as_bytes());
+        }
+        push(&mut out, label, "trace.recorded", buf.recorded());
+        push(&mut out, label, "trace.digest", format!("{:#018x}", h.0));
+    }
+
+    out
+}
+
+/// The fig2 machine set (Ref, Interp&SBT, BBT&SBT), the remaining table2
+/// configurations (VM.be, VM.fe), and one cache-starved variant that
+/// exercises the flush/sweep/stale-eviction paths of the lookup tables.
+fn all_fingerprints() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let kinds = [
+        ("ref", MachineKind::RefSuperscalar),
+        ("interp_sbt", MachineKind::VmInterp),
+        ("bbt_sbt", MachineKind::VmSoft),
+        ("vm_be", MachineKind::VmBe),
+        ("vm_fe", MachineKind::VmFe),
+    ];
+    for profile_idx in [0usize, 3, 7] {
+        for (name, kind) in kinds {
+            let label = format!("{name}/app{profile_idx}");
+            out.extend(fingerprint(&label, MachineConfig::preset(kind), profile_idx));
+        }
+    }
+    // Cache pressure: constant flushing makes stale evictions and sweeps
+    // part of the fixture, not just the steady-state hit path.
+    let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
+    cfg.bbt_cache_bytes = 4 << 10;
+    cfg.sbt_cache_bytes = 8 << 10;
+    out.extend(fingerprint("bbt_sbt_starved/app3", cfg, 3));
+    out
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/engine_stats.txt")
+}
+
+#[test]
+fn modeled_outputs_match_seed_engine_bit_for_bit() {
+    let got = all_fingerprints();
+
+    if std::env::var_os("CDVM_GOLDEN_REGEN").is_some() {
+        let mut text = String::new();
+        for (k, v) in &got {
+            writeln!(text, "{k} {v}").unwrap();
+        }
+        std::fs::write(fixture_path(), text).unwrap();
+        return;
+    }
+
+    let text = std::fs::read_to_string(fixture_path())
+        .expect("tests/golden/engine_stats.txt missing; regenerate with CDVM_GOLDEN_REGEN=1");
+    let want: Vec<(String, String)> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let (k, v) = l.split_once(' ').expect("malformed fixture line");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+
+    let mut mismatches = Vec::new();
+    let want_map: std::collections::HashMap<&str, &str> =
+        want.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    for (k, v) in &got {
+        match want_map.get(k.as_str()) {
+            Some(w) if *w == v => {}
+            Some(w) => mismatches.push(format!("{k}: seed={w} now={v}")),
+            None => mismatches.push(format!("{k}: missing from fixture")),
+        }
+    }
+    if want.len() != got.len() {
+        mismatches.push(format!("fixture has {} keys, run produced {}", want.len(), got.len()));
+    }
+    assert!(
+        mismatches.is_empty(),
+        "modeled outputs diverged from the seed engine ({} keys):\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
