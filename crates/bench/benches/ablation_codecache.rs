@@ -26,11 +26,13 @@ fn main() {
     ]);
     let mut csv = String::from("kib,flushes,retranslated,bbt_xlate_pct,cycles_m\n");
     let mut runs = Vec::new();
+    let mut flights = Vec::new();
     for &kib in &sizes_kib {
         let wl = build_app(profile, scale);
         let mut cfg = MachineConfig::preset(MachineKind::VmSoft);
         cfg.bbt_cache_bytes = kib << 10;
         let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+        arm_telemetry(&mut sys);
         let st = sys.run_to_completion(u64::MAX);
         assert_eq!(st, Status::Halted);
         let vm = sys.vm.as_ref().unwrap();
@@ -52,10 +54,14 @@ fn main() {
         let mut m = system_metrics(profile.name, &mut sys);
         m.set("bbt_cache_kib", kib);
         runs.push(m);
+        if let Some(f) = capture_flight(&format!("{} bbt={kib}KiB", profile.name), &mut sys) {
+            flights.push(f);
+        }
     }
     println!("{}", table.to_markdown());
     println!("(undersized caches thrash: every flush forces cold code back through");
     println!(" Δ_BBT, the startup overhead the hardware assists attack)");
     write_artifact("ablation_codecache.csv", &csv);
+    emit_telemetry_captures("ablation_codecache", &flights);
     emit_metrics("ablation_codecache", scale, runs);
 }

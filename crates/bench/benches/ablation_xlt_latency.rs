@@ -26,6 +26,7 @@ fn main() {
     ]);
     let mut csv = String::from("latency,haloop,bbt_xlate_pct,cycles_m\n");
     let mut runs = Vec::new();
+    let mut flights = Vec::new();
     for lat in [1u32, 2, 4, 8, 16] {
         let mut fracs = Vec::new();
         let mut cycs = Vec::new();
@@ -38,6 +39,7 @@ fn main() {
             cfg.xlt_latency = lat;
             cfg.bbt_be_cycles = 16.0 + lat as f64;
             let mut sys = System::with_config(cfg, wl.mem, wl.entry);
+            arm_telemetry(&mut sys);
             let st = sys.run_to_completion(u64::MAX);
             assert_eq!(st, Status::Halted);
             fracs.push(100.0 * sys.timing.category_cycles(CycleCat::BbtXlate) / sys.timing.cycles_f());
@@ -45,6 +47,9 @@ fn main() {
             let mut m = system_metrics(p.name, &mut sys);
             m.set("xlt_latency", u64::from(lat));
             runs.push(m);
+            if let Some(f) = capture_flight(&format!("{} xlt={lat}", p.name), &mut sys) {
+                flights.push(f);
+            }
         }
         let f = cdvm_stats::arith_mean(&fracs);
         let c = cdvm_stats::arith_mean(&cycs);
@@ -61,5 +66,6 @@ fn main() {
     println!(" BBT cost is dominated by the HAloop bookkeeping, not the unit's latency,");
     println!(" so even a pessimistic 8–16-cycle decoder preserves most of the benefit)");
     write_artifact("ablation_xlt_latency.csv", &csv);
+    emit_telemetry_captures("ablation_xlt_latency", &flights);
     emit_metrics("ablation_xlt_latency", scale, runs);
 }

@@ -12,8 +12,12 @@
 
 use std::path::PathBuf;
 
-use cdvm_core::{Phase, Status, System, NUM_PHASES};
-use cdvm_stats::{harmonic_mean, LogSampler, Metrics};
+use cdvm_core::trace::DEFAULT_TRACE_CAPACITY;
+use cdvm_core::vm::TransKind;
+use cdvm_core::{
+    render_chrome, FlightRecorder, Phase, RecorderConfig, Status, System, TraceBuffer, NUM_PHASES,
+};
+use cdvm_stats::{harmonic_mean, ChromeTrace, LogSampler, Metrics};
 use cdvm_uarch::{CycleCat, MachineConfig, MachineKind, NUM_CATS};
 use cdvm_workloads::{winstone2004, AppProfile, Workload};
 
@@ -52,6 +56,11 @@ pub struct CurveResult {
     pub phase_cycles: [f64; NUM_PHASES],
     /// The run's machine-readable metrics (see [`system_metrics`]).
     pub metrics: Metrics,
+    /// The run's flight recorder (time series, phase segments and
+    /// latency histograms), finalized at end of run.
+    pub flight: Option<Box<FlightRecorder>>,
+    /// The run's event-trace ring, for Perfetto instant events.
+    pub trace: Option<TraceBuffer>,
 }
 
 /// Runs one application on one machine, sampling startup curves.
@@ -73,6 +82,11 @@ pub fn run_curve(
 /// how [`run_jobs`] amortizes workload generation across the matrix.
 pub fn run_prebuilt(cfg: MachineConfig, wl: &Workload) -> CurveResult {
     let mut sys = System::with_config(cfg, wl.mem.clone(), wl.entry);
+    // Telemetry is free by construction (the recorder and trace are pure
+    // observers — see `tests/engine_differential.rs`), so every bench run
+    // records its flight data and event trace for the Perfetto export.
+    sys.enable_trace(DEFAULT_TRACE_CAPACITY);
+    sys.enable_recorder(RecorderConfig::default());
     let mut instrs = LogSampler::new(12);
     let mut activity = LogSampler::new(12);
     loop {
@@ -104,6 +118,21 @@ pub fn run_prebuilt(cfg: MachineConfig, wl: &Workload) -> CurveResult {
         None => (0, 0, 0.0),
     };
     let metrics = system_metrics(&wl.name, &mut sys);
+    if let Some(t) = sys.trace() {
+        if t.dropped() > 0 {
+            eprintln!(
+                "[trace] {} on {}: {} of {} events dropped (ring capacity {}); \
+                 set CDVM_TRACE=<larger capacity> for a complete trace",
+                wl.name,
+                cfg.kind,
+                t.dropped(),
+                t.recorded(),
+                DEFAULT_TRACE_CAPACITY
+            );
+        }
+    }
+    let trace = sys.trace().cloned();
+    let flight = sys.take_recorder();
     CurveResult {
         kind: cfg.kind,
         app: wl.name.clone(),
@@ -118,6 +147,8 @@ pub fn run_prebuilt(cfg: MachineConfig, wl: &Workload) -> CurveResult {
         fused_frac,
         phase_cycles: sys.stats.phase_cycles,
         metrics,
+        flight,
+        trace,
     }
 }
 
@@ -202,6 +233,28 @@ pub fn system_metrics(app: &str, sys: &mut System) -> Metrics {
         m.set("vm", v);
     }
 
+    if let Some(rec) = sys.recorder() {
+        let mut t = Metrics::new();
+        t.set(
+            "bbt_latency",
+            rec.latency_histogram(TransKind::Bbt).summary_metrics(),
+        )
+        .set(
+            "sbt_latency",
+            rec.latency_histogram(TransKind::Sbt).summary_metrics(),
+        )
+        .set(
+            "bbt_block_insts",
+            rec.block_size_histogram(TransKind::Bbt).summary_metrics(),
+        )
+        .set(
+            "sbt_block_insts",
+            rec.block_size_histogram(TransKind::Sbt).summary_metrics(),
+        )
+        .set("chains_per_episode", rec.chain_histogram().summary_metrics());
+        m.set("translation_latency", t);
+    }
+
     if let Some(t) = sys.trace() {
         let mut tr = Metrics::new();
         tr.set("recorded", t.recorded()).set("dropped", t.dropped());
@@ -238,6 +291,112 @@ pub fn emit_metrics_with(bench: &str, scale: f64, runs: Vec<Metrics>, summary: M
     std::fs::write(&path, &json).expect("write metrics artifact");
     std::fs::write(out_dir().join("metrics.json"), &json).expect("write metrics.json");
     println!("[metrics] {}", path.display());
+}
+
+/// Writes the bench's flight-recorder artifacts under `target/figures/`:
+///
+/// * `<bench>.series.json` — one entry per run with the full windowed +
+///   log-spaced time series and histogram summaries
+///   ([`FlightRecorder::to_metrics`]); the log series reproduces the
+///   startup IPC curve the figure harnesses plot;
+/// * `<bench>.trace.json` — a single Chrome `trace_event` document
+///   (loadable at <https://ui.perfetto.dev>) with one process per run:
+///   phase duration tracks, instant events from the event trace, and the
+///   per-window counter tracks.
+pub fn emit_telemetry(bench: &str, results: &[CurveResult]) {
+    let parts: Vec<(Metrics, &FlightRecorder, Option<&TraceBuffer>, String)> = results
+        .iter()
+        .filter_map(|r| {
+            let rec = r.flight.as_deref()?;
+            let mut meta = Metrics::new();
+            meta.set("machine", format!("{}", r.kind))
+                .set("app", r.app.clone())
+                .set("cycles", r.cycles)
+                .set("x86_retired", r.x86_retired);
+            Some((meta, rec, r.trace.as_ref(), format!("{}/{}", r.kind, r.app)))
+        })
+        .collect();
+    write_telemetry_files(bench, parts);
+}
+
+/// One directly-driven run's telemetry, captured with [`capture_flight`]
+/// (the path for benches that sweep `System` configurations themselves
+/// instead of going through [`run_prebuilt`]).
+pub struct FlightCapture {
+    label: String,
+    meta: Metrics,
+    flight: Box<FlightRecorder>,
+    trace: Option<TraceBuffer>,
+}
+
+impl FlightCapture {
+    /// The captured flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The run's Perfetto process-track label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Arms the standard bench telemetry stack (event trace + flight
+/// recorder) on a directly-driven system. Call right after
+/// `System::with_config`, before the run.
+pub fn arm_telemetry(sys: &mut System) {
+    sys.enable_trace(DEFAULT_TRACE_CAPACITY);
+    sys.enable_recorder(RecorderConfig::default());
+}
+
+/// Detaches a finished system's flight data for
+/// [`emit_telemetry_captures`]. Returns `None` when no recorder was
+/// armed. `label` names the run's Perfetto process track.
+pub fn capture_flight(label: &str, sys: &mut System) -> Option<FlightCapture> {
+    let trace = sys.trace().cloned();
+    let mut meta = Metrics::new();
+    meta.set("machine", format!("{}", sys.kind))
+        .set("label", label)
+        .set("cycles", sys.cycles())
+        .set("x86_retired", sys.x86_retired());
+    let flight = sys.take_recorder()?;
+    Some(FlightCapture {
+        label: label.to_string(),
+        meta,
+        flight,
+        trace,
+    })
+}
+
+/// [`emit_telemetry`] for [`FlightCapture`]s.
+pub fn emit_telemetry_captures(bench: &str, caps: &[FlightCapture]) {
+    let parts: Vec<(Metrics, &FlightRecorder, Option<&TraceBuffer>, String)> = caps
+        .iter()
+        .map(|c| (c.meta.clone(), &*c.flight, c.trace.as_ref(), c.label.clone()))
+        .collect();
+    write_telemetry_files(bench, parts);
+}
+
+fn write_telemetry_files(
+    bench: &str,
+    parts: Vec<(Metrics, &FlightRecorder, Option<&TraceBuffer>, String)>,
+) {
+    let mut runs = Vec::new();
+    let mut ct = ChromeTrace::new();
+    for (i, (mut meta, rec, trace, label)) in parts.into_iter().enumerate() {
+        meta.set("series", rec.to_metrics());
+        runs.push(meta);
+        render_chrome(&mut ct, i as u32 + 1, &label, rec, trace);
+    }
+    let mut top = Metrics::new();
+    top.set("bench", bench);
+    top.set("runs", runs);
+    let path = out_dir().join(format!("{bench}.series.json"));
+    std::fs::write(&path, top.to_json()).expect("write series artifact");
+    println!("[series] {}", path.display());
+    let path = out_dir().join(format!("{bench}.trace.json"));
+    std::fs::write(&path, ct.to_json()).expect("write trace artifact");
+    println!("[trace] {} (load in https://ui.perfetto.dev)", path.display());
 }
 
 /// Runs all ten apps × the given machines, in parallel.
@@ -528,6 +687,311 @@ pub fn banner(fig: &str, what: &str, scale: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal recursive-descent JSON reader for round-trip testing the
+    /// emitted artifacts (the repo has a no-dependencies policy, so the
+    /// writer *and* this checker are hand-rolled).
+    #[derive(Debug, Clone, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        fn as_arr(&self) -> &[Json] {
+            match self {
+                Json::Arr(v) => v,
+                other => panic!("expected array, got {other:?}"),
+            }
+        }
+        fn as_num(&self) -> f64 {
+            match self {
+                Json::Num(n) => *n,
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+        fn as_str(&self) -> &str {
+            match self {
+                Json::Str(s) => s,
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn parse(text: &'a str) -> Json {
+            let mut p = Parser {
+                b: text.as_bytes(),
+                i: 0,
+            };
+            let v = p.value();
+            p.ws();
+            assert_eq!(p.i, p.b.len(), "trailing bytes after JSON document");
+            v
+        }
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn eat(&mut self, c: u8) {
+            self.ws();
+            assert_eq!(
+                self.b.get(self.i),
+                Some(&c),
+                "expected {:?} at byte {}",
+                c as char,
+                self.i
+            );
+            self.i += 1;
+        }
+        fn peek(&mut self) -> u8 {
+            self.ws();
+            *self.b.get(self.i).expect("unexpected end of JSON")
+        }
+        fn value(&mut self) -> Json {
+            match self.peek() {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Json::Str(self.string()),
+                b't' => self.lit("true", Json::Bool(true)),
+                b'f' => self.lit("false", Json::Bool(false)),
+                b'n' => self.lit("null", Json::Null),
+                _ => self.number(),
+            }
+        }
+        fn lit(&mut self, word: &str, v: Json) -> Json {
+            self.ws();
+            assert!(
+                self.b[self.i..].starts_with(word.as_bytes()),
+                "bad literal at byte {}",
+                self.i
+            );
+            self.i += word.len();
+            v
+        }
+        fn object(&mut self) -> Json {
+            self.eat(b'{');
+            let mut kv = Vec::new();
+            if self.peek() == b'}' {
+                self.i += 1;
+                return Json::Obj(kv);
+            }
+            loop {
+                let k = self.string();
+                self.eat(b':');
+                kv.push((k, self.value()));
+                match self.peek() {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return Json::Obj(kv);
+                    }
+                    c => panic!("bad object separator {:?}", c as char),
+                }
+            }
+        }
+        fn array(&mut self) -> Json {
+            self.eat(b'[');
+            let mut v = Vec::new();
+            if self.peek() == b']' {
+                self.i += 1;
+                return Json::Arr(v);
+            }
+            loop {
+                v.push(self.value());
+                match self.peek() {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return Json::Arr(v);
+                    }
+                    c => panic!("bad array separator {:?}", c as char),
+                }
+            }
+        }
+        fn string(&mut self) -> String {
+            self.eat(b'"');
+            let mut s = String::new();
+            loop {
+                let c = *self.b.get(self.i).expect("unterminated string");
+                self.i += 1;
+                match c {
+                    b'"' => return s,
+                    b'\\' => {
+                        let e = self.b[self.i];
+                        self.i += 1;
+                        match e {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'r' => s.push('\r'),
+                            b'b' => s.push('\u{8}'),
+                            b'f' => s.push('\u{c}'),
+                            b'u' => {
+                                let hex = std::str::from_utf8(&self.b[self.i..self.i + 4]).unwrap();
+                                self.i += 4;
+                                let cp = u32::from_str_radix(hex, 16).unwrap();
+                                // Surrogates never appear in our writer's
+                                // output (it only escapes control chars).
+                                s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            }
+                            other => panic!("bad escape \\{}", other as char),
+                        }
+                    }
+                    _ => {
+                        // Multi-byte UTF-8: copy the raw byte back out.
+                        let start = self.i - 1;
+                        while self.i < self.b.len() && self.b[self.i] & 0xc0 == 0x80 {
+                            self.i += 1;
+                        }
+                        s.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                    }
+                }
+            }
+        }
+        fn number(&mut self) -> Json {
+            self.ws();
+            let start = self.i;
+            while self.i < self.b.len()
+                && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                self.i += 1;
+            }
+            let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+            Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?}")))
+        }
+    }
+
+    /// The acceptance round-trip: a real run's emitted Chrome trace
+    /// parses, every logical track has monotonically non-decreasing
+    /// timestamps, and the per-window phase counter track sums back to
+    /// `SystemStats::phase_cycles`.
+    #[test]
+    fn chrome_trace_round_trips_and_counters_match_phase_cycles() {
+        let profiles = winstone2004();
+        let r = run_curve(
+            MachineConfig::preset(MachineKind::VmSoft),
+            &profiles[0],
+            0.01,
+            1.0,
+        );
+        let rec = r.flight.as_deref().expect("bench runs always record");
+        let mut ct = ChromeTrace::new();
+        render_chrome(&mut ct, 1, "round-trip", rec, r.trace.as_ref());
+        let doc = Parser::parse(&ct.to_json());
+        let events = doc.get("traceEvents").expect("envelope").as_arr();
+        assert!(!events.is_empty());
+
+        // Track key: (pid, tid) for duration/instant events, (pid, name)
+        // for counter series. Timestamps must never go backwards within a
+        // track in emission order.
+        let mut last_ts: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        let mut counter_tracks: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut phase_sums: HashMap<String, f64> = HashMap::new();
+        let mut saw_complete = false;
+        let mut saw_instant = false;
+        for ev in events {
+            let ph = ev.get("ph").expect("ph").as_str();
+            let pid = ev.get("pid").expect("pid").as_num();
+            let name = ev.get("name").expect("name").as_str().to_string();
+            if ph == "M" {
+                continue;
+            }
+            let ts = ev.get("ts").expect("ts").as_num();
+            assert!(ts >= 0.0 && ts.is_finite(), "bad ts {ts}");
+            let key = match ph {
+                "C" => {
+                    counter_tracks.insert(name.clone());
+                    format!("{pid}/C/{name}")
+                }
+                "X" | "i" => {
+                    if ph == "X" {
+                        saw_complete = true;
+                        assert!(ev.get("dur").expect("dur").as_num() >= 0.0);
+                    } else {
+                        saw_instant = true;
+                    }
+                    format!("{pid}/{}", ev.get("tid").expect("tid").as_num())
+                }
+                other => panic!("unexpected event type {other:?}"),
+            };
+            let prev = last_ts.insert(key.clone(), ts);
+            if let Some(p) = prev {
+                assert!(ts >= p, "track {key}: ts went backwards ({p} -> {ts})");
+            }
+            if ph == "C" && name == "phase_cycles/window" {
+                if let Some(Json::Obj(args)) = ev.get("args") {
+                    for (phase, v) in args {
+                        *phase_sums.entry(phase.clone()).or_insert(0.0) += v.as_num();
+                    }
+                }
+            }
+        }
+        assert!(saw_complete, "phase duration events present");
+        // Instant events appear exactly when the trace holds one of the
+        // rendered kinds (frequent kinds like block_translated are
+        // deliberately left off the Perfetto timeline).
+        const INSTANT_KINDS: [&str; 5] = [
+            "demoted",
+            "cache_flush",
+            "watchdog_trip",
+            "fault_recovered",
+            "unchained",
+        ];
+        let expect_instants = r.trace.as_ref().is_some_and(|t| {
+            t.kind_counts()
+                .iter()
+                .any(|(k, n)| INSTANT_KINDS.contains(k) && *n > 0)
+        });
+        assert_eq!(saw_instant, expect_instants);
+        assert!(
+            counter_tracks.len() >= 4,
+            "at least 4 counter tracks, got {counter_tracks:?}"
+        );
+
+        // Phase counter sums reproduce the run's phase accounting.
+        for p in Phase::ALL {
+            let want = r.phase_cycles[p as usize];
+            let got = phase_sums.get(p.name()).copied().unwrap_or(0.0);
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-6 + 1e-3,
+                "phase {}: counter sum {got} vs phase_cycles {want}",
+                p.name()
+            );
+        }
+
+        // The series document round-trips too, and its log series ends at
+        // the run's retired-instruction total.
+        let mut top = Metrics::new();
+        top.set("series", rec.to_metrics());
+        let doc = Parser::parse(&top.to_json());
+        let log = doc.get("series").unwrap().get("log").expect("log series");
+        let retired = log.get("x86_retired").unwrap().as_arr();
+        assert_eq!(
+            retired.last().map(|v| v.as_num()),
+            Some(r.x86_retired as f64)
+        );
+    }
+
+    use std::collections::HashMap;
 
     #[test]
     fn panicking_job_is_isolated_and_reported() {

@@ -13,7 +13,10 @@
 //! * [`System`] — one guest program on one machine configuration
 //!   (`Ref: superscalar`, `VM.soft`, `VM.be`, `VM.fe`, `VM.interp`),
 //!   co-simulating functional execution and interval-model timing;
-//! * [`model`] — the analytical startup models (Eq. 1 and Eq. 2).
+//! * [`model`] — the analytical startup models (Eq. 1 and Eq. 2);
+//! * [`recorder`] — the startup flight recorder: windowed and
+//!   log-spaced time series, phase segments, and translation-latency
+//!   histograms, exportable as Perfetto-loadable Chrome traces.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod model;
 mod opt;
 mod pcmap;
 pub mod profile;
+pub mod recorder;
 pub mod sbt;
 mod system;
 pub mod trace;
@@ -62,6 +66,9 @@ pub use error::{VmError, Watchdog};
 pub use faultinj::{FaultInjector, FaultKind, InjectionReport};
 pub use opt::{optimize_run, RunStats};
 pub use pcmap::{CreditMap, PcCounter, PcMap, PcSet};
+pub use recorder::{
+    render_chrome, FlightRecorder, PhaseSegment, RecorderConfig, TelemetrySnapshot, WindowSample,
+};
 pub use system::{Status, System, SystemStats, DEFAULT_STACK_TOP};
 pub use trace::{Phase, Trace, TraceBuffer, TraceEvent, TraceRecord, NUM_PHASES};
 pub use uasm::{UAsm, ULabel, STUB_BYTES};

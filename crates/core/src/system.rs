@@ -25,6 +25,7 @@ use cdvm_x86::{BranchKind, Cpu, Fault, Interp};
 use crate::error::{VmError, Watchdog};
 use crate::pcmap::{PcCounter, PcMap, PcSet};
 use crate::profile::{dispatch_slot, COUNTER_BASE, DISPATCH_BASE, DISPATCH_ENTRIES};
+use crate::recorder::{env_recorder_config, FlightRecorder, RecorderConfig, TelemetrySnapshot};
 use crate::sbt::translate_sbt;
 use crate::trace::{env_trace_capacity, Phase, TierKind, TraceBuffer, TraceEvent, NUM_PHASES};
 use crate::vm::{TransKind, Vm};
@@ -151,6 +152,10 @@ pub struct System {
     cur_phase: Phase,
     /// Cycle count at the last phase transition.
     phase_mark: f64,
+    /// The startup flight recorder, when telemetry is enabled. Boxed so
+    /// the disabled case costs one pointer in `System` and one branch at
+    /// each sequence point.
+    recorder: Option<Box<FlightRecorder>>,
     /// Summary counters.
     pub stats: SystemStats,
 }
@@ -247,6 +252,7 @@ impl System {
             storm_consecutive: 0,
             cur_phase: Phase::Vmm,
             phase_mark: 0.0,
+            recorder: env_recorder_config().map(|c| Box::new(FlightRecorder::new(c))),
             stats: SystemStats::default(),
         }
     }
@@ -264,6 +270,83 @@ impl System {
         self.vm.as_ref().and_then(|vm| vm.trace.buffer())
     }
 
+    /// Arms the startup flight recorder (replacing any recorder already
+    /// running). Works on every machine kind — the reference machine
+    /// still has IPC and phase telemetry, just no translation activity.
+    pub fn enable_recorder(&mut self, cfg: RecorderConfig) {
+        self.recorder = Some(Box::new(FlightRecorder::new(cfg)));
+    }
+
+    /// The flight recorder, when telemetry is enabled.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Finalizes and detaches the flight recorder: records the
+    /// in-progress phase tail as a segment, closes the tail window,
+    /// forces the last log-spaced samples, and hands the recorder to the
+    /// caller for export. Telemetry stops after this call.
+    pub fn take_recorder(&mut self) -> Option<Box<FlightRecorder>> {
+        if self.recorder.is_some() {
+            let (phase, mark, now) = (self.cur_phase, self.phase_mark, self.timing.cycles_f());
+            let snap = self.telemetry_snapshot();
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.phase_segment(phase, mark, now);
+                rec.finish(&snap);
+            }
+        }
+        self.recorder.take()
+    }
+
+    /// Turns off every telemetry collector at once: drops the flight
+    /// recorder and discards the event trace.
+    pub fn disable_telemetry(&mut self) {
+        self.recorder = None;
+        if let Some(vm) = self.vm.as_mut() {
+            vm.trace.disable();
+        }
+    }
+
+    /// Builds a read-only counter snapshot for the recorder. Pure
+    /// observation: every field is copied through `&self` reads
+    /// (including [`System::phase_peek`]), so polling cannot perturb
+    /// modeled state.
+    fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot {
+            cycles: self.timing.cycles(),
+            cycles_f: self.timing.cycles_f(),
+            x86_retired: self.x86_retired,
+            phase_cycles: self.phase_peek(),
+            vm_exits: self.stats.vm_exits,
+            demotions: self.stats.bbt_demotions + self.stats.sbt_demotions,
+            ..TelemetrySnapshot::default()
+        };
+        if let Some(vm) = self.vm.as_ref() {
+            s.bbt_blocks = vm.stats.bbt_blocks;
+            s.sbt_superblocks = vm.stats.sbt_superblocks;
+            s.chains = vm.stats.chains_applied;
+            s.unchains = vm.stats.unchains;
+            s.bbt_used_bytes = vm.bbt_cache.stats().used_bytes as u64;
+            s.sbt_used_bytes = vm.sbt_cache.stats().used_bytes as u64;
+            s.bbt_occupancy = vm.bbt_cache.occupancy();
+            s.sbt_occupancy = vm.sbt_cache.occupancy();
+            s.bbt_table_entries = vm.bbt_table.len() as u64;
+            s.sbt_table_entries = vm.sbt_table.len() as u64;
+            s.bbt_table_load = vm.bbt_table.load_factor();
+            s.sbt_table_load = vm.sbt_table.load_factor();
+        }
+        s
+    }
+
+    /// Offers the current counters to the recorder (called at
+    /// `run_slice` boundaries — the driver's sequence points).
+    fn poll_recorder(&mut self) {
+        let snap = self.telemetry_snapshot();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.observe(&snap);
+        }
+    }
+
     /// Attributes the cycles since the last transition to the phase that
     /// just ended, then switches to `p`. Mirrors `timing.set_category`
     /// sites; pure observation — never charges cycles itself, so enabling
@@ -275,6 +358,9 @@ impl System {
         }
         let now = self.timing.cycles_f();
         self.stats.phase_cycles[self.cur_phase as usize] += now - self.phase_mark;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.phase_segment(self.cur_phase, self.phase_mark, now);
+        }
         self.phase_mark = now;
         self.cur_phase = p;
     }
@@ -288,6 +374,18 @@ impl System {
         self.stats.phase_cycles[self.cur_phase as usize] += now - self.phase_mark;
         self.phase_mark = now;
         self.stats.phase_cycles
+    }
+
+    /// Per-phase cycle totals including the in-progress phase tail,
+    /// *without* folding that tail into the accumulators. The telemetry
+    /// read path: repeated peeks leave [`SystemStats::phase_cycles`]
+    /// bit-identical to a run that never peeked (unlike
+    /// [`System::phase_snapshot`], whose telescoping fold reorders the
+    /// floating-point additions).
+    pub fn phase_peek(&self) -> [f64; NUM_PHASES] {
+        let mut p = self.stats.phase_cycles;
+        p[self.cur_phase as usize] += self.timing.cycles_f() - self.phase_mark;
+        p
     }
 
     /// Advances the trace clock to the current cycle count (events
@@ -386,6 +484,14 @@ impl System {
     /// Runs until `max_insts` more x86 instructions retire, the guest
     /// halts, a fault surfaces, or an armed watchdog trips.
     pub fn run_slice(&mut self, max_insts: u64) -> Status {
+        let st = self.run_slice_inner(max_insts);
+        if self.recorder.is_some() {
+            self.poll_recorder();
+        }
+        st
+    }
+
+    fn run_slice_inner(&mut self, max_insts: u64) -> Status {
         if self.halted {
             return Status::Halted;
         }
@@ -949,6 +1055,12 @@ impl System {
     }
 
     fn bbt_translate(&mut self, entry: u32) -> Result<(), VmError> {
+        // Episode bookkeeping for the flight recorder: capture the
+        // before-state only when recording (reads only, never charges).
+        let episode = self.recorder.is_some().then(|| {
+            let chains = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
+            (self.timing.cycles_f(), chains)
+        });
         self.tick_trace();
         // VM.be runs BBT through the XLTx86 hardware assist loop; that is
         // its own phase in the taxonomy (the paper's Fig. 6a HAloop).
@@ -976,6 +1088,18 @@ impl System {
             self.timing
                 .charge_sw_bbt_inst(out.src_pc.wrapping_add(i * 3), cc + i * 8);
         }
+        if let Some((t0, chains0)) = episode {
+            let chains1 = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
+            let latency = self.timing.cycles_f() - t0;
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.observe_episode(
+                    TransKind::Bbt,
+                    latency,
+                    out.translation.x86_count,
+                    chains1 - chains0,
+                );
+            }
+        }
         Ok(())
     }
 
@@ -997,6 +1121,10 @@ impl System {
                 return;
             }
         }
+        let episode = self.recorder.is_some().then(|| {
+            let chains = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
+            (self.timing.cycles_f(), chains)
+        });
         self.tick_trace();
         self.set_phase(Phase::SbtXlate);
         let vm = self.vm.as_mut().expect("SBT requires a VM");
@@ -1008,6 +1136,18 @@ impl System {
                 for i in 0..out.translation.x86_count {
                     self.timing
                         .charge_sbt_inst(out.src_pc.wrapping_add(i * 3), cc + i * 12);
+                }
+                if let Some((t0, chains0)) = episode {
+                    let chains1 = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
+                    let latency = self.timing.cycles_f() - t0;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.observe_episode(
+                            TransKind::Sbt,
+                            latency,
+                            out.translation.x86_count,
+                            chains1 - chains0,
+                        );
+                    }
                 }
             }
             Err(e) => {

@@ -359,6 +359,11 @@ impl Trace {
         self.buf = Some(Box::new(TraceBuffer::new(capacity)));
     }
 
+    /// Disables tracing and discards any recorded events.
+    pub fn disable(&mut self) {
+        self.buf = None;
+    }
+
     /// True when events are being recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
@@ -398,19 +403,48 @@ impl Trace {
     }
 }
 
+/// Parses an enable/capacity environment value. Shared by `CDVM_TRACE`
+/// and `CDVM_RECORDER`: unset/empty/`off`/`false`/`no` disables,
+/// `1`/`on`/`true`/`yes` selects `default`, and any other decimal
+/// number is the capacity directly. `0` and unparseable values are
+/// rejected with a stderr diagnostic naming `var` (and disable the
+/// facility) — never silently swallowed, so a typo'd capacity doesn't
+/// masquerade as "tracing off".
+pub(crate) fn parse_enable_env(var: &str, raw: Option<&str>, default: usize) -> Option<usize> {
+    let v = raw?;
+    match v.trim() {
+        "" | "off" | "false" | "no" => None,
+        "1" | "on" | "true" | "yes" => Some(default),
+        "0" => {
+            eprintln!(
+                "cdvm: invalid {var}=0 (use `off` to disable or a positive event capacity); \
+                 disabling"
+            );
+            None
+        }
+        other => match other.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "cdvm: unparseable {var}={other:?} (expected `on`, `off`, or a positive \
+                     event capacity); disabling"
+                );
+                None
+            }
+        },
+    }
+}
+
 /// Ring capacity requested through the `CDVM_TRACE` environment variable:
-/// unset/`0`/`off` disables, `1`/`on` selects the default capacity, any
-/// other number is the capacity in events. Read once per process.
+/// unset/`off` disables, `1`/`on` selects the default capacity, any
+/// other number is the capacity in events; `0` and garbage are rejected
+/// with a stderr message. Read once per process.
 pub fn env_trace_capacity() -> Option<usize> {
     use std::sync::OnceLock;
     static CAP: OnceLock<Option<usize>> = OnceLock::new();
     *CAP.get_or_init(|| {
-        let v = std::env::var("CDVM_TRACE").ok()?;
-        match v.trim() {
-            "" | "0" | "off" | "false" => None,
-            "1" | "on" | "true" => Some(DEFAULT_TRACE_CAPACITY),
-            other => other.parse::<usize>().ok().filter(|&n| n > 0),
-        }
+        let v = std::env::var("CDVM_TRACE").ok();
+        parse_enable_env("CDVM_TRACE", v.as_deref(), DEFAULT_TRACE_CAPACITY)
     })
 }
 
@@ -487,6 +521,30 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), NUM_PHASES);
         assert_eq!(Phase::ALL[Phase::Native as usize], Phase::Native);
+    }
+
+    #[test]
+    fn enable_env_accepts_switches_and_capacities() {
+        let p = |raw| parse_enable_env("CDVM_TRACE", raw, 64);
+        assert_eq!(p(None), None);
+        for off in ["", "off", "false", "no", " off "] {
+            assert_eq!(p(Some(off)), None, "{off:?}");
+        }
+        for on in ["1", "on", "true", "yes", " on "] {
+            assert_eq!(p(Some(on)), Some(64), "{on:?}");
+        }
+        assert_eq!(p(Some("4096")), Some(4096));
+        assert_eq!(p(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn enable_env_rejects_zero_and_garbage() {
+        let p = |raw| parse_enable_env("CDVM_TRACE", raw, 64);
+        // Rejected (with a stderr diagnostic) rather than silently off.
+        assert_eq!(p(Some("0")), None);
+        assert_eq!(p(Some("banana")), None);
+        assert_eq!(p(Some("-5")), None);
+        assert_eq!(p(Some("1e6")), None);
     }
 
     #[test]

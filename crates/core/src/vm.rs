@@ -73,6 +73,9 @@ pub struct VmStats {
     pub sbt_flags_elided: u64,
     /// Branch chains applied.
     pub chains_applied: u64,
+    /// Chain patches reverted to exit stubs (their target died in a
+    /// flush).
+    pub unchains: u64,
     /// Complex x86 instructions encountered by the translators.
     pub complex_insts: u64,
 }
@@ -754,6 +757,7 @@ impl Vm {
                 TransKind::Sbt => &mut self.sbt_cache,
             };
             write_exit_stub(cache, c.site, c.x86_target);
+            self.stats.unchains += 1;
             self.trace.record_with(|| TraceEvent::Unchained {
                 site: c.site,
                 target: c.x86_target,

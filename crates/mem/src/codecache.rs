@@ -166,6 +166,16 @@ impl CodeCache {
         }
     }
 
+    /// Fraction of the arena currently allocated, in `[0, 1]` (telemetry
+    /// probe: a value near 1.0 means the next translation likely flushes).
+    pub fn occupancy(&self) -> f64 {
+        if self.config.capacity == 0 {
+            0.0
+        } else {
+            self.bytes.len() as f64 / self.config.capacity as f64
+        }
+    }
+
     /// True if `len` more bytes fit without flushing.
     pub fn fits(&self, len: usize) -> bool {
         self.bytes.len() + len <= self.config.capacity

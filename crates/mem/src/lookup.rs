@@ -311,6 +311,18 @@ impl TranslationTable {
         self.stale_evictions
     }
 
+    /// Allocated slot capacity of the open-addressing table (telemetry
+    /// probe; grows by doubling, never shrinks).
+    pub fn slot_capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Occupied fraction of the slot array, in `[0, 1]` (telemetry probe
+    /// for table growth behaviour; the zero-key side slot is excluded).
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.keys.len() as f64
+    }
+
     /// Iterates over live entries of `generation`.
     pub fn iter_live(&self, generation: u64) -> impl Iterator<Item = (u32, NativePc)> + '_ {
         let zero = match self.zero {

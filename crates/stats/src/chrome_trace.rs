@@ -1,0 +1,287 @@
+//! Chrome `trace_event` JSON writer (Perfetto / `chrome://tracing`).
+//!
+//! Renders duration ("X"), instant ("i"), counter ("C") and metadata
+//! ("M") events into the JSON-object trace format — the
+//! `{"traceEvents": [...]}` envelope — which both Perfetto and the
+//! legacy `chrome://tracing` viewer load directly. Timestamps are in
+//! microseconds; the flight recorder maps one modeled cycle to one
+//! microsecond so the timeline reads in cycles.
+//!
+//! Like the rest of the workspace the writer is hand-rolled (no
+//! serialization dependency); string escaping is shared with the
+//! [`Metrics`](crate::Metrics) JSON exporter.
+
+use crate::metrics::{write_string, MetricValue, Metrics};
+use std::fmt::Write as _;
+
+/// Builder for a Chrome `trace_event` JSON document.
+///
+/// Events are rendered eagerly into compact one-line JSON objects, so a
+/// `ChromeTrace` holds strings, not structures — memory stays
+/// proportional to the final document.
+///
+/// # Example
+///
+/// ```
+/// use cdvm_stats::ChromeTrace;
+///
+/// let mut ct = ChromeTrace::new();
+/// ct.process_name(1, "vm-soft");
+/// ct.thread_name(1, 0, "phases");
+/// ct.complete(1, 0, "interp", "phase", 0.0, 150.0);
+/// ct.instant(1, 0, "watchdog", "event", 75.0);
+/// ct.counter(1, "ipc", 150.0, &[("x86", 0.42)]);
+/// let json = ct.to_json();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.trim_end().ends_with("]}"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+/// Writes one `MetricValue` in compact (single-line) JSON.
+fn compact_value(out: &mut String, v: &MetricValue) {
+    match v {
+        MetricValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        MetricValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        MetricValue::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        MetricValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        MetricValue::Str(s) => write_string(out, s),
+        MetricValue::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact_value(out, item);
+            }
+            out.push(']');
+        }
+        MetricValue::Map(m) => compact_map(out, m),
+    }
+}
+
+/// Writes a `Metrics` map in compact (single-line) JSON.
+fn compact_map(out: &mut String, m: &Metrics) {
+    out.push('{');
+    for (i, (k, v)) in m.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(out, k);
+        out.push(':');
+        compact_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Microsecond timestamps must be finite and non-negative; clamp rather
+/// than emit JSON the viewer rejects.
+fn clean_ts(ts: f64) -> f64 {
+    if ts.is_finite() && ts >= 0.0 {
+        ts
+    } else {
+        0.0
+    }
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace document.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push_event(
+        &mut self,
+        ph: char,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts: f64,
+        extra: impl FnOnce(&mut String),
+    ) {
+        let mut e = String::with_capacity(96);
+        e.push_str("{\"ph\":\"");
+        e.push(ph);
+        e.push_str("\",\"pid\":");
+        let _ = write!(e, "{pid}");
+        e.push_str(",\"tid\":");
+        let _ = write!(e, "{tid}");
+        e.push_str(",\"name\":");
+        write_string(&mut e, name);
+        if !cat.is_empty() {
+            e.push_str(",\"cat\":");
+            write_string(&mut e, cat);
+        }
+        e.push_str(",\"ts\":");
+        let _ = write!(e, "{:?}", clean_ts(ts));
+        extra(&mut e);
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// Names the process (Perfetto track group) `pid`.
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        let mut args = Metrics::new();
+        args.set("name", name);
+        self.push_event('M', pid, 0, "process_name", "", 0.0, |e| {
+            e.push_str(",\"args\":");
+            compact_map(e, &args);
+        });
+    }
+
+    /// Names thread (track) `tid` of process `pid`.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        let mut args = Metrics::new();
+        args.set("name", name);
+        self.push_event('M', pid, tid, "thread_name", "", 0.0, |e| {
+            e.push_str(",\"args\":");
+            compact_map(e, &args);
+        });
+    }
+
+    /// Adds a complete ("X") duration event spanning `[ts, ts + dur]`
+    /// microseconds.
+    pub fn complete(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts: f64, dur: f64) {
+        let dur = if dur.is_finite() && dur >= 0.0 { dur } else { 0.0 };
+        self.push_event('X', pid, tid, name, cat, ts, |e| {
+            let _ = write!(e, ",\"dur\":{dur:?}");
+        });
+    }
+
+    /// Adds a thread-scoped instant ("i") event.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts: f64) {
+        self.push_event('i', pid, tid, name, cat, ts, |e| {
+            e.push_str(",\"s\":\"t\"");
+        });
+    }
+
+    /// Adds an instant event carrying an `args` payload (shown in the
+    /// Perfetto detail pane).
+    pub fn instant_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts: f64,
+        args: &Metrics,
+    ) {
+        self.push_event('i', pid, tid, name, cat, ts, |e| {
+            e.push_str(",\"s\":\"t\",\"args\":");
+            compact_map(e, args);
+        });
+    }
+
+    /// Adds a counter ("C") sample. Each `(series, value)` pair becomes
+    /// a line on the counter track `name`.
+    pub fn counter(&mut self, pid: u32, name: &str, ts: f64, series: &[(&str, f64)]) {
+        self.push_event('C', pid, 0, name, "counter", ts, |e| {
+            e.push_str(",\"args\":{");
+            for (i, (k, v)) in series.iter().enumerate() {
+                if i > 0 {
+                    e.push(',');
+                }
+                write_string(e, k);
+                e.push(':');
+                if v.is_finite() {
+                    let _ = write!(e, "{v:?}");
+                } else {
+                    e.push_str("null");
+                }
+            }
+            e.push('}');
+        });
+    }
+
+    /// Serializes to the JSON-object trace format:
+    /// `{"traceEvents": [...]}` with one event per line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.events.iter().map(|e| e.len() + 2).sum::<usize>());
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_shapes() {
+        let mut ct = ChromeTrace::new();
+        ct.process_name(3, "run \"a\"");
+        ct.thread_name(3, 1, "events");
+        ct.complete(3, 0, "interp", "phase", 10.0, 5.5);
+        ct.instant(3, 1, "flush", "cache", 12.0);
+        let mut args = Metrics::new();
+        args.set("entry", 0x1000u64);
+        ct.instant_args(3, 1, "demoted", "tier", 13.0, &args);
+        ct.counter(3, "occupancy", 14.0, &[("bbt", 0.25), ("sbt", 0.5)]);
+        assert_eq!(ct.len(), 6);
+        let j = ct.to_json();
+        assert!(j.contains("\"ph\":\"M\""), "{j}");
+        assert!(j.contains("\"name\":\"run \\\"a\\\"\""), "{j}");
+        assert!(j.contains("\"ph\":\"X\",\"pid\":3,\"tid\":0,\"name\":\"interp\",\"cat\":\"phase\",\"ts\":10.0,\"dur\":5.5"), "{j}");
+        assert!(j.contains("\"ph\":\"i\""), "{j}");
+        assert!(j.contains("\"s\":\"t\""), "{j}");
+        assert!(j.contains("\"args\":{\"entry\":4096}"), "{j}");
+        assert!(j.contains("\"ph\":\"C\""), "{j}");
+        assert!(j.contains("\"args\":{\"bbt\":0.25,\"sbt\":0.5}"), "{j}");
+    }
+
+    #[test]
+    fn envelope_is_wellformed() {
+        let ct = ChromeTrace::new();
+        assert!(ct.is_empty());
+        assert_eq!(ct.to_json(), "{\"traceEvents\":[\n]}\n");
+        let mut ct = ChromeTrace::new();
+        ct.instant(1, 0, "a", "c", 1.0);
+        ct.instant(1, 0, "b", "c", 2.0);
+        let j = ct.to_json();
+        // Exactly one comma between the two events, none trailing.
+        assert_eq!(j.matches("},\n{").count() + j.matches("},{").count(), 1, "{j}");
+        assert!(!j.contains(",\n]"), "{j}");
+    }
+
+    #[test]
+    fn non_finite_values_are_sanitized() {
+        let mut ct = ChromeTrace::new();
+        ct.complete(1, 0, "x", "c", f64::NAN, f64::INFINITY);
+        ct.counter(1, "c", -5.0, &[("v", f64::NAN)]);
+        let j = ct.to_json();
+        assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
+        assert!(j.contains("\"ts\":0.0"), "{j}");
+        assert!(j.contains("\"v\":null"), "{j}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Log-bucketed latency/size histograms with percentile queries.
+
+use crate::metrics::Metrics;
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `1 << SUB_BITS` linear sub-buckets, bounding the relative
+/// quantization error of percentile queries to about 1/16 (6%).
+const SUB_BITS: u32 = 4;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Buckets: values below `SUBS * 2` are stored exactly; above that, one
+/// bucket group of `SUBS` sub-buckets per power of two up to 2^63.
+const NUM_BUCKETS: usize = (2 * SUBS as usize) + (63 - SUB_BITS as usize) * SUBS as usize;
+
+/// A bounded-memory histogram of non-negative integer observations
+/// (cycle counts, block sizes, chain lengths) supporting percentile
+/// queries without retaining individual samples.
+///
+/// Values up to `31` are counted exactly; larger values are bucketed
+/// logarithmically with 16 linear sub-buckets per octave, so `p50`,
+/// `p90` and `p99` are accurate to within ~6% regardless of range.
+/// Storage is a fixed ~8 KiB regardless of how many values are
+/// recorded.
+///
+/// # Example
+///
+/// ```
+/// use cdvm_stats::CycleHistogram;
+///
+/// let mut h = CycleHistogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(0.50);
+/// assert!((45..=55).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Clone)]
+pub struct CycleHistogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for CycleHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(0.5))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value (monotonic in `v`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < 2 * SUBS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= SUB_BITS + 1
+    let group = msb - SUB_BITS as u64; // 1-based group above the exact range
+    let sub = (v >> (msb - SUB_BITS as u64)) & (SUBS - 1);
+    ((SUBS + group * SUBS) + SUBS + sub) as usize - SUBS as usize
+}
+
+/// Inclusive lower bound of a bucket (inverse of [`bucket_of`]).
+fn bucket_lo(i: usize) -> u64 {
+    let i = i as u64;
+    if i < 2 * SUBS {
+        return i;
+    }
+    let rel = i - 2 * SUBS;
+    let group = rel / SUBS + 1; // matches `group` in bucket_of
+    let sub = rel % SUBS;
+    let msb = group + SUB_BITS as u64;
+    (1u64 << msb) | (sub << (msb - SUB_BITS as u64))
+}
+
+impl CycleHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> CycleHistogram {
+        CycleHistogram {
+            counts: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the smallest bucket lower
+    /// bound such that at least `q * count` observations are at or below
+    /// the bucket. Returns 0 when empty; the result is clamped into
+    /// `[min, max]` so quantization never reports an impossible value.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least 1, so p0 is the minimum and p100 the
+        // maximum.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_lo(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Convenience: the 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// A metrics map with the canonical summary fields
+    /// (`count`/`min`/`mean`/`p50`/`p90`/`p99`/`max`).
+    pub fn summary_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.set("count", self.count())
+            .set("min", self.min())
+            .set("mean", self.mean())
+            .set("p50", self.p50())
+            .set("p90", self.p90())
+            .set("p99", self.p99())
+            .set("max", self.max());
+        m
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotonic_and_invertible_on_bounds() {
+        let mut prev = None;
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, u64::MAX / 2, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b < NUM_BUCKETS, "bucket {b} for {v}");
+            if let Some((pv, pb)) = prev {
+                assert!(v < pv || b >= pb, "bucket order broke at {v}");
+            }
+            assert!(bucket_lo(b) <= v, "lo {} > v {v}", bucket_lo(b));
+            prev = Some((v, b));
+        }
+        // Lower bound of a bucket maps back to the same bucket.
+        for b in 0..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(b)), b, "bucket {b} not a fixed point");
+        }
+    }
+
+    #[test]
+    fn exact_range_is_exact() {
+        let mut h = CycleHistogram::new();
+        for v in [0u64, 1, 5, 5, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.percentile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn percentiles_on_uniform_distribution() {
+        let mut h = CycleHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, want) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.percentile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.08,
+                "p{q}: got {got}, want ~{want}"
+            );
+        }
+        let mean = h.mean();
+        assert!((mean - 5000.5).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let h = CycleHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut h = CycleHistogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+    }
+
+    #[test]
+    fn percentiles_clamped_to_observed_range() {
+        let mut h = CycleHistogram::new();
+        h.record(1000);
+        h.record(1001);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!((1000..=1001).contains(&p), "p{q} = {p}");
+        }
+    }
+
+    #[test]
+    fn summary_metrics_has_canonical_keys() {
+        let mut h = CycleHistogram::new();
+        h.record(7);
+        let m = h.summary_metrics();
+        for k in ["count", "min", "mean", "p50", "p90", "p99", "max"] {
+            assert!(m.get(k).is_some(), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn buckets_report_nonempty_only() {
+        let mut h = CycleHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let b = h.buckets();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], (3, 2));
+        assert!(b[1].0 <= 100 && b[1].1 == 1);
+    }
+}

@@ -9,20 +9,28 @@
 //! * [`breakeven_cycles`] — the catch-up point between two cumulative
 //!   instruction curves (Fig. 9's metric);
 //! * [`FreqHistogram`] — Fig. 3's static/dynamic frequency profile;
+//! * [`CycleHistogram`] — log-bucketed latency/size histogram with
+//!   p50/p90/p99 percentile queries (translation-episode latencies);
 //! * [`harmonic_mean`] / [`Table`] — aggregation and rendering;
 //! * [`Metrics`] — an insertion-ordered metrics registry with JSON
-//!   export (`metrics.json` emitted by every bench run).
+//!   export (`metrics.json` emitted by every bench run);
+//! * [`ChromeTrace`] — Chrome `trace_event` JSON writer so flight-
+//!   recorder output loads in Perfetto / `chrome://tracing`.
 
 #![warn(missing_docs)]
 
 mod breakeven;
+mod chrome_trace;
+mod cycle_histogram;
 mod histogram;
 mod metrics;
-mod series;
+pub mod series;
 mod summary;
 mod table;
 
 pub use breakeven::breakeven_cycles;
+pub use chrome_trace::ChromeTrace;
+pub use cycle_histogram::CycleHistogram;
 pub use histogram::{FreqBucket, FreqHistogram};
 pub use metrics::{MetricValue, Metrics};
 pub use series::{LogSampler, Sample};

@@ -194,7 +194,9 @@ fn write_value(out: &mut String, v: &MetricValue, level: usize) {
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
+/// Escapes and quotes `s` per RFC 8259, appending to `out`. Shared with
+/// the Chrome-trace writer so both exporters escape identically.
+pub(crate) fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -62,9 +62,14 @@ impl LogSampler {
 
     /// Offers the current `(cycles, value)` point; it is stored if the
     /// next log-spaced threshold has been crossed. Call as often as you
-    /// like — storage stays logarithmic.
+    /// like — storage stays logarithmic. Points that would go backwards
+    /// in time (cycles at or below the last stored sample) are ignored
+    /// so the series stays strictly increasing.
     pub fn record(&mut self, cycles: u64, value: f64) {
         if (cycles as f64) < self.next_threshold {
+            return;
+        }
+        if self.samples.last().is_some_and(|s| cycles <= s.cycles) {
             return;
         }
         self.samples.push(Sample { cycles, value });
@@ -73,10 +78,16 @@ impl LogSampler {
         }
     }
 
-    /// Forces a final sample (end of run).
+    /// Forces a final sample (end of run). If the last stored sample is
+    /// already at `cycles` its value is refreshed in place; calls that
+    /// would go backwards in time are ignored. The series therefore
+    /// stays strictly increasing in cycles even if `finish` lands on an
+    /// already-sampled cycle or is (incorrectly) called more than once.
     pub fn finish(&mut self, cycles: u64, value: f64) {
-        if self.samples.last().map(|s| s.cycles) != Some(cycles) {
-            self.samples.push(Sample { cycles, value });
+        match self.samples.last_mut() {
+            Some(last) if last.cycles == cycles => last.value = value,
+            Some(last) if last.cycles > cycles => {}
+            _ => self.samples.push(Sample { cycles, value }),
         }
     }
 
@@ -146,5 +157,51 @@ mod tests {
         s.record(1, 1.0);
         s.finish(7, 7.0);
         assert_eq!(s.samples().last().unwrap().cycles, 7);
+    }
+
+    #[test]
+    fn finish_on_sampled_cycle_refreshes_without_duplicate() {
+        let mut s = LogSampler::new(1);
+        s.record(1, 1.0);
+        s.record(10, 10.0);
+        s.finish(10, 11.0);
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.samples().last().unwrap().value, 11.0);
+        // A second (redundant) finish at the same cycle is also safe.
+        s.finish(10, 12.0);
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.samples().last().unwrap().value, 12.0);
+    }
+
+    #[test]
+    fn finish_never_goes_backwards() {
+        let mut s = LogSampler::new(1);
+        s.record(1, 1.0);
+        s.record(100, 100.0);
+        s.finish(50, 50.0); // out-of-order: ignored
+        let cycles: Vec<u64> = s.samples().iter().map(|p| p.cycles).collect();
+        assert_eq!(cycles, vec![1, 100]);
+        // Series stays strictly increasing for binary search.
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn record_ignores_non_increasing_cycles() {
+        let mut s = LogSampler::new(1);
+        s.record(10, 10.0);
+        s.record(10, 99.0); // duplicate cycle: ignored
+        s.record(5, 5.0); // backwards: ignored
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.samples()[0].value, 10.0);
+    }
+
+    #[test]
+    fn value_at_before_first_sample_is_none() {
+        let mut s = LogSampler::new(1);
+        assert_eq!(s.value_at(0), None);
+        assert_eq!(s.value_at(100), None);
+        s.record(10, 10.0);
+        assert_eq!(s.value_at(9), None);
+        assert_eq!(s.value_at(10), Some(10.0));
     }
 }

@@ -2,7 +2,12 @@
 //!
 //! `--trace` enables the VM event trace and prints a human-readable
 //! timeline (first [`TIMELINE_CAP`] events plus per-kind totals) and the
-//! per-phase cycle table after each run.
+//! per-phase cycle table after each run. `--series` / `--perfetto` arm
+//! the flight recorder, print its histogram summaries, and dump
+//! `target/figures/diag.series.json` + `diag.trace.json` (the latter
+//! loads in <https://ui.perfetto.dev>).
+use cdvm_bench::{arm_telemetry, capture_flight, emit_telemetry_captures};
+use cdvm_core::vm::TransKind;
 use cdvm_core::{Phase, Status, System};
 use cdvm_uarch::{CycleCat, MachineKind};
 use cdvm_workloads::{build_app_run, winstone2004};
@@ -42,14 +47,47 @@ fn print_phases(sys: &mut System) {
     }
 }
 
+fn print_recorder(sys: &System) {
+    let Some(rec) = sys.recorder() else {
+        return;
+    };
+    println!(
+        "   -- flight recorder ({} windows of {} cycles, {} phase segments) --",
+        rec.windows().len(),
+        rec.window_cycles(),
+        rec.segments_recorded()
+    );
+    for (name, h) in [
+        ("bbt_latency", rec.latency_histogram(TransKind::Bbt)),
+        ("sbt_latency", rec.latency_histogram(TransKind::Sbt)),
+        ("bbt_block_insts", rec.block_size_histogram(TransKind::Bbt)),
+        ("sbt_block_insts", rec.block_size_histogram(TransKind::Sbt)),
+        ("chains/episode", rec.chain_histogram()),
+    ] {
+        if h.is_empty() {
+            continue;
+        }
+        println!(
+            "   {name:<18} n={:<7} p50={:<8} p90={:<8} p99={:<8} max={}",
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max()
+        );
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = args.iter().any(|a| a == "--trace");
-    args.retain(|a| a != "--trace");
+    let export = args.iter().any(|a| a == "--series" || a == "--perfetto");
+    args.retain(|a| a != "--trace" && a != "--series" && a != "--perfetto");
     let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.01);
     let lmult: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5.0);
     let profile = &winstone2004()[8]; // Winzip
     let thr: u32 = std::env::var("THR").ok().and_then(|s| s.parse().ok()).unwrap_or(8000);
+    let mut flights = Vec::new();
     for kind in [MachineKind::RefSuperscalar, MachineKind::VmSoft] {
         let wl = build_app_run(profile, scale, lmult);
         let mut cfg = cdvm_uarch::MachineConfig::preset(kind);
@@ -57,6 +95,9 @@ fn main() {
         let mut sys = System::with_config(cfg, wl.mem, wl.entry);
         if trace {
             sys.enable_trace(cdvm_core::trace::DEFAULT_TRACE_CAPACITY);
+        }
+        if export {
+            arm_telemetry(&mut sys);
         }
         let st = sys.run_to_completion(u64::MAX);
         assert_eq!(st, Status::Halted);
@@ -80,6 +121,12 @@ fn main() {
             print_phases(&mut sys);
             print_trace(&sys);
         }
+        if export {
+            print_recorder(&sys);
+            if let Some(f) = capture_flight(&format!("{kind}/{}", profile.name), &mut sys) {
+                flights.push(f);
+            }
+        }
         // tail IPC over second half
         let wl2 = build_app_run(profile, scale, lmult);
         let mut cfg2 = cdvm_uarch::MachineConfig::preset(kind);
@@ -89,5 +136,8 @@ fn main() {
         let (c0, i0) = (sys2.cycles(), sys2.x86_retired());
         sys2.run_to_completion(u64::MAX);
         println!("   tail ipc: {:.3}", (sys2.x86_retired() - i0) as f64 / (sys2.cycles() - c0) as f64);
+    }
+    if export {
+        emit_telemetry_captures("diag", &flights);
     }
 }

@@ -1,19 +1,29 @@
 //! Startup curves for one Winstone-like application on all machine
 //! configurations — a single-app, console-sized version of Figs. 2/8.
 //!
+//! The curves come straight from the flight recorder's log-spaced
+//! series (the same data every bench exports as `<bench>.series.json`).
+//!
 //! ```sh
-//! cargo run --release --example startup_curve [app] [scale]
+//! cargo run --release --example startup_curve [app] [scale] [--series] [--perfetto]
 //! ```
+//!
+//! `--series` / `--perfetto` additionally dump the runs' flight-recorder
+//! contents as `target/figures/startup_curve.series.json` and
+//! `startup_curve.trace.json` (the latter loads in
+//! <https://ui.perfetto.dev>).
 
+use cdvm_bench::{arm_telemetry, capture_flight, emit_telemetry_captures};
 use cdvm_core::{Status, System};
-use cdvm_stats::LogSampler;
 use cdvm_uarch::MachineKind;
 use cdvm_workloads::{build_app, winstone2004};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let app_name = args.get(1).map(String::as_str).unwrap_or("Excel");
-    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let export = args.iter().any(|a| a == "--series" || a == "--perfetto");
+    args.retain(|a| a != "--series" && a != "--perfetto");
+    let app_name = args.first().map(String::as_str).unwrap_or("Excel");
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
 
     let profiles = winstone2004();
     let profile = profiles
@@ -28,7 +38,7 @@ fn main() {
         });
 
     println!("app: {}  scale: {scale}\n", profile.name);
-    let mut curves = Vec::new();
+    let mut flights = Vec::new();
     for kind in [
         MachineKind::RefSuperscalar,
         MachineKind::VmSoft,
@@ -37,41 +47,61 @@ fn main() {
     ] {
         let wl = build_app(profile, scale);
         let mut sys = System::new(kind, wl.mem, wl.entry);
-        let mut s = LogSampler::new(8);
+        arm_telemetry(&mut sys);
         loop {
+            // The flight recorder samples the cumulative-instruction
+            // curve at every slice boundary; no manual sampler needed.
             let st = sys.run_slice(4096);
-            s.record(sys.cycles(), sys.x86_retired() as f64);
             if st != Status::Running {
                 assert_eq!(st, Status::Halted);
                 break;
             }
         }
-        s.finish(sys.cycles(), sys.x86_retired() as f64);
         println!(
             "{:<18} finished in {:>12} cycles ({} instructions)",
             kind.label(),
             sys.cycles(),
             sys.x86_retired()
         );
-        curves.push((kind, s));
+        let cap = capture_flight(&format!("{kind}/{}", profile.name), &mut sys)
+            .expect("telemetry armed above");
+        flights.push((kind, cap));
     }
 
     // Print the aggregate-IPC table at log-spaced points, normalized to
     // the reference's final aggregate IPC.
-    let reference = &curves[0].1;
-    let norm = reference.samples().last().map(|p| p.rate()).unwrap_or(1.0);
-    println!("\n{:>12} {:>8} {:>8} {:>8} {:>8}", "cycles", "Ref", "VM.soft", "VM.be", "VM.fe");
+    let reference = flights[0].1.recorder();
+    let norm = reference
+        .instr_samples()
+        .last()
+        .map(|p| p.rate())
+        .unwrap_or(1.0);
+    println!(
+        "\n{:>12} {:>8} {:>8} {:>8} {:>8}",
+        "cycles", "Ref", "VM.soft", "VM.be", "VM.fe"
+    );
+    let end = flights
+        .iter()
+        .filter_map(|(_, c)| c.recorder().instr_samples().last().map(|p| p.cycles))
+        .max()
+        .unwrap_or(1000);
     let mut c = 1000u64;
-    let end = curves.iter().map(|(_, s)| s.samples().last().unwrap().cycles).max().unwrap();
     while c <= end {
         print!("{c:>12}");
-        for (_, s) in &curves {
-            let last = s.samples().last().unwrap();
-            let v = s.value_at(c.min(last.cycles)).unwrap_or(0.0);
-            print!(" {:>8.3}", v / c.min(last.cycles) as f64 / norm);
+        for (_, cap) in &flights {
+            let rec = cap.recorder();
+            let last = rec.instr_samples().last().map_or(0, |p| p.cycles);
+            let probe = c.min(last);
+            let v = rec.instr_value_at(probe).unwrap_or(0.0);
+            print!(" {:>8.3}", v / probe.max(1) as f64 / norm);
         }
         println!();
         c *= 4;
     }
     println!("\n(normalized aggregate IPC; 1.0 = reference steady state)");
+
+    if export {
+        let caps: Vec<_> = flights.into_iter().map(|(_, c)| c).collect();
+        emit_telemetry_captures("startup_curve", &caps);
+    }
 }
