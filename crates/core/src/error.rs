@@ -55,6 +55,81 @@ pub enum VmError {
         /// x86 PC the recovery replayed.
         x86_pc: u32,
     },
+    /// A warm-image restore could not be applied (fully or at all); the
+    /// system continues from (or falls back to) a clean cold boot.
+    Restore(RestoreError),
+}
+
+/// Why a warm-image restore was rejected or degraded. Restore is
+/// corruption-tolerant by construction: none of these conditions can
+/// panic or take the VM down — the worst case is a clean cold boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The image does not start with the warm-image magic.
+    BadMagic,
+    /// The image's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        found: u32,
+    },
+    /// The image ends before its own header, section table or trailer.
+    Truncated,
+    /// The header or section table is self-inconsistent (offsets or
+    /// lengths point outside the image, absurd section counts, …).
+    Malformed,
+    /// A section's payload failed its checksum or did not parse.
+    BadSection {
+        /// The section-table id of the damaged section.
+        id: u32,
+    },
+    /// The image was saved under a different machine configuration.
+    ConfigMismatch,
+    /// The guest's code pages do not hash to the image's fingerprints —
+    /// the image belongs to a different workload (or the code was
+    /// modified since the save).
+    WorkloadMismatch,
+    /// A delta image's parent checksum does not match the supplied base.
+    ParentMismatch,
+    /// The image file could not be read.
+    ReadFailed,
+    /// Restore was requested on a system that has already executed;
+    /// warm images apply only to a fresh boot.
+    NotColdBoot,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::BadMagic => write!(f, "not a warm image (bad magic)"),
+            RestoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported warm-image format version {found}")
+            }
+            RestoreError::Truncated => write!(f, "warm image truncated"),
+            RestoreError::Malformed => write!(f, "warm-image header or section table malformed"),
+            RestoreError::BadSection { id } => {
+                write!(f, "warm-image section {id} corrupt (checksum or parse failure)")
+            }
+            RestoreError::ConfigMismatch => {
+                write!(f, "warm image saved under a different machine configuration")
+            }
+            RestoreError::WorkloadMismatch => {
+                write!(f, "warm image does not match the guest's code pages")
+            }
+            RestoreError::ParentMismatch => {
+                write!(f, "delta image's parent does not match the supplied base")
+            }
+            RestoreError::ReadFailed => write!(f, "warm image could not be read"),
+            RestoreError::NotColdBoot => {
+                write!(f, "restore requires a fresh system (nothing executed yet)")
+            }
+        }
+    }
+}
+
+impl From<RestoreError> for VmError {
+    fn from(e: RestoreError) -> VmError {
+        VmError::Restore(e)
+    }
 }
 
 impl std::fmt::Display for VmError {
@@ -75,6 +150,7 @@ impl std::fmt::Display for VmError {
             VmError::FaultDivergence { x86_pc } => {
                 write!(f, "micro-op fault did not reproduce at {x86_pc:#x}")
             }
+            VmError::Restore(e) => write!(f, "warm-image restore: {e}"),
         }
     }
 }

@@ -148,6 +148,188 @@ impl FaultInjector {
     }
 }
 
+/// Warm-image corruption modes (the `FaultKind` modes above attack
+/// guest *code* bytes in memory; these attack the serialized snapshot
+/// file the way a torn write, a bad sector, or a version-skewed reader
+/// would). The campaign in `tests/snapshot_restore.rs` asserts that
+/// restore survives every mode on every section: salvage or a clean
+/// cold-boot fallback, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageFault {
+    /// Flip one random bit anywhere in the image (header, table,
+    /// payload or trailer).
+    BitFlip,
+    /// Flip one random bit inside one specific section's payload.
+    SectionBitFlip,
+    /// Cut the image off at a random offset (a torn write).
+    TruncateAt,
+    /// Replace the image with zero bytes (a created-but-never-written
+    /// file after a crash).
+    ZeroLength,
+    /// Rewrite the header's format version to one this build does not
+    /// understand (an image from a future build).
+    VersionSkew,
+    /// Lie about one section's length in the section table.
+    SectionLengthLie,
+    /// Swap two section-table entries. Payload bytes do not move, so
+    /// each section still checks out individually — only the image's
+    /// trailing whole-image checksum disagrees.
+    SectionReorder,
+}
+
+impl ImageFault {
+    /// All image corruption modes, for exhaustive campaigns.
+    pub const ALL: [ImageFault; 7] = [
+        ImageFault::BitFlip,
+        ImageFault::SectionBitFlip,
+        ImageFault::TruncateAt,
+        ImageFault::ZeroLength,
+        ImageFault::VersionSkew,
+        ImageFault::SectionLengthLie,
+        ImageFault::SectionReorder,
+    ];
+}
+
+impl std::fmt::Display for ImageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageFault::BitFlip => write!(f, "image-bit-flip"),
+            ImageFault::SectionBitFlip => write!(f, "section-bit-flip"),
+            ImageFault::TruncateAt => write!(f, "truncate-at"),
+            ImageFault::ZeroLength => write!(f, "zero-length"),
+            ImageFault::VersionSkew => write!(f, "version-skew"),
+            ImageFault::SectionLengthLie => write!(f, "section-length-lie"),
+            ImageFault::SectionReorder => write!(f, "section-reorder"),
+        }
+    }
+}
+
+/// What one image corruption did — enough to reproduce or report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageFaultReport {
+    /// The corruption mode performed.
+    pub kind: ImageFault,
+    /// Byte offset the corruption touched (0 when the whole image was
+    /// affected, as for zero-length).
+    pub offset: usize,
+    /// The section id the mode targeted, when section-directed
+    /// (`None` for whole-image modes).
+    pub section: Option<u32>,
+}
+
+impl std::fmt::Display for ImageFaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.kind, self.offset)?;
+        if let Some(id) = self.section {
+            write!(f, " (section {})", crate::snapshot::section_name(id))?;
+        }
+        Ok(())
+    }
+}
+
+impl FaultInjector {
+    /// Corrupts a warm image in place with the given mode. Degrades
+    /// gracefully on images too damaged to target precisely (e.g. a
+    /// section mode on a header-less stub falls back to a plain bit
+    /// flip), so campaign rounds compose.
+    pub fn corrupt_image(&mut self, image: &mut Vec<u8>, kind: ImageFault) -> ImageFaultReport {
+        use crate::snapshot::{parse_header, ENTRY_BYTES, HEADER_BYTES};
+        let entries = parse_header(image).map(|h| h.entries).unwrap_or_default();
+        let mut report = ImageFaultReport {
+            kind,
+            offset: 0,
+            section: None,
+        };
+        match kind {
+            ImageFault::BitFlip => {
+                if image.is_empty() {
+                    return report;
+                }
+                let at = self.rng.below(image.len() as u64) as usize;
+                image[at] ^= 1u8 << self.rng.below(8);
+                report.offset = at;
+            }
+            ImageFault::SectionBitFlip => {
+                let targets: Vec<_> = entries
+                    .iter()
+                    .filter(|e| {
+                        e.len > 0
+                            && e.offset
+                                .checked_add(e.len)
+                                .is_some_and(|end| end as usize <= image.len())
+                    })
+                    .collect();
+                if targets.is_empty() {
+                    return self.corrupt_image(image, ImageFault::BitFlip);
+                }
+                let e = targets[self.rng.below(targets.len() as u64) as usize];
+                let at = e.offset as usize + self.rng.below(e.len) as usize;
+                image[at] ^= 1u8 << self.rng.below(8);
+                report.offset = at;
+                report.section = Some(e.id);
+            }
+            ImageFault::TruncateAt => {
+                if image.is_empty() {
+                    return report;
+                }
+                let at = self.rng.below(image.len() as u64) as usize;
+                image.truncate(at);
+                report.offset = at;
+            }
+            ImageFault::ZeroLength => {
+                image.clear();
+            }
+            ImageFault::VersionSkew => {
+                if image.len() < 12 {
+                    return report;
+                }
+                let skew = (crate::snapshot::FORMAT_VERSION
+                    + 1
+                    + self.rng.below(1000) as u32)
+                    .to_le_bytes();
+                image[8..12].copy_from_slice(&skew);
+                report.offset = 8;
+            }
+            ImageFault::SectionLengthLie => {
+                if entries.is_empty() {
+                    return self.corrupt_image(image, ImageFault::BitFlip);
+                }
+                let i = self.rng.below(entries.len() as u64) as usize;
+                // The len field sits 12 bytes into the 28-byte entry.
+                let at = HEADER_BYTES + ENTRY_BYTES * i + 12;
+                let lie = entries[i].len.wrapping_add(1 + self.rng.below(0xffff));
+                image[at..at + 8].copy_from_slice(&lie.to_le_bytes());
+                report.offset = at;
+                report.section = Some(entries[i].id);
+            }
+            ImageFault::SectionReorder => {
+                if entries.len() < 2 {
+                    return self.corrupt_image(image, ImageFault::BitFlip);
+                }
+                let i = self.rng.below(entries.len() as u64) as usize;
+                let j = (i + 1 + self.rng.below(entries.len() as u64 - 1) as usize)
+                    % entries.len();
+                let (a, b) = (
+                    HEADER_BYTES + ENTRY_BYTES * i,
+                    HEADER_BYTES + ENTRY_BYTES * j,
+                );
+                for k in 0..ENTRY_BYTES {
+                    image.swap(a + k, b + k);
+                }
+                report.offset = a.min(b);
+                report.section = Some(entries[i].id);
+            }
+        }
+        report
+    }
+
+    /// Corrupts a warm image with a randomly chosen mode.
+    pub fn corrupt_image_random(&mut self, image: &mut Vec<u8>) -> ImageFaultReport {
+        let kind = ImageFault::ALL[self.rng.below(ImageFault::ALL.len() as u64) as usize];
+        self.corrupt_image(image, kind)
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {

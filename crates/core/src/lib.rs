@@ -55,6 +55,7 @@ mod pcmap;
 pub mod profile;
 pub mod recorder;
 pub mod sbt;
+pub mod snapshot;
 mod system;
 pub mod trace;
 mod uasm;
@@ -62,13 +63,17 @@ mod uasm;
 mod unchain_tests;
 pub mod vm;
 
-pub use error::{VmError, Watchdog};
-pub use faultinj::{FaultInjector, FaultKind, InjectionReport};
+pub use error::{RestoreError, VmError, Watchdog};
+pub use faultinj::{FaultInjector, FaultKind, ImageFault, ImageFaultReport, InjectionReport};
 pub use opt::{optimize_run, RunStats};
 pub use pcmap::{CreditMap, PcCounter, PcMap, PcSet};
 pub use recorder::{
     render_chrome, FlightRecorder, PhaseSegment, RecorderConfig, TelemetrySnapshot, WindowSample,
 };
-pub use system::{Status, System, SystemStats, DEFAULT_STACK_TOP};
+pub use snapshot::{
+    fnv1a64, image_summary, merge_images, section_name, write_image_atomic, ImageSummary,
+    SectionInfo, FORMAT_VERSION,
+};
+pub use system::{RestoreOutcome, Status, System, SystemStats, DEFAULT_STACK_TOP};
 pub use trace::{Phase, Trace, TraceBuffer, TraceEvent, TraceRecord, NUM_PHASES};
 pub use uasm::{UAsm, ULabel, STUB_BYTES};

@@ -210,6 +210,15 @@ impl PcSet {
         self.map.clear();
         self.zero = false;
     }
+
+    /// Iterates the members (the reserved-zero member last, when present;
+    /// hash order otherwise — snapshot writers sort).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.map
+            .iter()
+            .map(|(k, _)| k)
+            .chain(std::iter::once(0).filter(|_| self.zero))
+    }
 }
 
 /// Flat map from native code-cache PCs to credit values, indexed by
@@ -354,6 +363,25 @@ impl PcCounter {
     pub fn clear(&mut self) {
         self.map.clear();
         self.zero = 0;
+    }
+
+    /// Sets `key`'s counter to an absolute count (snapshot restore; a
+    /// zero count for a nonzero key is dropped — it is indistinguishable
+    /// from absent through [`PcCounter::bump`]).
+    pub fn set(&mut self, key: u32, count: u32) {
+        if key == 0 {
+            self.zero = count;
+        } else if count > 0 {
+            self.map.insert(key, count);
+        }
+    }
+
+    /// Iterates `(pc, count)` entries (the reserved key 0 last, when its
+    /// counter is nonzero; hash order otherwise).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.map
+            .iter()
+            .chain(std::iter::once((0, self.zero)).filter(|&(_, z)| z > 0))
     }
 }
 

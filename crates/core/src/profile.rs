@@ -69,6 +69,20 @@ impl CounterFile {
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
+
+    /// Iterates `(x86 block entry, slot index)` allocations (hash order;
+    /// snapshot writers sort by slot index).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.slots.iter().map(|(&pc, &idx)| (pc, idx))
+    }
+
+    /// Re-installs one allocation at its exact saved slot index. Counter
+    /// addresses are baked into translated code, so restore must
+    /// reproduce the save-time `entry -> index` mapping verbatim — the
+    /// first-use allocator would renumber them.
+    pub fn restore_slot(&mut self, x86_entry: u32, idx: u32) {
+        self.slots.insert(x86_entry, idx);
+    }
 }
 
 /// Sampled edge/branch profile.
@@ -133,6 +147,42 @@ impl EdgeProfile {
             .iter()
             .max_by_key(|(_, c)| *c)
             .map(|&(t, _)| t)
+    }
+
+    /// The subsampling phase counter (part of the warm profile: restoring
+    /// it keeps a resumed run's sampling sequence deterministic).
+    pub fn sample_tick(&self) -> u32 {
+        self.sample_tick
+    }
+
+    /// Restores the subsampling phase counter.
+    pub fn set_sample_tick(&mut self, tick: u32) {
+        self.sample_tick = tick;
+    }
+
+    /// Iterates conditional-branch entries as `(pc, taken, not_taken)`
+    /// (hash order; snapshot writers sort by pc).
+    pub fn cond_entries(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.cond.iter().map(|(&pc, &(t, n))| (pc, t, n))
+    }
+
+    /// Iterates indirect-branch entries as `(pc, targets)` (hash order by
+    /// pc). The per-branch target order is observation order and is
+    /// semantically meaningful: [`EdgeProfile::likely_indirect_target`]
+    /// breaks count ties by position, so snapshot writers must preserve
+    /// it.
+    pub fn indirect_entries(&self) -> impl Iterator<Item = (u32, &[(u32, u32)])> + '_ {
+        self.indirect.iter().map(|(&pc, v)| (pc, v.as_slice()))
+    }
+
+    /// Restores one conditional-branch entry.
+    pub fn restore_cond(&mut self, pc: u32, taken: u32, not_taken: u32) {
+        self.cond.insert(pc, (taken, not_taken));
+    }
+
+    /// Restores one indirect-branch entry, preserving target order.
+    pub fn restore_indirect(&mut self, pc: u32, targets: Vec<(u32, u32)>) {
+        self.indirect.insert(pc, targets);
     }
 }
 

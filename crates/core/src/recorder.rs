@@ -231,6 +231,9 @@ pub struct FlightRecorder {
     bbt_block_insts: CycleHistogram,
     sbt_block_insts: CycleHistogram,
     chain_burst: CycleHistogram,
+    restore_sections: u64,
+    restore_dropped: u64,
+    restore_failed: u64,
 }
 
 impl FlightRecorder {
@@ -255,6 +258,9 @@ impl FlightRecorder {
             bbt_block_insts: CycleHistogram::new(),
             sbt_block_insts: CycleHistogram::new(),
             chain_burst: CycleHistogram::new(),
+            restore_sections: 0,
+            restore_dropped: 0,
+            restore_failed: 0,
         }
     }
 
@@ -430,6 +436,28 @@ impl FlightRecorder {
         &self.chain_burst
     }
 
+    /// Records the outcome of a warm-image restore attempt: sections
+    /// applied, sections dropped by salvage, and whether the image was
+    /// rejected outright (cold-boot fallback).
+    pub fn note_restore(&mut self, sections: u32, dropped: u32, failed: bool) {
+        self.restore_sections += u64::from(sections);
+        self.restore_dropped += u64::from(dropped);
+        if failed {
+            self.restore_failed += 1;
+        }
+    }
+
+    /// Sections dropped across all restore attempts (`restore_degraded`
+    /// evidence for the corruption campaign).
+    pub fn restore_degraded(&self) -> u64 {
+        self.restore_dropped
+    }
+
+    /// Restore attempts that fell back to a clean cold boot.
+    pub fn restore_failures(&self) -> u64 {
+        self.restore_failed
+    }
+
     /// Serializes the recorded series as a metrics tree (the
     /// `<bench>.series.json` payload): windowed per-interval lists,
     /// log-spaced cumulative samples, and histogram summaries.
@@ -580,6 +608,13 @@ impl FlightRecorder {
         segs.set("recorded", self.segments_recorded())
             .set("dropped", self.segments_dropped());
         m.set("phase_segments", segs);
+
+        let mut restore = Metrics::new();
+        restore
+            .set("sections", self.restore_sections)
+            .set("restore_degraded", self.restore_dropped)
+            .set("failed", self.restore_failed);
+        m.set("restore", restore);
         m
     }
 }
@@ -637,6 +672,15 @@ pub fn render_chrome(
                 TraceEvent::Unchained { site, target } => {
                     args.set("site", u64::from(site)).set("target", u64::from(target));
                     ct.instant_args(pid, 1, "unchained", "chain", ts, &args);
+                }
+                TraceEvent::RestoreApplied { sections, dropped } => {
+                    args.set("sections", u64::from(sections))
+                        .set("dropped", u64::from(dropped));
+                    ct.instant_args(pid, 1, "restore_applied", "restore", ts, &args);
+                }
+                TraceEvent::RestoreFailed { error } => {
+                    args.set("error", error.to_string());
+                    ct.instant_args(pid, 1, "restore_failed", "restore", ts, &args);
                 }
                 // Per-block events are far too frequent for instants;
                 // the counter tracks below carry that activity.

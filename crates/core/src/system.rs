@@ -18,15 +18,20 @@
 
 use cdvm_cracker::crack;
 use cdvm_fisa::{ExitCode, Executor, NExit, NFault, NativeState};
-use cdvm_mem::GuestMem;
+use cdvm_mem::{CodeCache, GuestMem, Memory, NativePc};
 use cdvm_uarch::{Bbb, BbbConfig, CycleCat, MachineConfig, MachineKind, Timing};
 use cdvm_x86::{BranchKind, Cpu, Fault, Interp};
 
-use crate::error::{VmError, Watchdog};
+use crate::error::{RestoreError, VmError, Watchdog};
 use crate::pcmap::{PcCounter, PcMap, PcSet};
 use crate::profile::{dispatch_slot, COUNTER_BASE, DISPATCH_BASE, DISPATCH_ENTRIES};
 use crate::recorder::{env_recorder_config, FlightRecorder, RecorderConfig, TelemetrySnapshot};
 use crate::sbt::translate_sbt;
+use crate::snapshot::{
+    self, BlockRec, BlocksSection, CacheSection, ChainsSection, CodeGroup, CountersSection,
+    CreditsSection, EdgesSection, MetaSection, SetsSection, TableSection, WarmImage,
+};
+use crate::vm::Translation;
 use crate::trace::{env_trace_capacity, Phase, TierKind, TraceBuffer, TraceEvent, NUM_PHASES};
 use crate::vm::{TransKind, Vm};
 
@@ -96,6 +101,12 @@ pub struct SystemStats {
     pub inexact_fault_recoveries: u64,
     /// Resource watchdogs that tripped (at most one per run).
     pub watchdog_trips: u64,
+    /// Warm-image restores applied (fully or degraded).
+    pub restores: u64,
+    /// Sections dropped by corruption-tolerant salvage across restores.
+    pub restore_degraded: u64,
+    /// Warm-image restores rejected entirely (the run cold-booted).
+    pub restore_failed: u64,
     /// Cycles attributed to each [`Phase`] (indexed by `Phase as usize`).
     /// Updated at phase transitions; call [`System::phase_snapshot`] to
     /// flush the tail of the current phase before reading. The totals
@@ -1209,5 +1220,566 @@ impl System {
                 return Status::Running;
             }
         }
+    }
+}
+
+/// The outcome of a warm-image restore attempt.
+///
+/// Restore never panics and never leaves the system broken: the worst
+/// case is a clean cold boot (`applied == 0`), the common degraded case
+/// salvages every intact section and drops the damaged ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreOutcome {
+    /// Sections applied to the fresh system (counting the meta gate).
+    pub applied: u32,
+    /// Sections present in the image but dropped by salvage.
+    pub dropped: u32,
+    /// The total failure, or the most salient damage when degraded.
+    pub error: Option<RestoreError>,
+}
+
+impl RestoreOutcome {
+    /// True when nothing was restored — the run proceeds as a cold boot.
+    pub fn is_cold_boot(&self) -> bool {
+        self.applied == 0
+    }
+
+    /// True when the restore applied but lost sections (or the image's
+    /// whole-image checksum disagreed).
+    pub fn is_degraded(&self) -> bool {
+        self.applied > 0 && self.error.is_some()
+    }
+}
+
+/// FNV fingerprint of one guest page's current contents (an unmapped
+/// page hashes as 0, matching a page of zeroes never written).
+fn page_hash(mem: &mut GuestMem, idx: u32) -> u64 {
+    snapshot::fnv1a64(mem.read_slice(idx << 12, 4096).unwrap_or(&[]))
+}
+
+/// Serializes one code-cache arena for the warm image.
+fn cache_section(cache: &CodeCache) -> CacheSection {
+    CacheSection {
+        generation: cache.generation(),
+        resident: cache.stats().resident_translations as u32,
+        bytes: cache.live_bytes().to_vec(),
+    }
+}
+
+/// Warm-image save and restore (DESIGN.md §3.10).
+impl System {
+    /// FNV fingerprint of this machine's configuration (every field of
+    /// [`MachineConfig`] via its `Debug` rendering — deterministic, and
+    /// automatically covers fields added later).
+    fn config_hash(&self) -> u64 {
+        snapshot::fnv1a64(format!("{:?}", self.cfg).as_bytes())
+    }
+
+    /// `(page index, content hash)` for every page the guest has
+    /// executed code from, ascending by index.
+    fn code_page_fingerprints(&mut self) -> Vec<(u32, u64)> {
+        let mut pages = self.mem.code_page_indices();
+        pages.sort_unstable();
+        pages
+            .into_iter()
+            .map(|idx| (idx, page_hash(&mut self.mem, idx)))
+            .collect()
+    }
+
+    /// Collects the full warm state into the typed image structure.
+    fn warm_image(&mut self) -> WarmImage {
+        let meta = MetaSection {
+            config_hash: self.config_hash(),
+            hot_threshold: self
+                .vm
+                .as_ref()
+                .map_or(self.cfg.hot_threshold, |vm| vm.hot_threshold),
+            software_profiling: self.vm.as_ref().is_some_and(|vm| vm.software_profiling),
+            pages: self.code_page_fingerprints(),
+        };
+        let mut demoted: Vec<u32> = self.demoted.iter().collect();
+        demoted.sort_unstable();
+        let mut blacklist: Vec<u32> = self.sbt_blacklist.iter().collect();
+        blacklist.sort_unstable();
+        let mut interp_counters: Vec<(u32, u32)> = self.interp_counters.iter().collect();
+        interp_counters.sort_unstable();
+        let mut decode_uops: Vec<(u32, u32)> = self.decode_uops.iter().collect();
+        decode_uops.sort_unstable();
+        let (seen_bbt, candidates) = self.vm.as_ref().map_or_else(
+            || (Vec::new(), Vec::new()),
+            |vm| (vm.export_seen_bbt(), vm.export_profile_candidates()),
+        );
+        let sets = SetsSection {
+            demoted,
+            blacklist,
+            seen_bbt,
+            candidates,
+            interp_counters,
+            decode_uops,
+        };
+        let mut code = None;
+        let mut edges = None;
+        if let Some(vm) = self.vm.as_ref() {
+            let bbt_gen = vm.bbt_cache.generation();
+            let sbt_gen = vm.sbt_cache.generation();
+            // Stale-generation blocks are dropped at save: every consumer
+            // checks `generation == current` before touching one, so they
+            // are semantically invisible — dropping them canonicalizes
+            // the image (save -> restore -> save is byte-identical).
+            let mut blocks: Vec<BlockRec> = Vec::new();
+            for (&entry, t) in &vm.blocks {
+                let live = match t.kind {
+                    TransKind::Bbt => t.generation == bbt_gen,
+                    TransKind::Sbt => t.generation == sbt_gen,
+                };
+                if live {
+                    blocks.push(BlockRec {
+                        entry,
+                        native: t.native.0,
+                        kind: match t.kind {
+                            TransKind::Bbt => 0,
+                            TransKind::Sbt => 1,
+                        },
+                        x86_count: t.x86_count,
+                        uop_count: t.uop_count,
+                        bytes: t.bytes,
+                        counter_addr: t.counter_addr,
+                        generation: t.generation,
+                    });
+                }
+            }
+            blocks.sort_unstable_by_key(|b| b.entry);
+            let mut bbt_entries: Vec<(u32, u32)> = vm
+                .bbt_table
+                .iter_live(bbt_gen)
+                .map(|(pc, n)| (pc, n.0))
+                .collect();
+            bbt_entries.sort_unstable();
+            let mut sbt_entries: Vec<(u32, u32)> = vm
+                .sbt_table
+                .iter_live(sbt_gen)
+                .map(|(pc, n)| (pc, n.0))
+                .collect();
+            sbt_entries.sort_unstable();
+            // Counter allocations are preserved in full (even ones whose
+            // block went stale): slot addresses are baked into translated
+            // code, and the first-use allocator would renumber any hole.
+            let mut allocs: Vec<(u32, u32)> = vm.counters.iter().collect();
+            allocs.sort_unstable_by_key(|&(_, idx)| idx);
+            let hot = vm.hot_threshold;
+            let counter_entries = allocs
+                .into_iter()
+                .map(|(entry, idx)| {
+                    // Counters count *down* from the hot threshold and trap
+                    // at zero. A fired counter (0, or wrapped past it by
+                    // post-promotion re-entries) would restore as a
+                    // permanently disarmed profiling path: a warm run
+                    // re-entering the stale BBT code through a restored
+                    // chain could then never promote out of it. Canonical
+                    // images re-arm such counters; live in-flight values
+                    // (1..=threshold) are preserved.
+                    let v = self.mem.read_u32(COUNTER_BASE + idx * 4);
+                    let v = if v == 0 || v > hot { hot } else { v };
+                    (entry, idx, v)
+                })
+                .collect();
+            let mut cond: Vec<(u32, u32, u32)> = vm.edges.cond_entries().collect();
+            cond.sort_unstable();
+            let mut indirect: Vec<(u32, Vec<(u32, u32)>)> = vm
+                .edges
+                .indirect_entries()
+                .map(|(pc, ts)| (pc, ts.to_vec()))
+                .collect();
+            indirect.sort_unstable_by_key(|&(pc, _)| pc);
+            code = Some(CodeGroup {
+                bbt_cache: cache_section(&vm.bbt_cache),
+                sbt_cache: cache_section(&vm.sbt_cache),
+                bbt_table: TableSection {
+                    entries: bbt_entries,
+                },
+                sbt_table: TableSection {
+                    entries: sbt_entries,
+                },
+                blocks: BlocksSection { blocks },
+                counters: CountersSection {
+                    entries: counter_entries,
+                },
+                credits: CreditsSection {
+                    bbt: vm.bbt_credits.iter().collect(),
+                    sbt: vm.sbt_credits.iter().collect(),
+                },
+                chains: vm.export_chains(),
+            });
+            edges = Some(EdgesSection {
+                sample_tick: vm.edges.sample_tick(),
+                cond,
+                indirect,
+            });
+        }
+        WarmImage {
+            meta,
+            code,
+            edges,
+            sets,
+        }
+    }
+
+    /// Serializes the warm translation state into a canonical versioned
+    /// image (save -> restore -> save is byte-identical).
+    pub fn snapshot_bytes(&mut self) -> Vec<u8> {
+        snapshot::encode_image(&self.warm_image())
+    }
+
+    /// Serializes the warm state as a delta against `base` (a full image
+    /// previously produced by [`System::snapshot_bytes`]): only sections
+    /// whose canonical payload changed are included.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::ParentMismatch`] when `base` is itself a delta;
+    /// any decode error when `base` is damaged.
+    pub fn snapshot_delta_bytes(&mut self, base: &[u8]) -> Result<Vec<u8>, RestoreError> {
+        snapshot::encode_delta(&self.warm_image(), base)
+    }
+
+    /// Saves the warm image to `path` crash-safely (temp file + fsync +
+    /// atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the temporary write, fsync, or rename.
+    pub fn save_image(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let bytes = self.snapshot_bytes();
+        snapshot::write_image_atomic(path, &bytes)
+    }
+
+    /// Saves a delta image against `base` to `path` crash-safely.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the atomic write; a damaged or delta `base` is
+    /// reported as [`std::io::ErrorKind::InvalidData`].
+    pub fn save_image_delta(
+        &mut self,
+        path: &std::path::Path,
+        base: &[u8],
+    ) -> std::io::Result<()> {
+        let bytes = self
+            .snapshot_delta_bytes(base)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        snapshot::write_image_atomic(path, &bytes)
+    }
+
+    /// Restores a warm image from a file. An unreadable file degrades to
+    /// a clean cold boot, like every other restore failure.
+    pub fn restore_image(&mut self, path: &std::path::Path) -> RestoreOutcome {
+        match std::fs::read(path) {
+            Ok(bytes) => self.restore_image_bytes(&bytes),
+            Err(_) => self.restore_fail(RestoreError::ReadFailed),
+        }
+    }
+
+    /// Restores warm translation state from image bytes onto this fresh
+    /// system (nothing may have executed yet).
+    ///
+    /// The restore is corruption-tolerant by construction: bad sections
+    /// are dropped and the rest salvaged where independent; the code
+    /// group (caches, tables, blocks, counters, credits, chains) applies
+    /// only as a whole, since its members cross-reference each other by
+    /// address and generation. Unrecoverable images leave the system in
+    /// its clean cold-boot state. The attempt never charges modeled
+    /// cycles — restore happens before the machine starts.
+    pub fn restore_image_bytes(&mut self, bytes: &[u8]) -> RestoreOutcome {
+        if self.started || self.halted {
+            return self.restore_fail(RestoreError::NotColdBoot);
+        }
+        let img = match snapshot::decode_image(bytes) {
+            Ok(img) => img,
+            Err(e) => return self.restore_fail(e),
+        };
+        if img.flags & snapshot::FLAG_DELTA != 0 {
+            // Deltas must be merged with their base first.
+            return self.restore_fail(RestoreError::ParentMismatch);
+        }
+        // The meta section gates everything: without an intact machine
+        // and workload fingerprint nothing in the image can be trusted
+        // to match this system.
+        let meta = match img.meta {
+            Some(Ok(meta)) => meta,
+            Some(Err(e)) => return self.restore_fail(e),
+            None => return self.restore_fail(RestoreError::Malformed),
+        };
+        if meta.config_hash != self.config_hash() {
+            return self.restore_fail(RestoreError::ConfigMismatch);
+        }
+        for &(idx, hash) in &meta.pages {
+            if page_hash(&mut self.mem, idx) != hash {
+                return self.restore_fail(RestoreError::WorkloadMismatch);
+            }
+        }
+        let mut applied = 1u32; // the meta gate itself
+        let mut dropped = 0u32;
+        let mut first_bad: Option<RestoreError> = None;
+        // Dispatcher sets are self-contained: salvageable independently.
+        match img.sets {
+            Some(Ok(sets)) => {
+                self.apply_sets(&sets);
+                applied += 1;
+            }
+            Some(Err(e)) => {
+                dropped += 1;
+                first_bad.get_or_insert(e);
+            }
+            None => {}
+        }
+        // The code group is atomic: a translation's bytes, lookup entry,
+        // metadata, counter slot, credits and chains reference each other
+        // by address and generation, so a partial apply would execute
+        // inconsistent state. All eight sections intact, or none.
+        let code_present = u32::from(img.bbt_cache.is_some())
+            + u32::from(img.sbt_cache.is_some())
+            + u32::from(img.bbt_table.is_some())
+            + u32::from(img.sbt_table.is_some())
+            + u32::from(img.blocks.is_some())
+            + u32::from(img.counters.is_some())
+            + u32::from(img.credits.is_some())
+            + u32::from(img.chains.is_some());
+        if code_present > 0 {
+            let code_err = [
+                img.bbt_cache.as_ref().and_then(|r| r.as_ref().err()),
+                img.sbt_cache.as_ref().and_then(|r| r.as_ref().err()),
+                img.bbt_table.as_ref().and_then(|r| r.as_ref().err()),
+                img.sbt_table.as_ref().and_then(|r| r.as_ref().err()),
+                img.blocks.as_ref().and_then(|r| r.as_ref().err()),
+                img.counters.as_ref().and_then(|r| r.as_ref().err()),
+                img.credits.as_ref().and_then(|r| r.as_ref().err()),
+                img.chains.as_ref().and_then(|r| r.as_ref().err()),
+            ]
+            .into_iter()
+            .flatten()
+            .next()
+            .copied();
+            if let (
+                Some(Ok(bc)),
+                Some(Ok(sc)),
+                Some(Ok(bt)),
+                Some(Ok(st)),
+                Some(Ok(bl)),
+                Some(Ok(cn)),
+                Some(Ok(cr)),
+                Some(Ok(ch)),
+            ) = (
+                img.bbt_cache,
+                img.sbt_cache,
+                img.bbt_table,
+                img.sbt_table,
+                img.blocks,
+                img.counters,
+                img.credits,
+                img.chains,
+            ) {
+                match self.apply_code_group(&bc, &sc, &bt, &st, &bl, &cn, &cr, &ch) {
+                    Ok(()) => applied += 8,
+                    Err(e) => {
+                        dropped += 8;
+                        first_bad.get_or_insert(e);
+                    }
+                }
+            } else {
+                // Partial presence or a corrupt member: drop the whole
+                // group, salvage continues around it.
+                dropped += code_present;
+                first_bad.get_or_insert(code_err.unwrap_or(RestoreError::Malformed));
+            }
+        }
+        // The edge profile only tunes future superblock formation:
+        // salvageable independently of the code group.
+        match img.edges {
+            Some(Ok(edges)) => {
+                if let Some(vm) = self.vm.as_mut() {
+                    vm.edges.set_sample_tick(edges.sample_tick);
+                    for &(pc, t, n) in &edges.cond {
+                        vm.edges.restore_cond(pc, t, n);
+                    }
+                    for (pc, targets) in edges.indirect {
+                        vm.edges.restore_indirect(pc, targets);
+                    }
+                    applied += 1;
+                } else {
+                    dropped += 1;
+                    first_bad.get_or_insert(RestoreError::ConfigMismatch);
+                }
+            }
+            Some(Err(e)) => {
+                dropped += 1;
+                first_bad.get_or_insert(e);
+            }
+            None => {}
+        }
+        if !img.whole_ok {
+            // Every applied section passed its own checksum, but the
+            // image as a whole is damaged somewhere: surface it.
+            first_bad.get_or_insert(RestoreError::Malformed);
+        }
+        // The dispatch sieve lives in (fresh, zeroed) guest memory, so a
+        // warm-restored run re-fills it through IndirectMiss exits; seed
+        // the generation watermark so the first SBT lookup does not
+        // spuriously clear it.
+        if let Some(vm) = self.vm.as_ref() {
+            self.sbt_gen_seen = vm.sbt_cache.generation();
+        }
+        // Defensive: the executor must decode restored arenas afresh.
+        self.exec.invalidate();
+        // Re-mark the guest's code pages so self-modifying-code detection
+        // covers them from the first restored-native execution.
+        for &(idx, _) in &meta.pages {
+            self.mem.note_code_fetch(idx << 12, 4096);
+        }
+        self.stats.restores += 1;
+        self.stats.restore_degraded += u64::from(dropped);
+        self.tick_trace();
+        if let Some(vm) = self.vm.as_mut() {
+            vm.trace.record(TraceEvent::RestoreApplied {
+                sections: applied,
+                dropped,
+            });
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_restore(applied, dropped, false);
+        }
+        let error = if dropped > 0 || !img.whole_ok {
+            first_bad
+        } else {
+            None
+        };
+        if let Some(e) = error {
+            self.last_vm_error = Some(VmError::Restore(e));
+        }
+        RestoreOutcome {
+            applied,
+            dropped,
+            error,
+        }
+    }
+
+    /// Records a total restore failure (trace, recorder, stats) and
+    /// returns the cold-boot outcome. The system state is untouched.
+    fn restore_fail(&mut self, e: RestoreError) -> RestoreOutcome {
+        self.stats.restore_failed += 1;
+        self.last_vm_error = Some(VmError::Restore(e));
+        self.tick_trace();
+        if let Some(vm) = self.vm.as_mut() {
+            vm.trace.record(TraceEvent::RestoreFailed { error: e });
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.note_restore(0, 0, true);
+        }
+        RestoreOutcome {
+            applied: 0,
+            dropped: 0,
+            error: Some(e),
+        }
+    }
+
+    /// Applies the dispatcher sets section.
+    fn apply_sets(&mut self, s: &SetsSection) {
+        for &pc in &s.demoted {
+            self.demoted.insert(pc);
+        }
+        for &pc in &s.blacklist {
+            self.sbt_blacklist.insert(pc);
+        }
+        for &(pc, v) in &s.interp_counters {
+            self.interp_counters.set(pc, v);
+        }
+        for &(pc, v) in &s.decode_uops {
+            // PC 0 is the map's reserved empty key; a crafted image could
+            // carry it, a genuine save never does.
+            if pc != 0 {
+                self.decode_uops.insert(pc, v);
+            }
+        }
+        if let Some(vm) = self.vm.as_mut() {
+            vm.import_seen_bbt(&s.seen_bbt);
+            vm.import_profile_candidates(&s.candidates);
+        }
+    }
+
+    /// Applies the atomic code group. Validates everything fallible
+    /// (arena capacities) *before* mutating, so an error leaves the
+    /// system in its clean cold-boot state.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_code_group(
+        &mut self,
+        bc: &CacheSection,
+        sc: &CacheSection,
+        bt: &TableSection,
+        st: &TableSection,
+        bl: &BlocksSection,
+        cn: &CountersSection,
+        cr: &CreditsSection,
+        ch: &ChainsSection,
+    ) -> Result<(), RestoreError> {
+        let Some(vm) = self.vm.as_mut() else {
+            // A machine without a VM (Ref) cannot hold translations; the
+            // config gate normally rejects such images earlier.
+            return Err(RestoreError::ConfigMismatch);
+        };
+        if bc.bytes.len() > vm.bbt_cache.config().capacity
+            || sc.bytes.len() > vm.sbt_cache.config().capacity
+        {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        if vm
+            .bbt_cache
+            .restore(&bc.bytes, bc.generation, bc.resident as usize)
+            .is_err()
+            || vm
+                .sbt_cache
+                .restore(&sc.bytes, sc.generation, sc.resident as usize)
+                .is_err()
+        {
+            // Unreachable after the capacity check above.
+            return Err(RestoreError::ConfigMismatch);
+        }
+        vm.bbt_table.clear();
+        for &(pc, native) in &bt.entries {
+            vm.bbt_table.insert(pc, NativePc(native), bc.generation);
+        }
+        vm.sbt_table.clear();
+        for &(pc, native) in &st.entries {
+            vm.sbt_table.insert(pc, NativePc(native), sc.generation);
+        }
+        vm.blocks.clear();
+        for r in &bl.blocks {
+            vm.blocks.insert(
+                r.entry,
+                Translation {
+                    native: NativePc(r.native),
+                    kind: if r.kind == 0 {
+                        TransKind::Bbt
+                    } else {
+                        TransKind::Sbt
+                    },
+                    x86_count: r.x86_count,
+                    uop_count: r.uop_count,
+                    bytes: r.bytes,
+                    counter_addr: r.counter_addr,
+                    generation: r.generation,
+                },
+            );
+        }
+        for &(entry, idx, value) in &cn.entries {
+            vm.counters.restore_slot(entry, idx);
+            self.mem.write_u32(COUNTER_BASE + idx * 4, value);
+        }
+        for &(addr, v) in &cr.bbt {
+            vm.bbt_credits.insert(addr, v);
+        }
+        for &(addr, v) in &cr.sbt {
+            vm.sbt_credits.insert(addr, v);
+        }
+        vm.import_chains(ch);
+        Ok(())
     }
 }

@@ -175,6 +175,20 @@ pub enum TraceEvent {
         /// inexact replay from the region entry.
         exact: bool,
     },
+    /// A warm image was applied at boot (possibly degraded: independent
+    /// sections that failed their checksums were dropped).
+    RestoreApplied {
+        /// Sections successfully restored.
+        sections: u32,
+        /// Sections dropped by salvage.
+        dropped: u32,
+    },
+    /// A warm image could not be applied at all; the system continues
+    /// from a clean cold boot.
+    RestoreFailed {
+        /// Why the image was rejected.
+        error: crate::error::RestoreError,
+    },
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -222,6 +236,12 @@ impl std::fmt::Display for TraceEvent {
                 "fault-recover  native={native_pc:#010x} {}",
                 if *exact { "exact" } else { "inexact-replay" }
             ),
+            TraceEvent::RestoreApplied { sections, dropped } => {
+                write!(f, "restore        sections={sections} dropped={dropped}")
+            }
+            TraceEvent::RestoreFailed { error } => {
+                write!(f, "restore-fail   {error}")
+            }
         }
     }
 }
@@ -238,6 +258,8 @@ impl TraceEvent {
             TraceEvent::Chained { .. } => "chained",
             TraceEvent::Unchained { .. } => "unchained",
             TraceEvent::FaultRecovered { .. } => "fault_recovered",
+            TraceEvent::RestoreApplied { .. } => "restore_applied",
+            TraceEvent::RestoreFailed { .. } => "restore_failed",
         }
     }
 }

@@ -900,6 +900,118 @@ impl Vm {
     }
 }
 
+/// Warm-image snapshot access to the VM's private state (the chain
+/// graph, the BBT-seen history and the profile-candidate set). Only the
+/// snapshot writer/reader in [`crate::system`] uses these.
+impl Vm {
+    /// Exports the chain graph: the applied journal in its stored order
+    /// (unchaining replays it verbatim) and both pending registries with
+    /// targets sorted but per-target site order preserved (liveness is
+    /// generation-checked at use time).
+    pub(crate) fn export_chains(&self) -> crate::snapshot::ChainsSection {
+        let applied = self
+            .applied_chains
+            .iter()
+            .map(|c| crate::snapshot::AppliedRec {
+                site: c.site,
+                x86_target: c.x86_target,
+                site_kind: kind_code(c.site_kind),
+                site_gen: c.site_gen,
+                target_kind: kind_code(c.target_kind),
+                redirect_of: c.redirect_of,
+            })
+            .collect();
+        let export = |reg: &ChainRegistry| {
+            let mut pending: Vec<(u32, Vec<(u32, u64)>)> = reg
+                .iter_pending()
+                .map(|(target, sites)| {
+                    (
+                        target,
+                        sites.iter().map(|&(s, g)| (s.patch_addr, g)).collect(),
+                    )
+                })
+                .collect();
+            pending.sort_by_key(|(t, _)| *t);
+            pending
+        };
+        crate::snapshot::ChainsSection {
+            applied,
+            bbt_pending: export(&self.bbt_chains),
+            sbt_pending: export(&self.sbt_chains),
+        }
+    }
+
+    /// Re-installs an exported chain graph on a fresh VM.
+    pub(crate) fn import_chains(&mut self, s: &crate::snapshot::ChainsSection) {
+        for r in &s.applied {
+            self.applied_chains.push(AppliedChain {
+                site: r.site,
+                x86_target: r.x86_target,
+                site_kind: kind_from(r.site_kind),
+                site_gen: r.site_gen,
+                target_kind: kind_from(r.target_kind),
+                redirect_of: r.redirect_of,
+            });
+        }
+        for (pending, reg) in [
+            (&s.bbt_pending, &mut self.bbt_chains),
+            (&s.sbt_pending, &mut self.sbt_chains),
+        ] {
+            for (target, sites) in pending {
+                for &(patch, gen) in sites {
+                    reg.register_at(NativePc(patch), *target, gen);
+                }
+            }
+        }
+    }
+
+    /// The BBT-seen history, sorted (for the warm-image writer).
+    pub(crate) fn export_seen_bbt(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.seen_bbt.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The profile-candidate set, sorted (for the warm-image writer).
+    pub(crate) fn export_profile_candidates(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.profile_candidates.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Re-installs the BBT-seen history.
+    pub(crate) fn import_seen_bbt(&mut self, pcs: &[u32]) {
+        for &pc in pcs {
+            self.seen_bbt.insert(pc);
+        }
+    }
+
+    /// Re-installs the profile-candidate set.
+    pub(crate) fn import_profile_candidates(&mut self, pcs: &[u32]) {
+        for &pc in pcs {
+            self.profile_candidates.insert(pc);
+        }
+    }
+}
+
+/// Snapshot wire code for a [`TransKind`] (0 = BBT, 1 = SBT).
+fn kind_code(k: TransKind) -> u32 {
+    match k {
+        TransKind::Bbt => 0,
+        TransKind::Sbt => 1,
+    }
+}
+
+/// The [`TransKind`] for a snapshot wire code (parse already rejected
+/// anything above 1).
+fn kind_from(code: u32) -> TransKind {
+    if code == 0 {
+        TransKind::Bbt
+    } else {
+        TransKind::Sbt
+    }
+}
+
 /// Writes a fresh 12-byte exit stub (`Limm`/`Limmh`/`VmExit`) over a
 /// chain slot — the unchaining primitive.
 fn write_exit_stub(cache: &mut CodeCache, site_addr: u32, x86_target: u32) {

@@ -99,6 +99,15 @@ impl ChainRegistry {
         self.applied
     }
 
+    /// Iterates the pending sites, grouped by architected target PC, each
+    /// with the code-cache generation it was registered in. Group order is
+    /// unspecified (hash order); the per-target site order is the
+    /// registration order, which snapshot writers must preserve because
+    /// [`ChainRegistry::take_sites_for`] hands sites out in that order.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (u32, &[(ChainSite, u64)])> + '_ {
+        self.pending.iter().map(|(t, v)| (*t, v.as_slice()))
+    }
+
     /// Assist for `NativePc`-based call sites.
     pub fn register_at(&mut self, patch_addr: NativePc, target_x86_pc: u32, generation: u64) {
         self.register(

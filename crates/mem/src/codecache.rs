@@ -289,6 +289,45 @@ impl CodeCache {
     pub fn slice_from(&self, addr: u32) -> &[u8] {
         &self.bytes[self.offset(addr)..]
     }
+
+    /// The whole live arena (current generation only), base first. Empty
+    /// right after a flush — unlike [`CodeCache::slice_from`] this never
+    /// panics, so snapshot writers can serialize an arena in any state.
+    pub fn live_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Replaces the arena contents wholesale from a warm-image section:
+    /// installs `code` at the base address, adopts `generation`, and
+    /// resets the statistics as if the `resident` translations had been
+    /// allocated into a fresh arena (restore charges no flushes or
+    /// evictions). Returns [`CacheError::TooLarge`] — leaving the arena
+    /// untouched — when the image section does not fit this arena's
+    /// capacity (e.g. an image saved from a larger machine config).
+    pub fn restore(
+        &mut self,
+        code: &[u8],
+        generation: u64,
+        resident: usize,
+    ) -> Result<(), CacheError> {
+        if code.len() > self.config.capacity {
+            return Err(CacheError::TooLarge {
+                requested: code.len(),
+                capacity: self.config.capacity,
+            });
+        }
+        self.bytes.clear();
+        self.bytes.extend_from_slice(code);
+        self.generation = generation;
+        self.stats = CodeCacheStats {
+            used_bytes: code.len(),
+            total_bytes_written: code.len() as u64,
+            resident_translations: resident,
+            flushes: 0,
+            evicted_translations: 0,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

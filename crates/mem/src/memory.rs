@@ -352,6 +352,28 @@ impl GuestMem {
         unsafe { &mut *ptr }
     }
 
+    /// Page indices the decoder has fetched code from (via
+    /// [`Memory::note_code_fetch`]), in ascending order. Snapshot writers
+    /// use this to fingerprint the guest's code image: these are exactly
+    /// the pages whose bytes translated code was derived from, so a warm
+    /// image is only valid against a memory whose code pages hash the
+    /// same.
+    pub fn code_page_indices(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (hi, table) in self.dir.iter().enumerate() {
+            let Some(t) = table.as_ref() else { continue };
+            for (word, &bits) in t.code_bits.iter().enumerate() {
+                let mut b = bits;
+                while b != 0 {
+                    let bit = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    out.push(((hi << L2_BITS) | (word << 6) | bit) as u32);
+                }
+            }
+        }
+        out
+    }
+
     fn mark_code_page(&mut self, page_idx: u32) {
         let hi = (page_idx >> L2_BITS) as usize;
         let lo = (page_idx as usize) & (L2_LEN - 1);

@@ -2,19 +2,31 @@
 //! mid-run, compare *code-cache startup* (scenario 3 — hardware caches
 //! cold, translations survive) against re-entering *memory startup*
 //! (scenario 2 — a long context switch also evicted every translation).
+//!
+//! The second half is the cold-vs-warm *restart* ablation: the process
+//! dies at mid-run, but a crash-safe translation-state image was saved
+//! moments before. Restarting resumed from that image is measured
+//! against restarting cold, with the startup transient quantified by the
+//! flight recorder (cycles until windowed IPC reaches 90% of the run's
+//! final IPC). Pass `--series` or `--perfetto` to dump both restart
+//! flights as `target/figures/context_switch.series.json` /
+//! `.trace.json`.
 
+use cdvm_bench::{arm_telemetry, capture_flight, emit_telemetry_captures, FlightCapture};
 use cdvm_core::{Status, System};
 use cdvm_uarch::MachineKind;
 use cdvm_workloads::{build_app, winstone2004};
 
-fn run(profile_idx: usize, scale: f64, disrupt: Option<bool>) -> (u64, u64) {
+fn reference_total(profile_idx: usize, scale: f64) -> u64 {
     let profile = &winstone2004()[profile_idx];
-    let total = {
-        let wl = build_app(profile, scale);
-        let mut probe = System::new(MachineKind::RefSuperscalar, wl.mem, wl.entry);
-        assert_eq!(probe.run_to_completion(u64::MAX), Status::Halted);
-        probe.x86_retired()
-    };
+    let wl = build_app(profile, scale);
+    let mut probe = System::new(MachineKind::RefSuperscalar, wl.mem, wl.entry);
+    assert_eq!(probe.run_to_completion(u64::MAX), Status::Halted);
+    probe.x86_retired()
+}
+
+fn run(profile_idx: usize, scale: f64, total: u64, disrupt: Option<bool>) -> (u64, u64) {
+    let profile = &winstone2004()[profile_idx];
     let wl = build_app(profile, scale);
     let mut sys = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
     assert_eq!(sys.run_slice(total / 2), Status::Running);
@@ -28,11 +40,91 @@ fn run(profile_idx: usize, scale: f64, disrupt: Option<bool>) -> (u64, u64) {
     (mid, sys.cycles())
 }
 
+/// Cycle count at the end of the first recorder window whose IPC reaches
+/// 90% of the run's final aggregate IPC — where the startup transient ends.
+fn time_to_steady(cap: &FlightCapture) -> u64 {
+    let ws = cap.recorder().windows();
+    let total_insts: u64 = ws.iter().map(|w| w.dinsts).sum();
+    let total_cycles: f64 = ws.iter().map(|w| w.dcycles).sum();
+    let final_ipc = total_insts as f64 / total_cycles.max(1.0);
+    for w in ws {
+        if w.dcycles > 0.0 && (w.dinsts as f64 / w.dcycles) >= 0.9 * final_ipc {
+            return w.end_cycles;
+        }
+    }
+    ws.last().map_or(0, |w| w.end_cycles)
+}
+
+/// The restart ablation: first invocation crashes at mid-run; its warm
+/// image (saved crash-safely before the crash) either survives to warm
+/// the restart, or the restart pays full memory startup again.
+fn restart_ablation(profile_idx: usize, scale: f64, total: u64, export: bool) {
+    let profile = &winstone2004()[profile_idx];
+
+    // First invocation: runs halfway, then dies. The image below is what
+    // a periodic crash-safe save (temp + fsync + atomic rename) would
+    // have left on disk.
+    let wl = build_app(profile, scale);
+    let mut first = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
+    assert_eq!(first.run_slice(total / 2), Status::Running);
+    let image = first.snapshot_bytes();
+    drop(first); // the crash
+
+    // Restart cold: every translation is rebuilt from scratch.
+    let wl = build_app(profile, scale);
+    let mut cold = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
+    arm_telemetry(&mut cold);
+    assert_eq!(cold.run_to_completion(u64::MAX), Status::Halted);
+    let cold_cycles = cold.cycles();
+    let retired = cold.x86_retired();
+    let cold_cap = capture_flight("restart-cold/VM.soft", &mut cold).expect("telemetry armed");
+
+    // Restart warm: resumed from the image.
+    let wl = build_app(profile, scale);
+    let mut warm = System::new(MachineKind::VmSoft, wl.mem, wl.entry);
+    arm_telemetry(&mut warm);
+    let outcome = warm.restore_image_bytes(&image);
+    assert!(
+        !outcome.is_cold_boot() && !outcome.is_degraded(),
+        "mid-run image must restore cleanly, got {outcome:?}"
+    );
+    assert_eq!(warm.run_to_completion(u64::MAX), Status::Halted);
+    assert_eq!(warm.x86_retired(), retired, "restart must not change guest semantics");
+    let warm_cycles = warm.cycles();
+    let warm_cap = capture_flight("restart-warm/VM.soft", &mut warm).expect("telemetry armed");
+
+    let cold_steady = time_to_steady(&cold_cap);
+    let warm_steady = time_to_steady(&warm_cap);
+    println!("\ncrash at mid-run, then restart (warm image saved before the crash):\n");
+    println!(
+        "  cold restart:   {cold_cycles:>12} cycles total, steady IPC at {cold_steady:>10} cycles"
+    );
+    println!(
+        "  warm restart:   {warm_cycles:>12} cycles total, steady IPC at {warm_steady:>10} cycles  \
+         ({} sections, {} bytes)",
+        outcome.applied,
+        image.len()
+    );
+    println!(
+        "  resuming the image removes {:.0}% of the restart's startup transient\n\
+         and {:.1}% of total restart cycles.",
+        (1.0 - warm_steady as f64 / cold_steady.max(1) as f64) * 100.0,
+        (1.0 - warm_cycles as f64 / cold_cycles.max(1) as f64) * 100.0
+    );
+    assert!(warm_cycles <= cold_cycles, "a warm restart can never cost extra cycles");
+
+    if export {
+        emit_telemetry_captures("context_switch", &[cold_cap, warm_cap]);
+    }
+}
+
 fn main() {
+    let export = std::env::args().any(|a| a == "--series" || a == "--perfetto");
     let scale = 0.02;
-    let (_, plain) = run(5, scale, None);
-    let (_, cache_flush) = run(5, scale, Some(false));
-    let (_, evicted) = run(5, scale, Some(true));
+    let total = reference_total(5, scale);
+    let (_, plain) = run(5, scale, total, None);
+    let (_, cache_flush) = run(5, scale, total, Some(false));
+    let (_, evicted) = run(5, scale, total, Some(true));
 
     println!("Outlook at scale {scale} on VM.soft, disruption at mid-run:\n");
     println!("  undisturbed run:                     {plain:>12} cycles");
@@ -54,4 +146,6 @@ fn main() {
     );
     assert!(cache_flush >= plain);
     assert!(evicted > cache_flush, "eviction must cost more than a cache flush");
+
+    restart_ablation(5, scale, total, export);
 }
