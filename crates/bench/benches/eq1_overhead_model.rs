@@ -21,7 +21,7 @@ fn main() {
         sbt / 1e6
     );
 
-    let results = run_matrix(&[MachineKind::VmSoft], scale, 1.0);
+    let results = run_matrix(&[MachineKind::VmSoft], scale, 1.0).take_results("eq1_overhead_model");
     let cfg = MachineConfig::preset(MachineKind::VmSoft);
 
     let mut table = Table::new(&[

@@ -12,7 +12,8 @@ use cdvm_uarch::{CycleCat, MachineKind};
 fn main() {
     let scale = env_scale();
     banner("Figure 10", "BBT translation overhead & emulation time (VM.be)", scale);
-    let results = run_matrix(&[MachineKind::VmBe, MachineKind::VmSoft], scale, 1.0);
+    let results = run_matrix(&[MachineKind::VmBe, MachineKind::VmSoft], scale, 1.0)
+        .take_results("fig10_bbt_overhead");
 
     let frac = |r: &CurveResult, cat: CycleCat| {
         let total: f64 = r.breakdown.iter().sum();

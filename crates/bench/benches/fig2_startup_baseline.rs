@@ -21,7 +21,7 @@ fn main() {
         MachineKind::VmSoft,
     ];
     // The paper uses 500M-instruction traces for the startup curves.
-    let results = run_matrix(&kinds, scale, 5.0);
+    let results = run_matrix(&kinds, scale, 5.0).take_results("fig2_startup_baseline");
     let norm = ref_steady_ipc(&results);
 
     let vm_tails: Vec<f64> = results

@@ -18,7 +18,7 @@ fn main() {
         MachineKind::VmFe,
     ];
     // The paper uses 500M-instruction traces for the startup curves.
-    let results = run_matrix(&kinds, scale, 5.0);
+    let results = run_matrix(&kinds, scale, 5.0).take_results("fig9_breakeven");
 
     let apps: Vec<String> = results
         .iter()

@@ -15,7 +15,8 @@ use std::path::PathBuf;
 use cdvm_core::trace::DEFAULT_TRACE_CAPACITY;
 use cdvm_core::vm::TransKind;
 use cdvm_core::{
-    render_chrome, FlightRecorder, Phase, RecorderConfig, Status, System, TraceBuffer, NUM_PHASES,
+    render_chrome, FlightRecorder, Phase, RecorderConfig, Status, System, TraceBuffer, TraceEvent,
+    NUM_PHASES,
 };
 use cdvm_stats::{harmonic_mean, ChromeTrace, LogSampler, Metrics};
 use cdvm_uarch::{CycleCat, MachineConfig, MachineKind, NUM_CATS};
@@ -400,7 +401,12 @@ fn write_telemetry_files(
 }
 
 /// Runs all ten apps × the given machines, in parallel.
-pub fn run_matrix(kinds: &[MachineKind], scale: f64, length_mult: f64) -> Vec<CurveResult> {
+///
+/// Failures are not silently dropped: the returned [`Matrix`] carries
+/// every [`JobFailure`] plus a structured `job_failed` event trace, and
+/// the figure harnesses go through [`Matrix::take_results`] so a thinned
+/// figure is always announced.
+pub fn run_matrix(kinds: &[MachineKind], scale: f64, length_mult: f64) -> Matrix {
     let profiles = winstone2004();
     let mut jobs: Vec<(MachineKind, AppProfile)> = Vec::new();
     for &k in kinds {
@@ -422,14 +428,52 @@ pub struct JobFailure {
     pub message: String,
 }
 
+/// The outcome of a parallel job matrix: completed curve results plus
+/// every failure, both in submission order, and a trace ring holding one
+/// structured [`TraceEvent::JobFailed`] per failure.
+#[derive(Debug)]
+pub struct Matrix {
+    /// Results of the jobs that completed.
+    pub results: Vec<CurveResult>,
+    /// Jobs that panicked (isolated per job; see [`run_jobs_with`]).
+    pub failures: Vec<JobFailure>,
+    /// Harness-level event trace (`job_failed` events, in failure
+    /// order). Empty when every job completed.
+    pub trace: TraceBuffer,
+}
+
+impl Matrix {
+    /// Returns the completed results, first warning loudly (stderr, one
+    /// line per failure plus the structured trace rendering) when any
+    /// job failed — a figure generated from a thinned matrix must never
+    /// look complete.
+    pub fn take_results(self, context: &str) -> Vec<CurveResult> {
+        if !self.failures.is_empty() {
+            eprintln!(
+                "[{context}] WARNING: {} of {} jobs failed; the figure below is thinned",
+                self.failures.len(),
+                self.failures.len() + self.results.len()
+            );
+            for f in &self.failures {
+                eprintln!("[{context}] [job_failed] {} on {:?}: {}", f.app, f.kind, f.message);
+            }
+            for rec in self.trace.iter() {
+                eprintln!("[{context}] [trace] {}", rec.event);
+            }
+        }
+        self.results
+    }
+
+    /// True when every job completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 /// Runs an explicit job list in parallel (bounded by available cores).
-/// A job that panics is reported on stderr and dropped; the other jobs
-/// still complete and their results are returned.
-pub fn run_jobs(
-    jobs: Vec<(MachineKind, AppProfile)>,
-    scale: f64,
-    length_mult: f64,
-) -> Vec<CurveResult> {
+/// A job that panics is isolated, recorded as a [`JobFailure`] and a
+/// `job_failed` trace event; the other jobs still complete.
+pub fn run_jobs(jobs: Vec<(MachineKind, AppProfile)>, scale: f64, length_mult: f64) -> Matrix {
     // Build each distinct app image once up front; every machine config
     // then shares it through a copy-on-write memory clone instead of
     // regenerating the same guest program per job.
@@ -439,18 +483,40 @@ pub fn run_jobs(
             images.push((p.name, cdvm_workloads::build_app_run(p, scale, length_mult)));
         }
     }
-    let (ok, failed) = run_jobs_with(jobs, |kind, profile| {
-        let wl = images
-            .iter()
-            .find(|(n, _)| *n == profile.name)
-            .map(|(_, w)| w)
-            .expect("image prebuilt for every job profile");
-        run_prebuilt(MachineConfig::preset(kind), wl)
+    let (results, failures) = run_jobs_with(jobs, |kind, profile| {
+        match images.iter().find(|(n, _)| *n == profile.name) {
+            Some((_, wl)) => run_prebuilt(MachineConfig::preset(kind), wl),
+            // Unreachable through the prebuild above, but a harness path
+            // must not panic on a bookkeeping miss: rebuild on demand.
+            None => {
+                let wl = cdvm_workloads::build_app_run(profile, scale, length_mult);
+                run_prebuilt(MachineConfig::preset(kind), &wl)
+            }
+        }
     });
-    for f in &failed {
-        eprintln!("[job failed] {} on {:?}: {}", f.app, f.kind, f.message);
+    let mut trace = TraceBuffer::new(failures.len().max(1));
+    for f in &failures {
+        // The app name in the catalog is `&'static`; find it back so the
+        // Copy trace event can carry it.
+        let app = images
+            .iter()
+            .map(|(n, _)| *n)
+            .find(|n| *n == f.app)
+            .unwrap_or("<unknown app>");
+        trace.push(
+            0,
+            TraceEvent::JobFailed {
+                app,
+                machine: f.kind,
+                attempts: 1,
+            },
+        );
     }
-    ok
+    Matrix {
+        results,
+        failures,
+        trace,
+    }
 }
 
 /// Runs each `(machine, app)` job through `runner` on a bounded worker
@@ -517,16 +583,43 @@ where
     )
 }
 
-/// Extracts a human-readable message from a panic payload (panics carry
-/// `&str` or `String` in practice; anything else gets a placeholder).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Extracts a human-readable message from a panic payload. Panics carry
+/// `&str` or `String` in practice; `panic_any` payloads of the common
+/// typed kinds (structured VM errors, I/O errors, primitives) are
+/// rendered too, and anything else is labelled with its `TypeId` so the
+/// failure record at least distinguishes payload types (`dyn Any` does
+/// not expose concrete type names).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    if let Some(s) = payload.downcast_ref::<std::borrow::Cow<'_, str>>() {
+        return s.to_string();
+    }
+    if let Some(e) = payload.downcast_ref::<cdvm_core::VmError>() {
+        return format!("panic payload VmError: {e}");
+    }
+    if let Some(e) = payload.downcast_ref::<cdvm_core::RestoreError>() {
+        return format!("panic payload RestoreError: {e}");
+    }
+    if let Some(e) = payload.downcast_ref::<std::io::Error>() {
+        return format!("panic payload io::Error: {e}");
+    }
+    macro_rules! try_prim {
+        ($($t:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$t>() {
+                return format!(
+                    "panic payload {}: {v:?}",
+                    std::any::type_name::<$t>()
+                );
+            })*
+        };
+    }
+    try_prim!(i32, u32, i64, u64, usize, isize, f64, f32, bool, char);
+    format!("non-string panic payload ({:?})", payload.type_id())
 }
 
 /// The reference machine's steady-state IPC for an app set: tail rate of

@@ -682,6 +682,16 @@ pub fn render_chrome(
                     args.set("error", error.to_string());
                     ct.instant_args(pid, 1, "restore_failed", "restore", ts, &args);
                 }
+                TraceEvent::JobFailed {
+                    app,
+                    machine,
+                    attempts,
+                } => {
+                    args.set("app", app)
+                        .set("machine", machine.to_string())
+                        .set("attempts", u64::from(attempts));
+                    ct.instant_args(pid, 1, "job_failed", "job", ts, &args);
+                }
                 // Per-block events are far too frequent for instants;
                 // the counter tracks below carry that activity.
                 TraceEvent::BlockTranslated { .. }

@@ -189,6 +189,20 @@ pub enum TraceEvent {
         /// Why the image was rejected.
         error: crate::error::RestoreError,
     },
+    /// A harness- or service-level job ended in failure (panicked worker
+    /// closure, retries exhausted). Recorded by the batch harness and the
+    /// serve scheduler rather than by the VM itself; the free-form
+    /// failure message travels in the caller's failure record — the
+    /// event carries the identifying coordinates.
+    JobFailed {
+        /// Application name (the workload catalog uses `&'static` names).
+        app: &'static str,
+        /// Machine configuration the job was running.
+        machine: cdvm_uarch::MachineKind,
+        /// Attempts consumed when the job was declared failed (1 for the
+        /// batch harness, which never retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -242,6 +256,13 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::RestoreFailed { error } => {
                 write!(f, "restore-fail   {error}")
             }
+            TraceEvent::JobFailed {
+                app,
+                machine,
+                attempts,
+            } => {
+                write!(f, "job-failed     app={app} machine={machine} attempts={attempts}")
+            }
         }
     }
 }
@@ -260,6 +281,7 @@ impl TraceEvent {
             TraceEvent::FaultRecovered { .. } => "fault_recovered",
             TraceEvent::RestoreApplied { .. } => "restore_applied",
             TraceEvent::RestoreFailed { .. } => "restore_failed",
+            TraceEvent::JobFailed { .. } => "job_failed",
         }
     }
 }

@@ -1,0 +1,539 @@
+//! A hand-rolled localhost HTTP/1.1 JSON API over [`Service`].
+//!
+//! The workspace takes no network or serialization dependency, so both
+//! the HTTP framing and the JSON body parsing live here: the request
+//! parser handles exactly what the API needs (a flat JSON object of
+//! strings and unsigned integers), and responses are built with
+//! [`Metrics::to_json`](cdvm_stats::Metrics::to_json).
+//!
+//! | Method & path                     | Action                                     |
+//! |-----------------------------------|--------------------------------------------|
+//! | `POST /jobs`                      | submit `{tenant, app, machine, ...}`       |
+//! | `GET /jobs/<id>[?wait_ms=N]`      | job status (result once completed)         |
+//! | `POST /jobs/<id>/cancel`          | request cancellation                       |
+//! | `GET /tenants/<t>/metrics`        | tenant telemetry snapshot                  |
+//! | `GET /tenants/<t>/events?after=N` | per-job summaries newer than seq `N`       |
+//! | `GET /healthz`                    | service health and pool/breaker state      |
+//! | `POST /drain`                     | graceful drain (persists warm images)      |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdvm_stats::Metrics;
+use cdvm_uarch::MachineKind;
+
+use crate::error::{OverloadScope, ServeError};
+use crate::job::{JobSpec, JobState};
+use crate::service::Service;
+
+/// Parses the API's machine names (the paper's labels, case-insensitive;
+/// `-` and `_` are accepted for `.`): `vm.soft`, `vm.be`, `vm.fe`,
+/// `vm.interp`, `ref`.
+pub fn parse_machine(s: &str) -> Option<MachineKind> {
+    let norm: String = s
+        .trim()
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c == '-' || c == '_' { '.' } else { c })
+        .collect();
+    match norm.as_str() {
+        "vm.soft" | "vmsoft" => Some(MachineKind::VmSoft),
+        "vm.be" | "vmbe" => Some(MachineKind::VmBe),
+        "vm.fe" | "vmfe" => Some(MachineKind::VmFe),
+        "vm.interp" | "vminterp" => Some(MachineKind::VmInterp),
+        "ref" | "ref.superscalar" | "refsuperscalar" => Some(MachineKind::RefSuperscalar),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON body parsing (flat object of strings and unsigned ints).
+// ---------------------------------------------------------------------------
+
+/// A JSON scalar the API accepts in request bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// A non-negative JSON integer.
+    Num(u64),
+}
+
+/// Parses a flat JSON object (`{"k": "v", "n": 3}`) into key/value
+/// pairs. Nested containers, floats and negative numbers are rejected —
+/// the API's request bodies never contain them. Returns `None` on any
+/// syntax error.
+pub fn parse_flat_json(body: &str) -> Option<Vec<(String, JsonVal)>> {
+    let b = body.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut out = Vec::new();
+    skip_ws(b, &mut i);
+    if b.get(i) == Some(&b'}') {
+        return Some(out);
+    }
+    loop {
+        skip_ws(b, &mut i);
+        let key = parse_string(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        let val = match b.get(i)? {
+            b'"' => JsonVal::Str(parse_string(b, &mut i)?),
+            b'0'..=b'9' => {
+                let start = i;
+                while matches!(b.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                JsonVal::Num(std::str::from_utf8(&b[start..i]).ok()?.parse().ok()?)
+            }
+            b't' if b[i..].starts_with(b"true") => {
+                i += 4;
+                JsonVal::Num(1)
+            }
+            b'f' if b[i..].starts_with(b"false") => {
+                i += 5;
+                JsonVal::Num(0)
+            }
+            _ => return None,
+        };
+        out.push((key, val));
+        skip_ws(b, &mut i);
+        match b.get(i)? {
+            b',' => i += 1,
+            b'}' => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while matches!(b.get(*i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        *i += 1;
+    }
+}
+
+/// Parses a JSON string at `b[*i]` (which must be `"`), decoding the
+/// RFC 8259 escapes (including `\uXXXX`, without surrogate pairing —
+/// the API never needs astral-plane tenant names).
+fn parse_string(b: &[u8], i: &mut usize) -> Option<String> {
+    if b.get(*i) != Some(&b'"') {
+        return None;
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i)? {
+            b'"' => {
+                *i += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b.get(*i + 1..*i + 5)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&b[*i..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn field<'a>(fields: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, JsonVal)], key: &str) -> Option<String> {
+    match field(fields, key) {
+        Some(JsonVal::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn num_field(fields: &[(String, JsonVal)], key: &str) -> Option<u64> {
+    match field(fields, key) {
+        Some(JsonVal::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server
+// ---------------------------------------------------------------------------
+
+/// A running API server bound to a localhost port.
+pub struct ApiServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ApiServer {
+    /// Binds `127.0.0.1:port` (0 picks a free port) and serves `service`
+    /// until [`ApiServer::stop`] or drop. `persist_dir` is where
+    /// `POST /drain` saves the healthy warm images.
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind error.
+    pub fn bind(
+        service: Arc<Service>,
+        port: u16,
+        persist_dir: Option<PathBuf>,
+    ) -> std::io::Result<ApiServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("cdvm-serve-api".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let service = Arc::clone(&service);
+                            let dir = persist_dir.clone();
+                            // One thread per connection: a blocking wait
+                            // (`?wait_ms=`, `/drain`) must not stall the
+                            // accept loop or other clients.
+                            let _ = std::thread::Builder::new()
+                                .name("cdvm-serve-conn".to_string())
+                                .spawn(move || handle_conn(&service, stream, dir.as_deref()));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })?;
+        Ok(ApiServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (use when binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop (in-flight connections finish).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ApiServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_conn(service: &Service, stream: TcpStream, persist_dir: Option<&std::path::Path>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => return,
+    };
+    // Headers: only Content-Length matters.
+    let mut content_len = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h).is_err() || h == "\r\n" || h == "\n" || h.is_empty() {
+            break;
+        }
+        if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_len = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_len.min(1 << 20)];
+    if content_len > 0 && reader.read_exact(&mut body).is_err() {
+        return;
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let resp = route(service, &method, path, query, &body, persist_dir);
+    let _ = write_response(&stream, &resp);
+}
+
+/// A response: status, reason, extra headers, JSON body.
+struct Resp {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Resp {
+    fn json(status: u16, reason: &'static str, m: &Metrics) -> Resp {
+        Resp {
+            status,
+            reason,
+            headers: Vec::new(),
+            body: m.to_json(),
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, msg: &str) -> Resp {
+        let mut m = Metrics::new();
+        m.set("error", msg);
+        Resp::json(status, reason, &m)
+    }
+}
+
+fn write_response(mut stream: &TcpStream, r: &Resp) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        r.status,
+        r.reason,
+        r.body.len()
+    );
+    for (k, v) in &r.headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(&r.body);
+    stream.write_all(out.as_bytes())
+}
+
+fn query_u64(query: &str, key: &str) -> Option<u64> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+fn route(
+    service: &Service,
+    method: &str,
+    path: &str,
+    query: &str,
+    body: &str,
+    persist_dir: Option<&std::path::Path>,
+) -> Resp {
+    let segs: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (method, segs.as_slice()) {
+        ("POST", ["jobs"]) => post_job(service, body),
+        ("GET", ["jobs", id]) => match id.parse::<u64>() {
+            Ok(id) => get_job(service, id, query_u64(query, "wait_ms")),
+            Err(_) => Resp::error(400, "Bad Request", "job id must be an integer"),
+        },
+        ("POST", ["jobs", id, "cancel"]) => match id.parse::<u64>() {
+            Ok(id) => {
+                let mut m = Metrics::new();
+                m.set("job", id).set("cancelled", service.cancel(id));
+                Resp::json(200, "OK", &m)
+            }
+            Err(_) => Resp::error(400, "Bad Request", "job id must be an integer"),
+        },
+        ("GET", ["tenants", t, "metrics"]) => match service.tenant_metrics(t) {
+            Some(m) => Resp::json(200, "OK", &m),
+            None => Resp::error(404, "Not Found", "unknown tenant"),
+        },
+        ("GET", ["tenants", t, "events"]) => {
+            let after = query_u64(query, "after").unwrap_or(0);
+            let (events, last) = service.tenant_events(t, after);
+            let mut m = Metrics::new();
+            m.set("last", last).set("events", events);
+            Resp::json(200, "OK", &m)
+        }
+        ("GET", ["healthz"]) => Resp::json(200, "OK", &service.health()),
+        ("POST", ["drain"]) => match service.drain(persist_dir) {
+            Ok(paths) => {
+                let mut m = Metrics::new();
+                m.set("drained", true).set(
+                    "persisted",
+                    paths
+                        .iter()
+                        .map(|p| p.display().to_string())
+                        .collect::<Vec<_>>(),
+                );
+                Resp::json(200, "OK", &m)
+            }
+            Err(e) => Resp::error(500, "Internal Server Error", &format!("persist failed: {e}")),
+        },
+        _ => Resp::error(404, "Not Found", "no such route"),
+    }
+}
+
+fn post_job(service: &Service, body: &str) -> Resp {
+    let Some(fields) = parse_flat_json(body) else {
+        return Resp::error(400, "Bad Request", "body is not a flat JSON object");
+    };
+    let Some(app) = str_field(&fields, "app") else {
+        return Resp::error(400, "Bad Request", "missing \"app\"");
+    };
+    let Some(machine) = str_field(&fields, "machine").as_deref().and_then(parse_machine) else {
+        return Resp::error(
+            400,
+            "Bad Request",
+            "missing or unknown \"machine\" (vm.soft, vm.be, vm.fe, vm.interp, ref)",
+        );
+    };
+    let mut spec = JobSpec::new(
+        &str_field(&fields, "tenant").unwrap_or_else(|| "default".to_string()),
+        &app,
+        machine,
+    );
+    spec.deadline_insts = num_field(&fields, "deadline_insts");
+    spec.deadline_ms = num_field(&fields, "deadline_ms");
+    match service.submit(spec) {
+        Ok(id) => {
+            let mut m = Metrics::new();
+            m.set("job", id);
+            Resp::json(202, "Accepted", &m)
+        }
+        Err(ServeError::Overloaded {
+            scope,
+            retry_after_ms,
+        }) => {
+            let mut m = Metrics::new();
+            m.set(
+                "error",
+                match scope {
+                    OverloadScope::Global => "overloaded: service",
+                    OverloadScope::Tenant => "overloaded: tenant queue",
+                },
+            )
+            .set("retry_after_ms", retry_after_ms);
+            let mut r = Resp::json(429, "Too Many Requests", &m);
+            r.headers.push((
+                "retry-after".to_string(),
+                format!("{}", retry_after_ms.div_ceil(1000).max(1)),
+            ));
+            r
+        }
+        Err(ServeError::Draining) => Resp::error(503, "Service Unavailable", "draining"),
+        Err(ServeError::UnknownApp { app }) => {
+            Resp::error(404, "Not Found", &format!("unknown (machine, app): {app}"))
+        }
+        Err(e) => Resp::error(400, "Bad Request", &e.to_string()),
+    }
+}
+
+fn get_job(service: &Service, id: u64, wait_ms: Option<u64>) -> Resp {
+    let state = match wait_ms {
+        Some(ms) => match service.wait(id, Duration::from_millis(ms.min(60_000))) {
+            Ok(s) => Some(s),
+            Err(_) => None,
+        },
+        None => service.status(id),
+    };
+    match state {
+        None => Resp::error(404, "Not Found", "unknown job"),
+        Some(state) => {
+            let mut m = Metrics::new();
+            m.set("job", id).set("state", state.name());
+            match &state {
+                JobState::Completed(out) => {
+                    m.set("warm", out.warm.name())
+                        .set("attempts", u64::from(out.attempts))
+                        .set("cycles", out.cycles)
+                        .set("x86_retired", out.x86_retired)
+                        .set("arch_fnv", format!("{:016x}", out.arch_fnv))
+                        .set("latency_ns", out.latency_ns)
+                        .set("queue_ns", out.queue_ns)
+                        .set("run_ns", out.run_ns);
+                }
+                JobState::Failed { message, attempts } => {
+                    m.set("message", message.as_str())
+                        .set("attempts", u64::from(*attempts));
+                }
+                JobState::Expired { attempts } => {
+                    m.set("attempts", u64::from(*attempts));
+                }
+                _ => {}
+            }
+            Resp::json(200, "OK", &m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_round_trip() {
+        let fields = parse_flat_json(
+            r#"{ "tenant": "acme", "app": "wordA", "deadline_ms": 250, "flag": true }"#,
+        )
+        .expect("parses");
+        assert_eq!(str_field(&fields, "tenant").as_deref(), Some("acme"));
+        assert_eq!(str_field(&fields, "app").as_deref(), Some("wordA"));
+        assert_eq!(num_field(&fields, "deadline_ms"), Some(250));
+        assert_eq!(num_field(&fields, "flag"), Some(1));
+    }
+
+    #[test]
+    fn flat_json_rejects_nesting_and_garbage() {
+        assert!(parse_flat_json("{\"a\": {\"b\": 1}}").is_none());
+        assert!(parse_flat_json("[1, 2]").is_none());
+        assert!(parse_flat_json("{\"a\": -1}").is_none());
+        assert!(parse_flat_json("{\"a\" 1}").is_none());
+        assert!(parse_flat_json("").is_none());
+        assert_eq!(parse_flat_json("{}"), Some(Vec::new()));
+    }
+
+    #[test]
+    fn machine_names_parse() {
+        assert_eq!(parse_machine("vm.soft"), Some(MachineKind::VmSoft));
+        assert_eq!(parse_machine("VM-BE"), Some(MachineKind::VmBe));
+        assert_eq!(parse_machine("vm_fe"), Some(MachineKind::VmFe));
+        assert_eq!(parse_machine("ref"), Some(MachineKind::RefSuperscalar));
+        assert_eq!(parse_machine("z80"), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! `cdvm-serve` — run the fleet simulation service on localhost.
+//!
+//! ```text
+//! cdvm-serve [--port N] [--workers N] [--scale F] [--cold]
+//!            [--prestamp N] [--global-cap N] [--tenant-cap N]
+//!            [--persist-dir PATH] [--machines LIST] [--apps LIST]
+//! ```
+//!
+//! Serves the Winstone2004 catalog on the chosen machines (default:
+//! every co-designed VM configuration). `POST /drain` (or SIGINT-less
+//! environments: any shutdown path that calls drain) finishes in-flight
+//! jobs and persists the healthy warm images under `--persist-dir`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cdvm_serve::api::{parse_machine, ApiServer};
+use cdvm_serve::{ServeConfig, Service};
+use cdvm_uarch::MachineKind;
+use cdvm_workloads::winstone2004;
+
+struct Args {
+    port: u16,
+    workers: usize,
+    scale: f64,
+    warm: bool,
+    prestamp: usize,
+    global_cap: usize,
+    tenant_cap: usize,
+    persist_dir: Option<PathBuf>,
+    machines: Vec<MachineKind>,
+    apps: Option<Vec<String>>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cdvm-serve [--port N] [--workers N] [--scale F] [--cold] \
+         [--prestamp N] [--global-cap N] [--tenant-cap N] \
+         [--persist-dir PATH] [--machines vm.soft,vm.be,...] [--apps a,b,...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 7199,
+        workers: 4,
+        scale: 0.05,
+        warm: true,
+        prestamp: 1,
+        global_cap: 64,
+        tenant_cap: 16,
+        persist_dir: None,
+        machines: vec![
+            MachineKind::VmSoft,
+            MachineKind::VmBe,
+            MachineKind::VmFe,
+            MachineKind::VmInterp,
+        ],
+        apps: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>| match it.next() {
+            Some(v) => v,
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--port" => args.port = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--cold" => args.warm = false,
+            "--prestamp" => args.prestamp = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--global-cap" => args.global_cap = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--tenant-cap" => args.tenant_cap = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--persist-dir" => args.persist_dir = Some(PathBuf::from(val(&mut it))),
+            "--machines" => {
+                args.machines = val(&mut it)
+                    .split(',')
+                    .map(|m| parse_machine(m).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--apps" => {
+                args.apps = Some(val(&mut it).split(',').map(str::to_string).collect());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let profiles = winstone2004();
+    let mut catalog = Vec::new();
+    for kind in &args.machines {
+        for p in &profiles {
+            if args
+                .apps
+                .as_ref()
+                .is_none_or(|apps| apps.iter().any(|a| a == p.name))
+            {
+                catalog.push((*kind, p.clone()));
+            }
+        }
+    }
+    if catalog.is_empty() {
+        eprintln!("cdvm-serve: empty catalog (check --apps)");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "cdvm-serve: preparing {} golden images (scale {}, {}) ...",
+        catalog.len(),
+        args.scale,
+        if args.warm { "warm" } else { "cold" }
+    );
+    let service = Arc::new(Service::start(ServeConfig {
+        workers: args.workers,
+        scale: args.scale,
+        catalog,
+        warm_pool: args.warm,
+        prestamp: args.prestamp,
+        global_queue_cap: args.global_cap,
+        tenant_queue_cap: args.tenant_cap,
+        ..ServeConfig::default()
+    }));
+    let server = match ApiServer::bind(Arc::clone(&service), args.port, args.persist_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cdvm-serve: bind 127.0.0.1:{} failed: {e}", args.port);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("cdvm-serve: listening on http://{}", server.addr());
+    eprintln!("cdvm-serve: POST /jobs | GET /jobs/<id> | GET /healthz | POST /drain");
+    // Serve until a drain request stops admissions and the fleet idles.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if service.is_draining() {
+            eprintln!("cdvm-serve: drained; exiting");
+            break;
+        }
+    }
+    drop(server);
+}

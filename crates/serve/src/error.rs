@@ -1,0 +1,67 @@
+//! Structured service errors.
+//!
+//! Admission control rejects work with data, never with an unbounded
+//! queue or a panic: an [`ServeError::Overloaded`] rejection carries a
+//! `retry_after_ms` hint derived from the observed job latency and the
+//! current backlog, so a well-behaved client backs off exactly as much
+//! as the fleet needs.
+
+/// Which admission bound rejected a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadScope {
+    /// The service-wide in-flight bound.
+    Global,
+    /// The submitting tenant's queue bound.
+    Tenant,
+}
+
+/// A structured service-level error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the job: the queue named by `scope` is at
+    /// capacity. Retry after `retry_after_ms` milliseconds.
+    Overloaded {
+        /// Which bound rejected the job.
+        scope: OverloadScope,
+        /// Load-derived backoff hint for the client.
+        retry_after_ms: u64,
+    },
+    /// The service is draining or shut down and admits no new work.
+    Draining,
+    /// The requested `(machine, app)` pair is not in the served catalog.
+    UnknownApp {
+        /// The requested application name.
+        app: String,
+    },
+    /// No job with that id exists.
+    UnknownJob {
+        /// The requested job id.
+        id: u64,
+    },
+    /// The request could not be parsed (API surface only).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                scope,
+                retry_after_ms,
+            } => write!(
+                f,
+                "overloaded ({}): retry after {retry_after_ms} ms",
+                match scope {
+                    OverloadScope::Global => "service",
+                    OverloadScope::Tenant => "tenant queue",
+                }
+            ),
+            ServeError::Draining => write!(f, "service is draining"),
+            ServeError::UnknownApp { app } => write!(f, "unknown (machine, app): {app}"),
+            ServeError::UnknownJob { id } => write!(f, "unknown job {id}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

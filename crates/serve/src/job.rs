@@ -1,0 +1,150 @@
+//! Job specifications, lifecycle states and results.
+//!
+//! Every admitted job moves through `Queued → Running` (possibly via
+//! `Delayed` between retry attempts) and ends in **exactly one**
+//! terminal state. The service enforces the single-terminal-transition
+//! invariant at the job table and exports a `double_terminal` counter
+//! that must stay zero — the chaos campaign asserts it.
+
+use cdvm_uarch::MachineKind;
+
+/// How warm the `System` that ran a completed job was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmLevel {
+    /// Stamped from the golden image with a clean restore.
+    Warm,
+    /// Restored, but salvage dropped sections (still architecturally
+    /// correct — degraded means slower, never wrong).
+    WarmDegraded,
+    /// Cold boot (warm pool disabled, image quarantined, or restore
+    /// failed outright).
+    Cold,
+}
+
+impl WarmLevel {
+    /// Stable snake_case tag for metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarmLevel::Warm => "warm",
+            WarmLevel::WarmDegraded => "warm_degraded",
+            WarmLevel::Cold => "cold",
+        }
+    }
+}
+
+/// One translation/simulation job request.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Submitting tenant (queue accounting and telemetry key).
+    pub tenant: String,
+    /// Application name from the served catalog.
+    pub app: String,
+    /// Machine configuration to run on.
+    pub machine: MachineKind,
+    /// Retired-instruction budget, wired into the fuel watchdog: the
+    /// run ends `Expired` when it runs out.
+    pub deadline_insts: Option<u64>,
+    /// Host wall-clock deadline in milliseconds from submission; checked
+    /// between run slices and before each retry.
+    pub deadline_ms: Option<u64>,
+    /// Chaos hook (tests only): panic the first N execution attempts.
+    /// `u32::MAX` models a deterministic crasher.
+    pub chaos_panic_attempts: u32,
+}
+
+impl JobSpec {
+    /// A plain job with no deadline and no chaos.
+    pub fn new(tenant: &str, app: &str, machine: MachineKind) -> JobSpec {
+        JobSpec {
+            tenant: tenant.to_string(),
+            app: app.to_string(),
+            machine,
+            deadline_insts: None,
+            deadline_ms: None,
+            chaos_panic_attempts: 0,
+        }
+    }
+
+    /// The retry/poison signature: a deterministic crasher is identified
+    /// by what it runs, so a quarantined signature cannot retry-storm
+    /// through resubmission.
+    pub fn signature(&self) -> String {
+        format!("{}/{}/{:?}", self.tenant, self.app, self.machine)
+    }
+}
+
+/// The result of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Modeled cycles to the architected end.
+    pub cycles: u64,
+    /// Retired guest instructions (bit-identical to the batch harness
+    /// for the same `(machine, app)` pair, warm or cold).
+    pub x86_retired: u64,
+    /// FNV-1a fingerprint of the final architected state (GPRs, EIP,
+    /// retired count) — warm and cold runs must agree.
+    pub arch_fnv: u64,
+    /// How warm the serving instance was.
+    pub warm: WarmLevel,
+    /// Execution attempts consumed (1 = first try).
+    pub attempts: u32,
+    /// Host nanoseconds from submission to completion.
+    pub latency_ns: u64,
+    /// Host nanoseconds spent queued before the successful attempt.
+    pub queue_ns: u64,
+    /// Host nanoseconds of the successful execution attempt.
+    pub run_ns: u64,
+}
+
+/// The lifecycle state of an admitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting in a worker queue.
+    Queued,
+    /// Waiting out a retry backoff.
+    Delayed,
+    /// Executing on a worker.
+    Running,
+    /// Terminal: finished with a result.
+    Completed(JobOutput),
+    /// Terminal: failed after exhausting retries (or poisoned).
+    Failed {
+        /// The last failure message (panic payload rendering).
+        message: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// Terminal: a deadline (instruction fuel or wall clock) expired.
+    Expired {
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// Terminal: cancelled by the client.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for the four terminal states.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed(_)
+                | JobState::Failed { .. }
+                | JobState::Expired { .. }
+                | JobState::Cancelled
+        )
+    }
+
+    /// Stable snake_case tag for metrics and the API surface.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Delayed => "delayed",
+            JobState::Running => "running",
+            JobState::Completed(_) => "completed",
+            JobState::Failed { .. } => "failed",
+            JobState::Expired { .. } => "expired",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}

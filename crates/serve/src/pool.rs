@@ -1,0 +1,350 @@
+//! The warm-pool manager: golden images, pre-stamped instances, health
+//! accounting, and the per-image circuit breaker.
+//!
+//! One `Golden` entry exists per served `(machine, app)` pair. Preparing
+//! an entry runs the workload cold once and saves the PR 6 warm image;
+//! serving then *stamps* instances: a fresh [`System`] on a CoW
+//! [`Memory::clone`](cdvm_mem::GuestMem) of the golden memory image,
+//! with the warm translation state restored on top. A small stack of
+//! pre-stamped instances hides even the restore cost from checkout.
+//!
+//! Restores are health-tracked per image. Repeated restore failures or
+//! salvage degradations trip a **circuit breaker** that quarantines the
+//! image: stamps fall back to cold boot (the documented degradation
+//! ladder warm → cold; shedding happens at admission, not here). After a
+//! cooldown of cold stamps the breaker goes half-open and risks one
+//! probe restore; a clean probe closes it again.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cdvm_core::{write_image_atomic, FaultInjector, ImageFault, ImageFaultReport, Status, System};
+use cdvm_stats::Metrics;
+use cdvm_uarch::{MachineConfig, MachineKind};
+use cdvm_workloads::{build_app_run, AppProfile, Workload};
+
+use crate::job::WarmLevel;
+use crate::lock;
+
+/// Warm-pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Prepare warm images and restore them at stamp time. When false
+    /// every stamp is a cold boot (the bench's cold lane).
+    pub warm: bool,
+    /// Pre-stamped ready instances to keep per golden entry.
+    pub prestamp: usize,
+    /// Consecutive bad restores (failure or degradation) that trip the
+    /// breaker.
+    pub breaker_threshold: u32,
+    /// Cold stamps to wait while quarantined before a half-open probe.
+    pub breaker_cooldown: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            warm: true,
+            prestamp: 1,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+        }
+    }
+}
+
+/// Per-image restore health and breaker state.
+#[derive(Debug, Clone, Default)]
+pub struct ImageHealth {
+    /// Clean restores (every section applied).
+    pub restores_clean: u64,
+    /// Degraded restores (salvage dropped sections).
+    pub restores_degraded: u64,
+    /// Total restore failures (stamp proceeded cold).
+    pub restores_failed: u64,
+    /// Stamps that never attempted a restore (pool cold, quarantine,
+    /// or cooldown).
+    pub cold_stamps: u64,
+    /// Consecutive bad restores since the last clean one.
+    pub consecutive_bad: u32,
+    /// True while the breaker is open (image quarantined).
+    pub quarantined: bool,
+    /// Times the breaker opened.
+    pub quarantines: u64,
+    /// Cold stamps since the breaker last opened.
+    pub cold_since_quarantine: u32,
+    /// Half-open probe restores attempted.
+    pub probes: u64,
+}
+
+/// One golden `(machine, app)` entry.
+struct Golden {
+    kind: MachineKind,
+    app: &'static str,
+    wl: Workload,
+    /// Warm image bytes (empty when the pool is cold-only).
+    image: Vec<u8>,
+    /// Pre-stamped instances ready for checkout.
+    ready: Vec<(System, WarmLevel)>,
+    health: ImageHealth,
+}
+
+/// Clones a workload around its CoW memory image (the page directory is
+/// shared; no page bytes are copied).
+fn clone_workload(wl: &Workload) -> Workload {
+    Workload {
+        name: wl.name.clone(),
+        mem: wl.mem.clone(),
+        entry: wl.entry,
+        static_insts: wl.static_insts,
+        scheduled_calls: wl.scheduled_calls,
+        approx_dynamic: wl.approx_dynamic,
+    }
+}
+
+/// The warm-pool manager.
+pub struct WarmPool {
+    cfg: PoolConfig,
+    entries: Vec<Mutex<Golden>>,
+    /// `(machine, app)` per entry, parallel to `entries`.
+    index: Vec<(MachineKind, &'static str)>,
+}
+
+impl WarmPool {
+    /// Prepares golden entries for every `(machine, app)` pair in the
+    /// catalog: builds each distinct app image once (shared CoW across
+    /// machines), then — when warm — runs each pair cold to its
+    /// architected end and saves the warm translation image. Entries are
+    /// prepared in parallel.
+    pub fn prepare(catalog: &[(MachineKind, AppProfile)], scale: f64, cfg: PoolConfig) -> WarmPool {
+        let mut apps: Vec<(&'static str, Workload)> = Vec::new();
+        for (_, p) in catalog {
+            if !apps.iter().any(|(n, _)| *n == p.name) {
+                apps.push((p.name, build_app_run(p, scale, 1.0)));
+            }
+        }
+        let mut index = Vec::new();
+        let mut goldens: Vec<Mutex<Golden>> = Vec::new();
+        for (kind, p) in catalog {
+            if index.contains(&(*kind, p.name)) {
+                continue;
+            }
+            let wl = apps
+                .iter()
+                .find(|(n, _)| *n == p.name)
+                .map(|(_, w)| clone_workload(w))
+                .unwrap_or_else(|| build_app_run(p, scale, 1.0));
+            index.push((*kind, p.name));
+            goldens.push(Mutex::new(Golden {
+                kind: *kind,
+                app: p.name,
+                wl,
+                image: Vec::new(),
+                ready: Vec::new(),
+                health: ImageHealth::default(),
+            }));
+        }
+        let pool = WarmPool {
+            cfg,
+            entries: goldens,
+            index,
+        };
+        if pool.cfg.warm {
+            let cfg = &pool.cfg;
+            std::thread::scope(|s| {
+                for entry in &pool.entries {
+                    s.spawn(move || {
+                        let mut g = lock(entry);
+                        let mut sys = System::with_config(
+                            MachineConfig::preset(g.kind),
+                            g.wl.mem.clone(),
+                            g.wl.entry,
+                        );
+                        // A golden image is only worth serving from when
+                        // the prep run reached its architected end.
+                        if sys.run_to_completion(u64::MAX) == Status::Halted {
+                            g.image = sys.snapshot_bytes();
+                        }
+                        for _ in 0..cfg.prestamp {
+                            let stamped = stamp(&mut g, cfg);
+                            g.ready.push(stamped);
+                        }
+                    });
+                }
+            });
+        }
+        pool
+    }
+
+    /// True when the pool serves this `(machine, app)` pair.
+    pub fn contains(&self, kind: MachineKind, app: &str) -> bool {
+        self.entry_idx(kind, app).is_some()
+    }
+
+    /// The served `(machine, app)` pairs.
+    pub fn keys(&self) -> &[(MachineKind, &'static str)] {
+        &self.index
+    }
+
+    fn entry_idx(&self, kind: MachineKind, app: &str) -> Option<usize> {
+        self.index.iter().position(|(k, a)| *k == kind && *a == app)
+    }
+
+    /// Checks out a ready instance (or stamps one on demand) and
+    /// restocks the ready stack. Returns `None` for an unserved pair.
+    pub fn checkout(&self, kind: MachineKind, app: &str) -> Option<(System, WarmLevel)> {
+        let idx = self.entry_idx(kind, app)?;
+        let mut g = lock(&self.entries[idx]);
+        let out = g.ready.pop().unwrap_or_else(|| stamp(&mut g, &self.cfg));
+        while g.ready.len() < self.cfg.prestamp {
+            let stamped = stamp(&mut g, &self.cfg);
+            g.ready.push(stamped);
+        }
+        Some(out)
+    }
+
+    /// A snapshot of one image's health.
+    pub fn health(&self, kind: MachineKind, app: &str) -> Option<ImageHealth> {
+        let idx = self.entry_idx(kind, app)?;
+        Some(lock(&self.entries[idx]).health.clone())
+    }
+
+    /// Persists every healthy (non-quarantined, non-empty) golden image
+    /// crash-safely under `dir`, returning the written paths.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from directory creation or the atomic writes.
+    pub fn persist(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for entry in &self.entries {
+            let g = lock(entry);
+            if g.image.is_empty() || g.health.quarantined {
+                continue;
+            }
+            let file = dir.join(format!(
+                "{}_{}.cdvmimg",
+                format!("{:?}", g.kind).to_lowercase(),
+                g.app.to_lowercase()
+            ));
+            write_image_atomic(&file, &g.image)?;
+            written.push(file);
+        }
+        Ok(written)
+    }
+
+    /// Chaos hook: corrupts the golden image in place with one
+    /// [`ImageFault`] mode and drops the pre-stamped instances so the
+    /// damage is visible at the next stamp.
+    pub fn corrupt_image(
+        &self,
+        kind: MachineKind,
+        app: &str,
+        injector: &mut FaultInjector,
+        fault: ImageFault,
+    ) -> Option<ImageFaultReport> {
+        let idx = self.entry_idx(kind, app)?;
+        let mut g = lock(&self.entries[idx]);
+        let report = injector.corrupt_image(&mut g.image, fault);
+        g.ready.clear();
+        Some(report)
+    }
+
+    /// The current golden image bytes (test hook).
+    pub fn image_bytes(&self, kind: MachineKind, app: &str) -> Option<Vec<u8>> {
+        let idx = self.entry_idx(kind, app)?;
+        Some(lock(&self.entries[idx]).image.clone())
+    }
+
+    /// Replaces the golden image bytes (test hook; clears the ready
+    /// stack like [`WarmPool::corrupt_image`]).
+    pub fn set_image_bytes(&self, kind: MachineKind, app: &str, bytes: Vec<u8>) -> bool {
+        let Some(idx) = self.entry_idx(kind, app) else {
+            return false;
+        };
+        let mut g = lock(&self.entries[idx]);
+        g.image = bytes;
+        g.ready.clear();
+        true
+    }
+
+    /// Per-entry pool metrics (image size, ready depth, health and
+    /// breaker state).
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        for entry in &self.entries {
+            let g = lock(entry);
+            let mut e = Metrics::new();
+            e.set("machine", format!("{}", g.kind))
+                .set("app", g.app)
+                .set("image_bytes", g.image.len() as u64)
+                .set("ready", g.ready.len() as u64)
+                .set("restores_clean", g.health.restores_clean)
+                .set("restores_degraded", g.health.restores_degraded)
+                .set("restores_failed", g.health.restores_failed)
+                .set("cold_stamps", g.health.cold_stamps)
+                .set("consecutive_bad", u64::from(g.health.consecutive_bad))
+                .set("quarantined", g.health.quarantined)
+                .set("quarantines", g.health.quarantines)
+                .set("probes", g.health.probes);
+            m.set(&format!("{:?}/{}", g.kind, g.app), e);
+        }
+        m
+    }
+}
+
+/// Stamps one instance from a golden entry, applying the breaker
+/// policy. Never panics: the worst case is a cold boot.
+fn stamp(g: &mut Golden, cfg: &PoolConfig) -> (System, WarmLevel) {
+    let mut sys = System::with_config(MachineConfig::preset(g.kind), g.wl.mem.clone(), g.wl.entry);
+    if !cfg.warm || g.image.is_empty() {
+        g.health.cold_stamps += 1;
+        return (sys, WarmLevel::Cold);
+    }
+    let probing = if g.health.quarantined {
+        g.health.cold_since_quarantine += 1;
+        if g.health.cold_since_quarantine <= cfg.breaker_cooldown {
+            g.health.cold_stamps += 1;
+            return (sys, WarmLevel::Cold);
+        }
+        // Half-open: risk one probe restore.
+        g.health.probes += 1;
+        true
+    } else {
+        false
+    };
+    let outcome = sys.restore_image_bytes(&g.image);
+    if outcome.is_cold_boot() {
+        g.health.restores_failed += 1;
+        note_bad(&mut g.health, cfg, probing);
+        (sys, WarmLevel::Cold)
+    } else if outcome.is_degraded() {
+        g.health.restores_degraded += 1;
+        note_bad(&mut g.health, cfg, probing);
+        // Degraded is still architecturally correct (salvage drops
+        // sections, never applies damaged ones) — serve it, but count it
+        // against the image.
+        (sys, WarmLevel::WarmDegraded)
+    } else {
+        g.health.restores_clean += 1;
+        g.health.consecutive_bad = 0;
+        if g.health.quarantined {
+            g.health.quarantined = false;
+            g.health.cold_since_quarantine = 0;
+        }
+        (sys, WarmLevel::Warm)
+    }
+}
+
+/// Accounts one bad restore and advances the breaker.
+fn note_bad(h: &mut ImageHealth, cfg: &PoolConfig, probing: bool) {
+    h.consecutive_bad += 1;
+    if probing {
+        // Failed probe: stay quarantined, restart the cooldown.
+        h.cold_since_quarantine = 0;
+    } else if !h.quarantined && h.consecutive_bad >= cfg.breaker_threshold {
+        h.quarantined = true;
+        h.quarantines += 1;
+        h.cold_since_quarantine = 0;
+    }
+}

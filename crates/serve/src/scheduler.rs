@@ -1,0 +1,119 @@
+//! Work-stealing queue fabric: per-worker deques, a delayed (retry
+//! backoff) heap, and the wakeup condvar.
+//!
+//! Jobs are ids; all job state lives in the service's job table. A
+//! worker pops due retries first, then the front of its own deque, then
+//! steals from the *back* of a sibling's deque. Stale ids (jobs that
+//! went terminal while queued, e.g. cancelled) are skipped by the
+//! executor, so queues never need compaction.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::lock;
+
+/// What a worker's poll produced.
+pub(crate) enum Pop {
+    /// Run this job now.
+    Job(u64),
+    /// Nothing runnable; wait at most this long before polling again.
+    Wait(Duration),
+}
+
+pub(crate) struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<u64>>>,
+    delayed: Mutex<BinaryHeap<Reverse<(Instant, u64)>>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    rr: AtomicUsize,
+}
+
+impl WorkQueues {
+    pub(crate) fn new(workers: usize) -> WorkQueues {
+        WorkQueues {
+            queues: (0..workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            delayed: Mutex::new(BinaryHeap::new()),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a runnable job, round-robin across workers (or onto a
+    /// specific worker's deque when `hint` is given).
+    pub(crate) fn push(&self, hint: Option<usize>, job: u64) {
+        let w = hint.unwrap_or_else(|| self.rr.fetch_add(1, Ordering::Relaxed)) % self.queues.len();
+        lock(&self.queues[w]).push_back(job);
+        self.wake.notify_all();
+    }
+
+    /// Schedules a retry to become runnable at `due`.
+    pub(crate) fn push_delayed(&self, due: Instant, job: u64) {
+        lock(&self.delayed).push(Reverse((due, job)));
+        self.wake.notify_all();
+    }
+
+    /// Polls for work on behalf of worker `w`.
+    pub(crate) fn pop(&self, w: usize) -> Pop {
+        // Due retries first: they have already waited their backoff.
+        let now = Instant::now();
+        let mut next_due: Option<Instant> = None;
+        {
+            let mut delayed = lock(&self.delayed);
+            if let Some(Reverse((due, job))) = delayed.peek().copied() {
+                if due <= now {
+                    delayed.pop();
+                    return Pop::Job(job);
+                }
+                next_due = Some(due);
+            }
+        }
+        // Own deque front.
+        if let Some(job) = lock(&self.queues[w]).pop_front() {
+            return Pop::Job(job);
+        }
+        // Steal from a sibling's back.
+        for off in 1..self.queues.len() {
+            let v = (w + off) % self.queues.len();
+            if let Some(job) = lock(&self.queues[v]).pop_back() {
+                return Pop::Job(job);
+            }
+        }
+        let wait = next_due
+            .map(|d| d.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        Pop::Wait(wait.max(Duration::from_micros(200)))
+    }
+
+    /// Parks the calling worker for at most `d` (woken early by pushes).
+    pub(crate) fn park(&self, d: Duration) {
+        let g = lock(&self.sleep_lock);
+        let _ = self
+            .wake
+            .wait_timeout(g, d)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+
+    /// Wakes every parked worker (shutdown, drain, kill).
+    pub(crate) fn notify_all(&self) {
+        self.wake.notify_all();
+    }
+
+    /// Queued (not delayed) jobs per worker deque.
+    pub(crate) fn depths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| lock(q).len()).collect()
+    }
+
+    /// Jobs waiting out a retry backoff.
+    pub(crate) fn delayed_len(&self) -> usize {
+        lock(&self.delayed).len()
+    }
+}

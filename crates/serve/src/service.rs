@@ -1,0 +1,810 @@
+//! The fleet simulation service: admission control, work-stealing
+//! execution, deadlines, retries with backoff, worker supervision, and
+//! graceful drain.
+//!
+//! # Lifecycle invariants
+//!
+//! * **No job lost**: every admitted job reaches a terminal state, even
+//!   across worker deaths (the supervisor requeues the orphaned job the
+//!   dead worker was running).
+//! * **No job duplicated**: terminal transitions go through one guarded
+//!   function; a second terminal transition is refused and counted in
+//!   `double_terminal` (the chaos campaign asserts it stays zero).
+//! * **Bounded queues**: admission control sheds with a structured
+//!   [`ServeError::Overloaded`] carrying a load-derived `retry_after_ms`
+//!   hint; nothing in the service grows without bound under overload.
+//! * **Degradation ladder**: warm stamp → cold boot (breaker open or
+//!   restore failed) → shed at admission. Never a wrong answer: a
+//!   degraded restore drops translation state, not architected state.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cdvm_core::{fnv1a64, Status, Watchdog};
+use cdvm_mem::Rng64;
+use cdvm_stats::Metrics;
+use cdvm_uarch::MachineKind;
+use cdvm_workloads::AppProfile;
+
+use crate::error::{OverloadScope, ServeError};
+use crate::job::{JobOutput, JobSpec, JobState, WarmLevel};
+use crate::lock;
+use crate::pool::{PoolConfig, WarmPool};
+use crate::scheduler::{Pop, WorkQueues};
+use crate::telemetry::{TelemetryHub, TenantTelemetry};
+
+/// Guest instructions per execution slice; cancel, kill and wall-clock
+/// deadline checks happen at slice boundaries.
+const RUN_SLICE: u64 = 50_000;
+
+/// Panic payload a chaos worker kill unwinds with. The job-level
+/// `catch_unwind` re-raises it so it reaches the worker supervisor
+/// (which requeues the orphaned job) instead of the retry path.
+struct WorkerKill;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Workload scale factor (1.0 = the paper's reference scale).
+    pub scale: f64,
+    /// Served `(machine, app)` catalog.
+    pub catalog: Vec<(MachineKind, AppProfile)>,
+    /// Prepare warm images and stamp from them (false = cold lane).
+    pub warm_pool: bool,
+    /// Pre-stamped ready instances per golden image.
+    pub prestamp: usize,
+    /// Service-wide bound on admitted-but-not-terminal jobs.
+    pub global_queue_cap: usize,
+    /// Per-tenant bound on admitted-but-not-terminal jobs.
+    pub tenant_queue_cap: usize,
+    /// Execution attempts per job before it fails terminally.
+    pub max_attempts: u32,
+    /// First retry backoff (doubles per attempt, plus jitter).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Consecutive bad restores that quarantine an image.
+    pub breaker_threshold: u32,
+    /// Cold stamps before a quarantined image gets a half-open probe.
+    pub breaker_cooldown: u32,
+    /// Seed for backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            scale: 0.05,
+            catalog: Vec::new(),
+            warm_pool: true,
+            prestamp: 1,
+            global_queue_cap: 64,
+            tenant_queue_cap: 16,
+            max_attempts: 3,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 50,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+            seed: 0x5eed_5e12_7e00_0001,
+        }
+    }
+}
+
+/// One admitted job's bookkeeping entry. Entries stay in the table for
+/// the service lifetime so late status queries and the chaos campaign's
+/// exactly-once audit always have the full history.
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    attempts: u32,
+    submitted: Instant,
+    /// When the job last became runnable (submission, retry due time, or
+    /// orphan requeue) — the successful attempt's queue wait starts here.
+    queued_at: Instant,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Monotonic service counters (all exported by [`Service::health`]).
+#[derive(Default)]
+struct Counters {
+    shed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    cancelled: AtomicU64,
+    retries: AtomicU64,
+    orphan_requeues: AtomicU64,
+    worker_deaths: AtomicU64,
+    poisoned: AtomicU64,
+    /// Refused second terminal transitions. Must stay zero; a nonzero
+    /// value means a lifecycle bug, surfaced as data instead of silent
+    /// double accounting.
+    double_terminal: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    pool: WarmPool,
+    queues: WorkQueues,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Notified on every terminal transition (wait/drain block on it).
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    /// Admitted-but-not-terminal jobs per tenant.
+    tenant_depth: Mutex<HashMap<String, usize>>,
+    /// Admitted-but-not-terminal jobs service-wide.
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    /// Chaos: worker `w` unwinds at its next check when set.
+    kill_flags: Vec<AtomicBool>,
+    /// Job currently executing on worker `w` (the orphan registry).
+    running: Vec<Mutex<Option<u64>>>,
+    telemetry: Mutex<TelemetryHub>,
+    /// Job signatures that exhausted retries; same-signature jobs fail
+    /// fast so a deterministic crasher cannot retry-storm the fleet.
+    poison: Mutex<HashSet<String>>,
+    rng: Mutex<Rng64>,
+    /// EWMA of successful run time (ns) — feeds `retry_after_ms`.
+    run_ns_ewma: AtomicU64,
+    counters: Counters,
+}
+
+/// The long-running fleet simulation service.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Prepares the warm pool for the configured catalog and starts the
+    /// worker fleet.
+    pub fn start(cfg: ServeConfig) -> Service {
+        let pool = WarmPool::prepare(
+            &cfg.catalog,
+            cfg.scale,
+            PoolConfig {
+                warm: cfg.warm_pool,
+                prestamp: cfg.prestamp,
+                breaker_threshold: cfg.breaker_threshold,
+                breaker_cooldown: cfg.breaker_cooldown,
+            },
+        );
+        let workers = cfg.workers.max(1);
+        let seed = cfg.seed;
+        let inner = Arc::new(Inner {
+            pool,
+            queues: WorkQueues::new(workers),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            tenant_depth: Mutex::new(HashMap::new()),
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            kill_flags: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            running: (0..workers).map(|_| Mutex::new(None)).collect(),
+            telemetry: Mutex::new(TelemetryHub::default()),
+            poison: Mutex::new(HashSet::new()),
+            rng: Mutex::new(Rng64::new(seed)),
+            run_ns_ewma: AtomicU64::new(0),
+            counters: Counters::default(),
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cdvm-serve-{w}"))
+                    .spawn(move || supervisor(&inner, w))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits a job. Admission control may reject it with a structured
+    /// error; an accepted job is guaranteed exactly one terminal state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Draining`] after drain began, [`ServeError::UnknownApp`]
+    /// for a pair outside the catalog, [`ServeError::Overloaded`] when a
+    /// queue bound sheds the job.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, ServeError> {
+        let inner = &self.inner;
+        if inner.draining.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::Draining);
+        }
+        if !inner.pool.contains(spec.machine, &spec.app) {
+            return Err(ServeError::UnknownApp {
+                app: format!("{}/{}", spec.machine, spec.app),
+            });
+        }
+        if inner.inflight.load(Ordering::SeqCst) >= inner.cfg.global_queue_cap {
+            self.note_shed(&spec.tenant);
+            return Err(ServeError::Overloaded {
+                scope: OverloadScope::Global,
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        {
+            let mut depth = lock(&inner.tenant_depth);
+            let d = depth.entry(spec.tenant.clone()).or_insert(0);
+            if *d >= inner.cfg.tenant_queue_cap {
+                drop(depth);
+                self.note_shed(&spec.tenant);
+                return Err(ServeError::Overloaded {
+                    scope: OverloadScope::Tenant,
+                    retry_after_ms: self.retry_after_ms(),
+                });
+            }
+            *d += 1;
+        }
+        inner.inflight.fetch_add(1, Ordering::SeqCst);
+        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let now = Instant::now();
+        let tenant = spec.tenant.clone();
+        lock(&inner.jobs).insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                attempts: 0,
+                submitted: now,
+                queued_at: now,
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        lock(&inner.telemetry).tenant_mut(&tenant).submitted += 1;
+        inner.queues.push(None, id);
+        Ok(id)
+    }
+
+    fn note_shed(&self, tenant: &str) {
+        self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner.telemetry).tenant_mut(tenant).shed += 1;
+    }
+
+    /// The current client backoff hint: roughly how long the backlog
+    /// takes to drain at the observed per-job run time.
+    fn retry_after_ms(&self) -> u64 {
+        let ewma_ns = self.inner.run_ns_ewma.load(Ordering::Relaxed).max(1_000_000);
+        let backlog = self.inner.inflight.load(Ordering::SeqCst) as u64;
+        let workers = self.inner.queues.workers() as u64;
+        (ewma_ns.saturating_mul(backlog / workers + 1) / 1_000_000).clamp(1, 10_000)
+    }
+
+    /// The current state of a job, if it exists.
+    pub fn status(&self, id: u64) -> Option<JobState> {
+        lock(&self.inner.jobs).get(&id).map(|r| r.state.clone())
+    }
+
+    /// Blocks until the job reaches a terminal state (or the timeout
+    /// elapses, returning the non-terminal state seen last).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] when no job has this id.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobState, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = lock(&self.inner.jobs);
+        loop {
+            let Some(rec) = jobs.get(&id) else {
+                return Err(ServeError::UnknownJob { id });
+            };
+            if rec.state.is_terminal() {
+                return Ok(rec.state.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(rec.state.clone());
+            }
+            let (g, _) = self
+                .inner
+                .done_cv
+                .wait_timeout(jobs, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            jobs = g;
+        }
+    }
+
+    /// Requests cancellation. The flag is honored by the executor: a
+    /// queued or delayed job goes terminal when next popped, a running
+    /// job stops at its next slice boundary. (Terminal transitions stay
+    /// single-writer — only the executor performs them — so cancellation
+    /// can never race a concurrent completion into a double terminal.)
+    /// Returns false when the job is unknown or already terminal.
+    pub fn cancel(&self, id: u64) -> bool {
+        let jobs = lock(&self.inner.jobs);
+        match jobs.get(&id) {
+            None => false,
+            Some(r) if r.state.is_terminal() => false,
+            Some(r) => {
+                r.cancel.store(true, Ordering::SeqCst);
+                true
+            }
+        }
+    }
+
+    /// Per-tenant telemetry snapshot.
+    pub fn tenant_metrics(&self, tenant: &str) -> Option<Metrics> {
+        lock(&self.inner.telemetry)
+            .tenant(tenant)
+            .map(TenantTelemetry::to_metrics)
+    }
+
+    /// Per-job completion summaries for `tenant` newer than `after`,
+    /// plus the newest sequence number (pass it back to resume).
+    pub fn tenant_events(&self, tenant: &str, after: u64) -> (Vec<Metrics>, u64) {
+        lock(&self.inner.telemetry).events_since(tenant, after)
+    }
+
+    /// Service-wide health: lifecycle counters, queue depths, breaker
+    /// and pool state, tenants.
+    pub fn health(&self) -> Metrics {
+        let inner = &self.inner;
+        let c = &inner.counters;
+        let mut m = Metrics::new();
+        m.set("draining", inner.draining.load(Ordering::SeqCst))
+            .set("inflight", inner.inflight.load(Ordering::SeqCst) as u64)
+            .set("queued", inner.queues.depths().iter().sum::<usize>() as u64)
+            .set("delayed", inner.queues.delayed_len() as u64)
+            .set("workers", inner.queues.workers() as u64)
+            .set("completed", c.completed.load(Ordering::Relaxed))
+            .set("failed", c.failed.load(Ordering::Relaxed))
+            .set("expired", c.expired.load(Ordering::Relaxed))
+            .set("cancelled", c.cancelled.load(Ordering::Relaxed))
+            .set("shed", c.shed.load(Ordering::Relaxed))
+            .set("retries", c.retries.load(Ordering::Relaxed))
+            .set("orphan_requeues", c.orphan_requeues.load(Ordering::Relaxed))
+            .set("worker_deaths", c.worker_deaths.load(Ordering::Relaxed))
+            .set("poisoned", c.poisoned.load(Ordering::Relaxed))
+            .set("double_terminal", c.double_terminal.load(Ordering::Relaxed))
+            .set("run_ns_ewma", inner.run_ns_ewma.load(Ordering::Relaxed))
+            .set("tenants", lock(&inner.telemetry).tenant_names())
+            .set("pool", inner.pool.metrics());
+        m
+    }
+
+    /// The warm pool (chaos and inspection hooks).
+    pub fn pool(&self) -> &WarmPool {
+        &self.inner.pool
+    }
+
+    /// True once drain began (no new work is admitted).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Chaos: kill worker `w` at its next check point (between slices or
+    /// before its next job). The supervisor requeues whatever it was
+    /// running and revives the worker in place.
+    pub fn kill_worker(&self, w: usize) -> bool {
+        match self.inner.kill_flags.get(w) {
+            Some(f) => {
+                f.store(true, Ordering::SeqCst);
+                self.inner.queues.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Graceful drain: stop admitting, finish every in-flight job, stop
+    /// the workers, and (when `persist_dir` is given) save the healthy
+    /// warm images crash-safely. Returns the persisted image paths.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from persisting the pool; the fleet is already
+    /// stopped by then.
+    pub fn drain(&self, persist_dir: Option<&Path>) -> std::io::Result<Vec<PathBuf>> {
+        let inner = &self.inner;
+        inner.draining.store(true, Ordering::SeqCst);
+        // Wait for every admitted job to reach its terminal state.
+        {
+            let mut jobs = lock(&inner.jobs);
+            while inner.inflight.load(Ordering::SeqCst) > 0 {
+                let (g, _) = inner
+                    .done_cv
+                    .wait_timeout(jobs, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                jobs = g;
+            }
+        }
+        inner.shutdown.store(true, Ordering::SeqCst);
+        inner.queues.notify_all();
+        for h in lock(&self.workers).drain(..) {
+            let _ = h.join();
+        }
+        match persist_dir {
+            Some(dir) => inner.pool.persist(dir),
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Best-effort stop without persisting; a clean shutdown goes
+        // through `drain`.
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queues.notify_all();
+        for h in lock(&self.workers).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker supervisor: runs the worker loop, and when it dies (chaos
+/// kill or an escaped panic) requeues the orphaned job and revives the
+/// loop in place — a worker death never loses a job.
+fn supervisor(inner: &Arc<Inner>, w: usize) {
+    loop {
+        let died = catch_unwind(AssertUnwindSafe(|| worker_loop(inner, w))).is_err();
+        if !died {
+            return;
+        }
+        inner.counters.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        inner.kill_flags[w].store(false, Ordering::SeqCst);
+        if let Some(id) = lock(&inner.running[w]).take() {
+            let tenant = {
+                let mut jobs = lock(&inner.jobs);
+                match jobs.get_mut(&id) {
+                    Some(rec) if !rec.state.is_terminal() => {
+                        rec.state = JobState::Queued;
+                        rec.queued_at = Instant::now();
+                        Some(rec.spec.tenant.clone())
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(tenant) = tenant {
+                lock(&inner.telemetry).tenant_mut(&tenant).orphan_requeues += 1;
+                inner.counters.orphan_requeues.fetch_add(1, Ordering::Relaxed);
+                inner.queues.push(Some(w), id);
+            }
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, w: usize) {
+    loop {
+        if inner.kill_flags[w].swap(false, Ordering::SeqCst) {
+            std::panic::panic_any(WorkerKill);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match inner.queues.pop(w) {
+            Pop::Job(id) => execute(inner, w, id),
+            Pop::Wait(d) => {
+                if inner.draining.load(Ordering::SeqCst)
+                    && inner.inflight.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                inner.queues.park(d);
+            }
+        }
+    }
+}
+
+/// What one execution attempt produced.
+enum RunResult {
+    Done(Box<RunDone>),
+    Expired,
+    Cancelled,
+    /// A simulator-reported failure (fault, broken VMM invariant, or an
+    /// unexpected watchdog) — retried like a panic, without unwinding.
+    Failed(String),
+}
+
+/// The measurements of a successful attempt.
+struct RunDone {
+    cycles: u64,
+    x86_retired: u64,
+    arch_fnv: u64,
+    warm: WarmLevel,
+    run_ns: u64,
+}
+
+/// Runs one admitted job id on worker `w`, driving the retry and
+/// terminal-state machinery around [`run_attempt`].
+fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
+    // Snapshot what this attempt needs; skip stale ids (the record went
+    // terminal — e.g. cancelled — while the id sat in a queue).
+    let (spec, attempts, cancel, submitted, queued_at) = {
+        let mut jobs = lock(&inner.jobs);
+        let Some(rec) = jobs.get_mut(&id) else {
+            return;
+        };
+        if rec.state.is_terminal() {
+            return;
+        }
+        if rec.cancel.load(Ordering::SeqCst) {
+            drop(jobs);
+            set_terminal(inner, id, JobState::Cancelled);
+            return;
+        }
+        rec.attempts += 1;
+        rec.state = JobState::Running;
+        (
+            rec.spec.clone(),
+            rec.attempts,
+            Arc::clone(&rec.cancel),
+            rec.submitted,
+            rec.queued_at,
+        )
+    };
+    // Wall-clock deadline may have already expired in the queue.
+    if wall_expired(&spec, submitted) {
+        set_terminal(inner, id, JobState::Expired { attempts });
+        return;
+    }
+    // Poisoned signatures fail fast: no execution, no retries.
+    if lock(&inner.poison).contains(&spec.signature()) {
+        set_terminal(
+            inner,
+            id,
+            JobState::Failed {
+                message: "poisoned job signature (previous jobs exhausted retries)".to_string(),
+                attempts,
+            },
+        );
+        return;
+    }
+    *lock(&inner.running[w]) = Some(id);
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_attempt(inner, w, &spec, attempts, &cancel, submitted)
+    }));
+    match result {
+        Err(payload) => {
+            if payload.is::<WorkerKill>() {
+                // Leave the orphan registry set: the supervisor requeues
+                // this job when it catches the unwind.
+                resume_unwind(payload);
+            }
+            *lock(&inner.running[w]) = None;
+            let message = panic_message_str(payload.as_ref());
+            retry_or_fail(inner, id, &spec, attempts, message);
+        }
+        Ok(RunResult::Done(done)) => {
+            *lock(&inner.running[w]) = None;
+            let now = Instant::now();
+            let out = JobOutput {
+                cycles: done.cycles,
+                x86_retired: done.x86_retired,
+                arch_fnv: done.arch_fnv,
+                warm: done.warm,
+                attempts,
+                latency_ns: (now - submitted).as_nanos() as u64,
+                queue_ns: (start - queued_at).as_nanos() as u64,
+                run_ns: done.run_ns,
+            };
+            let old = inner.run_ns_ewma.load(Ordering::Relaxed);
+            let ewma = if old == 0 { done.run_ns } else { (3 * old + done.run_ns) / 4 };
+            inner.run_ns_ewma.store(ewma, Ordering::Relaxed);
+            set_terminal(inner, id, JobState::Completed(out));
+        }
+        Ok(RunResult::Expired) => {
+            *lock(&inner.running[w]) = None;
+            set_terminal(inner, id, JobState::Expired { attempts });
+        }
+        Ok(RunResult::Cancelled) => {
+            *lock(&inner.running[w]) = None;
+            set_terminal(inner, id, JobState::Cancelled);
+        }
+        Ok(RunResult::Failed(message)) => {
+            *lock(&inner.running[w]) = None;
+            retry_or_fail(inner, id, &spec, attempts, message);
+        }
+    }
+}
+
+/// One execution attempt: checkout, watchdogs, sliced run with cancel /
+/// kill / deadline checks, architected fingerprint.
+fn run_attempt(
+    inner: &Arc<Inner>,
+    w: usize,
+    spec: &JobSpec,
+    attempts: u32,
+    cancel: &AtomicBool,
+    submitted: Instant,
+) -> RunResult {
+    if attempts <= spec.chaos_panic_attempts {
+        panic!("chaos: injected job panic (attempt {attempts})");
+    }
+    let start = Instant::now();
+    let Some((mut sys, warm)) = inner.pool.checkout(spec.machine, &spec.app) else {
+        // Catalog membership was validated at admission; a miss here
+        // means the pool lost an entry — fail (and retry) rather than
+        // panic a worker.
+        return RunResult::Failed(format!("pool lost entry {}/{}", spec.machine, spec.app));
+    };
+    if let Some(limit) = spec.deadline_insts {
+        sys.arm_fuel_watchdog(limit);
+    }
+    loop {
+        match sys.run_slice(RUN_SLICE) {
+            Status::Running => {
+                if cancel.load(Ordering::SeqCst) {
+                    return RunResult::Cancelled;
+                }
+                if inner.kill_flags[w].swap(false, Ordering::SeqCst) {
+                    std::panic::panic_any(WorkerKill);
+                }
+                if wall_expired(spec, submitted) {
+                    return RunResult::Expired;
+                }
+            }
+            Status::Halted => {
+                let cpu = sys.cpu();
+                let mut arch = Vec::with_capacity(8 * 4 + 4 + 8);
+                for r in cpu.gpr {
+                    arch.extend_from_slice(&r.to_le_bytes());
+                }
+                arch.extend_from_slice(&cpu.eip.to_le_bytes());
+                arch.extend_from_slice(&sys.x86_retired().to_le_bytes());
+                return RunResult::Done(Box::new(RunDone {
+                    cycles: sys.cycles(),
+                    x86_retired: sys.x86_retired(),
+                    arch_fnv: fnv1a64(&arch),
+                    warm,
+                    run_ns: start.elapsed().as_nanos() as u64,
+                }));
+            }
+            Status::Exhausted(Watchdog::Fuel { .. }) => return RunResult::Expired,
+            st => return RunResult::Failed(format!("simulator stopped: {st:?}")),
+        }
+    }
+}
+
+/// True when the job's wall-clock deadline has passed.
+fn wall_expired(spec: &JobSpec, submitted: Instant) -> bool {
+    spec.deadline_ms
+        .is_some_and(|ms| submitted.elapsed() >= Duration::from_millis(ms))
+}
+
+/// After a failed attempt: schedule a backoff retry, or go terminal and
+/// poison the signature once attempts are exhausted.
+fn retry_or_fail(inner: &Arc<Inner>, id: u64, spec: &JobSpec, attempts: u32, message: String) {
+    if attempts < inner.cfg.max_attempts {
+        let base = inner
+            .cfg
+            .backoff_base_ms
+            .saturating_mul(1u64 << (attempts - 1).min(16));
+        let capped = base.min(inner.cfg.backoff_cap_ms).max(1);
+        // Full jitter: a burst of same-signature failures must not
+        // resynchronize into a retry storm.
+        let jitter = lock(&inner.rng).next_u64() % capped;
+        let due = Instant::now() + Duration::from_millis(capped / 2 + jitter / 2);
+        let stale = {
+            let mut jobs = lock(&inner.jobs);
+            match jobs.get_mut(&id) {
+                Some(rec) if !rec.state.is_terminal() => {
+                    rec.state = JobState::Delayed;
+                    rec.queued_at = due;
+                    false
+                }
+                _ => true,
+            }
+        };
+        if !stale {
+            inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+            lock(&inner.telemetry).tenant_mut(&spec.tenant).retries += 1;
+            inner.queues.push_delayed(due, id);
+        }
+        return;
+    }
+    if lock(&inner.poison).insert(spec.signature()) {
+        inner.counters.poisoned.fetch_add(1, Ordering::Relaxed);
+    }
+    set_terminal(inner, id, JobState::Failed { message, attempts });
+}
+
+/// The single guarded terminal transition. Refuses a second terminal
+/// transition (counted in `double_terminal`), updates every counter and
+/// the tenant's telemetry, and wakes waiters.
+fn set_terminal(inner: &Arc<Inner>, id: u64, state: JobState) -> bool {
+    debug_assert!(state.is_terminal());
+    // Every side effect happens under the jobs lock, *before* the state
+    // flips terminal and wakes waiters: a client returning from `wait`
+    // (or `drain` seeing `inflight == 0`) must already observe the
+    // updated counters and telemetry. Lock order here is always
+    // jobs → telemetry → tenant_depth; no other path nests these.
+    let mut jobs = lock(&inner.jobs);
+    let Some(rec) = jobs.get_mut(&id) else {
+        return false;
+    };
+    if rec.state.is_terminal() {
+        inner
+            .counters
+            .double_terminal
+            .fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    let tenant = rec.spec.tenant.clone();
+    let c = &inner.counters;
+    {
+        let mut tel = lock(&inner.telemetry);
+        match &state {
+            JobState::Completed(out) => {
+                c.completed.fetch_add(1, Ordering::Relaxed);
+                let summary = job_summary(id, rec, out);
+                tel.note_completed(&tenant, id, out, summary);
+            }
+            JobState::Failed { .. } => {
+                c.failed.fetch_add(1, Ordering::Relaxed);
+                tel.tenant_mut(&tenant).failed += 1;
+            }
+            JobState::Expired { .. } => {
+                c.expired.fetch_add(1, Ordering::Relaxed);
+                tel.tenant_mut(&tenant).expired += 1;
+            }
+            JobState::Cancelled => {
+                c.cancelled.fetch_add(1, Ordering::Relaxed);
+                tel.tenant_mut(&tenant).cancelled += 1;
+            }
+            _ => {}
+        }
+    }
+    {
+        let mut depth = lock(&inner.tenant_depth);
+        if let Some(d) = depth.get_mut(&tenant) {
+            *d = d.saturating_sub(1);
+        }
+    }
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    rec.state = state;
+    inner.done_cv.notify_all();
+    true
+}
+
+/// The streamable per-job completion summary.
+fn job_summary(id: u64, rec: &JobRecord, out: &JobOutput) -> Metrics {
+    let mut m = Metrics::new();
+    m.set("job", id)
+        .set("tenant", rec.spec.tenant.as_str())
+        .set("app", rec.spec.app.as_str())
+        .set("machine", format!("{}", rec.spec.machine))
+        .set("state", "completed")
+        .set("warm", out.warm.name())
+        .set("attempts", u64::from(out.attempts))
+        .set("cycles", out.cycles)
+        .set("x86_retired", out.x86_retired)
+        .set("arch_fnv", format!("{:016x}", out.arch_fnv))
+        .set("latency_ns", out.latency_ns)
+        .set("queue_ns", out.queue_ns)
+        .set("run_ns", out.run_ns);
+    m
+}
+
+/// Renders a panic payload the way the batch harness does, locally: the
+/// serve crate cannot depend on `cdvm-bench` (which dev-depends on it),
+/// so the common cases are duplicated here.
+fn panic_message_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        format!("non-string panic payload ({:?})", payload.type_id())
+    }
+}

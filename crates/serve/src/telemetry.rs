@@ -1,0 +1,143 @@
+//! Per-tenant telemetry: terminal-state accounting, latency
+//! histograms, and a bounded ring of per-job summaries that the API
+//! streams as newline-delimited JSON.
+
+use std::collections::{HashMap, VecDeque};
+
+use cdvm_stats::{CycleHistogram, Metrics};
+
+use crate::job::{JobOutput, WarmLevel};
+
+/// Retained per-job summaries per tenant.
+const RECENT_CAP: usize = 256;
+
+/// One tenant's accumulated service statistics.
+#[derive(Default)]
+pub struct TenantTelemetry {
+    /// Jobs admitted for this tenant.
+    pub submitted: u64,
+    /// Terminal-state counters.
+    pub completed: u64,
+    /// Jobs that exhausted retries (or were poisoned).
+    pub failed: u64,
+    /// Jobs whose deadline expired.
+    pub expired: u64,
+    /// Jobs cancelled by the client.
+    pub cancelled: u64,
+    /// Submissions shed by admission control (never admitted).
+    pub shed: u64,
+    /// Retry attempts beyond each job's first.
+    pub retries: u64,
+    /// Jobs requeued after a worker death.
+    pub orphan_requeues: u64,
+    /// Completed jobs by warmth of the serving instance.
+    pub warm_jobs: u64,
+    /// Completed on a degraded (salvaged) restore.
+    pub degraded_jobs: u64,
+    /// Completed on a cold boot.
+    pub cold_jobs: u64,
+    /// Total modeled cycles across completed jobs.
+    pub cycles: u64,
+    /// Total retired guest instructions across completed jobs.
+    pub insts: u64,
+    /// End-to-end (submission → completion) latency, nanoseconds.
+    pub latency_ns: CycleHistogram,
+    /// Queue wait of the successful attempt, nanoseconds.
+    pub queue_ns: CycleHistogram,
+    /// Execution time of the successful attempt, nanoseconds.
+    pub run_ns: CycleHistogram,
+    /// Ring of per-job summaries `(seq, summary)` for streaming.
+    recent: VecDeque<(u64, Metrics)>,
+}
+
+impl TenantTelemetry {
+    fn note_completed(&mut self, seq: u64, job_id: u64, out: &JobOutput, summary: Metrics) {
+        self.completed += 1;
+        match out.warm {
+            WarmLevel::Warm => self.warm_jobs += 1,
+            WarmLevel::WarmDegraded => self.degraded_jobs += 1,
+            WarmLevel::Cold => self.cold_jobs += 1,
+        }
+        self.cycles += out.cycles;
+        self.insts += out.x86_retired;
+        self.latency_ns.record(out.latency_ns);
+        self.queue_ns.record(out.queue_ns);
+        self.run_ns.record(out.run_ns);
+        let _ = job_id;
+        if self.recent.len() == RECENT_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((seq, summary));
+    }
+
+    /// Renders the tenant's statistics as a metrics document.
+    pub fn to_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.set("submitted", self.submitted)
+            .set("completed", self.completed)
+            .set("failed", self.failed)
+            .set("expired", self.expired)
+            .set("cancelled", self.cancelled)
+            .set("shed", self.shed)
+            .set("retries", self.retries)
+            .set("orphan_requeues", self.orphan_requeues)
+            .set("warm_jobs", self.warm_jobs)
+            .set("degraded_jobs", self.degraded_jobs)
+            .set("cold_jobs", self.cold_jobs)
+            .set("cycles", self.cycles)
+            .set("x86_retired", self.insts);
+        if !self.latency_ns.is_empty() {
+            m.set("latency_ns", self.latency_ns.summary_metrics())
+                .set("queue_ns", self.queue_ns.summary_metrics())
+                .set("run_ns", self.run_ns.summary_metrics());
+        }
+        m
+    }
+}
+
+/// All tenants' telemetry plus the global summary-stream sequence.
+#[derive(Default)]
+pub(crate) struct TelemetryHub {
+    tenants: HashMap<String, TenantTelemetry>,
+    seq: u64,
+}
+
+impl TelemetryHub {
+    pub(crate) fn tenant_mut(&mut self, tenant: &str) -> &mut TenantTelemetry {
+        self.tenants.entry(tenant.to_string()).or_default()
+    }
+
+    pub(crate) fn tenant(&self, tenant: &str) -> Option<&TenantTelemetry> {
+        self.tenants.get(tenant)
+    }
+
+    /// Records a completed job and its streamable summary.
+    pub(crate) fn note_completed(&mut self, tenant: &str, job_id: u64, out: &JobOutput, summary: Metrics) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.tenant_mut(tenant).note_completed(seq, job_id, out, summary);
+    }
+
+    /// Per-job summaries for `tenant` newer than `after`, with the
+    /// newest sequence number seen (for resuming a stream).
+    pub(crate) fn events_since(&self, tenant: &str, after: u64) -> (Vec<Metrics>, u64) {
+        let mut last = after;
+        let mut out = Vec::new();
+        if let Some(t) = self.tenants.get(tenant) {
+            for (seq, m) in &t.recent {
+                if *seq > after {
+                    out.push(m.clone());
+                    last = last.max(*seq);
+                }
+            }
+        }
+        (out, last)
+    }
+
+    /// Every tenant name, sorted.
+    pub(crate) fn tenant_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tenants.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}

@@ -294,3 +294,50 @@ fn image_summary_reports_layout() {
     let ref_names: Vec<&str> = rs.sections.iter().map(|i| i.name()).collect();
     assert_eq!(ref_names, vec!["meta", "sets"]);
 }
+
+#[test]
+fn concurrent_restores_from_one_image_file_agree() {
+    // The serve-layer warm pool restores many instances from one golden
+    // image, potentially on several workers at once. Restoring the same
+    // image file concurrently into independent fresh systems must be
+    // clean on every thread and reach the same architected end.
+    let kind = MachineKind::VmSoft;
+    let (img, cold_retired, cold_cpu) = warm_image(kind, 3);
+    let dir = std::env::temp_dir().join(format!("cdvm-snapres-conc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("golden.cdvmimg");
+    {
+        let mut sys = fresh(kind, 3);
+        assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+        sys.save_image(&path).unwrap();
+    }
+
+    let results: Vec<(u64, [u32; 8], u32)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let path = path.clone();
+                s.spawn(move || {
+                    let mut sys = fresh(kind, 3);
+                    let out = sys.restore_image(&path);
+                    assert!(
+                        !out.is_cold_boot() && !out.is_degraded(),
+                        "concurrent restore stays clean: {out:?}"
+                    );
+                    assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
+                    (sys.x86_retired(), sys.cpu().gpr, sys.cpu().eip)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (retired, gpr, eip) in results {
+        assert_eq!(retired, cold_retired, "every thread retires the cold count");
+        assert_eq!(gpr, cold_cpu.gpr, "every thread ends in the cold registers");
+        assert_eq!(eip, cold_cpu.eip, "every thread ends at the cold eip");
+    }
+
+    // And the bytes on disk equal the in-memory golden image: the file
+    // readers shared it without tearing it.
+    assert_eq!(std::fs::read(&path).unwrap(), img);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
