@@ -14,12 +14,13 @@
 //! | `GET /tenants/<t>/metrics`        | tenant telemetry snapshot                  |
 //! | `GET /tenants/<t>/events?after=N` | per-job summaries newer than seq `N`       |
 //! | `GET /healthz`                    | service health and pool/breaker state      |
+//! | `POST /poison/clear`              | un-poison `{signature}` (or all, no body)  |
 //! | `POST /drain`                     | graceful drain (persists warm images)      |
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -199,7 +200,22 @@ fn num_field(fields: &[(String, JsonVal)], key: &str) -> Option<u64> {
 pub struct ApiServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Connections currently being handled (incremented before the
+    /// connection thread spawns, decremented after its response is
+    /// written). A host process draining to exit must wait for this to
+    /// reach zero, or it races the `POST /drain` response write.
+    active: Arc<AtomicUsize>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Decrements the active-connection count when the connection thread
+/// finishes (response written) — or panics.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl ApiServer {
@@ -220,6 +236,8 @@ impl ApiServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let active = Arc::new(AtomicUsize::new(0));
+        let active2 = Arc::clone(&active);
         let accept_thread = std::thread::Builder::new()
             .name("cdvm-serve-api".to_string())
             .spawn(move || {
@@ -228,12 +246,20 @@ impl ApiServer {
                         Ok((stream, _)) => {
                             let service = Arc::clone(&service);
                             let dir = persist_dir.clone();
+                            active2.fetch_add(1, Ordering::SeqCst);
+                            let guard = ConnGuard(Arc::clone(&active2));
                             // One thread per connection: a blocking wait
                             // (`?wait_ms=`, `/drain`) must not stall the
                             // accept loop or other clients.
+                            // (A failed spawn drops the closure — and
+                            // with it the guard — so the slot is
+                            // released either way.)
                             let _ = std::thread::Builder::new()
                                 .name("cdvm-serve-conn".to_string())
-                                .spawn(move || handle_conn(&service, stream, dir.as_deref()));
+                                .spawn(move || {
+                                    let _guard = guard;
+                                    handle_conn(&service, stream, dir.as_deref());
+                                });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -245,6 +271,7 @@ impl ApiServer {
         Ok(ApiServer {
             addr,
             stop,
+            active,
             accept_thread: Some(accept_thread),
         })
     }
@@ -252,6 +279,13 @@ impl ApiServer {
     /// The bound address (use when binding port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections currently being handled. Zero (after
+    /// [`Service::is_drained`] flips) means every response — including
+    /// the drain's own — has been written.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
     }
 
     /// Stops the accept loop (in-flight connections finish).
@@ -391,6 +425,14 @@ fn route(
             Resp::json(200, "OK", &m)
         }
         ("GET", ["healthz"]) => Resp::json(200, "OK", &service.health()),
+        ("POST", ["poison", "clear"]) => {
+            // `{"signature": "tenant/app/machine"}` clears one entry;
+            // an empty (or non-JSON) body clears them all.
+            let sig = parse_flat_json(body).and_then(|f| str_field(&f, "signature"));
+            let mut m = Metrics::new();
+            m.set("cleared", service.clear_poison(sig.as_deref()) as u64);
+            Resp::json(200, "OK", &m)
+        }
         ("POST", ["drain"]) => match service.drain(persist_dir) {
             Ok(paths) => {
                 let mut m = Metrics::new();
@@ -466,10 +508,7 @@ fn post_job(service: &Service, body: &str) -> Resp {
 
 fn get_job(service: &Service, id: u64, wait_ms: Option<u64>) -> Resp {
     let state = match wait_ms {
-        Some(ms) => match service.wait(id, Duration::from_millis(ms.min(60_000))) {
-            Ok(s) => Some(s),
-            Err(_) => None,
-        },
+        Some(ms) => service.wait(id, Duration::from_millis(ms.min(60_000))).ok(),
         None => service.status(id),
     };
     match state {

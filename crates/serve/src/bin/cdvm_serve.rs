@@ -134,10 +134,14 @@ fn main() {
     };
     eprintln!("cdvm-serve: listening on http://{}", server.addr());
     eprintln!("cdvm-serve: POST /jobs | GET /jobs/<id> | GET /healthz | POST /drain");
-    // Serve until a drain request stops admissions and the fleet idles.
+    // Serve until a drain has fully *completed* — in-flight jobs
+    // terminal, workers joined, images persisted (`is_drained`, not
+    // `is_draining`, which flips at drain start) — and the connection
+    // that requested it has been answered. Exiting any earlier would
+    // abandon in-flight jobs and drop the drain response.
     loop {
         std::thread::sleep(std::time::Duration::from_millis(200));
-        if service.is_draining() {
+        if service.is_drained() && server.active_connections() == 0 {
             eprintln!("cdvm-serve: drained; exiting");
             break;
         }

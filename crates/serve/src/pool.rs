@@ -16,6 +16,7 @@
 //! probe restore; a clean probe closes it again.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use cdvm_core::{write_image_atomic, FaultInjector, ImageFault, ImageFaultReport, Status, System};
@@ -113,8 +114,9 @@ impl WarmPool {
     /// Prepares golden entries for every `(machine, app)` pair in the
     /// catalog: builds each distinct app image once (shared CoW across
     /// machines), then — when warm — runs each pair cold to its
-    /// architected end and saves the warm translation image. Entries are
-    /// prepared in parallel.
+    /// architected end and saves the warm translation image. Entries
+    /// are prepared in parallel, bounded by the host's available
+    /// parallelism.
     pub fn prepare(catalog: &[(MachineKind, AppProfile)], scale: f64, cfg: PoolConfig) -> WarmPool {
         let mut apps: Vec<(&'static str, Workload)> = Vec::new();
         for (_, p) in catalog {
@@ -150,9 +152,25 @@ impl WarmPool {
         };
         if pool.cfg.warm {
             let cfg = &pool.cfg;
+            let entries = &pool.entries;
+            // Prep is a cold full-workload run per entry: bound the
+            // fan-out to the host's parallelism instead of one thread
+            // per catalog entry (a full catalog would otherwise start
+            // dozens of simulations at once).
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(entries.len())
+                .max(1);
+            let next = AtomicUsize::new(0);
             std::thread::scope(|s| {
-                for entry in &pool.entries {
-                    s.spawn(move || {
+                for _ in 0..threads {
+                    let next = &next;
+                    s.spawn(move || loop {
+                        let Some(entry) = entries.get(next.fetch_add(1, Ordering::Relaxed))
+                        else {
+                            return;
+                        };
                         let mut g = lock(entry);
                         let mut sys = System::with_config(
                             MachineConfig::preset(g.kind),

@@ -17,7 +17,7 @@
 //!   restore failed) → shed at admission. Never a wrong answer: a
 //!   degraded restore drops translation state, not architected state.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -73,6 +73,15 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// Cold stamps before a quarantined image gets a half-open probe.
     pub breaker_cooldown: u32,
+    /// How long a poisoned job signature fails fast before the next
+    /// same-signature job is let through as a half-open probe (mirrors
+    /// the image circuit breaker; a clean probe un-poisons, a fresh
+    /// retry exhaustion re-poisons).
+    pub poison_ttl_ms: u64,
+    /// Terminal job records kept for late status queries; the oldest
+    /// are evicted past this bound (the exactly-once audit counters are
+    /// monotonic and unaffected).
+    pub terminal_retention: usize,
     /// Seed for backoff jitter.
     pub seed: u64,
 }
@@ -92,14 +101,17 @@ impl Default for ServeConfig {
             backoff_cap_ms: 50,
             breaker_threshold: 3,
             breaker_cooldown: 4,
+            poison_ttl_ms: 30_000,
+            terminal_retention: 4096,
             seed: 0x5eed_5e12_7e00_0001,
         }
     }
 }
 
-/// One admitted job's bookkeeping entry. Entries stay in the table for
-/// the service lifetime so late status queries and the chaos campaign's
-/// exactly-once audit always have the full history.
+/// One admitted job's bookkeeping entry. Terminal entries are retained
+/// for late status queries up to `terminal_retention`, then evicted
+/// oldest-first; the exactly-once audit lives in the monotonic
+/// [`Counters`], which eviction never touches.
 struct JobRecord {
     spec: JobSpec,
     state: JobState,
@@ -134,6 +146,9 @@ struct Inner {
     pool: WarmPool,
     queues: WorkQueues,
     jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Terminal job ids, oldest first — the eviction queue bounding the
+    /// job table. Locked only while already holding `jobs`.
+    terminal_order: Mutex<VecDeque<u64>>,
     /// Notified on every terminal transition (wait/drain block on it).
     done_cv: Condvar,
     next_id: AtomicU64,
@@ -142,15 +157,23 @@ struct Inner {
     /// Admitted-but-not-terminal jobs service-wide.
     inflight: AtomicUsize,
     draining: AtomicBool,
+    /// Set once `drain` has fully completed: every in-flight job is
+    /// terminal, the workers are joined, and image persistence (if
+    /// requested) has run. `is_drained` is the safe exit signal;
+    /// `draining` only means admission has stopped.
+    drained: AtomicBool,
     shutdown: AtomicBool,
     /// Chaos: worker `w` unwinds at its next check when set.
     kill_flags: Vec<AtomicBool>,
     /// Job currently executing on worker `w` (the orphan registry).
     running: Vec<Mutex<Option<u64>>>,
     telemetry: Mutex<TelemetryHub>,
-    /// Job signatures that exhausted retries; same-signature jobs fail
-    /// fast so a deterministic crasher cannot retry-storm the fleet.
-    poison: Mutex<HashSet<String>>,
+    /// Job signatures that exhausted retries, with the time they were
+    /// poisoned; same-signature jobs fail fast so a deterministic
+    /// crasher cannot retry-storm the fleet. After `poison_ttl_ms` the
+    /// next same-signature job runs as a half-open probe (the entry is
+    /// dropped; a fresh exhaustion re-poisons it).
+    poison: Mutex<HashMap<String, Instant>>,
     rng: Mutex<Rng64>,
     /// EWMA of successful run time (ns) — feeds `retry_after_ms`.
     run_ns_ewma: AtomicU64,
@@ -183,16 +206,18 @@ impl Service {
             pool,
             queues: WorkQueues::new(workers),
             jobs: Mutex::new(HashMap::new()),
+            terminal_order: Mutex::new(VecDeque::new()),
             done_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
             tenant_depth: Mutex::new(HashMap::new()),
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             kill_flags: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             running: (0..workers).map(|_| Mutex::new(None)).collect(),
             telemetry: Mutex::new(TelemetryHub::default()),
-            poison: Mutex::new(HashSet::new()),
+            poison: Mutex::new(HashMap::new()),
             rng: Mutex::new(Rng64::new(seed)),
             run_ns_ewma: AtomicU64::new(0),
             counters: Counters::default(),
@@ -231,7 +256,11 @@ impl Service {
                 app: format!("{}/{}", spec.machine, spec.app),
             });
         }
-        if inner.inflight.load(Ordering::SeqCst) >= inner.cfg.global_queue_cap {
+        // Reserve the global slot atomically (fetch_add with rollback):
+        // a load-compare-increment would let concurrent submits race
+        // past the cap.
+        if inner.inflight.fetch_add(1, Ordering::SeqCst) >= inner.cfg.global_queue_cap {
+            inner.inflight.fetch_sub(1, Ordering::SeqCst);
             self.note_shed(&spec.tenant);
             return Err(ServeError::Overloaded {
                 scope: OverloadScope::Global,
@@ -242,7 +271,13 @@ impl Service {
             let mut depth = lock(&inner.tenant_depth);
             let d = depth.entry(spec.tenant.clone()).or_insert(0);
             if *d >= inner.cfg.tenant_queue_cap {
+                if *d == 0 {
+                    // A zero-cap shed must not leave an empty entry
+                    // behind (the table only tracks admitted tenants).
+                    depth.remove(&spec.tenant);
+                }
                 drop(depth);
+                inner.inflight.fetch_sub(1, Ordering::SeqCst);
                 self.note_shed(&spec.tenant);
                 return Err(ServeError::Overloaded {
                     scope: OverloadScope::Tenant,
@@ -251,7 +286,6 @@ impl Service {
             }
             *d += 1;
         }
-        inner.inflight.fetch_add(1, Ordering::SeqCst);
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
         let now = Instant::now();
         let tenant = spec.tenant.clone();
@@ -357,6 +391,7 @@ impl Service {
         let c = &inner.counters;
         let mut m = Metrics::new();
         m.set("draining", inner.draining.load(Ordering::SeqCst))
+            .set("drained", inner.drained.load(Ordering::SeqCst))
             .set("inflight", inner.inflight.load(Ordering::SeqCst) as u64)
             .set("queued", inner.queues.depths().iter().sum::<usize>() as u64)
             .set("delayed", inner.queues.delayed_len() as u64)
@@ -370,6 +405,7 @@ impl Service {
             .set("orphan_requeues", c.orphan_requeues.load(Ordering::Relaxed))
             .set("worker_deaths", c.worker_deaths.load(Ordering::Relaxed))
             .set("poisoned", c.poisoned.load(Ordering::Relaxed))
+            .set("poison_entries", lock(&inner.poison).len() as u64)
             .set("double_terminal", c.double_terminal.load(Ordering::Relaxed))
             .set("run_ns_ewma", inner.run_ns_ewma.load(Ordering::Relaxed))
             .set("tenants", lock(&inner.telemetry).tenant_names())
@@ -385,6 +421,31 @@ impl Service {
     /// True once drain began (no new work is admitted).
     pub fn is_draining(&self) -> bool {
         self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// True once a [`Service::drain`] call has fully completed: every
+    /// in-flight job reached its terminal state, the workers are
+    /// joined, and image persistence (when requested) has run. This —
+    /// not [`Service::is_draining`], which flips at drain *start* — is
+    /// the signal a host process may exit on without abandoning work.
+    pub fn is_drained(&self) -> bool {
+        self.inner.drained.load(Ordering::SeqCst)
+    }
+
+    /// Admin: un-poisons `signature` (`tenant/app/machine`), or every
+    /// poisoned signature when `None`. Returns how many entries were
+    /// cleared. (Poison also expires on its own after
+    /// [`ServeConfig::poison_ttl_ms`]; this is the manual override.)
+    pub fn clear_poison(&self, signature: Option<&str>) -> usize {
+        let mut poison = lock(&self.inner.poison);
+        match signature {
+            Some(sig) => usize::from(poison.remove(sig).is_some()),
+            None => {
+                let n = poison.len();
+                poison.clear();
+                n
+            }
+        }
     }
 
     /// Chaos: kill worker `w` at its next check point (between slices or
@@ -428,10 +489,14 @@ impl Service {
         for h in lock(&self.workers).drain(..) {
             let _ = h.join();
         }
-        match persist_dir {
+        let persisted = match persist_dir {
             Some(dir) => inner.pool.persist(dir),
             None => Ok(Vec::new()),
-        }
+        };
+        // Only now is the drain complete — flipping this earlier would
+        // let a host exit while jobs or persistence are still pending.
+        inner.drained.store(true, Ordering::SeqCst);
+        persisted
     }
 }
 
@@ -557,8 +622,23 @@ fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
         set_terminal(inner, id, JobState::Expired { attempts });
         return;
     }
-    // Poisoned signatures fail fast: no execution, no retries.
-    if lock(&inner.poison).contains(&spec.signature()) {
+    // Poisoned signatures fail fast: no execution, no retries. Poison
+    // ages out like the image breaker's quarantine: past the TTL the
+    // entry is dropped and this job runs as the half-open probe (a
+    // clean run leaves the signature clear; a fresh retry exhaustion
+    // re-poisons it).
+    let poisoned = {
+        let mut poison = lock(&inner.poison);
+        match poison.get(&spec.signature()) {
+            Some(since) if since.elapsed() < Duration::from_millis(inner.cfg.poison_ttl_ms) => true,
+            Some(_) => {
+                poison.remove(&spec.signature());
+                false
+            }
+            None => false,
+        }
+    };
+    if poisoned {
         set_terminal(
             inner,
             id,
@@ -713,7 +793,10 @@ fn retry_or_fail(inner: &Arc<Inner>, id: u64, spec: &JobSpec, attempts: u32, mes
         }
         return;
     }
-    if lock(&inner.poison).insert(spec.signature()) {
+    if lock(&inner.poison)
+        .insert(spec.signature(), Instant::now())
+        .is_none()
+    {
         inner.counters.poisoned.fetch_add(1, Ordering::Relaxed);
     }
     set_terminal(inner, id, JobState::Failed { message, attempts });
@@ -728,7 +811,8 @@ fn set_terminal(inner: &Arc<Inner>, id: u64, state: JobState) -> bool {
     // flips terminal and wakes waiters: a client returning from `wait`
     // (or `drain` seeing `inflight == 0`) must already observe the
     // updated counters and telemetry. Lock order here is always
-    // jobs → telemetry → tenant_depth; no other path nests these.
+    // jobs → telemetry → tenant_depth → terminal_order; no other path
+    // nests these.
     let mut jobs = lock(&inner.jobs);
     let Some(rec) = jobs.get_mut(&id) else {
         return false;
@@ -769,10 +853,28 @@ fn set_terminal(inner: &Arc<Inner>, id: u64, state: JobState) -> bool {
         let mut depth = lock(&inner.tenant_depth);
         if let Some(d) = depth.get_mut(&tenant) {
             *d = d.saturating_sub(1);
+            if *d == 0 {
+                // The table tracks admitted depth only: an idle tenant
+                // must not cost an entry forever.
+                depth.remove(&tenant);
+            }
         }
     }
     inner.inflight.fetch_sub(1, Ordering::SeqCst);
     rec.state = state;
+    // Bound the job table: retain the newest `terminal_retention`
+    // terminal records for late status queries, evict the rest. The
+    // audit counters above are monotonic, so exactly-once accounting
+    // survives eviction. (Still under the `jobs` lock.)
+    {
+        let mut order = lock(&inner.terminal_order);
+        order.push_back(id);
+        while order.len() > inner.cfg.terminal_retention.max(1) {
+            if let Some(old) = order.pop_front() {
+                jobs.remove(&old);
+            }
+        }
+    }
     inner.done_cv.notify_all();
     true
 }

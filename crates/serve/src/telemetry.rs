@@ -11,6 +11,11 @@ use crate::job::{JobOutput, WarmLevel};
 /// Retained per-job summaries per tenant.
 const RECENT_CAP: usize = 256;
 
+/// Tenants tracked before the least-recently-active one is evicted —
+/// tenant names are client-chosen, so the hub must not grow without
+/// bound with them.
+const TENANT_CAP: usize = 512;
+
 /// One tenant's accumulated service statistics.
 #[derive(Default)]
 pub struct TenantTelemetry {
@@ -48,6 +53,8 @@ pub struct TenantTelemetry {
     pub run_ns: CycleHistogram,
     /// Ring of per-job summaries `(seq, summary)` for streaming.
     recent: VecDeque<(u64, Metrics)>,
+    /// Hub tick of the last update (LRU eviction key).
+    touched: u64,
 }
 
 impl TenantTelemetry {
@@ -100,11 +107,30 @@ impl TenantTelemetry {
 pub(crate) struct TelemetryHub {
     tenants: HashMap<String, TenantTelemetry>,
     seq: u64,
+    /// Monotonic update tick driving LRU tenant eviction.
+    tick: u64,
 }
 
 impl TelemetryHub {
     pub(crate) fn tenant_mut(&mut self, tenant: &str) -> &mut TenantTelemetry {
-        self.tenants.entry(tenant.to_string()).or_default()
+        if !self.tenants.contains_key(tenant) && self.tenants.len() >= TENANT_CAP {
+            // Evict the least-recently-active tenant's aggregates to
+            // admit the new one (an O(tenants) scan, paid only at the
+            // cap).
+            if let Some(lru) = self
+                .tenants
+                .iter()
+                .min_by_key(|(_, t)| t.touched)
+                .map(|(k, _)| k.clone())
+            {
+                self.tenants.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let t = self.tenants.entry(tenant.to_string()).or_default();
+        t.touched = tick;
+        t
     }
 
     pub(crate) fn tenant(&self, tenant: &str) -> Option<&TenantTelemetry> {

@@ -248,6 +248,79 @@ fn injected_panics_retry_then_poison() {
 }
 
 #[test]
+fn poison_expires_into_a_probe_and_clears_by_admin() {
+    let machines = [MachineKind::VmSoft];
+    let apps = ["Word"];
+    let svc = Service::start(ServeConfig {
+        poison_ttl_ms: 100,
+        ..config(&machines, &apps)
+    });
+
+    // A deterministic crasher poisons its signature.
+    let mut crasher = JobSpec::new("crash", "Word", MachineKind::VmSoft);
+    crasher.chaos_panic_attempts = u32::MAX;
+    let id = svc.submit(crasher.clone()).expect("admitted");
+    assert!(matches!(
+        wait_terminal(&svc, id),
+        JobState::Failed { attempts: 3, .. }
+    ));
+
+    // Past the TTL the next same-signature job runs as a half-open
+    // probe instead of failing fast; a clean probe un-poisons.
+    std::thread::sleep(Duration::from_millis(150));
+    let id = svc
+        .submit(JobSpec::new("crash", "Word", MachineKind::VmSoft))
+        .expect("admitted");
+    match wait_terminal(&svc, id) {
+        JobState::Completed(out) => assert_eq!(out.attempts, 1, "probe ran, not fail-fast"),
+        st => panic!("probe job ended {st:?}"),
+    }
+
+    // A failed probe re-poisons: the crasher burns its attempts again
+    // (it is not fail-fasted — the signature was cleared)...
+    let id = svc.submit(crasher).expect("admitted");
+    assert!(matches!(
+        wait_terminal(&svc, id),
+        JobState::Failed { attempts: 3, .. }
+    ));
+    // ... and the admin override un-poisons without waiting the TTL.
+    assert_eq!(svc.clear_poison(None), 1, "one poisoned signature cleared");
+    let id = svc
+        .submit(JobSpec::new("crash", "Word", MachineKind::VmSoft))
+        .expect("admitted");
+    assert!(matches!(wait_terminal(&svc, id), JobState::Completed(_)));
+    // Clearing an unknown signature is a counted no-op.
+    assert_eq!(svc.clear_poison(Some("nobody/None/VmSoft")), 0);
+    audit(&svc, 4);
+}
+
+#[test]
+fn terminal_records_are_evicted_past_retention() {
+    let machines = [MachineKind::VmSoft];
+    let apps = ["Word"];
+    let svc = Service::start(ServeConfig {
+        terminal_retention: 4,
+        ..config(&machines, &apps)
+    });
+    let ids: Vec<u64> = (0..8)
+        .map(|_| {
+            svc.submit(JobSpec::new("t0", "Word", MachineKind::VmSoft))
+                .expect("admitted")
+        })
+        .collect();
+    // Quiesce (drain waits for every job's terminal state) so eviction
+    // for all eight completions has happened.
+    svc.drain(None).expect("drain without persistence");
+    let retained = ids.iter().filter(|id| svc.status(**id).is_some()).count();
+    assert_eq!(retained, 4, "only the newest terminal records remain");
+    for id in ids.iter().filter(|id| svc.status(**id).is_some()) {
+        assert!(matches!(svc.status(*id), Some(st) if st.is_terminal()));
+    }
+    // Eviction never touches the exactly-once audit counters.
+    audit(&svc, ids.len() as u64);
+}
+
+#[test]
 fn corrupted_images_serve_cold_then_recover() {
     let machines = [MachineKind::VmSoft];
     let apps = ["Word"];
@@ -484,7 +557,12 @@ fn drain_finishes_inflight_persists_images_and_rejects_new_work() {
         .collect();
 
     let dir = std::env::temp_dir().join(format!("cdvm_serve_drain_{}", std::process::id()));
+    assert!(!svc.is_drained(), "not drained before drain is requested");
     let persisted = svc.drain(Some(&dir)).expect("drain persists the pool");
+    // `is_drained` flips only once drain has fully completed (jobs
+    // terminal, workers joined, images persisted) — the signal a host
+    // process exits on, unlike `is_draining` (set at drain start).
+    assert!(svc.is_drained() && svc.is_draining());
     assert_eq!(persisted.len(), 2, "one healthy image per catalog entry");
     for p in &persisted {
         let bytes = std::fs::read(p).expect("persisted image readable");
