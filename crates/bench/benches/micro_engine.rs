@@ -8,13 +8,16 @@
 //! Results go to `target/figures/micro_engine.metrics.json` and a CSV.
 //! The repo root carries `BENCH_engine.json`, the checked-in baseline;
 //! with `CDVM_BENCH_CHECK=1` the bench exits non-zero when the aggregate
-//! ns/guest-inst regresses more than 25% against that baseline (the CI
-//! smoke job). Refresh the baseline with `CDVM_BENCH_WRITE_BASELINE=1`.
+//! ns/guest-inst regresses more than 15% against that baseline (the CI
+//! smoke job; a ratchet — refresh the baseline downward after engine
+//! speedups with `CDVM_BENCH_WRITE_BASELINE=1` so the gate tracks the
+//! best measured state, never a stale slower one; the margin covers
+//! observed ~10% run-to-run noise on shared CI hosts, nothing more).
 
 #![allow(clippy::unwrap_used, clippy::panic)]
 use std::time::Instant;
 
-use cdvm_bench::{banner, emit_metrics_with, write_artifact};
+use cdvm_bench::{banner, bench_check_enabled, emit_metrics_with, write_artifact};
 use cdvm_core::{Status, System};
 use cdvm_stats::Metrics;
 use cdvm_uarch::{MachineConfig, MachineKind};
@@ -165,7 +168,7 @@ fn main() {
             println!(
                 "baseline aggregate: {base:.2} ns/guest-inst (current/baseline = {ratio:.2}x)"
             );
-            if std::env::var_os("CDVM_BENCH_CHECK").is_some() && ratio > 1.25 {
+            if bench_check_enabled() && ratio > 1.15 {
                 eprintln!(
                     "FAIL: {aggregate:.2} ns/guest-inst is a {:.0}% regression over the \
                      checked-in baseline {base:.2}",

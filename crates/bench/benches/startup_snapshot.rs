@@ -19,7 +19,7 @@
 #![allow(clippy::unwrap_used, clippy::panic)]
 use std::time::Instant;
 
-use cdvm_bench::{banner, emit_metrics_with, write_artifact};
+use cdvm_bench::{banner, bench_check_enabled, emit_metrics_with, write_artifact};
 use cdvm_core::{FlightRecorder, RecorderConfig, Status, System};
 use cdvm_stats::Metrics;
 use cdvm_uarch::{MachineConfig, MachineKind};
@@ -46,10 +46,10 @@ struct Lane {
 fn time_to_steady(rec: &FlightRecorder) -> u64 {
     let ws = rec.windows();
     let total_insts: u64 = ws.iter().map(|w| w.dinsts).sum();
-    let total_cycles: f64 = ws.iter().map(|w| w.dcycles).sum();
+    let total_cycles: f64 = ws.iter().map(|w| w.dcycles.to_f64()).sum();
     let final_ipc = total_insts as f64 / total_cycles.max(1.0);
     for w in ws {
-        if w.dcycles > 0.0 && (w.dinsts as f64 / w.dcycles) >= 0.9 * final_ipc {
+        if w.dcycles.raw() > 0 && (w.dinsts as f64 / w.dcycles.to_f64()) >= 0.9 * final_ipc {
             return w.end_cycles;
         }
     }
@@ -214,7 +214,7 @@ fn main() {
                 .expect("BENCH_startup.json lacks warm_cycles_aggregate");
             let ratio = warm_aggregate as f64 / base;
             println!("baseline warm aggregate: {base:.0} cy (current/baseline = {ratio:.3}x)");
-            if std::env::var_os("CDVM_BENCH_CHECK").is_some() && ratio > 1.25 {
+            if bench_check_enabled() && ratio > 1.25 {
                 eprintln!(
                     "FAIL: warm aggregate {warm_aggregate} cy is a {:.0}% regression over the \
                      checked-in baseline {base:.0} — the warm-restore path has degraded",

@@ -19,7 +19,7 @@ use cdvm_core::{
     NUM_PHASES,
 };
 use cdvm_stats::{harmonic_mean, ChromeTrace, LogSampler, Metrics};
-use cdvm_uarch::{CycleCat, MachineConfig, MachineKind, NUM_CATS};
+use cdvm_uarch::{CycleCat, Cycles, MachineConfig, MachineKind, NUM_CATS};
 use cdvm_workloads::{winstone2004, AppProfile, Workload};
 
 pub use cdvm_workloads::env_scale;
@@ -52,9 +52,9 @@ pub struct CurveResult {
     pub m_sbt: u64,
     /// Fraction of SBT-emitted micro-ops in fused pairs.
     pub fused_frac: f64,
-    /// Per-phase cycle totals (indexed by `Phase as usize`; they sum to
-    /// `cycles` by construction).
-    pub phase_cycles: [f64; NUM_PHASES],
+    /// Per-phase cycle totals (indexed by `Phase as usize`; they sum
+    /// exactly to the run's fixed-point cycle total by construction).
+    pub phase_cycles: [Cycles; NUM_PHASES],
     /// The run's machine-readable metrics (see [`system_metrics`]).
     pub metrics: Metrics,
     /// The run's flight recorder (time series, phase segments and
@@ -159,16 +159,17 @@ pub fn run_prebuilt(cfg: MachineConfig, wl: &Workload) -> CurveResult {
 ///
 /// # Panics
 ///
-/// Panics if the per-phase totals fail to sum to the run's total cycles
-/// within 0.1% — that would mean a cycle-charging site in the system
-/// loop is missing its phase attribution.
+/// Panics unless the per-phase totals sum bit-exactly to the run's
+/// fixed-point cycle total — phase accounting telescopes over exact
+/// integer arithmetic, so any discrepancy at all means a cycle-charging
+/// site in the system loop is missing its phase attribution.
 pub fn system_metrics(app: &str, sys: &mut System) -> Metrics {
     let phases = sys.phase_snapshot();
-    let total = sys.timing.cycles_f();
-    let phase_sum: f64 = phases.iter().sum();
-    assert!(
-        (phase_sum - total).abs() <= total.abs() * 1e-3 + 1e-6,
-        "phase cycles {phase_sum} do not sum to total {total}"
+    let total = sys.timing.cycles_fp();
+    let phase_sum: Cycles = phases.iter().copied().sum();
+    assert_eq!(
+        phase_sum, total,
+        "phase cycles {phase_sum} do not sum exactly to total {total}"
     );
     let mut m = Metrics::new();
     m.set("machine", format!("{}", sys.kind));
@@ -187,10 +188,10 @@ pub fn system_metrics(app: &str, sys: &mut System) -> Metrics {
 
     let mut ph = Metrics::new();
     for p in Phase::ALL {
-        ph.set(p.name(), phases[p as usize]);
+        ph.set(p.name(), phases[p as usize].to_f64());
     }
     m.set("phase_cycles", ph);
-    m.set("phase_cycles_total", phase_sum);
+    m.set("phase_cycles_total", phase_sum.to_f64());
 
     let cats = sys.timing.category_snapshot();
     let mut cm = Metrics::new();
@@ -339,6 +340,41 @@ impl FlightCapture {
     /// The run's Perfetto process-track label.
     pub fn label(&self) -> &str {
         &self.label
+    }
+}
+
+/// Whether `CDVM_BENCH_CHECK` asks the bench to enforce its regression
+/// gate (exit non-zero on failure). Hardened the same way as
+/// `CDVM_TRACE` parsing in `cdvm_core::trace`: unset/`off`/`false`/`no`
+/// disables, `1`/`on`/`true`/`yes` enables, and `0` or garbage is
+/// rejected with a stderr message rather than silently enabling the
+/// gate (the old `var_os(..).is_some()` check treated `=0` as "on").
+pub fn bench_check_enabled() -> bool {
+    parse_bench_check(std::env::var("CDVM_BENCH_CHECK").ok().as_deref())
+}
+
+/// Pure parser behind [`bench_check_enabled`], split out for tests
+/// (mutating the process environment races with parallel test threads).
+fn parse_bench_check(raw: Option<&str>) -> bool {
+    let Some(v) = raw else {
+        return false;
+    };
+    match v.trim() {
+        "" | "off" | "false" | "no" => false,
+        "1" | "on" | "true" | "yes" => true,
+        "0" => {
+            eprintln!(
+                "cdvm: invalid CDVM_BENCH_CHECK=0 (use `off` or unset to disable); gate disabled"
+            );
+            false
+        }
+        other => {
+            eprintln!(
+                "cdvm: unparseable CDVM_BENCH_CHECK={other:?} (expected `on` or `off`); \
+                 gate disabled"
+            );
+            false
+        }
     }
 }
 
@@ -781,6 +817,17 @@ pub fn banner(fig: &str, what: &str, scale: f64) {
 mod tests {
     use super::*;
 
+    #[test]
+    fn bench_check_parsing_rejects_zero_and_garbage() {
+        assert!(!parse_bench_check(None));
+        for off in ["", "  ", "off", "false", "no", "0", "2", "yep", " 0 "] {
+            assert!(!parse_bench_check(Some(off)), "{off:?} must not enable the gate");
+        }
+        for on in ["1", "on", "true", "yes", " on "] {
+            assert!(parse_bench_check(Some(on)), "{on:?} must enable the gate");
+        }
+    }
+
     /// Minimal recursive-descent JSON reader for round-trip testing the
     /// emitted artifacts (the repo has a no-dependencies policy, so the
     /// writer *and* this checker are hand-rolled).
@@ -1060,12 +1107,16 @@ mod tests {
             "at least 4 counter tracks, got {counter_tracks:?}"
         );
 
-        // Phase counter sums reproduce the run's phase accounting.
+        // Phase counter sums reproduce the run's phase accounting
+        // exactly: each window delta is an exact Q44.20 value whose f64
+        // image is exact (raw < 2^53), and the rendered counter values
+        // sum in f64 without rounding at these run lengths.
         for p in Phase::ALL {
-            let want = r.phase_cycles[p as usize];
+            let want = r.phase_cycles[p as usize].to_f64();
             let got = phase_sums.get(p.name()).copied().unwrap_or(0.0);
-            assert!(
-                (got - want).abs() <= want.abs() * 1e-6 + 1e-3,
+            assert_eq!(
+                got,
+                want,
                 "phase {}: counter sum {got} vs phase_cycles {want}",
                 p.name()
             );
@@ -1120,11 +1171,15 @@ mod tests {
             0.01,
             1.0,
         );
-        let sum: f64 = r.phase_cycles.iter().sum();
-        let total = r.cycles as f64;
-        assert!(
-            (sum - total).abs() <= total * 1e-3 + 1.0,
-            "phase sum {sum} vs total {total}"
+        let sum: Cycles = r.phase_cycles.iter().copied().sum();
+        // The phase totals telescope exactly over the fixed-point clock,
+        // so their whole-cycle part must equal the reported cycle count
+        // bit for bit — no tolerance.
+        assert_eq!(
+            sum.int_part(),
+            r.cycles,
+            "phase sum {sum} vs total {}",
+            r.cycles
         );
         assert!(r.metrics.get("phase_cycles").is_some());
         assert!(r.metrics.get("cycles").is_some());

@@ -28,6 +28,7 @@
 //! `tests/engine_differential.rs`).
 
 use cdvm_stats::{ChromeTrace, CycleHistogram, LogSampler, Metrics};
+use cdvm_uarch::Cycles;
 
 use crate::trace::{parse_enable_env, Phase, TraceBuffer, TraceEvent, NUM_PHASES};
 use crate::vm::TransKind;
@@ -88,12 +89,12 @@ pub fn env_recorder_config() -> Option<RecorderConfig> {
 pub struct TelemetrySnapshot {
     /// Elapsed cycles (integer clock).
     pub cycles: u64,
-    /// Elapsed cycles (the timing model's `f64` accumulator).
-    pub cycles_f: f64,
+    /// Elapsed cycles (the timing model's exact fixed-point total).
+    pub cycles_fp: Cycles,
     /// Total retired x86 instructions.
     pub x86_retired: u64,
     /// Per-phase cycle totals including the in-progress phase tail.
-    pub phase_cycles: [f64; NUM_PHASES],
+    pub phase_cycles: [Cycles; NUM_PHASES],
     /// BBT blocks translated so far.
     pub bbt_blocks: u64,
     /// Superblocks formed so far.
@@ -130,8 +131,8 @@ pub struct TelemetrySnapshot {
 pub struct WindowSample {
     /// Cycle count at the end of the interval.
     pub end_cycles: u64,
-    /// Cycles elapsed in the interval.
-    pub dcycles: f64,
+    /// Cycles elapsed in the interval (exact fixed point).
+    pub dcycles: Cycles,
     /// x86 instructions retired in the interval.
     pub dinsts: u64,
     /// BBT blocks translated in the interval.
@@ -146,8 +147,9 @@ pub struct WindowSample {
     pub dvm_exits: u64,
     /// Tier demotions in the interval.
     pub ddemotions: u64,
-    /// Cycles attributed to each [`Phase`] within the interval.
-    pub dphase: [f64; NUM_PHASES],
+    /// Cycles attributed to each [`Phase`] within the interval
+    /// (exact fixed point; windows telescope bit-exactly).
+    pub dphase: [Cycles; NUM_PHASES],
     /// BBT code-cache bytes live at the end of the interval.
     pub bbt_used_bytes: u64,
     /// SBT code-cache bytes live at the end of the interval.
@@ -163,10 +165,11 @@ pub struct WindowSample {
 }
 
 impl WindowSample {
-    /// Per-interval x86 IPC.
+    /// Per-interval x86 IPC (reporting edge: the exact interval width
+    /// converts to `f64` once, here).
     pub fn ipc(&self) -> f64 {
-        if self.dcycles > 0.0 {
-            self.dinsts as f64 / self.dcycles
+        if self.dcycles > Cycles::ZERO {
+            self.dinsts as f64 / self.dcycles.to_f64()
         } else {
             0.0
         }
@@ -177,7 +180,7 @@ impl WindowSample {
     fn merge(a: &WindowSample, b: &WindowSample) -> WindowSample {
         let mut dphase = a.dphase;
         for (acc, d) in dphase.iter_mut().zip(b.dphase.iter()) {
-            *acc += d;
+            *acc += *d;
         }
         WindowSample {
             end_cycles: b.end_cycles,
@@ -206,9 +209,9 @@ pub struct PhaseSegment {
     /// The phase.
     pub phase: Phase,
     /// Cycle count at the start of the segment.
-    pub start: f64,
+    pub start: Cycles,
     /// Cycle count at the end of the segment.
-    pub end: f64,
+    pub end: Cycles,
 }
 
 /// The per-run flight recorder. Owned by `System` while recording; taken
@@ -290,11 +293,11 @@ impl FlightRecorder {
     fn close_window(&mut self, snap: &TelemetrySnapshot) {
         let mut dphase = snap.phase_cycles;
         for (d, prev) in dphase.iter_mut().zip(self.last.phase_cycles.iter()) {
-            *d -= prev;
+            *d -= *prev;
         }
         self.windows.push(WindowSample {
             end_cycles: snap.cycles,
-            dcycles: snap.cycles_f - self.last.cycles_f,
+            dcycles: snap.cycles_fp - self.last.cycles_fp,
             dinsts: snap.x86_retired - self.last.x86_retired,
             dbbt_blocks: snap.bbt_blocks - self.last.bbt_blocks,
             dsbt_superblocks: snap.sbt_superblocks - self.last.sbt_superblocks,
@@ -334,7 +337,7 @@ impl FlightRecorder {
 
     /// Records one phase segment `[start, end)` (zero-length segments
     /// are skipped; the ring drops oldest segments when full).
-    pub fn phase_segment(&mut self, phase: Phase, start: f64, end: f64) {
+    pub fn phase_segment(&mut self, phase: Phase, start: Cycles, end: Cycles) {
         if end <= start {
             return;
         }
@@ -351,12 +354,8 @@ impl FlightRecorder {
     /// Records one successful translation episode: its modeled latency,
     /// the x86 instructions covered, and how many chain patches it
     /// triggered.
-    pub fn observe_episode(&mut self, tier: TransKind, latency_cycles: f64, x86_count: u32, chains: u64) {
-        let lat = if latency_cycles.is_finite() && latency_cycles > 0.0 {
-            latency_cycles as u64
-        } else {
-            0
-        };
+    pub fn observe_episode(&mut self, tier: TransKind, latency: Cycles, x86_count: u32, chains: u64) {
+        let lat = latency.int_part();
         match tier {
             TransKind::Bbt => {
                 self.bbt_latency.record(lat);
@@ -477,7 +476,10 @@ impl FlightRecorder {
         )
         .set(
             "dcycles",
-            self.windows.iter().map(|x| x.dcycles).collect::<Vec<_>>(),
+            self.windows
+                .iter()
+                .map(|x| x.dcycles.to_f64())
+                .collect::<Vec<_>>(),
         )
         .set(
             "dinsts",
@@ -558,7 +560,7 @@ impl FlightRecorder {
                 p.name(),
                 self.windows
                     .iter()
-                    .map(|x| x.dphase[p as usize])
+                    .map(|x| x.dphase[p as usize].to_f64())
                     .collect::<Vec<_>>(),
             );
         }
@@ -637,7 +639,14 @@ pub fn render_chrome(
     ct.thread_name(pid, 1, "events");
 
     for seg in rec.segments() {
-        ct.complete(pid, 0, seg.phase.name(), "phase", seg.start, seg.end - seg.start);
+        ct.complete(
+            pid,
+            0,
+            seg.phase.name(),
+            "phase",
+            seg.start.to_f64(),
+            (seg.end - seg.start).to_f64(),
+        );
     }
 
     if let Some(tb) = trace {
@@ -739,7 +748,7 @@ pub fn render_chrome(
         );
         let series: Vec<(&str, f64)> = Phase::ALL
             .iter()
-            .map(|p| (p.name(), w.dphase[*p as usize]))
+            .map(|p| (p.name(), w.dphase[*p as usize].to_f64()))
             .collect();
         ct.counter(pid, "phase_cycles/window", ts, &series);
     }
@@ -753,7 +762,7 @@ mod tests {
     fn snap(cycles: u64, insts: u64) -> TelemetrySnapshot {
         TelemetrySnapshot {
             cycles,
-            cycles_f: cycles as f64,
+            cycles_fp: Cycles::from_int(cycles),
             x86_retired: insts,
             ..TelemetrySnapshot::default()
         }
@@ -822,22 +831,23 @@ mod tests {
             segment_capacity: 4,
             ..RecorderConfig::default()
         });
-        r.phase_segment(Phase::Vmm, 5.0, 5.0); // zero-length: skipped
-        for i in 0..10u32 {
-            r.phase_segment(Phase::Interp, f64::from(i), f64::from(i) + 0.5);
+        let half = Cycles::from_f64(0.5);
+        r.phase_segment(Phase::Vmm, Cycles::from_int(5), Cycles::from_int(5)); // zero-length: skipped
+        for i in 0..10u64 {
+            r.phase_segment(Phase::Interp, Cycles::from_int(i), Cycles::from_int(i) + half);
         }
         assert_eq!(r.segments_recorded(), 10);
         assert_eq!(r.segments_dropped(), 6);
-        let starts: Vec<f64> = r.segments().map(|s| s.start).collect();
+        let starts: Vec<f64> = r.segments().map(|s| s.start.to_f64()).collect();
         assert_eq!(starts, vec![6.0, 7.0, 8.0, 9.0], "oldest first");
     }
 
     #[test]
     fn episodes_feed_histograms() {
         let mut r = FlightRecorder::new(RecorderConfig::default());
-        r.observe_episode(TransKind::Bbt, 83.0, 5, 1);
-        r.observe_episode(TransKind::Bbt, 100.0, 7, 0);
-        r.observe_episode(TransKind::Sbt, 1200.0, 40, 3);
+        r.observe_episode(TransKind::Bbt, Cycles::from_int(83), 5, 1);
+        r.observe_episode(TransKind::Bbt, Cycles::from_int(100), 7, 0);
+        r.observe_episode(TransKind::Sbt, Cycles::from_int(1200), 40, 3);
         assert_eq!(r.latency_histogram(TransKind::Bbt).count(), 2);
         assert_eq!(r.latency_histogram(TransKind::Sbt).count(), 1);
         assert_eq!(r.block_size_histogram(TransKind::Bbt).max(), 7);
@@ -852,7 +862,7 @@ mod tests {
             ..RecorderConfig::default()
         });
         r.observe(&snap(15, 10));
-        r.observe_episode(TransKind::Bbt, 83.0, 5, 1);
+        r.observe_episode(TransKind::Bbt, Cycles::from_int(83), 5, 1);
         r.finish(&snap(40, 30));
         let m = r.to_metrics();
         for k in ["window_cycles", "windows", "log", "histograms", "phase_segments"] {
@@ -870,7 +880,7 @@ mod tests {
             window_cycles: 10,
             ..RecorderConfig::default()
         });
-        r.phase_segment(Phase::Interp, 0.0, 12.0);
+        r.phase_segment(Phase::Interp, Cycles::ZERO, Cycles::from_int(12));
         r.observe(&snap(15, 10));
         r.finish(&snap(30, 25));
         let mut tb = TraceBuffer::new(16);

@@ -19,7 +19,7 @@
 use cdvm_cracker::crack;
 use cdvm_fisa::{ExitCode, Executor, NExit, NFault, NativeState};
 use cdvm_mem::{CodeCache, GuestMem, Memory, NativePc};
-use cdvm_uarch::{Bbb, BbbConfig, CycleCat, MachineConfig, MachineKind, Timing};
+use cdvm_uarch::{Bbb, BbbConfig, CycleCat, Cycles, MachineConfig, MachineKind, Timing};
 use cdvm_x86::{BranchKind, Cpu, Fault, Interp};
 
 use crate::error::{RestoreError, VmError, Watchdog};
@@ -107,11 +107,12 @@ pub struct SystemStats {
     pub restore_degraded: u64,
     /// Warm-image restores rejected entirely (the run cold-booted).
     pub restore_failed: u64,
-    /// Cycles attributed to each [`Phase`] (indexed by `Phase as usize`).
-    /// Updated at phase transitions; call [`System::phase_snapshot`] to
-    /// flush the tail of the current phase before reading. The totals
-    /// always sum to [`System::cycles`].
-    pub phase_cycles: [f64; NUM_PHASES],
+    /// Cycles attributed to each [`Phase`] (indexed by `Phase as usize`),
+    /// in exact fixed point. Updated at phase transitions; call
+    /// [`System::phase_snapshot`] to flush the tail of the current phase
+    /// before reading. The totals sum bit-exactly to the timing model's
+    /// fixed-point cycle total.
+    pub phase_cycles: [Cycles; NUM_PHASES],
 }
 
 /// One guest program running on one simulated machine.
@@ -162,7 +163,7 @@ pub struct System {
     /// Phase the cycles since `phase_mark` belong to.
     cur_phase: Phase,
     /// Cycle count at the last phase transition.
-    phase_mark: f64,
+    phase_mark: Cycles,
     /// The startup flight recorder, when telemetry is enabled. Boxed so
     /// the disabled case costs one pointer in `System` and one branch at
     /// each sequence point.
@@ -262,7 +263,7 @@ impl System {
             retired_at_last_flush: 0,
             storm_consecutive: 0,
             cur_phase: Phase::Vmm,
-            phase_mark: 0.0,
+            phase_mark: Cycles::ZERO,
             recorder: env_recorder_config().map(|c| Box::new(FlightRecorder::new(c))),
             stats: SystemStats::default(),
         }
@@ -299,7 +300,7 @@ impl System {
     /// caller for export. Telemetry stops after this call.
     pub fn take_recorder(&mut self) -> Option<Box<FlightRecorder>> {
         if self.recorder.is_some() {
-            let (phase, mark, now) = (self.cur_phase, self.phase_mark, self.timing.cycles_f());
+            let (phase, mark, now) = (self.cur_phase, self.phase_mark, self.timing.cycles_fp());
             let snap = self.telemetry_snapshot();
             if let Some(rec) = self.recorder.as_mut() {
                 rec.phase_segment(phase, mark, now);
@@ -325,7 +326,7 @@ impl System {
     fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         let mut s = TelemetrySnapshot {
             cycles: self.timing.cycles(),
-            cycles_f: self.timing.cycles_f(),
+            cycles_fp: self.timing.cycles_fp(),
             x86_retired: self.x86_retired,
             phase_cycles: self.phase_peek(),
             vm_exits: self.stats.vm_exits,
@@ -367,7 +368,7 @@ impl System {
         if p == self.cur_phase {
             return;
         }
-        let now = self.timing.cycles_f();
+        let now = self.timing.cycles_fp();
         self.stats.phase_cycles[self.cur_phase as usize] += now - self.phase_mark;
         if let Some(rec) = self.recorder.as_mut() {
             rec.phase_segment(self.cur_phase, self.phase_mark, now);
@@ -377,11 +378,11 @@ impl System {
     }
 
     /// Flushes the in-progress phase and returns per-phase cycle totals
-    /// (indexed by `Phase as usize`). The totals sum exactly to
-    /// [`System::cycles`] — attribution is a telescoping sum over every
-    /// cycle charged so far.
-    pub fn phase_snapshot(&mut self) -> [f64; NUM_PHASES] {
-        let now = self.timing.cycles_f();
+    /// (indexed by `Phase as usize`). Fixed-point attribution is a
+    /// telescoping sum over every cycle charged so far, so the totals
+    /// sum bit-exactly to [`Timing::cycles_fp`].
+    pub fn phase_snapshot(&mut self) -> [Cycles; NUM_PHASES] {
+        let now = self.timing.cycles_fp();
         self.stats.phase_cycles[self.cur_phase as usize] += now - self.phase_mark;
         self.phase_mark = now;
         self.stats.phase_cycles
@@ -390,12 +391,11 @@ impl System {
     /// Per-phase cycle totals including the in-progress phase tail,
     /// *without* folding that tail into the accumulators. The telemetry
     /// read path: repeated peeks leave [`SystemStats::phase_cycles`]
-    /// bit-identical to a run that never peeked (unlike
-    /// [`System::phase_snapshot`], whose telescoping fold reorders the
-    /// floating-point additions).
-    pub fn phase_peek(&self) -> [f64; NUM_PHASES] {
+    /// untouched. (Fixed-point addition is exact, so peek and snapshot
+    /// now agree bit-for-bit; peek is kept as the `&self` observer.)
+    pub fn phase_peek(&self) -> [Cycles; NUM_PHASES] {
         let mut p = self.stats.phase_cycles;
-        p[self.cur_phase as usize] += self.timing.cycles_f() - self.phase_mark;
+        p[self.cur_phase as usize] += self.timing.cycles_fp() - self.phase_mark;
         p
     }
 
@@ -676,7 +676,7 @@ impl System {
                 if let Some(native) = vm.lookup(self.cpu.eip) {
                     self.set_phase(Phase::Vmm);
                     self.timing.set_category(CycleCat::Vmm);
-                    self.timing.charge_vmm_instrs(6.0); // jump-table dispatch
+                    self.timing.charge_vmm_instrs(6); // jump-table dispatch
                     self.enter_native(native.0, self.cpu.eip);
                 } else if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe)
                     && !self.demoted.contains(self.cpu.eip)
@@ -686,7 +686,7 @@ impl System {
                     // VMM: translatable successors rejoin BBT execution.
                     self.set_phase(Phase::Vmm);
                     self.timing.set_category(CycleCat::Vmm);
-                    self.timing.charge_vmm_instrs(20.0);
+                    self.timing.charge_vmm_instrs(20);
                     let target = self.cpu.eip;
                     self.dispatch_to(target);
                 }
@@ -739,60 +739,84 @@ impl System {
         self.set_phase(Phase::Native);
         // The VM (and its code view) are borrowed once for the whole
         // batch; every exit path below can translate code or mutate the
-        // VM, so they run after the borrow ends. Inside the loop only
-        // disjoint fields (exec/nstate/mem/timing/stats) are touched.
+        // VM, so they run after the borrow ends. The per-micro-op loop
+        // lives inside `Executor::step_batch` — the retire closure here
+        // inlines into it, and only disjoint fields
+        // (exec/nstate/mem/timing/stats) are touched while it runs.
         let end = {
             let vm = self.vm.as_ref().expect("native mode requires a VM");
             let code = vm.code();
-            loop {
-                let r = match self
-                    .exec
-                    .step(&mut self.nstate, &mut self.mem, &code, None)
-                {
-                    Ok(r) => r,
-                    Err(f) => break BatchEnd::Fault(f),
-                };
-                let in_sbt = r.pc >= self.sbt_base;
-                self.timing.set_category(if in_sbt {
-                    CycleCat::SbtEmu
-                } else {
-                    CycleCat::BbtEmu
-                });
-                self.timing.retire_uop(&r);
-                let credit = vm.credit_at(r.pc);
-                if credit > 0 {
-                    self.x86_retired += credit as u64;
-                    if in_sbt {
-                        self.stats.sbt_retired += credit as u64;
+            let timing = &mut self.timing;
+            let stats = &mut self.stats;
+            let x86_retired = &mut self.x86_retired;
+            let sbt_base = self.sbt_base;
+            let watchdog_fuel = self.watchdog_fuel;
+            let watchdog_max_translations = self.watchdog_max_translations;
+            let mut end = None;
+            let res = self.exec.step_batch(
+                &mut self.nstate,
+                &mut self.mem,
+                &code,
+                None,
+                &mut |r| {
+                    let in_sbt = r.pc >= sbt_base;
+                    timing.set_category(if in_sbt {
+                        CycleCat::SbtEmu
                     } else {
-                        self.stats.bbt_retired += credit as u64;
-                    }
-                }
-                match r.exit {
-                    None => {
-                        if credit > 0 {
-                            // Same sequence the outer loop runs between
-                            // steps: goal first, then watchdogs
-                            // (check_watchdogs inlined — it only reads).
-                            if self.x86_retired >= goal {
-                                break BatchEnd::Goal;
-                            }
-                            if let Some(limit) = self.watchdog_fuel {
-                                if self.x86_retired >= limit {
-                                    break BatchEnd::Watchdog(Watchdog::Fuel { limit });
-                                }
-                            }
-                            if let Some(limit) = self.watchdog_max_translations {
-                                if vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit {
-                                    break BatchEnd::Watchdog(Watchdog::Translations { limit });
-                                }
-                            }
+                        CycleCat::BbtEmu
+                    });
+                    timing.retire_uop(r);
+                    let credit = vm.credit_at(r.pc);
+                    if credit > 0 {
+                        *x86_retired += credit as u64;
+                        if in_sbt {
+                            stats.sbt_retired += credit as u64;
+                        } else {
+                            stats.bbt_retired += credit as u64;
                         }
-                        // Otherwise: keep executing micro-ops.
                     }
-                    Some(NExit::Halt) => break BatchEnd::Halt,
-                    Some(NExit::VmExit { code, arg }) => break BatchEnd::VmExit { code, arg },
-                }
+                    match r.exit {
+                        None => {
+                            if credit > 0 {
+                                // Same sequence the outer loop runs between
+                                // steps: goal first, then watchdogs
+                                // (check_watchdogs inlined — it only reads).
+                                if *x86_retired >= goal {
+                                    end = Some(BatchEnd::Goal);
+                                    return false;
+                                }
+                                if let Some(limit) = watchdog_fuel {
+                                    if *x86_retired >= limit {
+                                        end = Some(BatchEnd::Watchdog(Watchdog::Fuel { limit }));
+                                        return false;
+                                    }
+                                }
+                                if let Some(limit) = watchdog_max_translations {
+                                    if vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit {
+                                        end = Some(BatchEnd::Watchdog(Watchdog::Translations {
+                                            limit,
+                                        }));
+                                        return false;
+                                    }
+                                }
+                            }
+                            // Otherwise: keep executing micro-ops.
+                            true
+                        }
+                        Some(NExit::Halt) => {
+                            end = Some(BatchEnd::Halt);
+                            false
+                        }
+                        Some(NExit::VmExit { code, arg }) => {
+                            end = Some(BatchEnd::VmExit { code, arg });
+                            false
+                        }
+                    }
+                },
+            );
+            match res {
+                Err(f) => BatchEnd::Fault(f),
+                Ok(()) => end.expect("step_batch stopped without a recorded end"),
             }
         };
         match end {
@@ -826,7 +850,7 @@ impl System {
         };
         self.set_phase(Phase::FaultRecovery);
         self.timing.set_category(CycleCat::Vmm);
-        self.timing.charge_vmm_instrs(200.0); // fault handling
+        self.timing.charge_vmm_instrs(200); // fault handling
         self.tick_trace();
         match self.vm.as_ref().and_then(|vm| vm.fault_x86_at(native_pc)) {
             // BBT code: architected state is exact at the faulting
@@ -879,7 +903,7 @@ impl System {
             self.maybe_clear_dispatch_table();
             self.set_phase(Phase::Vmm);
             self.timing.set_category(CycleCat::Vmm);
-            self.timing.charge_vmm_instrs(2000.0); // swap-in handling
+            self.timing.charge_vmm_instrs(2000); // swap-in handling
         }
         self.stats.vm_exits += 1;
         match code {
@@ -892,13 +916,13 @@ impl System {
         self.timing.set_category(CycleCat::Vmm);
         match code {
             ExitCode::TranslateMiss => {
-                self.timing.charge_vmm_instrs(20.0);
+                self.timing.charge_vmm_instrs(20);
                 self.dispatch_to(arg);
             }
             ExitCode::IndirectMiss => {
                 // Translation-lookup-table search, as counted inside the
                 // paper's 83-cycle BBT figure.
-                self.timing.charge_vmm_instrs(15.0);
+                self.timing.charge_vmm_instrs(15);
                 self.timing.vmm_data_touch(COUNTER_BASE ^ (arg.wrapping_mul(0x61c8_8647) >> 8));
                 if let Some(vm) = self.vm.as_mut() {
                     vm.mark_profile_candidate(arg);
@@ -916,7 +940,7 @@ impl System {
                         self.mem.write_u32(slot + 4, self.nstate.pc);
                         self.set_phase(Phase::Vmm);
                         self.timing.set_category(CycleCat::Vmm);
-                        self.timing.charge_vmm_instrs(6.0);
+                        self.timing.charge_vmm_instrs(6);
                         self.timing.vmm_data_touch(slot);
                     }
                 }
@@ -1062,7 +1086,7 @@ impl System {
         }
         self.set_phase(Phase::Vmm);
         self.timing.set_category(CycleCat::Vmm);
-        self.timing.charge_vmm_instrs(2.0 * DISPATCH_ENTRIES as f64);
+        self.timing.charge_vmm_instrs(2 * u64::from(DISPATCH_ENTRIES));
     }
 
     fn bbt_translate(&mut self, entry: u32) -> Result<(), VmError> {
@@ -1070,7 +1094,7 @@ impl System {
         // before-state only when recording (reads only, never charges).
         let episode = self.recorder.is_some().then(|| {
             let chains = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
-            (self.timing.cycles_f(), chains)
+            (self.timing.cycles_fp(), chains)
         });
         self.tick_trace();
         // VM.be runs BBT through the XLTx86 hardware assist loop; that is
@@ -1101,7 +1125,7 @@ impl System {
         }
         if let Some((t0, chains0)) = episode {
             let chains1 = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
-            let latency = self.timing.cycles_f() - t0;
+            let latency = self.timing.cycles_fp() - t0;
             if let Some(rec) = self.recorder.as_mut() {
                 rec.observe_episode(
                     TransKind::Bbt,
@@ -1134,7 +1158,7 @@ impl System {
         }
         let episode = self.recorder.is_some().then(|| {
             let chains = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
-            (self.timing.cycles_f(), chains)
+            (self.timing.cycles_fp(), chains)
         });
         self.tick_trace();
         self.set_phase(Phase::SbtXlate);
@@ -1150,7 +1174,7 @@ impl System {
                 }
                 if let Some((t0, chains0)) = episode {
                     let chains1 = self.vm.as_ref().map_or(0, |vm| vm.stats.chains_applied);
-                    let latency = self.timing.cycles_f() - t0;
+                    let latency = self.timing.cycles_fp() - t0;
                     if let Some(rec) = self.recorder.as_mut() {
                         rec.observe_episode(
                             TransKind::Sbt,

@@ -421,6 +421,53 @@ impl Executor {
         st: &mut NativeState,
         mem: &mut impl Memory,
         code: &impl CodeSource,
+        xlt: Option<&mut dyn XltAssist>,
+    ) -> Result<NRetired, NFault> {
+        self.step_inner(st, mem, code, xlt)
+    }
+
+    /// Executes micro-ops back-to-back, invoking `retire` after each one
+    /// retires, until a fault, until the retired micro-op carries a VMM
+    /// exit, or until `retire` returns `false`.
+    ///
+    /// This is [`Executor::step`] with the per-micro-op loop moved
+    /// inside the executor: the run cursor and machine state stay hot
+    /// across iterations and `retire` (a monomorphized closure) inlines
+    /// into the loop, instead of paying a full call boundary and an
+    /// [`NRetired`] move per micro-op. The observable sequence of
+    /// retirements is identical to calling `step` in a loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same [`NFault`]s as [`Executor::step`]; `retire`
+    /// is not called for the faulting micro-op.
+    pub fn step_batch(
+        &mut self,
+        st: &mut NativeState,
+        mem: &mut impl Memory,
+        code: &impl CodeSource,
+        mut xlt: Option<&mut dyn XltAssist>,
+        retire: &mut impl FnMut(&NRetired) -> bool,
+    ) -> Result<(), NFault> {
+        loop {
+            let reborrow = match xlt {
+                Some(ref mut x) => Some::<&mut dyn XltAssist>(&mut **x),
+                None => None,
+            };
+            let r = self.step_inner(st, mem, code, reborrow)?;
+            let more = retire(&r);
+            if r.exit.is_some() || !more {
+                return Ok(());
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn step_inner(
+        &mut self,
+        st: &mut NativeState,
+        mem: &mut impl Memory,
+        code: &impl CodeSource,
         mut xlt: Option<&mut dyn XltAssist>,
     ) -> Result<NRetired, NFault> {
         let pc = st.pc;

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use cdvm_bench::banner;
+use cdvm_bench::{banner, bench_check_enabled};
 use cdvm_serve::{JobSpec, JobState, ServeConfig, Service};
 use cdvm_stats::CycleHistogram;
 use cdvm_uarch::MachineKind;
@@ -160,7 +160,7 @@ fn main() {
     // The gate is deterministic (modeled cycles, not host time): the
     // warm pool must beat cold-boot-per-job at the tail, because warm
     // stamps skip the translation startup transient entirely.
-    if std::env::var_os("CDVM_BENCH_CHECK").is_some() {
+    if bench_check_enabled() {
         if warm.cycles_p99 >= cold.cycles_p99 {
             eprintln!(
                 "FAIL: warm-pool p99 {} modeled cycles does not beat cold-boot {} — \

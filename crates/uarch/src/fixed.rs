@@ -1,0 +1,232 @@
+//! Exact fixed-point cycle arithmetic (DESIGN.md §3.12).
+//!
+//! The interval model charges fractional cycle quanta (slot costs are
+//! `k / effective_width`, miss overlap factors are 0.75/0.6, translator
+//! work is `n / vmm_ipc`). Accumulating those quanta in `f64` made the
+//! totals depend on summation order: `(a + b) + c != a + (b + c)` in
+//! IEEE-754, so cycle charges could not be reordered, hoisted out of the
+//! per-uop hot loop, or batched without changing the bit-exact results
+//! the golden differential fixture locks down.
+//!
+//! [`Cycles`] replaces that accumulator with a `u64` holding cycle
+//! counts in Q44.20 fixed point: the low [`FRAC_BITS`] bits are a
+//! power-of-two fractional base, the high bits are whole cycles. Every
+//! fractional charge quantum is rounded to this grid **once, at
+//! construction time** (`Timing::new` precomputes the per-event costs);
+//! after that, all accumulation is exact unsigned integer addition —
+//! associative, commutative, and freely reorderable. Two runs that
+//! charge the same multiset of quanta produce bit-identical totals in
+//! any order.
+//!
+//! Overflow policy: arithmetic saturates at [`Cycles::MAX`] instead of
+//! wrapping. The representable range is 2^44 ≈ 1.76e13 whole cycles —
+//! about five hours of simulated 1 GHz machine time, and more than four
+//! orders of magnitude past the longest fuel-watchdog run the repo
+//! drives (see `timing::tests::fixed_point_covers_fuel_watchdog_range`).
+//! A saturated total would pin at `MAX` rather than produce a small
+//! wrong answer.
+//!
+//! `f64` appears only at the reporting edge ([`Cycles::to_f64`]): JSON
+//! emitters, Chrome-trace rendering and percentile summaries convert
+//! each exact value exactly once, so the same fixed-point quantity can
+//! never round differently in two exports.
+
+/// Number of fractional bits in the [`Cycles`] representation (Q44.20).
+pub const FRAC_BITS: u32 = 20;
+
+/// The raw representation of one whole cycle.
+pub const ONE_RAW: u64 = 1 << FRAC_BITS;
+
+/// A cycle count in unsigned Q44.20 fixed point.
+///
+/// See the [module docs](self) for the representation contract. The
+/// default value is zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The saturation point (every operation clamps here on overflow).
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// A whole-cycle count (saturating).
+    #[inline]
+    pub const fn from_int(n: u64) -> Cycles {
+        if n >= (1 << (64 - FRAC_BITS)) {
+            Cycles::MAX
+        } else {
+            Cycles(n << FRAC_BITS)
+        }
+    }
+
+    /// Rounds `x` cycles to the fixed-point grid (nearest, ties away
+    /// from zero). Construction-time only: this is the single rounding
+    /// a fractional charge quantum ever experiences. Negative and
+    /// non-finite inputs clamp to zero, overlarge ones to [`Cycles::MAX`].
+    pub fn from_f64(x: f64) -> Cycles {
+        let scaled = x * ONE_RAW as f64;
+        if !(scaled >= 0.0) {
+            return Cycles::ZERO;
+        }
+        if scaled >= u64::MAX as f64 {
+            return Cycles::MAX;
+        }
+        Cycles(scaled.round() as u64)
+    }
+
+    /// The raw Q44.20 bits (golden-fixture serialization).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a value from [`Cycles::raw`] bits.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Cycles {
+        Cycles(raw)
+    }
+
+    /// Whole-cycle part (truncation toward zero — the integer clock).
+    #[inline]
+    pub const fn int_part(self) -> u64 {
+        self.0 >> FRAC_BITS
+    }
+
+    /// Converts to `f64` for reporting. The only place fixed point
+    /// meets floating point on the read side; values below 2^53 raw
+    /// (≈ 8.6e9 whole cycles) convert exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE_RAW as f64
+    }
+
+    /// Saturating integer scale: `self * n` (linear, so charging `n`
+    /// identical quanta at once is bit-identical to `n` separate adds).
+    #[inline]
+    pub const fn mul_int(self, n: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(n))
+    }
+
+    /// True if any operation saturated this value to [`Cycles::MAX`].
+    #[inline]
+    pub const fn is_saturated(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl std::ops::Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cycles({})", self.to_f64())
+    }
+}
+
+impl std::fmt::Display for Cycles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.to_f64().fmt(f)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for n in [0u64, 1, 42, 1 << 30, (1 << 44) - 1] {
+            assert_eq!(Cycles::from_int(n).int_part(), n);
+            assert_eq!(Cycles::from_int(n).to_f64(), n as f64);
+        }
+    }
+
+    #[test]
+    fn from_int_saturates_past_range() {
+        assert_eq!(Cycles::from_int(1 << 44), Cycles::MAX);
+        assert_eq!(Cycles::from_int(u64::MAX), Cycles::MAX);
+    }
+
+    #[test]
+    fn from_f64_rounds_once_and_clamps() {
+        assert_eq!(Cycles::from_f64(0.75).raw(), 3 * ONE_RAW / 4);
+        assert_eq!(Cycles::from_f64(-1.0), Cycles::ZERO);
+        assert_eq!(Cycles::from_f64(f64::NAN), Cycles::ZERO);
+        assert_eq!(Cycles::from_f64(f64::INFINITY), Cycles::MAX);
+        assert_eq!(Cycles::from_f64(1e30), Cycles::MAX);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        let big = Cycles::from_raw(u64::MAX - 1);
+        assert_eq!(big + big, Cycles::MAX);
+        assert!((big + big).is_saturated());
+        let mut acc = big;
+        acc += Cycles::from_int(5);
+        assert_eq!(acc, Cycles::MAX);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = Cycles::from_int(3);
+        let b = Cycles::from_int(5);
+        assert_eq!(a - b, Cycles::ZERO);
+        assert_eq!(b - a, Cycles::from_int(2));
+    }
+
+    #[test]
+    fn mul_int_is_linear() {
+        let q = Cycles::from_f64(0.537_634_4);
+        let mut acc = Cycles::ZERO;
+        for _ in 0..1000 {
+            acc += q;
+        }
+        assert_eq!(acc, q.mul_int(1000), "n adds == one scaled add");
+    }
+
+    #[test]
+    fn sum_is_order_independent() {
+        let vals: Vec<Cycles> = (0..100)
+            .map(|i| Cycles::from_f64((i as f64) * 0.3333 + 0.01))
+            .collect();
+        let forward: Cycles = vals.iter().copied().sum();
+        let backward: Cycles = vals.iter().rev().copied().sum();
+        assert_eq!(forward, backward);
+    }
+}

@@ -26,11 +26,13 @@
 mod bbb;
 mod cache;
 mod config;
+mod fixed;
 mod predictor;
 mod timing;
 
 pub use bbb::{Bbb, BbbConfig};
 pub use cache::{AccessCost, Cache, CacheConfig, CacheStats, Hierarchy};
 pub use config::{MachineConfig, MachineKind};
+pub use fixed::{Cycles, FRAC_BITS, ONE_RAW};
 pub use predictor::{Predictor, PredictorConfig, PredictorStats};
 pub use timing::{CycleCat, Timing, NUM_CATS};

@@ -8,12 +8,20 @@
 //! cross-machine deltas come only from the mechanisms the paper studies:
 //! who pays decode/crack cost, macro-op fusion, pipeline frontend length,
 //! and translation-time memory traffic.
+//!
+//! Cycle totals are kept in exact fixed point ([`Cycles`], Q44.20): every
+//! fractional charge quantum (slot costs, overlap factors, per-VMM-instr
+//! cost) is rounded to the fixed-point grid once at construction, and all
+//! runtime accumulation is saturating integer addition — associative and
+//! order-independent, so charges can be batched and reordered without
+//! perturbing the golden differential fixture (DESIGN.md §3.12).
 
 use cdvm_fisa::NRetired;
 use cdvm_x86::{BranchKind, Retired};
 
 use crate::cache::Hierarchy;
 use crate::config::MachineConfig;
+use crate::fixed::Cycles;
 use crate::predictor::Predictor;
 
 /// Cycle-attribution categories (the quantities behind Fig. 10).
@@ -53,11 +61,26 @@ impl CycleCat {
     ];
 }
 
+/// Miss-overlap factor for misses that go all the way to memory
+/// (memory-level parallelism hides 25% of the stall).
+const OVERLAP_TO_MEMORY: Cycles = Cycles::from_raw((3 * crate::fixed::ONE_RAW) / 4);
+
+/// Miss-overlap factor for nearer misses (0.6, rounded once to the
+/// fixed-point grid).
+const OVERLAP_NEAR: Cycles = Cycles::from_raw((3 * crate::fixed::ONE_RAW) / 5);
+
+/// Extra partially-hidden latency of divide-family micro-ops.
+const DIV_EXTRA: Cycles = Cycles::from_int(8);
+
+/// Extra partially-hidden latency of other long-latency micro-ops.
+const LONG_EXTRA: Cycles = Cycles::from_int(1);
+
 /// True for micro-ops that only touch VMM-reserved registers (R16–R23):
 /// translation-system glue, not guest computation.
+#[inline]
 fn is_vmm_bookkeeping(u: &cdvm_fisa::Uop) -> bool {
     use cdvm_fisa::Op;
-    let vmm = |r: u8| (16..=23).contains(&r);
+    let vmm = |r: u8| r.wrapping_sub(16) < 8;
     let src2_ok = |u: &cdvm_fisa::Uop| u.rs2 == cdvm_fisa::regs::VMM_SP || vmm(u.rs2);
     match u.op {
         Op::Limm | Op::Limmh => vmm(u.rd),
@@ -78,27 +101,40 @@ pub struct Timing {
     pub hier: Hierarchy,
     /// Branch predictor.
     pub pred: Predictor,
-    cycles: f64,
-    cat: [f64; NUM_CATS],
+    cycles: Cycles,
+    cat: [Cycles; NUM_CATS],
     cur: CycleCat,
     last_fetch_line: u32,
     fused_tail_pending: bool,
-    decoder_active: f64,
+    decoder_active: Cycles,
     uops_retired: u64,
     fused_retired: u64,
     x86_mode_retired: u64,
-    // Precomputed slot-cost quotients. Every retirement divides a slot
-    // count by the effective width; the operands are fixed at
-    // construction, so the quotients are too — the cached values are
-    // bit-identical to dividing on every retirement (same operands,
-    // same IEEE-754 operation) and keep the FP divider off the per-uop
-    // path. `SLOT_TABLE_LEN` covers every crackable uop count; larger
-    // counts (impossible today) fall back to the live division.
-    slot_cost_one: f64,
-    slot_cost_profiling: f64,
-    slot_cost_fused_half: f64,
-    slot_cost_complex: f64,
-    x86_slot_cost: [f64; SLOT_TABLE_LEN],
+    // Precomputed per-event charge quanta. Every fractional cost is
+    // rounded to the fixed-point grid exactly once here; the hot paths
+    // below only ever do integer adds of these constants, which is what
+    // makes cycle accumulation associative and batchable.
+    slot_cost_one: Cycles,
+    slot_cost_profiling: Cycles,
+    slot_cost_fused_half: Cycles,
+    slot_cost_complex: Cycles,
+    x86_slot_cost: [Cycles; SLOT_TABLE_LEN],
+    /// Cost of one native VMM instruction (`1 / vmm_ipc`). Linear by
+    /// construction: charging `n` instructions is `n * quantum`, so one
+    /// batched charge is bit-identical to `n` separate ones.
+    vmm_instr_cost: Cycles,
+    /// Cost of one interpreted x86 instruction (`interp_cycles`).
+    interp_inst_cost: Cycles,
+    /// Per-x86-instruction software BBT translation cost
+    /// (`bbt_sw_native_instrs / vmm_ipc`).
+    bbt_sw_inst_cost: Cycles,
+    /// Per-x86-instruction SBT optimization cost
+    /// (`sbt_native_instrs / vmm_ipc`).
+    sbt_inst_cost: Cycles,
+    /// Per-iteration HAloop cost (`bbt_be_cycles`).
+    bbt_be_inst_cost: Cycles,
+    /// XLTx86 long-latency extra (`xlt_latency`, whole cycles).
+    xlt_extra: Cycles,
 }
 
 /// Precomputed `k / eff_width` quotients for `k < SLOT_TABLE_LEN`
@@ -111,28 +147,34 @@ impl Timing {
     /// memory-startup scenario 2).
     pub fn new(cfg: MachineConfig) -> Self {
         let ew = cfg.width * cfg.util;
-        let mut x86_slot_cost = [0.0; SLOT_TABLE_LEN];
+        let mut x86_slot_cost = [Cycles::ZERO; SLOT_TABLE_LEN];
         for (k, c) in x86_slot_cost.iter_mut().enumerate() {
-            *c = k as f64 / ew;
+            *c = Cycles::from_f64(k as f64 / ew);
         }
         Timing {
             cfg,
             hier: Hierarchy::table2(cfg.mem_latency),
             pred: Predictor::default(),
-            cycles: 0.0,
-            cat: [0.0; NUM_CATS],
+            cycles: Cycles::ZERO,
+            cat: [Cycles::ZERO; NUM_CATS],
             cur: CycleCat::X86Mode,
             last_fetch_line: u32::MAX,
             fused_tail_pending: false,
-            decoder_active: 0.0,
+            decoder_active: Cycles::ZERO,
             uops_retired: 0,
             fused_retired: 0,
             x86_mode_retired: 0,
-            slot_cost_one: 1.0 / ew,
-            slot_cost_profiling: cfg.profiling_slot_cost / ew,
-            slot_cost_fused_half: (cfg.fused_pair_slots / 2.0) / ew,
-            slot_cost_complex: 2.0 / ew,
+            slot_cost_one: Cycles::from_f64(1.0 / ew),
+            slot_cost_profiling: Cycles::from_f64(cfg.profiling_slot_cost / ew),
+            slot_cost_fused_half: Cycles::from_f64((cfg.fused_pair_slots / 2.0) / ew),
+            slot_cost_complex: Cycles::from_f64(2.0 / ew),
             x86_slot_cost,
+            vmm_instr_cost: Cycles::from_f64(1.0 / cfg.vmm_ipc),
+            interp_inst_cost: Cycles::from_f64(cfg.interp_cycles),
+            bbt_sw_inst_cost: Cycles::from_f64(cfg.bbt_sw_native_instrs / cfg.vmm_ipc),
+            sbt_inst_cost: Cycles::from_f64(cfg.sbt_native_instrs / cfg.vmm_ipc),
+            bbt_be_inst_cost: Cycles::from_f64(cfg.bbt_be_cycles),
+            xlt_extra: Cycles::from_int(u64::from(cfg.xlt_latency)),
         }
     }
 
@@ -142,29 +184,50 @@ impl Timing {
         self.cur = cat;
     }
 
-    /// Total elapsed cycles.
+    /// Total elapsed cycles (whole-cycle clock).
     pub fn cycles(&self) -> u64 {
-        self.cycles as u64
+        self.cycles.int_part()
     }
 
-    /// Total elapsed cycles, fractional.
-    pub fn cycles_f(&self) -> f64 {
+    /// Total elapsed cycles as the exact fixed-point value.
+    pub fn cycles_fp(&self) -> Cycles {
         self.cycles
     }
 
-    /// Cycles attributed to `cat`.
+    /// Total elapsed cycles, fractional (reporting edge: the exact
+    /// fixed-point total converted to `f64` once).
+    pub fn cycles_f(&self) -> f64 {
+        self.cycles.to_f64()
+    }
+
+    /// Cycles attributed to `cat` (reporting edge).
     pub fn category_cycles(&self, cat: CycleCat) -> f64 {
+        self.cat[cat as usize].to_f64()
+    }
+
+    /// Exact fixed-point cycles attributed to `cat`.
+    pub fn category_cycles_fp(&self, cat: CycleCat) -> Cycles {
         self.cat[cat as usize]
     }
 
     /// All category totals at once (indexed by `CycleCat as usize`) —
     /// the metrics exporter snapshots every category per run.
     pub fn category_snapshot(&self) -> [f64; NUM_CATS] {
+        self.cat.map(Cycles::to_f64)
+    }
+
+    /// All category totals as exact fixed-point values.
+    pub fn category_snapshot_fp(&self) -> [Cycles; NUM_CATS] {
         self.cat
     }
 
     /// Cycles during which x86 decode logic was powered on (Fig. 11).
     pub fn decoder_active_cycles(&self) -> f64 {
+        self.decoder_active.to_f64()
+    }
+
+    /// Exact fixed-point decoder-active total.
+    pub fn decoder_active_fp(&self) -> Cycles {
         self.decoder_active
     }
 
@@ -183,7 +246,8 @@ impl Timing {
         self.x86_mode_retired
     }
 
-    fn add(&mut self, c: f64) {
+    #[inline]
+    fn add(&mut self, c: Cycles) {
         self.cycles += c;
         self.cat[self.cur as usize] += c;
     }
@@ -191,12 +255,12 @@ impl Timing {
     /// Raw cycle charge in the current category (translator loops,
     /// fixed-cost events).
     #[inline]
-    pub fn charge_cycles(&mut self, c: f64) {
+    pub fn charge_cycles(&mut self, c: Cycles) {
         self.add(c);
     }
 
     /// Marks `c` cycles of x86-decode-logic activity.
-    pub fn note_decoder_active(&mut self, c: f64) {
+    pub fn note_decoder_active(&mut self, c: Cycles) {
         self.decoder_active += c;
     }
 
@@ -211,13 +275,13 @@ impl Timing {
         if first != self.last_fetch_line {
             let cost = self.hier.fetch(pc);
             if cost.stall != 0 {
-                self.add(cost.stall as f64);
+                self.add(Cycles::from_int(u64::from(cost.stall)));
             }
         }
         if last != first {
             let cost = self.hier.fetch(pc.wrapping_add(len - 1));
             if cost.stall != 0 {
-                self.add(cost.stall as f64);
+                self.add(Cycles::from_int(u64::from(cost.stall)));
             }
         }
         self.last_fetch_line = last;
@@ -226,20 +290,23 @@ impl Timing {
     fn data(&mut self, addr: u32) {
         let cost = self.hier.data(addr);
         if cost.stall == 0 {
-            // L1 hit: adding +0.0 to a non-negative total is the
-            // identity, so skipping the FP work is bit-identical.
             return;
         }
         // Memory-level parallelism: overlapped misses hide part of the
         // latency; long-latency memory misses overlap less at startup.
-        let overlap = if cost.to_memory { 0.75 } else { 0.6 };
-        self.add(cost.stall as f64 * overlap);
+        // Integer stall × fixed-point overlap factor is exact.
+        let overlap = if cost.to_memory {
+            OVERLAP_TO_MEMORY
+        } else {
+            OVERLAP_NEAR
+        };
+        self.add(overlap.mul_int(u64::from(cost.stall)));
     }
 
     fn branch(&mut self, pc: u32, kind: BranchKind, taken: bool, target: u32, fall: u32, depth: u32) {
         let correct = self.pred.observe(pc, kind, taken, target, fall);
         if !correct {
-            self.add(depth as f64);
+            self.add(Cycles::from_int(u64::from(depth)));
             self.last_fetch_line = u32::MAX; // redirected fetch
         }
     }
@@ -249,6 +316,7 @@ impl Timing {
     /// `profiling` marks BBT-inserted software profiling micro-ops (they
     /// consume slots but are bookkept as VMM overhead by the caller's
     /// category choice).
+    #[inline]
     pub fn retire_uop(&mut self, r: &NRetired) {
         self.uops_retired += 1;
         // VMM bookkeeping (profiling counters, dispatch-sieve probes and
@@ -276,12 +344,12 @@ impl Timing {
         if r.uop.op.is_long_latency() {
             // Partially-hidden long-latency execution (div/mul chains).
             let extra = match r.uop.op {
-                cdvm_fisa::Op::Xlt => self.cfg.xlt_latency as f64,
+                cdvm_fisa::Op::Xlt => self.xlt_extra,
                 cdvm_fisa::Op::DivQ
                 | cdvm_fisa::Op::DivR
                 | cdvm_fisa::Op::IDivQ
-                | cdvm_fisa::Op::IDivR => 8.0,
-                _ => 1.0,
+                | cdvm_fisa::Op::IDivR => DIV_EXTRA,
+                _ => LONG_EXTRA,
             };
             self.add(extra);
         }
@@ -305,7 +373,7 @@ impl Timing {
         let slots = uop_count.max(1) as usize;
         self.add(match self.x86_slot_cost.get(slots) {
             Some(&c) => c,
-            None => slots as f64 / self.eff_width(),
+            None => Cycles::from_f64(slots as f64 / self.eff_width()),
         });
         self.fetch(r.pc, r.len as u32);
         for m in r.mem.iter() {
@@ -319,15 +387,18 @@ impl Timing {
             // Microcode sequencing overhead for complex instructions.
             self.add(self.slot_cost_complex);
         }
-        // x86 decode logic is on for the whole duration.
+        // x86 decode logic is on for the whole duration (exact
+        // fixed-point subtraction — no cancellation error).
         self.decoder_active += self.cycles - before;
     }
 
     /// Charges `n` native instructions of VMM software work (translator,
-    /// runtime) through the dependency-limited translator IPC.
+    /// runtime) through the dependency-limited translator IPC. Linear in
+    /// `n`: one call for `n` instructions is bit-identical to `n` calls
+    /// for one.
     #[inline]
-    pub fn charge_vmm_instrs(&mut self, n: f64) {
-        self.add(n / self.cfg.vmm_ipc);
+    pub fn charge_vmm_instrs(&mut self, n: u64) {
+        self.add(self.vmm_instr_cost.mul_int(n));
     }
 
     /// Charges a VMM data touch (source-byte read / code-cache write /
@@ -338,7 +409,7 @@ impl Timing {
 
     /// Charges one interpreted x86 instruction.
     pub fn charge_interp_inst(&mut self, r: &Retired) {
-        self.add(self.cfg.interp_cycles);
+        self.add(self.interp_inst_cost);
         // The interpreter performs the architectural memory accesses.
         for m in r.mem.iter() {
             self.data(m.addr);
@@ -350,22 +421,22 @@ impl Timing {
     /// Charges one `HAloop` iteration (VM.be hardware-assisted BBT of a
     /// single x86 instruction, Fig. 6a), marking the XLTx86 unit active.
     pub fn charge_haloop_inst(&mut self, src_pc: u32, cc_ptr: u32) {
-        self.add(self.cfg.bbt_be_cycles);
-        self.decoder_active += self.cfg.xlt_latency as f64;
+        self.add(self.bbt_be_inst_cost);
+        self.decoder_active += self.xlt_extra;
         self.data(src_pc);
         self.data(cc_ptr);
     }
 
     /// Charges software BBT translation of one x86 instruction (Δ_BBT).
     pub fn charge_sw_bbt_inst(&mut self, src_pc: u32, cc_ptr: u32) {
-        self.charge_vmm_instrs(self.cfg.bbt_sw_native_instrs);
+        self.add(self.bbt_sw_inst_cost);
         self.data(src_pc);
         self.data(cc_ptr);
     }
 
     /// Charges SBT optimization of one hotspot x86 instruction (Δ_SBT).
     pub fn charge_sbt_inst(&mut self, src_pc: u32, cc_ptr: u32) {
-        self.charge_vmm_instrs(self.cfg.sbt_native_instrs);
+        self.add(self.sbt_inst_cost);
         self.data(src_pc);
         self.data(cc_ptr);
         self.data(cc_ptr ^ 0x40); // optimizer working-set traffic
@@ -512,8 +583,9 @@ mod tests {
         t.charge_sw_bbt_inst(0x40_0000, 0x8000_0000);
         assert!(t.category_cycles(CycleCat::BbtXlate) > 80.0);
         assert_eq!(t.category_cycles(CycleCat::SbtEmu), 0.0);
-        let total: f64 = CycleCat::ALL.iter().map(|&c| t.category_cycles(c)).sum();
-        assert!((total - t.cycles_f()).abs() < 1e-6);
+        // Fixed point: categories sum to the total exactly, bit for bit.
+        let total: Cycles = CycleCat::ALL.iter().map(|&c| t.category_cycles_fp(c)).sum();
+        assert_eq!(total, t.cycles_fp());
     }
 
     #[test]
@@ -562,5 +634,159 @@ mod tests {
         }
         let frac = t.decoder_active_cycles() / t.cycles_f();
         assert!(frac > 0.999, "x86-mode keeps decoders on: {frac}");
+    }
+
+    /// The tentpole's correctness claim: a permuted charge sequence
+    /// produces bit-identical `cycles` and per-category totals. The
+    /// charge mix covers every pure-accumulator path (slot costs across
+    /// categories, VMM instructions, interp instructions, raw charges)
+    /// on warmed caches, so the only state the ops touch is the
+    /// fixed-point accumulators themselves.
+    #[test]
+    fn charge_order_independence() {
+        #[derive(Clone, Copy)]
+        enum Charge {
+            Uop(CycleCat),
+            Vmm(u64),
+            Interp(CycleCat),
+            Raw(CycleCat, Cycles),
+        }
+
+        let plain = Uop::alu(Op::Add, regs::T0, regs::EAX, regs::EBX);
+        let inst = Inst::nullary(Mnemonic::Nop, Width::W32, 1);
+        let interp_r = Retired {
+            pc: 0x40_0000,
+            len: 1,
+            inst,
+            next_pc: 0x40_0001,
+            branch: None,
+            mem: MemList::default(),
+            halted: false,
+        };
+
+        let apply = |t: &mut Timing, c: &Charge| match *c {
+            Charge::Uop(cat) => {
+                t.set_category(cat);
+                t.retire_uop(&nret(plain, 0x8000_0000));
+            }
+            Charge::Vmm(n) => {
+                t.set_category(CycleCat::Vmm);
+                t.charge_vmm_instrs(n);
+            }
+            Charge::Interp(cat) => {
+                t.set_category(cat);
+                t.charge_interp_inst(&interp_r);
+            }
+            Charge::Raw(cat, c) => {
+                t.set_category(cat);
+                t.charge_cycles(c);
+            }
+        };
+
+        // Build the charge multiset: a spread of fractional quanta
+        // across several categories.
+        let mut charges = Vec::new();
+        for i in 0..400u64 {
+            charges.push(match i % 7 {
+                0 => Charge::Uop(CycleCat::BbtEmu),
+                1 => Charge::Uop(CycleCat::SbtEmu),
+                2 => Charge::Vmm(1 + i % 23),
+                3 => Charge::Interp(CycleCat::InterpEmu),
+                4 => Charge::Raw(CycleCat::BbtXlate, Cycles::from_f64(0.333 + i as f64 * 0.07)),
+                5 => Charge::Uop(CycleCat::BbtEmu),
+                _ => Charge::Vmm(3),
+            });
+        }
+
+        let run = |order: &[usize]| {
+            let mut t = timing();
+            // Warm every line the charges touch so cache state cannot
+            // redistribute miss penalties between categories.
+            t.set_category(CycleCat::Vmm);
+            t.retire_uop(&nret(plain, 0x8000_0000));
+            t.charge_interp_inst(&interp_r);
+            let warm_cycles = t.cycles_fp();
+            for &i in order {
+                apply(&mut t, &charges[i]);
+            }
+            (t.cycles_fp(), t.category_snapshot_fp(), warm_cycles)
+        };
+
+        let identity: Vec<usize> = (0..charges.len()).collect();
+        let (base_total, base_cats, _) = run(&identity);
+
+        // Deterministic LCG shuffles (no external rand dependency).
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..8 {
+            let mut order = identity.clone();
+            for i in (1..order.len()).rev() {
+                let j = (rng() as usize) % (i + 1);
+                order.swap(i, j);
+            }
+            let (total, cats, _) = run(&order);
+            assert_eq!(total, base_total, "round {round}: total diverged");
+            for (k, (a, b)) in cats.iter().zip(base_cats.iter()).enumerate() {
+                assert_eq!(a, b, "round {round}: category {k} diverged");
+            }
+        }
+    }
+
+    /// Sizes the Q44.20 range against the fuel watchdog: a run four
+    /// orders of magnitude past the largest in-repo fuel budget (1e6
+    /// instructions; serve deadlines are caller-chosen u64s) at the
+    /// worst per-instruction cost stays far from saturation, and a
+    /// deliberately overflowed accumulator pins at `Cycles::MAX`
+    /// instead of wrapping to a small wrong total.
+    #[test]
+    fn fixed_point_covers_fuel_watchdog_range() {
+        // Worst-case per-retired-instruction charge: interpreter cost
+        // plus three full memory-miss penalties, ≈ 45 + 3·0.75·168 cycles.
+        let cfg = MachineConfig::preset(MachineKind::VmSoft);
+        let worst_per_inst = cfg.interp_cycles + 3.0 * 0.75 * f64::from(cfg.mem_latency);
+        let fuel: u64 = 10_000_000_000; // 1e10 ≫ any armed watchdog limit
+        let worst_total = Cycles::from_f64(worst_per_inst).mul_int(fuel);
+        assert!(
+            !worst_total.is_saturated(),
+            "Q44.20 must cover the watchdog envelope"
+        );
+        assert!(
+            worst_total.int_part() < (1 << 44),
+            "headroom arithmetic is self-consistent"
+        );
+
+        // Saturation boundary: overflow pins at MAX and stays there.
+        let mut t = timing();
+        t.set_category(CycleCat::Vmm);
+        for _ in 0..4 {
+            t.charge_cycles(Cycles::from_raw(u64::MAX / 2));
+        }
+        assert!(t.cycles_fp().is_saturated(), "overflow must saturate");
+        assert_eq!(t.cycles_fp(), Cycles::MAX);
+        t.charge_vmm_instrs(10);
+        assert_eq!(t.cycles_fp(), Cycles::MAX, "saturation is sticky");
+    }
+
+    /// `charge_vmm_instrs` is linear: one batched charge equals n unit
+    /// charges bit-for-bit (this is what lets the system layer hoist
+    /// per-event charges into per-batch ones).
+    #[test]
+    fn vmm_charge_batches_exactly() {
+        let mut one_by_one = timing();
+        let mut batched = timing();
+        one_by_one.set_category(CycleCat::Vmm);
+        batched.set_category(CycleCat::Vmm);
+        for _ in 0..1674 {
+            one_by_one.charge_vmm_instrs(1);
+        }
+        batched.charge_vmm_instrs(1674);
+        assert_eq!(one_by_one.cycles_fp(), batched.cycles_fp());
+        assert_eq!(
+            one_by_one.category_snapshot_fp(),
+            batched.category_snapshot_fp()
+        );
     }
 }

@@ -45,10 +45,10 @@ fn run(profile_idx: usize, scale: f64, total: u64, disrupt: Option<bool>) -> (u6
 fn time_to_steady(cap: &FlightCapture) -> u64 {
     let ws = cap.recorder().windows();
     let total_insts: u64 = ws.iter().map(|w| w.dinsts).sum();
-    let total_cycles: f64 = ws.iter().map(|w| w.dcycles).sum();
+    let total_cycles: f64 = ws.iter().map(|w| w.dcycles.to_f64()).sum();
     let final_ipc = total_insts as f64 / total_cycles.max(1.0);
     for w in ws {
-        if w.dcycles > 0.0 && (w.dinsts as f64 / w.dcycles) >= 0.9 * final_ipc {
+        if w.dcycles.raw() > 0 && (w.dinsts as f64 / w.dcycles.to_f64()) >= 0.9 * final_ipc {
             return w.end_cycles;
         }
     }

@@ -37,10 +37,10 @@ fn print_trace(sys: &System) {
 
 fn print_phases(sys: &mut System) {
     let phases = sys.phase_snapshot();
-    let total: f64 = phases.iter().sum();
+    let total: f64 = phases.iter().map(|p| p.to_f64()).sum();
     println!("   -- phase cycles (sum {:.0}) --", total);
     for p in Phase::ALL {
-        let v = phases[p as usize];
+        let v = phases[p as usize].to_f64();
         if v > 0.0 {
             println!("   {:<16} {:>14.0} ({:.1}%)", p.name(), v, 100.0 * v / total.max(1.0));
         }

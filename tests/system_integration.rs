@@ -153,12 +153,17 @@ fn cycle_categories_partition_totals() {
     let (mem, entry) = hand_program();
     let mut sys = System::new(MachineKind::VmSoft, mem, entry);
     sys.run_to_completion(2_000_000_000);
-    let total: f64 = CycleCat::ALL
+    // Fixed-point category charges are exact, so the partition holds
+    // bit-for-bit — no float drift tolerance.
+    let total: cdvm_uarch::Cycles = CycleCat::ALL
         .iter()
-        .map(|&c| sys.timing.category_cycles(c))
+        .map(|&c| sys.timing.category_cycles_fp(c))
         .sum();
-    let drift = (total - sys.timing.cycles_f()).abs() / sys.timing.cycles_f();
-    assert!(drift < 1e-9, "cycle attribution must partition: drift {drift}");
+    assert_eq!(
+        total,
+        sys.timing.cycles_fp(),
+        "cycle attribution must partition exactly"
+    );
 }
 
 #[test]
