@@ -8,16 +8,18 @@
 //! Results go to `target/figures/micro_engine.metrics.json` and a CSV.
 //! The repo root carries `BENCH_engine.json`, the checked-in baseline;
 //! with `CDVM_BENCH_CHECK=1` the bench exits non-zero when the aggregate
-//! ns/guest-inst regresses more than 15% against that baseline (the CI
-//! smoke job; a ratchet — refresh the baseline downward after engine
-//! speedups with `CDVM_BENCH_WRITE_BASELINE=1` so the gate tracks the
-//! best measured state, never a stale slower one; the margin covers
-//! observed ~10% run-to-run noise on shared CI hosts, nothing more).
+//! ns/guest-inst — or any single lane — regresses more than 15% against
+//! that baseline (the CI smoke job; a ratchet — refresh the baseline
+//! downward after engine speedups with `CDVM_BENCH_WRITE_BASELINE=1` so
+//! the gate tracks the best measured state, never a stale slower one;
+//! the margin covers observed ~10% run-to-run noise on shared CI hosts,
+//! nothing more). Gated runs also append one record per commit to the
+//! repo-root `BENCH_history.jsonl`, the long-term series CI archives.
 
 #![allow(clippy::unwrap_used, clippy::panic)]
 use std::time::Instant;
 
-use cdvm_bench::{banner, bench_check_enabled, emit_metrics_with, write_artifact};
+use cdvm_bench::{append_bench_history, banner, bench_check_enabled, emit_metrics_with, write_artifact};
 use cdvm_core::{Status, System};
 use cdvm_stats::Metrics;
 use cdvm_uarch::{MachineConfig, MachineKind};
@@ -160,6 +162,19 @@ fn main() {
         return;
     }
 
+    if bench_check_enabled() {
+        // One history record per gated run: the per-commit series CI
+        // archives so engine-speed trends survive baseline rewrites.
+        let mut fields: Vec<(String, f64)> = lanes
+            .iter()
+            .map(|l| (format!("{}_ns_per_inst", l.name), l.ns_per_inst))
+            .collect();
+        fields.push(("ns_per_inst_aggregate".to_string(), aggregate));
+        let borrowed: Vec<(&str, f64)> =
+            fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        append_bench_history("micro_engine", &borrowed);
+    }
+
     match std::fs::read_to_string(&path) {
         Ok(text) => {
             let base = baseline_value(&text, "ns_per_inst_aggregate")
@@ -168,12 +183,42 @@ fn main() {
             println!(
                 "baseline aggregate: {base:.2} ns/guest-inst (current/baseline = {ratio:.2}x)"
             );
-            if bench_check_enabled() && ratio > 1.15 {
+            let mut failures = 0u32;
+            if ratio > 1.15 {
+                failures += 1;
                 eprintln!(
-                    "FAIL: {aggregate:.2} ns/guest-inst is a {:.0}% regression over the \
-                     checked-in baseline {base:.2}",
+                    "FAIL: aggregate {aggregate:.2} ns/guest-inst is a {:.0}% regression over \
+                     the checked-in baseline {base:.2}",
                     (ratio - 1.0) * 100.0
                 );
+            }
+            // Per-lane ratchet, same 15% noise margin: the aggregate is
+            // instruction-weighted, so a big regression in a short lane
+            // (ref_superscalar is a tenth of the mix) can hide behind an
+            // improvement elsewhere — each lane must hold its own line.
+            for l in &lanes {
+                let key = format!("{}_ns_per_inst", l.name);
+                let Some(lane_base) = baseline_value(&text, &key) else {
+                    println!("[gate] no per-lane baseline {key} (pre-refresh file); skipped");
+                    continue;
+                };
+                let lane_ratio = l.ns_per_inst / lane_base;
+                println!(
+                    "baseline {:<24} {lane_base:>8.2} ns/inst (current/baseline = {lane_ratio:.2}x)",
+                    l.name
+                );
+                if lane_ratio > 1.15 {
+                    failures += 1;
+                    eprintln!(
+                        "FAIL: lane {} at {:.2} ns/inst is a {:.0}% regression over its \
+                         baseline {lane_base:.2}",
+                        l.name,
+                        l.ns_per_inst,
+                        (lane_ratio - 1.0) * 100.0
+                    );
+                }
+            }
+            if bench_check_enabled() && failures > 0 {
                 std::process::exit(1);
             }
         }

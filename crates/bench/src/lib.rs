@@ -10,7 +10,7 @@
 //! paper's 100M/500M-instruction traces; set `CDVM_SCALE=1.0` for
 //! full-length runs).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use cdvm_core::trace::DEFAULT_TRACE_CAPACITY;
 use cdvm_core::vm::TransKind;
@@ -376,6 +376,63 @@ fn parse_bench_check(raw: Option<&str>) -> bool {
             false
         }
     }
+}
+
+/// Appends one JSON line to the repo-root `BENCH_history.jsonl`,
+/// stamping the current commit and wall-clock time next to the run's
+/// numbers. Benches call this only from their `CDVM_BENCH_CHECK` gate
+/// path, so the file accumulates exactly one record per gated bench per
+/// commit — a per-commit time series CI can archive as an artifact,
+/// while ungated local runs (profiling, experiments) leave no residue.
+///
+/// Best-effort by design: a bench must never fail because history could
+/// not be written (read-only checkout, missing `.git`), so errors are
+/// reported to stderr and swallowed.
+pub fn append_bench_history(bench: &str, fields: &[(&str, f64)]) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let commit = git_head_sha(&root).unwrap_or_else(|| "unknown".to_string());
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = format!("{{\"bench\":\"{bench}\",\"commit\":\"{commit}\",\"unix_time\":{unix_time}");
+    for (key, value) in fields {
+        line.push_str(&format!(",\"{key}\":{value:.4}"));
+    }
+    line.push_str("}\n");
+    let path = root.join("BENCH_history.jsonl");
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match res {
+        Ok(()) => println!("[history] appended to {}", path.display()),
+        Err(e) => eprintln!("cdvm: could not append {}: {e}", path.display()),
+    }
+}
+
+/// Resolves the repository's current commit hash by reading the `.git`
+/// metadata directly (no `git` subprocess, no library dependency):
+/// `HEAD` either holds the hash (detached) or names a ref, which lives
+/// as a loose file or a `packed-refs` line.
+fn git_head_sha(root: &Path) -> Option<String> {
+    let git = root.join(".git");
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        return (head.len() == 40 && head.bytes().all(|b| b.is_ascii_hexdigit()))
+            .then(|| head.to_string());
+    };
+    if let Ok(sha) = std::fs::read_to_string(git.join(refname)) {
+        return Some(sha.trim().to_string());
+    }
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    packed.lines().find_map(|l| {
+        l.strip_suffix(refname)
+            .map(|sha| sha.trim().to_string())
+            .filter(|sha| sha.len() == 40)
+    })
 }
 
 /// Arms the standard bench telemetry stack (event trace + flight

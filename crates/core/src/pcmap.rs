@@ -101,6 +101,7 @@ impl PcMap {
     /// and credit counters, and a counter that wrapped past the maximum
     /// would read as cold again — a long-running hot block would silently
     /// lose its promotion eligibility.
+    #[inline]
     pub fn add(&mut self, key: u32, delta: u32) -> u32 {
         assert_ne!(key, 0, "key 0 is reserved");
         if (self.len + 1) * 4 > self.keys.len() * 3 {

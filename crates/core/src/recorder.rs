@@ -691,6 +691,10 @@ pub fn render_chrome(
                     args.set("error", error.to_string());
                     ct.instant_args(pid, 1, "restore_failed", "restore", ts, &args);
                 }
+                TraceEvent::UncrackableInst { pc } => {
+                    args.set("pc", u64::from(pc));
+                    ct.instant_args(pid, 1, "uncrackable_inst", "decode", ts, &args);
+                }
                 TraceEvent::JobFailed {
                     app,
                     machine,

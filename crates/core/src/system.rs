@@ -101,6 +101,12 @@ pub struct SystemStats {
     pub inexact_fault_recoveries: u64,
     /// Resource watchdogs that tripped (at most one per run).
     pub watchdog_trips: u64,
+    /// x86-mode instructions whose dispatch-slot demand fell back to one
+    /// slot because the cracker has no rule for them. A timing-model
+    /// blind spot, not an execution error: the instruction already
+    /// retired architecturally. The first occurrence also emits a
+    /// [`TraceEvent::UncrackableInst`].
+    pub uncrackable_insts: u64,
     /// Warm-image restores applied (fully or degraded).
     pub restores: u64,
     /// Sections dropped by corruption-tolerant salvage across restores.
@@ -568,33 +574,278 @@ impl System {
         None
     }
 
-    /// Cracked micro-op count of the instruction at `pc` (the hardware
-    /// decoder's dispatch-slot demand). An uncrackable instruction (it
-    /// already executed architecturally, so this is timing-only) counts
-    /// as one slot.
-    fn uop_count_for(&mut self, pc: u32, inst: &cdvm_x86::Inst) -> u32 {
-        if let Some(n) = self.decode_uops.get(pc) {
-            return n;
-        }
-        let n = crack(inst, pc)
-            .map(|c| (c.uops.len() as u32 + c.cti.is_some() as u32).max(1))
-            .unwrap_or(1);
-        self.decode_uops.insert(pc, n);
-        n
-    }
-
-    /// X86-mode (or interpreted) instructions, batched: as long as a
-    /// step leaves the mode in x86 and trips nothing, the only state the
-    /// outer `run_slice` loop inspects between steps is `x86_retired`,
-    /// so the loop stays here with the goal and watchdog checks inlined
-    /// at the same sequence points (goal first, then watchdogs). Mode
-    /// switches, trips, halts, and faults return to `run_slice`.
+    /// X86-mode (or interpreted) instructions, batched like
+    /// [`System::step_native`]: the per-instruction loop lives inside
+    /// [`Interp::step_batch`] and the retire closure here inlines into
+    /// it, touching only disjoint pre-split fields
+    /// (timing/stats/profilers/VM) while it runs. The batch ends — with
+    /// a structured reason — on exactly the events that need `&mut
+    /// System`: halts, faults, hot detection firing (`sbt_translate`),
+    /// translation-table hits (`enter_native`), VMM dispatches out of
+    /// demoted regions, the retire goal, and watchdog sequence points.
+    ///
+    /// Observation-equivalence to the old one-instruction-at-a-time
+    /// loop: the goal and watchdog checks run per retirement in the same
+    /// order as before (goal first, then fuel, then translations — and
+    /// translation counts cannot change inside a batch), the phase and
+    /// category are constant across the whole batch so hoisting
+    /// `set_phase`/`set_category` out of the loop is exact, and REP
+    /// iterations keep their mid-iteration non-retirement semantics.
     fn step_x86(&mut self, goal: u64) -> Status {
+        // Why the batch loop ends.
+        enum X86End {
+            Fault(Fault),
+            Halt,
+            Goal,
+            Watchdog(Watchdog),
+            /// Hot detection fired at a taken branch: the driver runs
+            /// `sbt_translate(hot_pc)` and then resolves the branch
+            /// target exactly like the unbatched tail did.
+            Hot { hot_pc: u32, next_pc: u32 },
+            /// The branch target already has a translation.
+            Enter { native: NativePc, next_pc: u32 },
+            /// VM.soft/VM.be control transfer out of a demoted region
+            /// goes back through the VMM dispatcher.
+            Dispatch { target: u32 },
+        }
+        // VM.soft/VM.be have no x86-mode hardware path: when a demoted
+        // block forces them into x86-mode they pay interpreter timing.
+        let interp_tier = matches!(
+            self.kind,
+            MachineKind::VmInterp | MachineKind::VmSoft | MachineKind::VmBe
+        );
         loop {
-            match self.step_x86_one() {
-                Status::Running => {}
-                other => return other,
+            // Nothing inside the batch changes phase or category, so the
+            // telescoping set_phase runs once per batch, not per inst.
+            if interp_tier {
+                self.set_phase(Phase::Interp);
+                self.timing.set_category(CycleCat::InterpEmu);
+            } else {
+                self.set_phase(Phase::X86Mode);
+                self.timing.set_category(CycleCat::X86Mode);
             }
+            let end = {
+                let timing = &mut self.timing;
+                let stats = &mut self.stats;
+                let x86_retired = &mut self.x86_retired;
+                let decode_uops = &mut self.decode_uops;
+                let mut vm = self.vm.as_mut();
+                let mut bbb = self.bbb.as_mut();
+                let interp_counters = &mut self.interp_counters;
+                let demoted = &self.demoted;
+                let kind = self.kind;
+                let interp_hot_threshold = self.cfg.interp_hot_threshold;
+                let watchdog_fuel = self.watchdog_fuel;
+                let watchdog_max_translations = self.watchdog_max_translations;
+                let mut end = None;
+                // Batch-constant stop conditions (same folding as
+                // `step_native`): goal and the fuel watchdog share the
+                // `x86_retired` threshold compare, and translation
+                // counts only change between batches (hot detection
+                // ends the batch before translating), so that watchdog
+                // either fires on the first retirement or not at all.
+                let stop_at = goal.min(watchdog_fuel.unwrap_or(u64::MAX));
+                let translations_hit = watchdog_max_translations.is_some_and(|limit| {
+                    vm.as_deref()
+                        .is_some_and(|vm| vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit)
+                });
+                // Interp-tier charges fold into one locally-accumulated
+                // `Cycles`, paid after the batch (the category stays
+                // `InterpEmu` throughout and nothing in the loop reads
+                // the cycle counters; saturating fixed-point addition is
+                // associative, so the folded charge is bit-identical).
+                let mut pending_raw = 0u64;
+                let res = self.interp.step_batch(
+                    &mut self.cpu,
+                    &mut self.mem,
+                    &mut |r, uop_memo| {
+                        // A REP string instruction retires once
+                        // architecturally; its iterations are microcode
+                        // (each still pays its timing below).
+                        let mid_rep_iteration = r.inst.rep && r.next_pc == r.pc;
+                        if interp_tier {
+                            pending_raw += timing.charge_interp_inst_cost(r).raw();
+                            if !mid_rep_iteration {
+                                stats.interp_retired += 1;
+                            }
+                        } else {
+                            // Dispatch-slot demand of the instruction
+                            // (the hardware decoder's crack width),
+                            // memoized in the decoded-inst arena: one
+                            // fill per decoded instruction per decoder
+                            // generation, then a direct-indexed read.
+                            let uops = match *uop_memo {
+                                0 => {
+                                    let n = match decode_uops.get(r.pc) {
+                                        Some(n) => n,
+                                        None => {
+                                            let n = match crack(&r.inst, r.pc) {
+                                                Ok(c) => (c.uops.len() as u32
+                                                    + u32::from(c.cti.is_some()))
+                                                .max(1),
+                                                Err(_) => {
+                                                    // Timing blind spot: it
+                                                    // executed architecturally
+                                                    // but has no crack rule.
+                                                    stats.uncrackable_insts += 1;
+                                                    if stats.uncrackable_insts == 1 {
+                                                        if let Some(vm) = vm.as_deref_mut() {
+                                                            vm.trace.record(
+                                                                TraceEvent::UncrackableInst {
+                                                                    pc: r.pc,
+                                                                },
+                                                            );
+                                                        }
+                                                    }
+                                                    1
+                                                }
+                                            };
+                                            decode_uops.insert(r.pc, n);
+                                            n
+                                        }
+                                    };
+                                    *uop_memo = n;
+                                    n
+                                }
+                                n => n,
+                            };
+                            timing.retire_x86(r, uops);
+                            if !mid_rep_iteration {
+                                stats.x86_mode_retired += 1;
+                            }
+                        }
+                        if !mid_rep_iteration {
+                            *x86_retired += 1;
+                        }
+                        if r.halted {
+                            end = Some(X86End::Halt);
+                            return false;
+                        }
+
+                        // Profile + hotspot detection + mode switching
+                        // (VM machines). `r.next_pc` is the architected
+                        // EIP after this instruction.
+                        if let Some(b) = r.branch {
+                            if let Some(vm) = vm.as_deref_mut() {
+                                match b.kind {
+                                    BranchKind::Conditional => vm.edges.observe_cond(r.pc, b.taken),
+                                    BranchKind::Indirect | BranchKind::Return => {
+                                        vm.edges.observe_indirect(r.pc, b.target)
+                                    }
+                                    _ => {}
+                                }
+                                // Hot detection.
+                                let mut hot: Option<u32> = None;
+                                if let Some(bbb) = bbb.as_deref_mut() {
+                                    if b.taken {
+                                        hot = bbb.observe_taken(b.target);
+                                    }
+                                } else if kind == MachineKind::VmInterp
+                                    && b.taken
+                                    && interp_counters.bump(b.target) == interp_hot_threshold
+                                {
+                                    hot = Some(b.target);
+                                }
+                                if let Some(hot_pc) = hot {
+                                    // Translation needs `&mut System`.
+                                    end = Some(X86End::Hot {
+                                        hot_pc,
+                                        next_pc: r.next_pc,
+                                    });
+                                    return false;
+                                }
+                                // Enter optimized code when the target
+                                // has a translation.
+                                if let Some(native) = vm.lookup(r.next_pc) {
+                                    end = Some(X86End::Enter {
+                                        native,
+                                        next_pc: r.next_pc,
+                                    });
+                                    return false;
+                                }
+                                if matches!(kind, MachineKind::VmSoft | MachineKind::VmBe)
+                                    && !demoted.contains(r.next_pc)
+                                {
+                                    // These machines interpret only
+                                    // demoted blocks, so a control
+                                    // transfer out of one goes back
+                                    // through the VMM: translatable
+                                    // successors rejoin BBT execution.
+                                    end = Some(X86End::Dispatch { target: r.next_pc });
+                                    return false;
+                                }
+                            }
+                        }
+                        // Same sequence the unbatched loop ran between
+                        // steps: goal first, then watchdogs
+                        // (check_watchdogs inlined — it only reads).
+                        if *x86_retired >= stop_at || translations_hit {
+                            // Cold path: re-derive which condition
+                            // tripped, in the original check order.
+                            end = Some(if *x86_retired >= goal {
+                                X86End::Goal
+                            } else if let Some(limit) =
+                                watchdog_fuel.filter(|&limit| *x86_retired >= limit)
+                            {
+                                X86End::Watchdog(Watchdog::Fuel { limit })
+                            } else {
+                                let limit = watchdog_max_translations
+                                    .expect("only the translation watchdog is left");
+                                X86End::Watchdog(Watchdog::Translations { limit })
+                            });
+                            return false;
+                        }
+                        true
+                    },
+                );
+                timing.charge_cycles(Cycles::from_raw(pending_raw));
+                match res {
+                    Err(f) => X86End::Fault(f),
+                    Ok(()) => end.expect("step_batch stopped without a recorded end"),
+                }
+            };
+            match end {
+                X86End::Fault(f) => return Status::Faulted(f),
+                X86End::Halt => {
+                    self.halted = true;
+                    return Status::Halted;
+                }
+                X86End::Goal => return Status::Running,
+                X86End::Watchdog(w) => return self.trip(w),
+                X86End::Hot { hot_pc, next_pc } => {
+                    self.sbt_translate(hot_pc);
+                    // The unbatched branch tail, resumed after the
+                    // translation: enter the (possibly fresh) optimized
+                    // code, or bounce through the VMM dispatcher.
+                    let native = self.vm.as_mut().and_then(|vm| vm.lookup(next_pc));
+                    if let Some(native) = native {
+                        self.set_phase(Phase::Vmm);
+                        self.timing.set_category(CycleCat::Vmm);
+                        self.timing.charge_vmm_instrs(6); // jump-table dispatch
+                        self.enter_native(native.0, next_pc);
+                    } else if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe)
+                        && !self.demoted.contains(next_pc)
+                    {
+                        self.set_phase(Phase::Vmm);
+                        self.timing.set_category(CycleCat::Vmm);
+                        self.timing.charge_vmm_instrs(20);
+                        self.dispatch_to(next_pc);
+                    }
+                }
+                X86End::Enter { native, next_pc } => {
+                    self.set_phase(Phase::Vmm);
+                    self.timing.set_category(CycleCat::Vmm);
+                    self.timing.charge_vmm_instrs(6); // jump-table dispatch
+                    self.enter_native(native.0, next_pc);
+                }
+                X86End::Dispatch { target } => {
+                    self.set_phase(Phase::Vmm);
+                    self.timing.set_category(CycleCat::Vmm);
+                    self.timing.charge_vmm_instrs(20);
+                    self.dispatch_to(target);
+                }
+            }
+            // The unbatched loop's inter-step checks, in the same order.
             if self.mode != Mode::X86 || self.tripped.is_some() {
                 return Status::Running;
             }
@@ -605,94 +856,6 @@ impl System {
                 return self.trip(w);
             }
         }
-    }
-
-    /// One x86-mode (or interpreted) instruction.
-    fn step_x86_one(&mut self) -> Status {
-        let r = match self.interp.step(&mut self.cpu, &mut self.mem) {
-            Ok(r) => r,
-            Err(f) => return Status::Faulted(f),
-        };
-        // VM.soft/VM.be have no x86-mode hardware path: when a demoted
-        // block forces them into x86-mode they pay interpreter timing.
-        let interp_tier = matches!(
-            self.kind,
-            MachineKind::VmInterp | MachineKind::VmSoft | MachineKind::VmBe
-        );
-        // A REP string instruction retires once architecturally; its
-        // iterations are microcode (each still pays its timing below).
-        let mid_rep_iteration = r.inst.rep && r.next_pc == r.pc;
-        if interp_tier {
-            self.set_phase(Phase::Interp);
-            self.timing.set_category(CycleCat::InterpEmu);
-            self.timing.charge_interp_inst(&r);
-            if !mid_rep_iteration {
-                self.stats.interp_retired += 1;
-            }
-        } else {
-            self.set_phase(Phase::X86Mode);
-            self.timing.set_category(CycleCat::X86Mode);
-            let uops = self.uop_count_for(r.pc, &r.inst);
-            self.timing.retire_x86(&r, uops);
-            if !mid_rep_iteration {
-                self.stats.x86_mode_retired += 1;
-            }
-        }
-        if !mid_rep_iteration {
-            self.x86_retired += 1;
-        }
-        if r.halted {
-            self.halted = true;
-            return Status::Halted;
-        }
-
-        // Profile + hotspot detection + mode switching (VM machines).
-        if let Some(b) = r.branch {
-            if self.vm.is_some() {
-                let vm = self.vm.as_mut().expect("checked above");
-                match b.kind {
-                    BranchKind::Conditional => vm.edges.observe_cond(r.pc, b.taken),
-                    BranchKind::Indirect | BranchKind::Return => {
-                        vm.edges.observe_indirect(r.pc, b.target)
-                    }
-                    _ => {}
-                }
-                // Hot detection.
-                let mut hot: Option<u32> = None;
-                if let Some(bbb) = self.bbb.as_mut() {
-                    if b.taken {
-                        hot = bbb.observe_taken(b.target);
-                    }
-                } else if self.kind == MachineKind::VmInterp && b.taken {
-                    if self.interp_counters.bump(b.target) == self.cfg.interp_hot_threshold {
-                        hot = Some(b.target);
-                    }
-                }
-                if let Some(hot_pc) = hot {
-                    self.sbt_translate(hot_pc);
-                }
-                // Enter optimized code when the target has a translation.
-                let vm = self.vm.as_mut().expect("checked above");
-                if let Some(native) = vm.lookup(self.cpu.eip) {
-                    self.set_phase(Phase::Vmm);
-                    self.timing.set_category(CycleCat::Vmm);
-                    self.timing.charge_vmm_instrs(6); // jump-table dispatch
-                    self.enter_native(native.0, self.cpu.eip);
-                } else if matches!(self.kind, MachineKind::VmSoft | MachineKind::VmBe)
-                    && !self.demoted.contains(self.cpu.eip)
-                {
-                    // These machines interpret only demoted blocks, so a
-                    // control transfer out of one goes back through the
-                    // VMM: translatable successors rejoin BBT execution.
-                    self.set_phase(Phase::Vmm);
-                    self.timing.set_category(CycleCat::Vmm);
-                    self.timing.charge_vmm_instrs(20);
-                    let target = self.cpu.eip;
-                    self.dispatch_to(target);
-                }
-            }
-        }
-        Status::Running
     }
 
     fn enter_native(&mut self, native_pc: u32, x86_entry: u32) {
@@ -753,6 +916,25 @@ impl System {
             let watchdog_fuel = self.watchdog_fuel;
             let watchdog_max_translations = self.watchdog_max_translations;
             let mut end = None;
+            // Batch-constant stop conditions, folded to one compare per
+            // credited retirement: the goal and the fuel watchdog are
+            // both thresholds on `x86_retired`, and the translation
+            // count cannot change inside a native batch (translation
+            // runs only between batches), so that watchdog either fires
+            // at the first credited retirement or not at all. The
+            // original goal -> fuel -> translations order is re-derived
+            // on the cold trigger path.
+            let stop_at = goal.min(watchdog_fuel.unwrap_or(u64::MAX));
+            let translations_hit = watchdog_max_translations
+                .is_some_and(|limit| vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit);
+            // The accumulator works on raw Q44.20 bits with plain
+            // adds: each per-uop charge is far below 2^32 raw and a
+            // batch retires far fewer than 2^31 micro-ops, so the sum
+            // cannot reach the saturation point and is bit-identical
+            // to the saturating chain (the final `charge_cycles` still
+            // saturates into the counters).
+            let mut pending_raw = 0u64;
+            let mut pending_in_sbt = true;
             let res = self.exec.step_batch(
                 &mut self.nstate,
                 &mut self.mem,
@@ -760,12 +942,17 @@ impl System {
                 None,
                 &mut |r| {
                     let in_sbt = r.pc >= sbt_base;
-                    timing.set_category(if in_sbt {
-                        CycleCat::SbtEmu
-                    } else {
-                        CycleCat::BbtEmu
-                    });
-                    timing.retire_uop(r);
+                    if in_sbt != pending_in_sbt {
+                        timing.set_category(if pending_in_sbt {
+                            CycleCat::SbtEmu
+                        } else {
+                            CycleCat::BbtEmu
+                        });
+                        timing.charge_cycles(Cycles::from_raw(pending_raw));
+                        pending_raw = 0;
+                        pending_in_sbt = in_sbt;
+                    }
+                    pending_raw += timing.retire_uop_cost(r).raw();
                     let credit = vm.credit_at(r.pc);
                     if credit > 0 {
                         *x86_retired += credit as u64;
@@ -777,30 +964,22 @@ impl System {
                     }
                     match r.exit {
                         None => {
-                            if credit > 0 {
-                                // Same sequence the outer loop runs between
-                                // steps: goal first, then watchdogs
-                                // (check_watchdogs inlined — it only reads).
-                                if *x86_retired >= goal {
-                                    end = Some(BatchEnd::Goal);
-                                    return false;
-                                }
-                                if let Some(limit) = watchdog_fuel {
-                                    if *x86_retired >= limit {
-                                        end = Some(BatchEnd::Watchdog(Watchdog::Fuel { limit }));
-                                        return false;
-                                    }
-                                }
-                                if let Some(limit) = watchdog_max_translations {
-                                    if vm.stats.bbt_blocks + vm.stats.sbt_superblocks >= limit {
-                                        end = Some(BatchEnd::Watchdog(Watchdog::Translations {
-                                            limit,
-                                        }));
-                                        return false;
-                                    }
-                                }
+                            if credit > 0 && (*x86_retired >= stop_at || translations_hit) {
+                                // Cold path: re-derive which condition
+                                // tripped, in the original check order.
+                                end = Some(if *x86_retired >= goal {
+                                    BatchEnd::Goal
+                                } else if let Some(limit) =
+                                    watchdog_fuel.filter(|&limit| *x86_retired >= limit)
+                                {
+                                    BatchEnd::Watchdog(Watchdog::Fuel { limit })
+                                } else {
+                                    let limit = watchdog_max_translations
+                                        .expect("only the translation watchdog is left");
+                                    BatchEnd::Watchdog(Watchdog::Translations { limit })
+                                });
+                                return false;
                             }
-                            // Otherwise: keep executing micro-ops.
                             true
                         }
                         Some(NExit::Halt) => {
@@ -814,6 +993,12 @@ impl System {
                     }
                 },
             );
+            timing.set_category(if pending_in_sbt {
+                CycleCat::SbtEmu
+            } else {
+                CycleCat::BbtEmu
+            });
+            timing.charge_cycles(Cycles::from_raw(pending_raw));
             match res {
                 Err(f) => BatchEnd::Fault(f),
                 Ok(()) => end.expect("step_batch stopped without a recorded end"),

@@ -189,6 +189,16 @@ pub enum TraceEvent {
         /// Why the image was rejected.
         error: crate::error::RestoreError,
     },
+    /// The x86-mode timing path met an instruction the cracker has no
+    /// rule for and fell back to charging one dispatch slot. Emitted
+    /// once per run (the first occurrence; `stats.uncrackable_insts`
+    /// counts them all) so the timing-model blind spot is visible
+    /// instead of silent. Execution itself is unaffected — the
+    /// instruction already retired architecturally.
+    UncrackableInst {
+        /// Address of the first uncrackable instruction.
+        pc: u32,
+    },
     /// A harness- or service-level job ended in failure (panicked worker
     /// closure, retries exhausted). Recorded by the batch harness and the
     /// serve scheduler rather than by the VM itself; the free-form
@@ -256,6 +266,9 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::RestoreFailed { error } => {
                 write!(f, "restore-fail   {error}")
             }
+            TraceEvent::UncrackableInst { pc } => {
+                write!(f, "uncrackable    pc={pc:#010x}")
+            }
             TraceEvent::JobFailed {
                 app,
                 machine,
@@ -281,6 +294,7 @@ impl TraceEvent {
             TraceEvent::FaultRecovered { .. } => "fault_recovered",
             TraceEvent::RestoreApplied { .. } => "restore_applied",
             TraceEvent::RestoreFailed { .. } => "restore_failed",
+            TraceEvent::UncrackableInst { .. } => "uncrackable_inst",
             TraceEvent::JobFailed { .. } => "job_failed",
         }
     }

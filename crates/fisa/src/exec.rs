@@ -5,7 +5,7 @@ use cdvm_x86::{alu, AluOp, BranchKind, Flags, MemAccess, ShiftOp, Width};
 
 use crate::encoding;
 use crate::regs;
-use crate::uop::{ExitCode, Op, SysOp, Uop};
+use crate::uop::{ExitCode, Op, SysOp, Uop, UopMeta};
 use crate::xlt::XltAssist;
 use crate::NativeState;
 
@@ -99,6 +99,8 @@ pub struct NRetired {
     pub len: u8,
     /// The micro-op itself (fusible bit ⇒ head of a macro-op pair).
     pub uop: Uop,
+    /// Decode-time static classification of `uop`.
+    pub meta: UopMeta,
     /// Data memory access, if any.
     pub mem: Option<MemAccess>,
     /// Branch outcome, if this was a control transfer.
@@ -289,7 +291,11 @@ fn ends_run(op: &Op) -> bool {
 /// and [`Executor::invalidate_at`] for every patched site.
 pub struct Executor {
     runs: RunMap,
-    dense: Vec<(Uop, u8)>,
+    // Each element carries the micro-op, its encoded length, and its
+    // decode-time [`UopMeta`] so the timing model's retire path reads
+    // precomputed classification bits instead of re-running opcode
+    // matches on every retirement.
+    dense: Vec<(Uop, u8, UopMeta)>,
     // Cursor over the run currently executing: `dense[cur_pos]` is the
     // next micro-op iff the machine's PC equals `cur_pc` (a taken branch
     // or fault retry breaks the equality and falls back to the map).
@@ -374,10 +380,11 @@ impl Executor {
     /// caches the run, points the cursor past its first micro-op, and
     /// returns that first micro-op.
     #[inline(never)]
-    fn build_run(&mut self, code: &impl CodeSource, pc: u32) -> Result<(Uop, u8), NFault> {
+    fn build_run(&mut self, code: &impl CodeSource, pc: u32) -> Result<(Uop, u8, UopMeta), NFault> {
         let window = code.fetch_window(pc).ok_or(NFault::BadFetch { addr: pc })?;
-        let first =
+        let (fu, fl) =
             encoding::decode_one(&window, 0).map_err(|_| NFault::BadEncoding { addr: pc })?;
+        let first = (fu, fl, UopMeta::of(&fu));
         let start = self.dense.len();
         self.dense.push(first);
         let mut p = pc.wrapping_add(first.1 as u32);
@@ -391,7 +398,7 @@ impl Executor {
             let Ok((u, l)) = encoding::decode_one(&w, 0) else {
                 break;
             };
-            self.dense.push((u, l));
+            self.dense.push((u, l, UopMeta::of(&u)));
             p = p.wrapping_add(l as u32);
             last = u.op;
         }
@@ -471,7 +478,7 @@ impl Executor {
         mut xlt: Option<&mut dyn XltAssist>,
     ) -> Result<NRetired, NFault> {
         let pc = st.pc;
-        let (u, len) = if pc == self.cur_pc && self.cur_pos < self.cur_end {
+        let (u, len, meta) = if pc == self.cur_pc && self.cur_pos < self.cur_end {
             // Sequential: serve straight from the run cursor.
             let hit = self.dense[self.cur_pos];
             self.cur_pos += 1;
@@ -813,6 +820,7 @@ impl Executor {
             pc,
             len,
             uop: u,
+            meta,
             mem: mem_acc,
             branch,
             exit,

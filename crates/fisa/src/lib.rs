@@ -45,5 +45,5 @@ mod xlt;
 pub use exec::{CodeSource, Executor, NExit, NFault, NRetired};
 pub use fuse::{can_fuse, is_fusion_candidate, uop_dest, uop_sources};
 pub use state::NativeState;
-pub use uop::{ExitCode, Op, SysOp, Uop};
+pub use uop::{ExitCode, Op, SysOp, Uop, UopMeta};
 pub use xlt::{Csr, XltAssist, XltOutcome};

@@ -287,7 +287,69 @@ pub struct Uop {
     pub fusible: bool,
 }
 
+
+/// Decode-time static classification of a micro-op: properties the
+/// timing model consults on every retirement that depend only on the
+/// encoding. Executors compute this once per decoded micro-op and carry
+/// it alongside the cached run, so the retire hot path reads two packed
+/// bits instead of re-running opcode matches per micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UopMeta(u8);
+
+impl UopMeta {
+    /// Latency class for plain single-cycle micro-ops.
+    pub const LAT_NONE: usize = 0;
+    /// Multiply-family long-latency micro-ops.
+    pub const LAT_LONG: usize = 1;
+    /// Divide-family micro-ops.
+    pub const LAT_DIV: usize = 2;
+    /// The XLT translation-assist micro-op.
+    pub const LAT_XLT: usize = 3;
+
+    /// Classifies `u`.
+    pub fn of(u: &Uop) -> UopMeta {
+        let lat = match u.op {
+            Op::MulLo | Op::MulHiU | Op::MulHiS => Self::LAT_LONG,
+            Op::DivQ | Op::DivR | Op::IDivQ | Op::IDivR => Self::LAT_DIV,
+            Op::Xlt => Self::LAT_XLT,
+            _ => Self::LAT_NONE,
+        } as u8;
+        UopMeta(lat | u8::from(u.is_vmm_bookkeeping()) << 2)
+    }
+
+    /// Latency class (`LAT_*`), always in `0..4`.
+    #[inline]
+    pub fn latency_class(self) -> usize {
+        usize::from(self.0 & 3)
+    }
+
+    /// Whether the micro-op is VMM bookkeeping glue
+    /// ([`Uop::is_vmm_bookkeeping`]).
+    #[inline]
+    pub fn vmm_bookkeeping(self) -> bool {
+        self.0 & 4 != 0
+    }
+}
+
 impl Uop {
+    /// True for micro-ops that only touch VMM-reserved registers
+    /// (R16–R23): translation-system glue, not guest computation. A
+    /// static property of the encoding, so executors may compute it
+    /// once at decode time and carry it alongside the micro-op.
+    #[inline]
+    pub fn is_vmm_bookkeeping(&self) -> bool {
+        let vmm = |r: u8| r.wrapping_sub(16) < 8;
+        let src2_ok = self.rs2 == regs::VMM_SP || vmm(self.rs2);
+        match self.op {
+            Op::Limm | Op::Limmh => vmm(self.rd),
+            Op::Bnz | Op::Bz => vmm(self.rs1),
+            Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Shr | Op::Shl | Op::Mov => {
+                vmm(self.rd) && vmm(self.rs1) && src2_ok
+            }
+            _ => false,
+        }
+    }
+
     /// A register-register ALU micro-op (no flags).
     pub fn alu(op: Op, rd: u8, rs1: u8, rs2: u8) -> Uop {
         Uop {

@@ -173,16 +173,20 @@ pub struct GuestMem {
     tc_epoch: [u64; PCACHE_WAYS],
 }
 
-/// Ways in the page-translation cache, direct-mapped by the low page-index
-/// bits. One entry covers straight-line fetch, but the translated-code hot
-/// loop interleaves stack traffic, profiling-counter stores
-/// (`0xc000_0000…`), dispatch-sieve probes (`0xd000_0000…`) and guest
-/// data — four ways keep those from evicting each other every block.
-const PCACHE_WAYS: usize = 4;
+/// Ways in the page-translation cache. One entry covers straight-line
+/// fetch, but the translated-code hot loop interleaves stack traffic,
+/// profiling-counter stores (`0xc000_0000…`), dispatch-sieve probes
+/// (`0xd000_0000…`) and guest data — eight ways keep those from evicting
+/// each other every block.
+const PCACHE_WAYS: usize = 8;
 
+/// Way selection folds the high page-index bits in: the VMM's reserved
+/// regions sit at page indices like `0xc0000`/`0xd0000` whose low bits
+/// are all zero, so indexing by the low bits alone would park every
+/// reserved-region page in way 0.
 #[inline]
 fn tc_way(page_idx: u32) -> usize {
-    (page_idx as usize) & (PCACHE_WAYS - 1)
+    ((page_idx ^ (page_idx >> 16)) as usize) & (PCACHE_WAYS - 1)
 }
 
 // SAFETY: each `tc_ptr` way targets either the immutable `ZERO_PAGE` or a

@@ -43,22 +43,32 @@ impl CacheStats {
 /// One set-associative cache level.
 ///
 /// Timing-only: stores tags, not data (the functional engines own the
-/// data). Replacement is true LRU via per-line timestamps.
+/// data). Replacement is true LRU, encoded as a per-line recency rank
+/// (0 = MRU .. ways-1 = LRU): ranks carry exactly the same total order
+/// as unique timestamps, so victims and miss counts are identical,
+/// without a monotonically growing clock.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     tags: Vec<u32>,
-    lru: Vec<u64>,
+    rank: Vec<u8>,
     // Most-recently-used way per set, a pure memo: the interleaved access
     // streams the simulator produces (stack, counters, heap) land in
     // different sets, so each set's MRU way is stable and one tag compare
     // usually replaces the way scan. Never consulted for correctness —
     // a stale entry just falls through to the scan.
     mru: Vec<u8>,
-    tick: u64,
     stats: CacheStats,
     set_shift: u32,
     set_mask: u32,
+}
+
+/// Seeds ranks so that on a cold set way 0 is victimised first, matching
+/// the timestamp scheme's first-minimum tie-break.
+fn reset_ranks(rank: &mut [u8], ways: usize) {
+    for (k, r) in rank.iter_mut().enumerate() {
+        *r = (ways - 1 - k % ways) as u8;
+    }
 }
 
 const INVALID: u32 = u32::MAX;
@@ -73,12 +83,13 @@ impl Cache {
         let sets = config.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        let mut rank = vec![0u8; sets * config.ways];
+        reset_ranks(&mut rank, config.ways);
         Cache {
             config,
             tags: vec![INVALID; sets * config.ways],
-            lru: vec![0; sets * config.ways],
+            rank,
             mru: vec![0; sets],
-            tick: 0,
             stats: CacheStats::default(),
             set_shift: config.line.trailing_zeros(),
             set_mask: (sets - 1) as u32,
@@ -97,40 +108,57 @@ impl Cache {
 
     /// Accesses the line containing `addr`; returns `true` on hit.
     /// Misses allocate (write-allocate for stores).
+    #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
-        self.tick += 1;
         self.stats.accesses += 1;
         let line_addr = addr >> self.set_shift;
         let set = (line_addr & self.set_mask) as usize;
         let tag = line_addr;
         let base = set * self.config.ways;
-        // MRU fast path: one compare instead of the way scan.
+        // MRU fast path: the MRU way already has rank 0, so a repeat hit
+        // needs no state update at all — one compare, zero writes.
         let m = self.mru[set] as usize;
         if self.tags[base + m] == tag {
-            self.lru[base + m] = self.tick;
             return true;
         }
-        let ways = &self.tags[base..base + self.config.ways];
-        if let Some(i) = ways.iter().position(|&t| t == tag) {
-            self.lru[base + i] = self.tick;
+        self.access_scan(base, set, tag)
+    }
+
+    #[inline(never)]
+    fn access_scan(&mut self, base: usize, set: usize, tag: u32) -> bool {
+        let ways = self.config.ways;
+        if let Some(i) = self.tags[base..base + ways].iter().position(|&t| t == tag) {
+            self.promote(base, i);
             self.mru[set] = i as u8;
             return true;
         }
         self.stats.misses += 1;
-        // LRU victim.
-        let victim = (0..self.config.ways)
-            .min_by_key(|&i| self.lru[base + i])
-            .expect("a cache set has at least one way");
+        // LRU victim: the way with the maximal rank.
+        let victim = (0..ways)
+            .position(|w| usize::from(self.rank[base + w]) == ways - 1)
+            .expect("one way per set holds the LRU rank");
         self.tags[base + victim] = tag;
-        self.lru[base + victim] = self.tick;
+        self.promote(base, victim);
         self.mru[set] = victim as u8;
         false
+    }
+
+    /// Moves way `i` to rank 0, aging every way that was more recent.
+    #[inline]
+    fn promote(&mut self, base: usize, i: usize) {
+        let ways = self.config.ways;
+        let old = self.rank[base + i];
+        for r in &mut self.rank[base..base + ways] {
+            *r += u8::from(*r < old);
+        }
+        self.rank[base + i] = 0;
     }
 
     /// Invalidates everything (cold-start / context-switch modelling).
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);
-        self.lru.fill(0);
+        let ways = self.config.ways;
+        reset_ranks(&mut self.rank, ways);
     }
 }
 

@@ -84,6 +84,7 @@ impl Predictor {
     /// correctly (direction *and* target).
     ///
     /// `fall` is the fall-through address (pushed on the RAS for calls).
+    #[inline]
     pub fn observe(
         &mut self,
         pc: u32,
@@ -144,11 +145,13 @@ impl Predictor {
         ((pc >> 1) as usize) & ((1 << self.cfg.btb_bits) - 1)
     }
 
+    #[inline]
     fn btb_predict(&self, pc: u32) -> Option<u32> {
         let (tag, tgt) = self.btb[self.btb_index(pc)];
         (tag == pc).then_some(tgt)
     }
 
+    #[inline]
     fn btb_update(&mut self, pc: u32, target: u32) {
         let i = self.btb_index(pc);
         self.btb[i] = (pc, target);

@@ -75,23 +75,6 @@ const DIV_EXTRA: Cycles = Cycles::from_int(8);
 /// Extra partially-hidden latency of other long-latency micro-ops.
 const LONG_EXTRA: Cycles = Cycles::from_int(1);
 
-/// True for micro-ops that only touch VMM-reserved registers (R16–R23):
-/// translation-system glue, not guest computation.
-#[inline]
-fn is_vmm_bookkeeping(u: &cdvm_fisa::Uop) -> bool {
-    use cdvm_fisa::Op;
-    let vmm = |r: u8| r.wrapping_sub(16) < 8;
-    let src2_ok = |u: &cdvm_fisa::Uop| u.rs2 == cdvm_fisa::regs::VMM_SP || vmm(u.rs2);
-    match u.op {
-        Op::Limm | Op::Limmh => vmm(u.rd),
-        Op::Bnz | Op::Bz => vmm(u.rs1),
-        Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Shr | Op::Shl | Op::Mov => {
-            vmm(u.rd) && vmm(u.rs1) && src2_ok(u)
-        }
-        _ => false,
-    }
-}
-
 /// Cycle accounting for one simulated machine.
 #[derive(Debug)]
 pub struct Timing {
@@ -114,9 +97,15 @@ pub struct Timing {
     // rounded to the fixed-point grid exactly once here; the hot paths
     // below only ever do integer adds of these constants, which is what
     // makes cycle accumulation associative and batchable.
-    slot_cost_one: Cycles,
-    slot_cost_profiling: Cycles,
-    slot_cost_fused_half: Cycles,
+    // Combined slot-cost + long-latency-extra quanta, indexed by
+    // `latency_class * 4 + 2*profiling + half`. The slot dimension is
+    // [one, fused-half, profiling, profiling] (`2*profiling + half`;
+    // index 3 is unreachable but filled so the lookup never faults) and
+    // the latency dimension is the decode-time `UopMeta::latency_class`
+    // [none, mul-family, div-family, XLT]. Pre-summing the two charges
+    // lets `retire_uop` pick the whole static cost of a micro-op with
+    // one branch-free table load.
+    slot_long: [Cycles; 16],
     slot_cost_complex: Cycles,
     x86_slot_cost: [Cycles; SLOT_TABLE_LEN],
     /// Cost of one native VMM instruction (`1 / vmm_ipc`). Linear by
@@ -164,9 +153,25 @@ impl Timing {
             uops_retired: 0,
             fused_retired: 0,
             x86_mode_retired: 0,
-            slot_cost_one: Cycles::from_f64(1.0 / ew),
-            slot_cost_profiling: Cycles::from_f64(cfg.profiling_slot_cost / ew),
-            slot_cost_fused_half: Cycles::from_f64((cfg.fused_pair_slots / 2.0) / ew),
+            slot_long: {
+                let slot = [
+                    Cycles::from_f64(1.0 / ew),
+                    Cycles::from_f64((cfg.fused_pair_slots / 2.0) / ew),
+                    Cycles::from_f64(cfg.profiling_slot_cost / ew),
+                    Cycles::from_f64(cfg.profiling_slot_cost / ew),
+                ];
+                let long = [
+                    Cycles::ZERO,
+                    LONG_EXTRA,
+                    DIV_EXTRA,
+                    Cycles::from_int(u64::from(cfg.xlt_latency)),
+                ];
+                let mut t = [Cycles::ZERO; 16];
+                for (i, c) in t.iter_mut().enumerate() {
+                    *c = slot[i & 3] + long[i >> 2];
+                }
+                t
+            },
             slot_cost_complex: Cycles::from_f64(2.0 / ew),
             x86_slot_cost,
             vmm_instr_cost: Cycles::from_f64(1.0 / cfg.vmm_ipc),
@@ -269,28 +274,58 @@ impl Timing {
         self.cfg.width * self.cfg.util
     }
 
-    fn fetch(&mut self, pc: u32, len: u32) {
+    // The `*_cost` variants below return the stall instead of charging
+    // it, so the retire paths can accumulate one batch-local `Cycles`
+    // and pay `add`'s two read-modify-writes once per retirement instead
+    // of once per event. Saturating `u64` addition is associative, so
+    // the folded sum is bit-identical to charging each stall separately.
+
+    #[inline]
+    fn fetch_cost(&mut self, pc: u32, len: u32) -> Cycles {
+        let mut acc = Cycles::ZERO;
         let first = pc >> 6;
         let last = pc.wrapping_add(len.saturating_sub(1)) >> 6;
         if first != self.last_fetch_line {
             let cost = self.hier.fetch(pc);
             if cost.stall != 0 {
-                self.add(Cycles::from_int(u64::from(cost.stall)));
+                acc += Cycles::from_int(u64::from(cost.stall));
             }
         }
         if last != first {
             let cost = self.hier.fetch(pc.wrapping_add(len - 1));
             if cost.stall != 0 {
-                self.add(Cycles::from_int(u64::from(cost.stall)));
+                acc += Cycles::from_int(u64::from(cost.stall));
             }
         }
         self.last_fetch_line = last;
+        acc
     }
 
+    /// [`Timing::fetch_cost`] specialized to translated code: native
+    /// micro-ops are 2-byte aligned and 2 or 4 bytes long, so the only
+    /// line-crossing shape is a 4-byte micro-op starting at line offset
+    /// 62 — and on the dominant same-line path the tracked line is
+    /// already correct, so there is nothing to recompute or store.
+    #[inline]
+    fn fetch_cost_native(&mut self, pc: u32, len: u32) -> Cycles {
+        let first = pc >> 6;
+        if first == self.last_fetch_line && (len == 2 || pc & 63 != 62) {
+            return Cycles::ZERO;
+        }
+        self.fetch_cost(pc, len)
+    }
+
+    #[inline]
     fn data(&mut self, addr: u32) {
+        let c = self.data_cost(addr);
+        self.add(c);
+    }
+
+    #[inline]
+    fn data_cost(&mut self, addr: u32) -> Cycles {
         let cost = self.hier.data(addr);
         if cost.stall == 0 {
-            return;
+            return Cycles::ZERO;
         }
         // Memory-level parallelism: overlapped misses hide part of the
         // latency; long-latency memory misses overlap less at startup.
@@ -300,15 +335,25 @@ impl Timing {
         } else {
             OVERLAP_NEAR
         };
-        self.add(overlap.mul_int(u64::from(cost.stall)));
+        overlap.mul_int(u64::from(cost.stall))
     }
 
-    fn branch(&mut self, pc: u32, kind: BranchKind, taken: bool, target: u32, fall: u32, depth: u32) {
+    #[inline]
+    fn branch_cost(
+        &mut self,
+        pc: u32,
+        kind: BranchKind,
+        taken: bool,
+        target: u32,
+        fall: u32,
+        depth: u32,
+    ) -> Cycles {
         let correct = self.pred.observe(pc, kind, taken, target, fall);
         if !correct {
-            self.add(Cycles::from_int(u64::from(depth)));
             self.last_fetch_line = u32::MAX; // redirected fetch
+            return Cycles::from_int(u64::from(depth));
         }
+        Cycles::ZERO
     }
 
     /// Retires one micro-op of translated code.
@@ -318,75 +363,92 @@ impl Timing {
     /// category choice).
     #[inline]
     pub fn retire_uop(&mut self, r: &NRetired) {
+        let c = self.retire_uop_cost(r);
+        self.add(c);
+    }
+
+    /// [`Timing::retire_uop`] with the final charge returned instead of
+    /// added: batch drivers accumulate the costs of consecutive
+    /// same-category retirements locally and pay [`Timing::add`]'s two
+    /// read-modify-writes once per batch. Saturating fixed-point
+    /// addition is associative, so the folded charge is bit-identical —
+    /// the caller must only flush before anything reads the cycle
+    /// counters or the attribution category changes.
+    #[inline]
+    pub fn retire_uop_cost(&mut self, r: &NRetired) -> Cycles {
         self.uops_retired += 1;
         // VMM bookkeeping (profiling counters, dispatch-sieve probes and
         // the register glue around them) is independent of guest
         // dataflow and fills dispatch bubbles the `util` factor
         // otherwise discards; see `profiling_slot_cost`.
+        // The bookkeeping bit is precomputed at decode time; the whole
+        // profiling/fused classification below is branch-free (`&`/`|`
+        // on bools plus a table lookup) because the mix of profiling,
+        // fused and plain micro-ops is data-dependent and mispredicts
+        // badly when expressed as an if-chain. The update rules are the
+        // literal boolean expansion of the original state machine:
+        // profiling leaves the fused state untouched; otherwise a
+        // pending tail or a fusible head retires at half cost, and a
+        // new tail becomes pending only for a fusible head seen with no
+        // tail pending.
         let profiling = r
             .mem
             .is_some_and(|m| (0xc000_0000..0xe000_0000).contains(&m.addr))
-            || is_vmm_bookkeeping(&r.uop);
-        let slot_cost = if profiling {
-            self.slot_cost_profiling
-        } else if self.fused_tail_pending {
-            self.fused_tail_pending = false;
-            self.fused_retired += 1;
-            self.slot_cost_fused_half
-        } else if r.uop.fusible {
-            self.fused_tail_pending = true;
-            self.fused_retired += 1;
-            self.slot_cost_fused_half
-        } else {
-            self.slot_cost_one
-        };
-        self.add(slot_cost);
-        if r.uop.op.is_long_latency() {
-            // Partially-hidden long-latency execution (div/mul chains).
-            let extra = match r.uop.op {
-                cdvm_fisa::Op::Xlt => self.xlt_extra,
-                cdvm_fisa::Op::DivQ
-                | cdvm_fisa::Op::DivR
-                | cdvm_fisa::Op::IDivQ
-                | cdvm_fisa::Op::IDivR => DIV_EXTRA,
-                _ => LONG_EXTRA,
-            };
-            self.add(extra);
-        }
-        self.fetch(r.pc, r.len as u32);
+            | r.meta.vmm_bookkeeping();
+        let pending = self.fused_tail_pending;
+        let fusible = r.uop.fusible;
+        let half = !profiling & (pending | fusible);
+        self.fused_retired += u64::from(half);
+        self.fused_tail_pending = (profiling & pending) | (!profiling & !pending & fusible);
+        // One pre-summed table load covers the slot cost and the
+        // partially-hidden long-latency extra (div/mul chains, XLT).
+        // The component costs below are accumulated on the raw Q44.20
+        // bits with plain adds: each term is far under 2^53 raw (slot
+        // costs are a few cycles, stalls are bounded by the memory
+        // latency, the XLT extra by a u32 config field), so at most
+        // five terms can never reach the saturation point — the sum is
+        // bit-identical to the saturating chain it replaces.
+        let idx = (r.meta.latency_class() << 2) | (usize::from(profiling) << 1) | usize::from(half);
+        let mut acc = self.slot_long[idx].raw();
+        acc += self.fetch_cost_native(r.pc, r.len as u32).raw();
         if let Some(m) = r.mem {
-            self.data(m.addr);
+            acc += self.data_cost(m.addr).raw();
         }
         if let Some((kind, taken, target)) = r.branch {
             let fall = r.pc.wrapping_add(r.len as u32);
-            self.branch(r.pc, kind, taken, target, fall, self.cfg.native_front_depth);
+            acc += self
+                .branch_cost(r.pc, kind, taken, target, fall, self.cfg.native_front_depth)
+                .raw();
         }
+        Cycles::from_raw(acc)
     }
 
     /// Retires one x86 instruction executed in x86-mode (hardware
     /// decoders in the pipeline: the Ref machine always, VM.fe for cold
     /// code). `uop_count` is the cracked micro-op count, which is what
     /// occupies dispatch slots in a conventional x86 core.
+    #[inline]
     pub fn retire_x86(&mut self, r: &Retired, uop_count: u32) {
         self.x86_mode_retired += 1;
         let before = self.cycles;
         let slots = uop_count.max(1) as usize;
-        self.add(match self.x86_slot_cost.get(slots) {
+        let mut acc = match self.x86_slot_cost.get(slots) {
             Some(&c) => c,
             None => Cycles::from_f64(slots as f64 / self.eff_width()),
-        });
-        self.fetch(r.pc, r.len as u32);
+        };
+        acc += self.fetch_cost(r.pc, r.len as u32);
         for m in r.mem.iter() {
-            self.data(m.addr);
+            acc += self.data_cost(m.addr);
         }
         if let Some(b) = r.branch {
             let fall = r.pc.wrapping_add(r.len as u32);
-            self.branch(r.pc, b.kind, b.taken, b.target, fall, self.cfg.x86_front_depth);
+            acc += self.branch_cost(r.pc, b.kind, b.taken, b.target, fall, self.cfg.x86_front_depth);
         }
         if r.inst.mnemonic.is_complex() {
             // Microcode sequencing overhead for complex instructions.
-            self.add(self.slot_cost_complex);
+            acc += self.slot_cost_complex;
         }
+        self.add(acc);
         // x86 decode logic is on for the whole duration (exact
         // fixed-point subtraction — no cancellation error).
         self.decoder_active += self.cycles - before;
@@ -408,14 +470,26 @@ impl Timing {
     }
 
     /// Charges one interpreted x86 instruction.
+    #[inline]
     pub fn charge_interp_inst(&mut self, r: &Retired) {
-        self.add(self.interp_inst_cost);
+        let c = self.charge_interp_inst_cost(r);
+        self.add(c);
+    }
+
+    /// [`Timing::charge_interp_inst`] with the charge returned instead
+    /// of added, for batch drivers that fold consecutive same-category
+    /// charges (see [`Timing::retire_uop_cost`] for why that is
+    /// bit-identical).
+    #[inline]
+    pub fn charge_interp_inst_cost(&mut self, r: &Retired) -> Cycles {
+        let mut acc = self.interp_inst_cost;
         // The interpreter performs the architectural memory accesses.
         for m in r.mem.iter() {
-            self.data(m.addr);
+            acc += self.data_cost(m.addr);
         }
         // And reads the guest instruction bytes as data.
-        self.data(r.pc);
+        acc += self.data_cost(r.pc);
+        acc
     }
 
     /// Charges one `HAloop` iteration (VM.be hardware-assisted BBT of a
@@ -455,7 +529,7 @@ impl Timing {
 mod tests {
     use super::*;
     use crate::config::{MachineConfig, MachineKind};
-    use cdvm_fisa::{regs, Op, Uop};
+    use cdvm_fisa::{regs, Op, Uop, UopMeta};
     use cdvm_x86::{Inst, MemList, Mnemonic, Width};
 
     fn timing() -> Timing {
@@ -467,6 +541,7 @@ mod tests {
             pc,
             len: 4,
             uop,
+            meta: UopMeta::of(&uop),
             mem: None,
             branch: None,
             exit: None,

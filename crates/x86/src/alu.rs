@@ -116,38 +116,37 @@ impl ShiftOp {
     }
 }
 
+// The flag kernels below are branch-free: every flag is derived
+// arithmetically (compare → 0/1 → multiply by the flag's bit) instead of
+// through per-flag `if`s, so the batched interpreter/executor retire
+// loops see straight-line code with no data-dependent control flow. The
+// comparisons compile to `setcc`/`csel`-style selects; results are
+// bit-identical to the branching forms they replace (the differential
+// suites pin this).
+
+#[inline(always)]
 fn zsp(w: Width, res: u32) -> u32 {
-    let mut s = 0;
-    if res & w.mask() == 0 {
-        s |= Flags::ZF;
-    }
-    if res & w.sign_bit() != 0 {
-        s |= Flags::SF;
-    }
-    if parity(res) {
-        s |= Flags::PF;
-    }
-    s
+    let m = res & w.mask();
+    u32::from(m == 0) * Flags::ZF
+        | u32::from(m & w.sign_bit() != 0) * Flags::SF
+        | u32::from(parity(m)) * Flags::PF
 }
 
+#[inline(always)]
 fn add_like(w: Width, a: u32, b: u32, carry_in: bool) -> (u32, u32) {
     let a = a & w.mask();
     let b = b & w.mask();
     let wide = a as u64 + b as u64 + carry_in as u64;
     let res = (wide as u32) & w.mask();
-    let mut s = zsp(w, res);
-    if wide > w.mask() as u64 {
-        s |= Flags::CF;
-    }
-    if (a ^ res) & (b ^ res) & w.sign_bit() != 0 {
-        s |= Flags::OF;
-    }
-    if (a ^ b ^ res) & 0x10 != 0 {
-        s |= Flags::AF;
-    }
-    (res, s)
+    let cf = u32::from(wide > w.mask() as u64) * Flags::CF;
+    // Signed overflow: both operands agree in sign and the result flips.
+    let of = u32::from((a ^ res) & (b ^ res) & w.sign_bit() != 0) * Flags::OF;
+    // AF is bit 4, exactly the nibble-carry bit of a^b^res.
+    let af = (a ^ b ^ res) & Flags::AF;
+    (res, zsp(w, res) | cf | of | af)
 }
 
+#[inline(always)]
 fn sub_like(w: Width, a: u32, b: u32, borrow_in: bool) -> (u32, u32) {
     let a = a & w.mask();
     let b = b & w.mask();
@@ -155,19 +154,13 @@ fn sub_like(w: Width, a: u32, b: u32, borrow_in: bool) -> (u32, u32) {
         .wrapping_sub(b as u64)
         .wrapping_sub(borrow_in as u64);
     let res = (wide as u32) & w.mask();
-    let mut s = zsp(w, res);
-    if (b as u64 + borrow_in as u64) > a as u64 {
-        s |= Flags::CF;
-    }
-    if (a ^ b) & (a ^ res) & w.sign_bit() != 0 {
-        s |= Flags::OF;
-    }
-    if (a ^ b ^ res) & 0x10 != 0 {
-        s |= Flags::AF;
-    }
-    (res, s)
+    let cf = u32::from((b as u64 + borrow_in as u64) > a as u64) * Flags::CF;
+    let of = u32::from((a ^ b) & (a ^ res) & w.sign_bit() != 0) * Flags::OF;
+    let af = (a ^ b ^ res) & Flags::AF;
+    (res, zsp(w, res) | cf | of | af)
 }
 
+#[inline(always)]
 fn logic_like(w: Width, res: u32) -> (u32, u32) {
     let res = res & w.mask();
     (res, zsp(w, res)) // CF = OF = AF = 0
@@ -291,10 +284,7 @@ pub fn mul(w: Width, a: u32, b: u32) -> (u32, u32, u32) {
     let prod = (a & w.mask()) as u64 * (b & w.mask()) as u64;
     let lo = (prod as u32) & w.mask();
     let hi = ((prod >> w.bits()) as u32) & w.mask();
-    let mut s = zsp(w, lo);
-    if hi != 0 {
-        s |= Flags::CF | Flags::OF;
-    }
+    let s = zsp(w, lo) | u32::from(hi != 0) * (Flags::CF | Flags::OF);
     (lo, hi, s)
 }
 
@@ -304,10 +294,7 @@ pub fn imul_wide(w: Width, a: u32, b: u32) -> (u32, u32, u32) {
     let prod = (w.sext(a) as i32 as i64) * (w.sext(b) as i32 as i64);
     let lo = (prod as u32) & w.mask();
     let hi = ((prod >> w.bits()) as u32) & w.mask();
-    let mut s = zsp(w, lo);
-    if prod != w.sext(lo) as i32 as i64 {
-        s |= Flags::CF | Flags::OF;
-    }
+    let s = zsp(w, lo) | u32::from(prod != w.sext(lo) as i32 as i64) * (Flags::CF | Flags::OF);
     (lo, hi, s)
 }
 

@@ -654,6 +654,15 @@ pub struct Decoder {
     idxs: Vec<u32>,
     arena: Vec<Inst>,
     seq: Vec<u32>,
+    /// Memoized cracked-micro-op count per arena entry (`0` = not yet
+    /// computed). Arena-parallel, so it shares the arena's lifetime:
+    /// [`Decoder::clear`] (SMC, flushes, generation wrap) drops both
+    /// together — no separate invalidation path exists or is needed.
+    uops: Vec<u32>,
+    /// Fallback cell for [`Decoder::uop_memo`] with an out-of-range
+    /// index (never taken for indices returned by
+    /// [`Decoder::decode_at_indexed`] in the same generation).
+    uop_scratch: u32,
     generation: u32,
     /// Slots holding any key, live or stale; drives the growth policy.
     occupied: usize,
@@ -675,6 +684,8 @@ impl Default for Decoder {
             idxs: vec![0; DECODER_SLOTS],
             arena: Vec::new(),
             seq: Vec::new(),
+            uops: Vec::new(),
+            uop_scratch: 0,
             generation: 1,
             occupied: 0,
             footprint: 0,
@@ -786,7 +797,25 @@ impl Decoder {
     /// # Errors
     ///
     /// Propagates [`DecodeError`] from [`decode`].
+    #[inline]
     pub fn decode_at(&mut self, mem: &mut impl Memory, pc: u32) -> Result<Inst, DecodeError> {
+        self.decode_at_indexed(mem, pc).map(|(i, _)| i)
+    }
+
+    /// Decodes the instruction at `pc` and also returns its arena index.
+    /// The index identifies the cached decode for side-table annotation
+    /// (see [`Decoder::uop_memo`]) and stays valid until the next
+    /// [`Decoder::clear`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] from [`decode`].
+    #[inline]
+    pub fn decode_at_indexed(
+        &mut self,
+        mem: &mut impl Memory,
+        pc: u32,
+    ) -> Result<(Inst, u32), DecodeError> {
         self.decodes += 1;
         let v = mem.code_version();
         if v != self.mem_version {
@@ -801,7 +830,7 @@ impl Decoder {
                     self.cache_hits += 1;
                     let i = self.arena[nxt as usize];
                     self.last = Some((pc.wrapping_add(u32::from(i.len)), nxt));
-                    return Ok(i);
+                    return Ok((i, nxt));
                 }
             }
         }
@@ -810,7 +839,7 @@ impl Decoder {
             self.link_last(pc, idx);
             let i = self.arena[idx as usize];
             self.last = Some((pc.wrapping_add(u32::from(i.len)), idx));
-            return Ok(i);
+            return Ok((i, idx));
         }
         let i = match mem.read_slice(pc, MAX_INST_LEN + 1) {
             Some(window) => decode(window, pc),
@@ -824,10 +853,28 @@ impl Decoder {
         let idx = self.arena.len() as u32;
         self.arena.push(i);
         self.seq.push(NO_SEQ);
+        self.uops.push(0);
         self.insert(pc, idx);
         self.link_last(pc, idx);
         self.last = Some((pc.wrapping_add(u32::from(i.len)), idx));
-        Ok(i)
+        Ok((i, idx))
+    }
+
+    /// The memoized cracked-micro-op count slot for arena index `idx`
+    /// (`0` = not yet computed; counts are always clamped to at least 1
+    /// by the writer, so 0 is unambiguous). Straight-line regions share
+    /// the arena's generation tags: one fill per decoded instruction per
+    /// generation replaces the per-execution map probe, and SMC/flush
+    /// invalidation falls out of [`Decoder::clear`] dropping the arena.
+    #[inline]
+    pub fn uop_memo(&mut self, idx: u32) -> &mut u32 {
+        match self.uops.get_mut(idx as usize) {
+            Some(slot) => slot,
+            None => {
+                self.uop_scratch = 0;
+                &mut self.uop_scratch
+            }
+        }
     }
 
     /// Total decode requests served.
@@ -851,6 +898,7 @@ impl Decoder {
     pub fn clear(&mut self) {
         self.arena.clear();
         self.seq.clear();
+        self.uops.clear();
         self.footprint = 0;
         self.last = None;
         self.generation = self.generation.wrapping_add(1);

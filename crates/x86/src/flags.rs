@@ -77,13 +77,13 @@ impl Flags {
         self.0 & Self::OF != 0
     }
 
-    /// Sets or clears a flag bit.
+    /// Sets or clears a flag bit. Branch-free (mask arithmetic): this
+    /// runs on every flag-writing instruction in both engines, where a
+    /// data-dependent branch would defeat the batched retire loops.
+    #[inline]
     pub fn set(&mut self, flag: u32, value: bool) {
-        if value {
-            self.0 |= flag;
-        } else {
-            self.0 &= !flag;
-        }
+        let on = 0u32.wrapping_sub(u32::from(value));
+        self.0 = (self.0 & !flag) | (flag & on);
     }
 
     /// Replaces the arithmetic status flags, keeping `DF`.
@@ -114,7 +114,8 @@ impl std::fmt::Display for Flags {
     }
 }
 
-/// Even-parity of the low byte, as PF is defined.
+/// Even-parity of the low byte, as PF is defined (popcount — already
+/// branch-free on every target).
 #[inline]
 pub(crate) fn parity(v: u32) -> bool {
     (v as u8).count_ones() % 2 == 0

@@ -68,15 +68,29 @@ pub struct MemAccess {
 }
 
 /// Up to eight memory accesses (PUSHA is the worst case).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemList {
-    items: [Option<MemAccess>; 8],
+    items: [MemAccess; 8],
     len: u8,
+}
+
+impl Default for MemList {
+    fn default() -> Self {
+        const ZERO: MemAccess = MemAccess {
+            addr: 0,
+            width: Width::W8,
+            is_store: false,
+        };
+        MemList {
+            items: [ZERO; 8],
+            len: 0,
+        }
+    }
 }
 
 impl MemList {
     fn push(&mut self, a: MemAccess) {
-        self.items[self.len as usize] = Some(a);
+        self.items[self.len as usize] = a;
         self.len += 1;
     }
 
@@ -92,7 +106,7 @@ impl MemList {
 
     /// Iterates over the recorded accesses.
     pub fn iter(&self) -> impl Iterator<Item = MemAccess> + '_ {
-        self.items[..self.len as usize].iter().filter_map(|a| *a)
+        self.items[..self.len as usize].iter().copied()
     }
 }
 
@@ -196,8 +210,61 @@ impl Interp {
         self.retired += 1;
         Ok(r)
     }
+
+    /// Decodes and executes instructions back-to-back until the retire
+    /// closure returns `false` or a fault surfaces.
+    ///
+    /// The closure receives every [`Retired`] in architectural order plus
+    /// the decoded instruction's memoized micro-op-count slot
+    /// ([`Decoder::uop_memo`]; `0` = not yet computed) so callers that
+    /// model hardware cracking pay one side-table fill per decoded
+    /// instruction per decoder generation instead of a map probe per
+    /// execution. The step core is monomorphized per closure and inlined
+    /// into this loop, keeping `Cpu` and the decode cursor in registers
+    /// across instructions — the caller's per-step dispatch disappears.
+    ///
+    /// Observable behavior is identical to calling [`Interp::step`] in a
+    /// loop: the decoder's request/hit counters advance per instruction,
+    /// and a batch ending mid-stream leaves architectural state exactly
+    /// where single-stepping would.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Fault`], with architectural state at the
+    /// faulting instruction; retirements before it have fully applied.
+    #[inline]
+    pub fn step_batch(
+        &mut self,
+        cpu: &mut Cpu,
+        mem: &mut impl Memory,
+        retire: &mut impl FnMut(&Retired, &mut u32) -> bool,
+    ) -> Result<(), Fault> {
+        while self.step_inline(cpu, mem, retire)? {}
+        Ok(())
+    }
+
+    /// One step of the batch core. `inline(always)` so the decode → exec
+    /// → retire sequence fuses into the `step_batch` loop for each
+    /// concrete closure.
+    #[inline(always)]
+    fn step_inline(
+        &mut self,
+        cpu: &mut Cpu,
+        mem: &mut impl Memory,
+        retire: &mut impl FnMut(&Retired, &mut u32) -> bool,
+    ) -> Result<bool, Fault> {
+        let pc = cpu.eip;
+        let (inst, idx) = self
+            .decoder
+            .decode_at_indexed(mem, pc)
+            .map_err(|err| Fault::Decode { pc, err })?;
+        let r = exec(cpu, mem, &inst, pc)?;
+        self.retired += 1;
+        Ok(retire(&r, self.decoder.uop_memo(idx)))
+    }
 }
 
+#[inline(always)]
 fn read_operand(
     cpu: &Cpu,
     mem: &mut impl Memory,
@@ -224,6 +291,7 @@ fn read_operand(
     }
 }
 
+#[inline(always)]
 fn write_operand(
     cpu: &mut Cpu,
     mem: &mut impl Memory,
@@ -251,6 +319,7 @@ fn write_operand(
     }
 }
 
+#[inline(always)]
 fn push32(cpu: &mut Cpu, mem: &mut impl Memory, v: u32, acc: &mut MemList) {
     let sp = cpu.gpr[Gpr::Esp as usize].wrapping_sub(4);
     cpu.gpr[Gpr::Esp as usize] = sp;
@@ -262,6 +331,7 @@ fn push32(cpu: &mut Cpu, mem: &mut impl Memory, v: u32, acc: &mut MemList) {
     mem.write_u32(sp, v);
 }
 
+#[inline(always)]
 fn pop32(cpu: &mut Cpu, mem: &mut impl Memory, acc: &mut MemList) -> u32 {
     let sp = cpu.gpr[Gpr::Esp as usize];
     acc.push(MemAccess {
@@ -292,6 +362,7 @@ pub fn cpuid_values(leaf: u32) -> [u32; 4] {
 ///
 /// Returns a [`Fault`] on divide error or breakpoint; architectural state
 /// is unchanged in that case.
+#[inline(always)]
 pub fn exec(
     cpu: &mut Cpu,
     mem: &mut impl Memory,
