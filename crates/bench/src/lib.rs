@@ -24,6 +24,8 @@ use cdvm_workloads::{winstone2004, AppProfile, Workload};
 
 pub use cdvm_workloads::env_scale;
 
+pub mod testjson;
+
 /// Instructions per sampling slice.
 pub const SAMPLE_SLICE: u64 = 4096;
 
@@ -885,197 +887,7 @@ mod tests {
         }
     }
 
-    /// Minimal recursive-descent JSON reader for round-trip testing the
-    /// emitted artifacts (the repo has a no-dependencies policy, so the
-    /// writer *and* this checker are hand-rolled).
-    #[derive(Debug, Clone, PartialEq)]
-    enum Json {
-        Null,
-        Bool(bool),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Json>),
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        fn get(&self, key: &str) -> Option<&Json> {
-            match self {
-                Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-        fn as_arr(&self) -> &[Json] {
-            match self {
-                Json::Arr(v) => v,
-                other => panic!("expected array, got {other:?}"),
-            }
-        }
-        fn as_num(&self) -> f64 {
-            match self {
-                Json::Num(n) => *n,
-                other => panic!("expected number, got {other:?}"),
-            }
-        }
-        fn as_str(&self) -> &str {
-            match self {
-                Json::Str(s) => s,
-                other => panic!("expected string, got {other:?}"),
-            }
-        }
-    }
-
-    struct Parser<'a> {
-        b: &'a [u8],
-        i: usize,
-    }
-
-    impl<'a> Parser<'a> {
-        fn parse(text: &'a str) -> Json {
-            let mut p = Parser {
-                b: text.as_bytes(),
-                i: 0,
-            };
-            let v = p.value();
-            p.ws();
-            assert_eq!(p.i, p.b.len(), "trailing bytes after JSON document");
-            v
-        }
-        fn ws(&mut self) {
-            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
-                self.i += 1;
-            }
-        }
-        fn eat(&mut self, c: u8) {
-            self.ws();
-            assert_eq!(
-                self.b.get(self.i),
-                Some(&c),
-                "expected {:?} at byte {}",
-                c as char,
-                self.i
-            );
-            self.i += 1;
-        }
-        fn peek(&mut self) -> u8 {
-            self.ws();
-            *self.b.get(self.i).expect("unexpected end of JSON")
-        }
-        fn value(&mut self) -> Json {
-            match self.peek() {
-                b'{' => self.object(),
-                b'[' => self.array(),
-                b'"' => Json::Str(self.string()),
-                b't' => self.lit("true", Json::Bool(true)),
-                b'f' => self.lit("false", Json::Bool(false)),
-                b'n' => self.lit("null", Json::Null),
-                _ => self.number(),
-            }
-        }
-        fn lit(&mut self, word: &str, v: Json) -> Json {
-            self.ws();
-            assert!(
-                self.b[self.i..].starts_with(word.as_bytes()),
-                "bad literal at byte {}",
-                self.i
-            );
-            self.i += word.len();
-            v
-        }
-        fn object(&mut self) -> Json {
-            self.eat(b'{');
-            let mut kv = Vec::new();
-            if self.peek() == b'}' {
-                self.i += 1;
-                return Json::Obj(kv);
-            }
-            loop {
-                let k = self.string();
-                self.eat(b':');
-                kv.push((k, self.value()));
-                match self.peek() {
-                    b',' => self.i += 1,
-                    b'}' => {
-                        self.i += 1;
-                        return Json::Obj(kv);
-                    }
-                    c => panic!("bad object separator {:?}", c as char),
-                }
-            }
-        }
-        fn array(&mut self) -> Json {
-            self.eat(b'[');
-            let mut v = Vec::new();
-            if self.peek() == b']' {
-                self.i += 1;
-                return Json::Arr(v);
-            }
-            loop {
-                v.push(self.value());
-                match self.peek() {
-                    b',' => self.i += 1,
-                    b']' => {
-                        self.i += 1;
-                        return Json::Arr(v);
-                    }
-                    c => panic!("bad array separator {:?}", c as char),
-                }
-            }
-        }
-        fn string(&mut self) -> String {
-            self.eat(b'"');
-            let mut s = String::new();
-            loop {
-                let c = *self.b.get(self.i).expect("unterminated string");
-                self.i += 1;
-                match c {
-                    b'"' => return s,
-                    b'\\' => {
-                        let e = self.b[self.i];
-                        self.i += 1;
-                        match e {
-                            b'"' => s.push('"'),
-                            b'\\' => s.push('\\'),
-                            b'/' => s.push('/'),
-                            b'n' => s.push('\n'),
-                            b't' => s.push('\t'),
-                            b'r' => s.push('\r'),
-                            b'b' => s.push('\u{8}'),
-                            b'f' => s.push('\u{c}'),
-                            b'u' => {
-                                let hex = std::str::from_utf8(&self.b[self.i..self.i + 4]).unwrap();
-                                self.i += 4;
-                                let cp = u32::from_str_radix(hex, 16).unwrap();
-                                // Surrogates never appear in our writer's
-                                // output (it only escapes control chars).
-                                s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
-                            }
-                            other => panic!("bad escape \\{}", other as char),
-                        }
-                    }
-                    _ => {
-                        // Multi-byte UTF-8: copy the raw byte back out.
-                        let start = self.i - 1;
-                        while self.i < self.b.len() && self.b[self.i] & 0xc0 == 0x80 {
-                            self.i += 1;
-                        }
-                        s.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
-                    }
-                }
-            }
-        }
-        fn number(&mut self) -> Json {
-            self.ws();
-            let start = self.i;
-            while self.i < self.b.len()
-                && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                self.i += 1;
-            }
-            let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-            Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?}")))
-        }
-    }
+    use crate::testjson::{Json, Parser};
 
     /// The acceptance round-trip: a real run's emitted Chrome trace
     /// parses, every logical track has monotonically non-decreasing

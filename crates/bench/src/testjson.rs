@@ -1,0 +1,245 @@
+//! Minimal recursive-descent JSON reader for round-trip testing the
+//! emitted artifacts (the repo has a no-dependencies policy, so the
+//! writers *and* this checker are hand-rolled). It is a **test
+//! instrument**, not a production parser: malformed input panics with a
+//! byte offset, which is exactly what an assertion wants.
+//!
+//! Shared across crates (the serve observability tests round-trip span
+//! trees and merged Perfetto documents through it), hence `pub` rather
+//! than test-gated.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array's elements; panics on non-arrays.
+    pub fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    /// The number's value; panics on non-numbers.
+    pub fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    /// The string's value; panics on non-strings.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+/// The recursive-descent parser over a byte slice.
+pub struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Parses one complete JSON document; panics (with a byte offset)
+    /// on any syntax error or trailing bytes.
+    pub fn parse(text: &'a str) -> Json {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value();
+        p.ws();
+        assert_eq!(p.i, p.b.len(), "trailing bytes after JSON document");
+        v
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) {
+        self.ws();
+        assert_eq!(
+            self.b.get(self.i),
+            Some(&c),
+            "expected {:?} at byte {}",
+            c as char,
+            self.i
+        );
+        self.i += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        *self.b.get(self.i).expect("unexpected end of JSON")
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        self.ws();
+        assert!(
+            self.b[self.i..].starts_with(word.as_bytes()),
+            "bad literal at byte {}",
+            self.i
+        );
+        self.i += word.len();
+        v
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut kv = Vec::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Json::Obj(kv);
+        }
+        loop {
+            let k = self.string();
+            self.eat(b':');
+            kv.push((k, self.value()));
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(kv);
+                }
+                c => panic!("bad object separator {:?}", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut v = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Json::Arr(v);
+        }
+        loop {
+            v.push(self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(v);
+                }
+                c => panic!("bad array separator {:?}", c as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut s = String::new();
+        loop {
+            let c = *self.b.get(self.i).expect("unterminated string");
+            self.i += 1;
+            match c {
+                b'"' => return s,
+                b'\\' => {
+                    let e = self.b[self.i];
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4]).unwrap();
+                            self.i += 4;
+                            let cp = u32::from_str_radix(hex, 16).unwrap();
+                            // Surrogates never appear in our writers'
+                            // output (they only escape control chars).
+                            s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        other => panic!("bad escape \\{}", other as char),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the raw bytes back out.
+                    let start = self.i - 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xc0 == 0x80 {
+                        self.i += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents_and_escapes() {
+        let doc = Parser::parse(r#"{"a": [1, -2.5e1, "x\n\"yA"], "b": {"c": null}}"#);
+        let a = doc.get("a").expect("a").as_arr();
+        assert_eq!(a[0].as_num(), 1.0);
+        assert_eq!(a[1].as_num(), -25.0);
+        assert_eq!(a[2].as_str(), "x\n\"yA");
+        assert_eq!(doc.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn rejects_trailing_garbage() {
+        Parser::parse("{} extra");
+    }
+}

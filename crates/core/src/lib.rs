@@ -68,7 +68,8 @@ pub use faultinj::{FaultInjector, FaultKind, ImageFault, ImageFaultReport, Injec
 pub use opt::{optimize_run, RunStats};
 pub use pcmap::{CreditMap, PcCounter, PcMap, PcSet};
 pub use recorder::{
-    render_chrome, FlightRecorder, PhaseSegment, RecorderConfig, TelemetrySnapshot, WindowSample,
+    render_chrome, render_chrome_at, FlightRecorder, PhaseSegment, RecorderConfig,
+    TelemetrySnapshot, WindowSample,
 };
 pub use snapshot::{
     fnv1a64, image_summary, merge_images, section_name, write_image_atomic, ImageSummary,

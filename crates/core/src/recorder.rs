@@ -634,6 +634,21 @@ pub fn render_chrome(
     rec: &FlightRecorder,
     trace: Option<&TraceBuffer>,
 ) {
+    render_chrome_at(ct, pid, label, 0.0, rec, trace);
+}
+
+/// Like [`render_chrome`] but shifts every timestamp by `offset_us`
+/// microseconds, so a VM instance's tracks can be placed at the wall
+/// point where its service-level `run` span starts — the cross-layer
+/// merge behind `GET /jobs/<id>/trace` in `cdvm-serve`.
+pub fn render_chrome_at(
+    ct: &mut ChromeTrace,
+    pid: u32,
+    label: &str,
+    offset_us: f64,
+    rec: &FlightRecorder,
+    trace: Option<&TraceBuffer>,
+) {
     ct.process_name(pid, label);
     ct.thread_name(pid, 0, "phases");
     ct.thread_name(pid, 1, "events");
@@ -644,14 +659,14 @@ pub fn render_chrome(
             0,
             seg.phase.name(),
             "phase",
-            seg.start.to_f64(),
+            seg.start.to_f64() + offset_us,
             (seg.end - seg.start).to_f64(),
         );
     }
 
     if let Some(tb) = trace {
         for r in tb.iter() {
-            let ts = r.cycle as f64;
+            let ts = r.cycle as f64 + offset_us;
             let mut args = Metrics::new();
             match r.event {
                 TraceEvent::Demoted { entry, tier, error } => {
@@ -715,7 +730,7 @@ pub fn render_chrome(
     }
 
     for w in rec.windows() {
-        let ts = w.end_cycles as f64;
+        let ts = w.end_cycles as f64 + offset_us;
         ct.counter(pid, "ipc", ts, &[("x86", w.ipc())]);
         ct.counter(
             pid,

@@ -316,6 +316,20 @@ impl System {
         self.recorder.take()
     }
 
+    /// Arms full capture for a service checkout: starts a flight
+    /// recorder with the default configuration (unless one is already
+    /// running — e.g. armed via `CDVM_RECORDER`) and enables the event
+    /// trace with a ring of `trace_capacity` events. `cdvm-serve` calls
+    /// this when stamping an instance whose run should drill down into
+    /// per-instance startup telemetry. Observation-only: neither
+    /// collector affects the modeled clock.
+    pub fn arm_capture(&mut self, trace_capacity: usize) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Box::new(FlightRecorder::new(RecorderConfig::default())));
+        }
+        self.enable_trace(trace_capacity);
+    }
+
     /// Turns off every telemetry collector at once: drops the flight
     /// recorder and discards the event trace.
     pub fn disable_telemetry(&mut self) {

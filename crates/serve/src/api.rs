@@ -11,9 +11,12 @@
 //! | `POST /jobs`                      | submit `{tenant, app, machine, ...}`       |
 //! | `GET /jobs/<id>[?wait_ms=N]`      | job status (result once completed)         |
 //! | `POST /jobs/<id>/cancel`          | request cancellation                       |
+//! | `GET /jobs/<id>/spans`            | the job's recorded span tree               |
+//! | `GET /jobs/<id>/trace`            | merged Perfetto (Chrome trace) document    |
 //! | `GET /tenants/<t>/metrics`        | tenant telemetry snapshot                  |
 //! | `GET /tenants/<t>/events?after=N` | per-job summaries newer than seq `N`       |
-//! | `GET /healthz`                    | service health and pool/breaker state      |
+//! | `GET /healthz`                    | service health, SLO and pool/breaker state |
+//! | `GET /metrics`                    | Prometheus text exposition (format 0.0.4)  |
 //! | `POST /poison/clear`              | un-poison `{signature}` (or all, no body)  |
 //! | `POST /drain`                     | graceful drain (persists warm images)      |
 
@@ -342,10 +345,11 @@ fn handle_conn(service: &Service, stream: TcpStream, persist_dir: Option<&std::p
     let _ = write_response(&stream, &resp);
 }
 
-/// A response: status, reason, extra headers, JSON body.
+/// A response: status, reason, content type, extra headers, body.
 struct Resp {
     status: u16,
     reason: &'static str,
+    content_type: &'static str,
     headers: Vec<(String, String)>,
     body: String,
 }
@@ -355,8 +359,22 @@ impl Resp {
         Resp {
             status,
             reason,
+            content_type: "application/json",
             headers: Vec::new(),
             body: m.to_json(),
+        }
+    }
+
+    /// A plain-text body: the Prometheus exposition and the raw Chrome
+    /// trace document (one JSON event per line — served as text so the
+    /// file downloads straight into Perfetto).
+    fn text(status: u16, reason: &'static str, content_type: &'static str, body: String) -> Resp {
+        Resp {
+            status,
+            reason,
+            content_type,
+            headers: Vec::new(),
+            body,
         }
     }
 
@@ -369,9 +387,10 @@ impl Resp {
 
 fn write_response(mut stream: &TcpStream, r: &Resp) -> std::io::Result<()> {
     let mut out = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         r.status,
         r.reason,
+        r.content_type,
         r.body.len()
     );
     for (k, v) in &r.headers {
@@ -405,6 +424,20 @@ fn route(
             Ok(id) => get_job(service, id, query_u64(query, "wait_ms")),
             Err(_) => Resp::error(400, "Bad Request", "job id must be an integer"),
         },
+        ("GET", ["jobs", id, "spans"]) => match id.parse::<u64>() {
+            Ok(id) => match service.job_spans(id) {
+                Some(m) => Resp::json(200, "OK", &m),
+                None => Resp::error(404, "Not Found", "unknown job"),
+            },
+            Err(_) => Resp::error(400, "Bad Request", "job id must be an integer"),
+        },
+        ("GET", ["jobs", id, "trace"]) => match id.parse::<u64>() {
+            Ok(id) => match service.job_trace(id) {
+                Some(body) => Resp::text(200, "OK", "application/json", body),
+                None => Resp::error(404, "Not Found", "unknown job"),
+            },
+            Err(_) => Resp::error(400, "Bad Request", "job id must be an integer"),
+        },
         ("POST", ["jobs", id, "cancel"]) => match id.parse::<u64>() {
             Ok(id) => {
                 let mut m = Metrics::new();
@@ -421,10 +454,18 @@ fn route(
             let after = query_u64(query, "after").unwrap_or(0);
             let (events, last) = service.tenant_events(t, after);
             let mut m = Metrics::new();
-            m.set("last", last).set("events", events);
+            // `next_after` is the cursor to pass back; `last` is kept
+            // for clients written against the original field name.
+            m.set("last", last).set("next_after", last).set("events", events);
             Resp::json(200, "OK", &m)
         }
         ("GET", ["healthz"]) => Resp::json(200, "OK", &service.health()),
+        ("GET", ["metrics"]) => Resp::text(
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            service.prometheus(),
+        ),
         ("POST", ["poison", "clear"]) => {
             // `{"signature": "tenant/app/machine"}` clears one entry;
             // an empty (or non-JSON) body clears them all.

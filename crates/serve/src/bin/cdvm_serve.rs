@@ -4,7 +4,13 @@
 //! cdvm-serve [--port N] [--workers N] [--scale F] [--cold]
 //!            [--prestamp N] [--global-cap N] [--tenant-cap N]
 //!            [--persist-dir PATH] [--machines LIST] [--apps LIST]
+//!            [--capture] [--no-spans]
 //! ```
+//!
+//! `--capture` (or `CDVM_CAPTURE=1`) arms the VM flight recorder on
+//! every stamped instance so `GET /jobs/<id>/trace` returns the merged
+//! service + VM Perfetto timeline; `--no-spans` (or `CDVM_SPANS=0`)
+//! disarms per-job span recording (the timing-neutrality check).
 //!
 //! Serves the Winstone2004 catalog on the chosen machines (default:
 //! every co-designed VM configuration). `POST /drain` (or SIGINT-less
@@ -30,13 +36,16 @@ struct Args {
     persist_dir: Option<PathBuf>,
     machines: Vec<MachineKind>,
     apps: Option<Vec<String>>,
+    spans: bool,
+    capture: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cdvm-serve [--port N] [--workers N] [--scale F] [--cold] \
          [--prestamp N] [--global-cap N] [--tenant-cap N] \
-         [--persist-dir PATH] [--machines vm.soft,vm.be,...] [--apps a,b,...]"
+         [--persist-dir PATH] [--machines vm.soft,vm.be,...] [--apps a,b,...] \
+         [--capture] [--no-spans]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,8 @@ fn parse_args() -> Args {
             MachineKind::VmInterp,
         ],
         apps: None,
+        spans: std::env::var("CDVM_SPANS").map(|v| v != "0").unwrap_or(true),
+        capture: std::env::var("CDVM_CAPTURE").map(|v| v == "1").unwrap_or(false),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +94,8 @@ fn parse_args() -> Args {
             "--apps" => {
                 args.apps = Some(val(&mut it).split(',').map(str::to_string).collect());
             }
+            "--capture" => args.capture = true,
+            "--no-spans" => args.spans = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -123,6 +136,8 @@ fn main() {
         prestamp: args.prestamp,
         global_queue_cap: args.global_cap,
         tenant_queue_cap: args.tenant_cap,
+        spans: args.spans,
+        capture: args.capture,
         ..ServeConfig::default()
     }));
     let server = match ApiServer::bind(Arc::clone(&service), args.port, args.persist_dir) {
@@ -133,7 +148,10 @@ fn main() {
         }
     };
     eprintln!("cdvm-serve: listening on http://{}", server.addr());
-    eprintln!("cdvm-serve: POST /jobs | GET /jobs/<id> | GET /healthz | POST /drain");
+    eprintln!(
+        "cdvm-serve: POST /jobs | GET /jobs/<id> | GET /jobs/<id>/spans | \
+         GET /jobs/<id>/trace | GET /healthz | GET /metrics | POST /drain"
+    );
     // Serve until a drain has fully *completed* — in-flight jobs
     // terminal, workers joined, images persisted (`is_drained`, not
     // `is_draining`, which flips at drain start) — and the connection

@@ -16,7 +16,13 @@
 //!   exponential backoff and jitter;
 //! * a hand-rolled **localhost HTTP/JSON API** ([`api`]) to submit
 //!   jobs, stream per-tenant telemetry, and drive health checks and
-//!   graceful drain (finish in-flight work, persist warm images).
+//!   graceful drain (finish in-flight work, persist warm images);
+//! * an **observability plane**: per-job span trees ([`JobSpans`])
+//!   recorded by the single-writer job transitions, a Prometheus text
+//!   exposition (`GET /metrics`), SLO burn-rate alerting ([`SloEngine`])
+//!   surfaced in `/healthz`, and a cross-layer Perfetto timeline
+//!   (`GET /jobs/<id>/trace`) that stacks the service spans above the
+//!   serving instance's flight-recorder tracks.
 //!
 //! The service's failure semantics are exercised end to end by the
 //! chaos campaign in `tests/serve_chaos.rs`: worker kills, injected job
@@ -32,12 +38,16 @@ mod job;
 mod pool;
 mod scheduler;
 mod service;
+mod slo;
+mod spans;
 mod telemetry;
 
 pub use error::{OverloadScope, ServeError};
 pub use job::{JobOutput, JobSpec, JobState, WarmLevel};
-pub use pool::{ImageHealth, PoolConfig, WarmPool};
+pub use pool::{ImageHealth, PoolConfig, StampInfo, WarmPool};
 pub use service::{ServeConfig, Service};
+pub use slo::{SloConfig, SloEngine, SloKind, SloState};
+pub use spans::{JobSpans, Span};
 pub use telemetry::TenantTelemetry;
 
 /// Locks a mutex, recovering the guard from a poisoned lock: a panic on

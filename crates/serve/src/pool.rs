@@ -40,7 +40,15 @@ pub struct PoolConfig {
     pub breaker_threshold: u32,
     /// Cold stamps to wait while quarantined before a half-open probe.
     pub breaker_cooldown: u32,
+    /// Arm the VM flight recorder and event trace on every stamped
+    /// instance (armed *before* the restore, so restore events land in
+    /// the trace). Powers the cross-layer `GET /jobs/<id>/trace`
+    /// Perfetto merge; observation-only on the modeled clock.
+    pub capture: bool,
 }
+
+/// Event-trace ring capacity for captured instances.
+const CAPTURE_TRACE_EVENTS: usize = 4096;
 
 impl Default for PoolConfig {
     fn default() -> PoolConfig {
@@ -49,6 +57,39 @@ impl Default for PoolConfig {
             prestamp: 1,
             breaker_threshold: 3,
             breaker_cooldown: 4,
+            capture: false,
+        }
+    }
+}
+
+/// What one stamp produced, beyond the instance itself: the warmth
+/// level plus the restore outcome the span tree attaches to the job's
+/// `stamp` span.
+#[derive(Debug, Clone)]
+pub struct StampInfo {
+    /// How warm the stamped instance is.
+    pub warm: WarmLevel,
+    /// Sections the restore applied (0 on a cold stamp).
+    pub applied: u32,
+    /// Sections salvage dropped.
+    pub dropped: u32,
+    /// The restore error, when the stamp fell back to cold boot.
+    pub error: Option<String>,
+    /// True when this stamp was a half-open breaker probe.
+    pub probe: bool,
+    /// True when the image was quarantined at stamp time.
+    pub quarantined: bool,
+}
+
+impl StampInfo {
+    fn cold(quarantined: bool) -> StampInfo {
+        StampInfo {
+            warm: WarmLevel::Cold,
+            applied: 0,
+            dropped: 0,
+            error: None,
+            probe: false,
+            quarantined,
         }
     }
 }
@@ -85,7 +126,7 @@ struct Golden {
     /// Warm image bytes (empty when the pool is cold-only).
     image: Vec<u8>,
     /// Pre-stamped instances ready for checkout.
-    ready: Vec<(System, WarmLevel)>,
+    ready: Vec<(System, StampInfo)>,
     health: ImageHealth,
 }
 
@@ -209,7 +250,7 @@ impl WarmPool {
 
     /// Checks out a ready instance (or stamps one on demand) and
     /// restocks the ready stack. Returns `None` for an unserved pair.
-    pub fn checkout(&self, kind: MachineKind, app: &str) -> Option<(System, WarmLevel)> {
+    pub fn checkout(&self, kind: MachineKind, app: &str) -> Option<(System, StampInfo)> {
         let idx = self.entry_idx(kind, app)?;
         let mut g = lock(&self.entries[idx]);
         let out = g.ready.pop().unwrap_or_else(|| stamp(&mut g, &self.cfg));
@@ -224,6 +265,12 @@ impl WarmPool {
     pub fn health(&self, kind: MachineKind, app: &str) -> Option<ImageHealth> {
         let idx = self.entry_idx(kind, app)?;
         Some(lock(&self.entries[idx]).health.clone())
+    }
+
+    /// Pre-stamped ready instances currently stocked for one image.
+    pub fn ready_depth(&self, kind: MachineKind, app: &str) -> Option<usize> {
+        let idx = self.entry_idx(kind, app)?;
+        Some(lock(&self.entries[idx]).ready.len())
     }
 
     /// Persists every healthy (non-quarantined, non-empty) golden image
@@ -313,17 +360,21 @@ impl WarmPool {
 
 /// Stamps one instance from a golden entry, applying the breaker
 /// policy. Never panics: the worst case is a cold boot.
-fn stamp(g: &mut Golden, cfg: &PoolConfig) -> (System, WarmLevel) {
+fn stamp(g: &mut Golden, cfg: &PoolConfig) -> (System, StampInfo) {
     let mut sys = System::with_config(MachineConfig::preset(g.kind), g.wl.mem.clone(), g.wl.entry);
+    if cfg.capture {
+        // Armed before the restore so restore events land in the trace.
+        sys.arm_capture(CAPTURE_TRACE_EVENTS);
+    }
     if !cfg.warm || g.image.is_empty() {
         g.health.cold_stamps += 1;
-        return (sys, WarmLevel::Cold);
+        return (sys, StampInfo::cold(g.health.quarantined));
     }
     let probing = if g.health.quarantined {
         g.health.cold_since_quarantine += 1;
         if g.health.cold_since_quarantine <= cfg.breaker_cooldown {
             g.health.cold_stamps += 1;
-            return (sys, WarmLevel::Cold);
+            return (sys, StampInfo::cold(true));
         }
         // Half-open: risk one probe restore.
         g.health.probes += 1;
@@ -332,17 +383,25 @@ fn stamp(g: &mut Golden, cfg: &PoolConfig) -> (System, WarmLevel) {
         false
     };
     let outcome = sys.restore_image_bytes(&g.image);
+    let mut info = StampInfo {
+        warm: WarmLevel::Warm,
+        applied: outcome.applied,
+        dropped: outcome.dropped,
+        error: outcome.error.as_ref().map(|e| e.to_string()),
+        probe: probing,
+        quarantined: g.health.quarantined,
+    };
     if outcome.is_cold_boot() {
         g.health.restores_failed += 1;
         note_bad(&mut g.health, cfg, probing);
-        (sys, WarmLevel::Cold)
+        info.warm = WarmLevel::Cold;
     } else if outcome.is_degraded() {
         g.health.restores_degraded += 1;
         note_bad(&mut g.health, cfg, probing);
         // Degraded is still architecturally correct (salvage drops
         // sections, never applies damaged ones) — serve it, but count it
         // against the image.
-        (sys, WarmLevel::WarmDegraded)
+        info.warm = WarmLevel::WarmDegraded;
     } else {
         g.health.restores_clean += 1;
         g.health.consecutive_bad = 0;
@@ -350,8 +409,8 @@ fn stamp(g: &mut Golden, cfg: &PoolConfig) -> (System, WarmLevel) {
             g.health.quarantined = false;
             g.health.cold_since_quarantine = 0;
         }
-        (sys, WarmLevel::Warm)
     }
+    (sys, info)
 }
 
 /// Accounts one bad restore and advances the breaker.

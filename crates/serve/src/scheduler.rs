@@ -9,7 +9,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -29,6 +29,9 @@ pub(crate) struct WorkQueues {
     sleep_lock: Mutex<()>,
     wake: Condvar,
     rr: AtomicUsize,
+    /// Jobs taken from a sibling's deque (work-stealing activity,
+    /// exported on `/metrics`).
+    steals: AtomicU64,
 }
 
 impl WorkQueues {
@@ -39,6 +42,7 @@ impl WorkQueues {
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
             rr: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
         }
     }
 
@@ -83,6 +87,7 @@ impl WorkQueues {
         for off in 1..self.queues.len() {
             let v = (w + off) % self.queues.len();
             if let Some(job) = lock(&self.queues[v]).pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Pop::Job(job);
             }
         }
@@ -115,5 +120,10 @@ impl WorkQueues {
     /// Jobs waiting out a retry backoff.
     pub(crate) fn delayed_len(&self) -> usize {
         lock(&self.delayed).len()
+    }
+
+    /// Jobs ever stolen from a sibling's deque.
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 }

@@ -24,9 +24,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cdvm_core::{fnv1a64, Status, Watchdog};
+use cdvm_core::{fnv1a64, render_chrome_at, Status, Watchdog};
 use cdvm_mem::Rng64;
-use cdvm_stats::Metrics;
+use cdvm_stats::{ChromeTrace, Metrics, PromText};
 use cdvm_uarch::MachineKind;
 use cdvm_workloads::AppProfile;
 
@@ -35,6 +35,8 @@ use crate::job::{JobOutput, JobSpec, JobState, WarmLevel};
 use crate::lock;
 use crate::pool::{PoolConfig, WarmPool};
 use crate::scheduler::{Pop, WorkQueues};
+use crate::slo::{SloConfig, SloEngine, SloKind, SloState};
+use crate::spans::JobSpans;
 use crate::telemetry::{TelemetryHub, TenantTelemetry};
 
 /// Guest instructions per execution slice; cancel, kill and wall-clock
@@ -82,6 +84,20 @@ pub struct ServeConfig {
     /// are evicted past this bound (the exactly-once audit counters are
     /// monotonic and unaffected).
     pub terminal_retention: usize,
+    /// Record per-job span trees (`GET /jobs/<id>/spans`). Spans are
+    /// bookkeeping on existing job transitions and never touch the
+    /// simulator, so arming them is timing-neutral on the modeled
+    /// clock; disarming exists for the neutrality check, not for
+    /// performance.
+    pub spans: bool,
+    /// Arm the VM flight recorder + event trace on stamped instances so
+    /// `GET /jobs/<id>/trace` can merge the instance's startup
+    /// telemetry under the job's service spans (one Perfetto file,
+    /// service rows stacked above VM tracks).
+    pub capture: bool,
+    /// SLO objective registry configuration (windows, burn thresholds,
+    /// targets).
+    pub slo: SloConfig,
     /// Seed for backoff jitter.
     pub seed: u64,
 }
@@ -103,6 +119,9 @@ impl Default for ServeConfig {
             breaker_cooldown: 4,
             poison_ttl_ms: 30_000,
             terminal_retention: 4096,
+            spans: true,
+            capture: false,
+            slo: SloConfig::default(),
             seed: 0x5eed_5e12_7e00_0001,
         }
     }
@@ -121,6 +140,14 @@ struct JobRecord {
     /// orphan requeue) — the successful attempt's queue wait starts here.
     queued_at: Instant,
     cancel: Arc<AtomicBool>,
+    /// Service-level span tree, recorded only by the single-writer job
+    /// transitions (always under the jobs lock) and evicted with the
+    /// record — retention rides `terminal_retention` unchanged.
+    spans: JobSpans,
+    /// The serving instance's flight-recorder tracks, rendered at
+    /// completion when [`ServeConfig::capture`] is armed (the VM half
+    /// of `GET /jobs/<id>/trace`).
+    vm_trace: Option<ChromeTrace>,
 }
 
 /// Monotonic service counters (all exported by [`Service::health`]).
@@ -143,6 +170,9 @@ struct Counters {
 
 struct Inner {
     cfg: ServeConfig,
+    /// Span timestamps count host nanoseconds from here (the moment the
+    /// service started) so every job's spans share one timeline.
+    epoch: Instant,
     pool: WarmPool,
     queues: WorkQueues,
     jobs: Mutex<HashMap<u64, JobRecord>>,
@@ -177,7 +207,16 @@ struct Inner {
     rng: Mutex<Rng64>,
     /// EWMA of successful run time (ns) — feeds `retry_after_ms`.
     run_ns_ewma: AtomicU64,
+    /// The SLO objective registry. Locked only while already holding
+    /// `jobs` (terminal transitions) or from lock-free paths (sheds,
+    /// stamps, status queries).
+    slo: Mutex<SloEngine>,
     counters: Counters,
+}
+
+/// Host nanoseconds from the service epoch to `t` (span timestamps).
+fn ns_since(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_nanos() as u64
 }
 
 /// The long-running fleet simulation service.
@@ -198,11 +237,14 @@ impl Service {
                 prestamp: cfg.prestamp,
                 breaker_threshold: cfg.breaker_threshold,
                 breaker_cooldown: cfg.breaker_cooldown,
+                capture: cfg.capture,
             },
         );
         let workers = cfg.workers.max(1);
         let seed = cfg.seed;
+        let slo = SloEngine::new(cfg.slo.clone());
         let inner = Arc::new(Inner {
+            epoch: Instant::now(),
             pool,
             queues: WorkQueues::new(workers),
             jobs: Mutex::new(HashMap::new()),
@@ -220,6 +262,7 @@ impl Service {
             poison: Mutex::new(HashMap::new()),
             rng: Mutex::new(Rng64::new(seed)),
             run_ns_ewma: AtomicU64::new(0),
+            slo: Mutex::new(slo),
             counters: Counters::default(),
             cfg,
         });
@@ -289,6 +332,25 @@ impl Service {
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
         let now = Instant::now();
         let tenant = spec.tenant.clone();
+        let mut spans = JobSpans::default();
+        if inner.cfg.spans {
+            // The admission span is an instantaneous marker carrying the
+            // load the admission decision saw; `queued` opens here and
+            // closes when a worker picks the job up.
+            let t = ns_since(inner.epoch, now);
+            let mut attrs = Metrics::new();
+            attrs
+                .set("inflight", inner.inflight.load(Ordering::SeqCst) as u64)
+                .set(
+                    "queue_depth",
+                    inner.queues.depths().iter().sum::<usize>() as u64,
+                )
+                .set("delayed", inner.queues.delayed_len() as u64);
+            spans.push_closed("admission", t, t, attrs);
+            let mut q = Metrics::new();
+            q.set("attempt", 1u64);
+            spans.open("queued", t, q);
+        }
         lock(&inner.jobs).insert(
             id,
             JobRecord {
@@ -298,6 +360,8 @@ impl Service {
                 submitted: now,
                 queued_at: now,
                 cancel: Arc::new(AtomicBool::new(false)),
+                spans,
+                vm_trace: None,
             },
         );
         lock(&inner.telemetry).tenant_mut(&tenant).submitted += 1;
@@ -308,6 +372,8 @@ impl Service {
     fn note_shed(&self, tenant: &str) {
         self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
         lock(&self.inner.telemetry).tenant_mut(tenant).shed += 1;
+        // A shed is an admission that ended badly for the client.
+        lock(&self.inner.slo).record(SloKind::ErrorRate, false);
     }
 
     /// The current client backoff hint: roughly how long the backlog
@@ -407,10 +473,265 @@ impl Service {
             .set("poisoned", c.poisoned.load(Ordering::Relaxed))
             .set("poison_entries", lock(&inner.poison).len() as u64)
             .set("double_terminal", c.double_terminal.load(Ordering::Relaxed))
+            .set("steals", inner.queues.steals())
             .set("run_ns_ewma", inner.run_ns_ewma.load(Ordering::Relaxed))
             .set("tenants", lock(&inner.telemetry).tenant_names())
             .set("pool", inner.pool.metrics());
+        {
+            let tel = lock(&inner.telemetry);
+            m.set("trace_dropped", tel.trace_dropped)
+                .set("uncrackable_insts", tel.uncrackable_insts);
+        }
+        let slo: Vec<Metrics> = lock(&inner.slo)
+            .states()
+            .iter()
+            .map(SloState::to_metrics)
+            .collect();
+        m.set("slo", slo);
         m
+    }
+
+    /// Current state of every SLO objective (re-evaluating alert edges,
+    /// so a quiet period clears stale alerts).
+    pub fn slo(&self) -> Vec<SloState> {
+        lock(&self.inner.slo).states()
+    }
+
+    /// A job's recorded span tree, rendered as a metrics document —
+    /// `None` for an unknown (or evicted) job id.
+    pub fn job_spans(&self, id: u64) -> Option<Metrics> {
+        let jobs = lock(&self.inner.jobs);
+        let rec = jobs.get(&id)?;
+        let mut m = rec.spans.to_metrics();
+        m.set("job", id)
+            .set("tenant", rec.spec.tenant.as_str())
+            .set("state", rec.state.name());
+        Some(m)
+    }
+
+    /// The job's merged Perfetto (Chrome trace event) document: service
+    /// spans on pid 1, the serving instance's flight-recorder tracks on
+    /// pid 2 when [`ServeConfig::capture`] was armed. `None` for an
+    /// unknown job id.
+    pub fn job_trace(&self, id: u64) -> Option<String> {
+        let jobs = lock(&self.inner.jobs);
+        let rec = jobs.get(&id)?;
+        let mut ct = ChromeTrace::new();
+        rec.spans
+            .render_chrome(&mut ct, 1, &format!("cdvm-serve job {id} ({})", rec.spec.tenant));
+        if let Some(vm) = &rec.vm_trace {
+            ct.append(vm);
+        }
+        Some(ct.to_json())
+    }
+
+    /// The Prometheus text exposition (`GET /metrics`): job lifecycle
+    /// counters, queue and pool gauges, fleet-wide latency histograms,
+    /// and the SLO burn rates.
+    pub fn prometheus(&self) -> String {
+        let inner = &self.inner;
+        let c = &inner.counters;
+        let mut p = PromText::new();
+        // Families must stay contiguous: the writer emits HELP/TYPE on
+        // first sight of a name and the parser refuses a re-opened
+        // family.
+        for (outcome, v) in [
+            ("completed", c.completed.load(Ordering::Relaxed)),
+            ("failed", c.failed.load(Ordering::Relaxed)),
+            ("expired", c.expired.load(Ordering::Relaxed)),
+            ("cancelled", c.cancelled.load(Ordering::Relaxed)),
+        ] {
+            p.counter(
+                "cdvm_jobs_total",
+                "Jobs by terminal outcome.",
+                &[("outcome", outcome)],
+                v as f64,
+            );
+        }
+        for (name, help, v) in [
+            ("cdvm_sheds_total", "Submissions shed by admission control.", c.shed.load(Ordering::Relaxed)),
+            ("cdvm_retries_total", "Retry attempts beyond each job's first.", c.retries.load(Ordering::Relaxed)),
+            ("cdvm_orphan_requeues_total", "Jobs requeued after a worker death.", c.orphan_requeues.load(Ordering::Relaxed)),
+            ("cdvm_worker_deaths_total", "Worker deaths caught by the supervisor.", c.worker_deaths.load(Ordering::Relaxed)),
+            ("cdvm_poisoned_total", "Job signatures poisoned after retry exhaustion.", c.poisoned.load(Ordering::Relaxed)),
+            ("cdvm_double_terminal_total", "Refused second terminal transitions (must stay 0).", c.double_terminal.load(Ordering::Relaxed)),
+            ("cdvm_steals_total", "Jobs stolen from a sibling worker's deque.", inner.queues.steals()),
+        ] {
+            p.counter(name, help, &[], v as f64);
+        }
+        p.gauge(
+            "cdvm_inflight",
+            "Admitted-but-not-terminal jobs.",
+            &[],
+            inner.inflight.load(Ordering::SeqCst) as f64,
+        );
+        let depths = inner.queues.depths();
+        p.gauge(
+            "cdvm_queued",
+            "Jobs waiting in worker deques.",
+            &[],
+            depths.iter().sum::<usize>() as f64,
+        );
+        for (w, d) in depths.iter().enumerate() {
+            p.gauge(
+                "cdvm_queue_depth",
+                "Queued jobs per worker deque.",
+                &[("worker", &w.to_string())],
+                *d as f64,
+            );
+        }
+        p.gauge(
+            "cdvm_delayed",
+            "Jobs waiting out a retry backoff.",
+            &[],
+            inner.queues.delayed_len() as f64,
+        );
+        p.gauge(
+            "cdvm_poison_entries",
+            "Currently poisoned job signatures.",
+            &[],
+            lock(&inner.poison).len() as f64,
+        );
+        p.gauge(
+            "cdvm_draining",
+            "1 once drain began.",
+            &[],
+            f64::from(u8::from(inner.draining.load(Ordering::SeqCst))),
+        );
+        // Pool state, one label set per golden image. Collect first so
+        // each family's samples stay contiguous across images.
+        let images: Vec<(String, String, crate::pool::ImageHealth, usize)> = inner
+            .pool
+            .keys()
+            .iter()
+            .filter_map(|&(kind, app)| {
+                let h = inner.pool.health(kind, app)?;
+                let ready = inner.pool.ready_depth(kind, app).unwrap_or(0);
+                Some((format!("{kind}"), app.to_string(), h, ready))
+            })
+            .collect();
+        for (machine, app, _, ready) in &images {
+            p.gauge(
+                "cdvm_pool_ready",
+                "Pre-stamped ready instances per golden image.",
+                &[("machine", machine), ("app", app)],
+                *ready as f64,
+            );
+        }
+        for (machine, app, h, _) in &images {
+            p.gauge(
+                "cdvm_pool_quarantined",
+                "1 while the image's circuit breaker is open.",
+                &[("machine", machine), ("app", app)],
+                f64::from(u8::from(h.quarantined)),
+            );
+        }
+        for kind in ["clean", "degraded", "failed"] {
+            for (machine, app, h, _) in &images {
+                let v = match kind {
+                    "clean" => h.restores_clean,
+                    "degraded" => h.restores_degraded,
+                    _ => h.restores_failed,
+                };
+                p.counter(
+                    "cdvm_pool_restores_total",
+                    "Warm-image restores by outcome.",
+                    &[("machine", machine), ("app", app), ("kind", kind)],
+                    v as f64,
+                );
+            }
+        }
+        for (name, help, pick) in [
+            (
+                "cdvm_pool_cold_stamps_total",
+                "Stamps that never attempted a restore.",
+                0usize,
+            ),
+            (
+                "cdvm_pool_quarantines_total",
+                "Times an image's breaker opened.",
+                1,
+            ),
+            (
+                "cdvm_pool_probes_total",
+                "Half-open breaker probe restores.",
+                2,
+            ),
+        ] {
+            for (machine, app, h, _) in &images {
+                let v = match pick {
+                    0 => h.cold_stamps,
+                    1 => h.quarantines,
+                    _ => h.probes,
+                };
+                p.counter(name, help, &[("machine", machine), ("app", app)], v as f64);
+            }
+        }
+        {
+            let tel = lock(&inner.telemetry);
+            p.histogram(
+                "cdvm_job_latency_ns",
+                "End-to-end job latency (submission to completion), ns.",
+                &[],
+                &tel.latency_ns,
+            );
+            p.histogram(
+                "cdvm_job_queue_ns",
+                "Queue wait of the successful attempt, ns.",
+                &[],
+                &tel.queue_ns,
+            );
+            p.histogram(
+                "cdvm_job_run_ns",
+                "Execution time of the successful attempt, ns.",
+                &[],
+                &tel.run_ns,
+            );
+            p.counter(
+                "cdvm_trace_dropped_total",
+                "Trace-buffer records dropped across completed runs.",
+                &[],
+                tel.trace_dropped as f64,
+            );
+            p.counter(
+                "cdvm_uncrackable_insts_total",
+                "Guest instructions the cracker could not decode.",
+                &[],
+                tel.uncrackable_insts as f64,
+            );
+        }
+        let states = lock(&inner.slo).states();
+        for s in &states {
+            p.gauge(
+                "cdvm_slo_burn_rate",
+                "SLO burn rate (error-budget consumption multiple) per window.",
+                &[("objective", s.kind.name()), ("window", "fast")],
+                s.fast_burn,
+            );
+            p.gauge(
+                "cdvm_slo_burn_rate",
+                "SLO burn rate (error-budget consumption multiple) per window.",
+                &[("objective", s.kind.name()), ("window", "slow")],
+                s.slow_burn,
+            );
+        }
+        for s in &states {
+            p.gauge(
+                "cdvm_slo_firing",
+                "1 while the objective's multi-window alert is firing.",
+                &[("objective", s.kind.name())],
+                f64::from(u8::from(s.firing)),
+            );
+        }
+        for s in &states {
+            p.counter(
+                "cdvm_slo_alerts_total",
+                "Clear-to-firing alert transitions per objective.",
+                &[("objective", s.kind.name())],
+                s.fired as f64,
+            );
+        }
+        p.render()
     }
 
     /// The warm pool (chaos and inspection hooks).
@@ -529,8 +850,16 @@ fn supervisor(inner: &Arc<Inner>, w: usize) {
                 let mut jobs = lock(&inner.jobs);
                 match jobs.get_mut(&id) {
                     Some(rec) if !rec.state.is_terminal() => {
+                        let now = Instant::now();
                         rec.state = JobState::Queued;
-                        rec.queued_at = Instant::now();
+                        rec.queued_at = now;
+                        if inner.cfg.spans {
+                            let t = ns_since(inner.epoch, now);
+                            rec.spans.close_all(t);
+                            let mut q = Metrics::new();
+                            q.set("attempt", u64::from(rec.attempts) + 1).set("orphan", true);
+                            rec.spans.open("queued", t, q);
+                        }
                         Some(rec.spec.tenant.clone())
                     }
                     _ => None,
@@ -587,11 +916,23 @@ struct RunDone {
     arch_fnv: u64,
     warm: WarmLevel,
     run_ns: u64,
+    /// Trace-buffer records the capture ring dropped (0 when capture is
+    /// off).
+    trace_dropped: u64,
+    /// Guest instructions the cracker could not decode.
+    uncrackable: u64,
+    /// The instance's flight-recorder tracks, rendered onto the job's
+    /// service timeline (capture armed only).
+    vm_trace: Option<ChromeTrace>,
 }
 
 /// Runs one admitted job id on worker `w`, driving the retry and
 /// terminal-state machinery around [`run_attempt`].
 fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
+    // The moment the worker picked the job up: the end of its queue
+    // wait (`queue_ns`) and the `queued` span's close — one Instant for
+    // both, so spans and telemetry agree exactly.
+    let start = Instant::now();
     // Snapshot what this attempt needs; skip stale ids (the record went
     // terminal — e.g. cancelled — while the id sat in a queue).
     let (spec, attempts, cancel, submitted, queued_at) = {
@@ -609,6 +950,11 @@ fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
         }
         rec.attempts += 1;
         rec.state = JobState::Running;
+        if inner.cfg.spans {
+            let mut attrs = Metrics::new();
+            attrs.set("worker", w as u64);
+            rec.spans.close("queued", ns_since(inner.epoch, start), attrs);
+        }
         (
             rec.spec.clone(),
             rec.attempts,
@@ -650,9 +996,8 @@ fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
         return;
     }
     *lock(&inner.running[w]) = Some(id);
-    let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_attempt(inner, w, &spec, attempts, &cancel, submitted)
+        run_attempt(inner, w, id, &spec, attempts, &cancel, submitted)
     }));
     match result {
         Err(payload) => {
@@ -665,7 +1010,7 @@ fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
             let message = panic_message_str(payload.as_ref());
             retry_or_fail(inner, id, &spec, attempts, message);
         }
-        Ok(RunResult::Done(done)) => {
+        Ok(RunResult::Done(mut done)) => {
             *lock(&inner.running[w]) = None;
             let now = Instant::now();
             let out = JobOutput {
@@ -678,6 +1023,13 @@ fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
                 queue_ns: (start - queued_at).as_nanos() as u64,
                 run_ns: done.run_ns,
             };
+            if let Some(vm) = done.vm_trace.take() {
+                let mut jobs = lock(&inner.jobs);
+                if let Some(rec) = jobs.get_mut(&id) {
+                    rec.vm_trace = Some(vm);
+                }
+            }
+            lock(&inner.telemetry).note_capture(&spec.tenant, done.trace_dropped, done.uncrackable);
             let old = inner.run_ns_ewma.load(Ordering::Relaxed);
             let ewma = if old == 0 { done.run_ns } else { (3 * old + done.run_ns) / 4 };
             inner.run_ns_ewma.store(ewma, Ordering::Relaxed);
@@ -703,6 +1055,7 @@ fn execute(inner: &Arc<Inner>, w: usize, id: u64) {
 fn run_attempt(
     inner: &Arc<Inner>,
     w: usize,
+    id: u64,
     spec: &JobSpec,
     attempts: u32,
     cancel: &AtomicBool,
@@ -712,12 +1065,41 @@ fn run_attempt(
         panic!("chaos: injected job panic (attempt {attempts})");
     }
     let start = Instant::now();
-    let Some((mut sys, warm)) = inner.pool.checkout(spec.machine, &spec.app) else {
+    let Some((mut sys, info)) = inner.pool.checkout(spec.machine, &spec.app) else {
         // Catalog membership was validated at admission; a miss here
         // means the pool lost an entry — fail (and retry) rather than
         // panic a worker.
         return RunResult::Failed(format!("pool lost entry {}/{}", spec.machine, spec.app));
     };
+    let warm = info.warm;
+    if inner.cfg.warm_pool {
+        lock(&inner.slo).record(SloKind::WarmStamp, warm == WarmLevel::Warm);
+    }
+    let stamp_end = Instant::now();
+    if inner.cfg.spans {
+        let mut attrs = Metrics::new();
+        attrs
+            .set("warm", warm.name())
+            .set("applied", u64::from(info.applied))
+            .set("dropped", u64::from(info.dropped))
+            .set("probe", info.probe)
+            .set("quarantined", info.quarantined);
+        if let Some(e) = &info.error {
+            attrs.set("error", e.as_str());
+        }
+        let mut jobs = lock(&inner.jobs);
+        if let Some(rec) = jobs.get_mut(&id) {
+            rec.spans.push_closed(
+                "stamp",
+                ns_since(inner.epoch, start),
+                ns_since(inner.epoch, stamp_end),
+                attrs,
+            );
+            let mut run_attrs = Metrics::new();
+            run_attrs.set("worker", w as u64).set("attempt", u64::from(attempts));
+            rec.spans.open("run", ns_since(inner.epoch, stamp_end), run_attrs);
+        }
+    }
     if let Some(limit) = spec.deadline_insts {
         sys.arm_fuel_watchdog(limit);
     }
@@ -742,12 +1124,38 @@ fn run_attempt(
                 }
                 arch.extend_from_slice(&cpu.eip.to_le_bytes());
                 arch.extend_from_slice(&sys.x86_retired().to_le_bytes());
+                let trace_dropped = sys.trace().map(|t| t.dropped()).unwrap_or(0);
+                let uncrackable = sys.stats.uncrackable_insts;
+                let vm_trace = if inner.cfg.capture {
+                    // Shift the VM tracks (modeled µs) onto the job's
+                    // service timeline at its stamp point, so the
+                    // instance's startup telemetry sits under the
+                    // service spans in one merged Perfetto document.
+                    let trace = sys.trace().cloned();
+                    sys.take_recorder().map(|rec| {
+                        let mut ct = ChromeTrace::new();
+                        render_chrome_at(
+                            &mut ct,
+                            2,
+                            &format!("vm {}/{} job {id}", spec.machine, spec.app),
+                            ns_since(inner.epoch, start) as f64 / 1000.0,
+                            &rec,
+                            trace.as_ref(),
+                        );
+                        ct
+                    })
+                } else {
+                    None
+                };
                 return RunResult::Done(Box::new(RunDone {
                     cycles: sys.cycles(),
                     x86_retired: sys.x86_retired(),
                     arch_fnv: fnv1a64(&arch),
                     warm,
                     run_ns: start.elapsed().as_nanos() as u64,
+                    trace_dropped,
+                    uncrackable,
+                    vm_trace,
                 }));
             }
             Status::Exhausted(Watchdog::Fuel { .. }) => return RunResult::Expired,
@@ -781,6 +1189,19 @@ fn retry_or_fail(inner: &Arc<Inner>, id: u64, spec: &JobSpec, attempts: u32, mes
                 Some(rec) if !rec.state.is_terminal() => {
                     rec.state = JobState::Delayed;
                     rec.queued_at = due;
+                    if inner.cfg.spans {
+                        let now_ns = ns_since(inner.epoch, Instant::now());
+                        let due_ns = ns_since(inner.epoch, due);
+                        rec.spans.close_all(now_ns);
+                        let mut attrs = Metrics::new();
+                        attrs
+                            .set("attempt", u64::from(attempts))
+                            .set("error", message.as_str());
+                        rec.spans.push_closed("retry_backoff", now_ns, due_ns, attrs);
+                        let mut q = Metrics::new();
+                        q.set("attempt", u64::from(attempts) + 1);
+                        rec.spans.open("queued", due_ns, q);
+                    }
                     false
                 }
                 _ => true,
@@ -811,8 +1232,8 @@ fn set_terminal(inner: &Arc<Inner>, id: u64, state: JobState) -> bool {
     // flips terminal and wakes waiters: a client returning from `wait`
     // (or `drain` seeing `inflight == 0`) must already observe the
     // updated counters and telemetry. Lock order here is always
-    // jobs → telemetry → tenant_depth → terminal_order; no other path
-    // nests these.
+    // jobs → telemetry → slo → tenant_depth → terminal_order; no other
+    // path nests these.
     let mut jobs = lock(&inner.jobs);
     let Some(rec) = jobs.get_mut(&id) else {
         return false;
@@ -823,6 +1244,25 @@ fn set_terminal(inner: &Arc<Inner>, id: u64, state: JobState) -> bool {
             .double_terminal
             .fetch_add(1, Ordering::Relaxed);
         return false;
+    }
+    if inner.cfg.spans {
+        let now_ns = ns_since(inner.epoch, Instant::now());
+        if let JobState::Completed(out) = &state {
+            let mut attrs = Metrics::new();
+            attrs
+                .set("cycles", out.cycles)
+                .set("x86_retired", out.x86_retired)
+                .set("warm", out.warm.name())
+                .set("attempts", u64::from(out.attempts));
+            rec.spans.close("run", now_ns, attrs);
+        }
+        rec.spans.close_all(now_ns);
+        let mut attrs = Metrics::new();
+        attrs.set("state", state.name());
+        if let JobState::Failed { message, .. } = &state {
+            attrs.set("message", message.as_str());
+        }
+        rec.spans.push_closed("terminal", now_ns, now_ns, attrs);
     }
     let tenant = rec.spec.tenant.clone();
     let c = &inner.counters;
@@ -845,6 +1285,27 @@ fn set_terminal(inner: &Arc<Inner>, id: u64, state: JobState) -> bool {
             JobState::Cancelled => {
                 c.cancelled.fetch_add(1, Ordering::Relaxed);
                 tel.tenant_mut(&tenant).cancelled += 1;
+            }
+            _ => {}
+        }
+    }
+    {
+        // SLO accounting: completions and client cancellations end an
+        // admission well; failures and expiries consume error budget.
+        let mut slo = lock(&inner.slo);
+        match &state {
+            JobState::Completed(out) => {
+                slo.record(SloKind::ErrorRate, true);
+                slo.record(
+                    SloKind::RunLatency,
+                    out.run_ns <= inner.cfg.slo.run_latency_threshold_ns,
+                );
+            }
+            JobState::Failed { .. } | JobState::Expired { .. } => {
+                slo.record(SloKind::ErrorRate, false);
+            }
+            JobState::Cancelled => {
+                slo.record(SloKind::ErrorRate, true);
             }
             _ => {}
         }

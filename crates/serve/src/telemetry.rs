@@ -51,6 +51,12 @@ pub struct TenantTelemetry {
     pub queue_ns: CycleHistogram,
     /// Execution time of the successful attempt, nanoseconds.
     pub run_ns: CycleHistogram,
+    /// Trace-buffer records dropped across this tenant's completed runs
+    /// (silent data loss in the capture path, surfaced fleet-wide).
+    pub trace_dropped: u64,
+    /// Guest instructions the cracker could not decode across this
+    /// tenant's completed runs.
+    pub uncrackable_insts: u64,
     /// Ring of per-job summaries `(seq, summary)` for streaming.
     recent: VecDeque<(u64, Metrics)>,
     /// Hub tick of the last update (LRU eviction key).
@@ -92,7 +98,9 @@ impl TenantTelemetry {
             .set("degraded_jobs", self.degraded_jobs)
             .set("cold_jobs", self.cold_jobs)
             .set("cycles", self.cycles)
-            .set("x86_retired", self.insts);
+            .set("x86_retired", self.insts)
+            .set("trace_dropped", self.trace_dropped)
+            .set("uncrackable_insts", self.uncrackable_insts);
         if !self.latency_ns.is_empty() {
             m.set("latency_ns", self.latency_ns.summary_metrics())
                 .set("queue_ns", self.queue_ns.summary_metrics())
@@ -102,13 +110,26 @@ impl TenantTelemetry {
     }
 }
 
-/// All tenants' telemetry plus the global summary-stream sequence.
+/// All tenants' telemetry plus the global summary-stream sequence and
+/// the service-wide aggregates behind `GET /metrics` (per-tenant
+/// histograms would explode the exposition's cardinality with
+/// client-chosen tenant names; the fleet-wide view aggregates here).
 #[derive(Default)]
 pub(crate) struct TelemetryHub {
     tenants: HashMap<String, TenantTelemetry>,
     seq: u64,
     /// Monotonic update tick driving LRU tenant eviction.
     tick: u64,
+    /// Service-wide end-to-end latency across completed jobs, ns.
+    pub(crate) latency_ns: CycleHistogram,
+    /// Service-wide queue wait across completed jobs, ns.
+    pub(crate) queue_ns: CycleHistogram,
+    /// Service-wide execution time across completed jobs, ns.
+    pub(crate) run_ns: CycleHistogram,
+    /// Trace-buffer records dropped across all completed runs.
+    pub(crate) trace_dropped: u64,
+    /// Undecodable guest instructions across all completed runs.
+    pub(crate) uncrackable_insts: u64,
 }
 
 impl TelemetryHub {
@@ -141,7 +162,24 @@ impl TelemetryHub {
     pub(crate) fn note_completed(&mut self, tenant: &str, job_id: u64, out: &JobOutput, summary: Metrics) {
         self.seq += 1;
         let seq = self.seq;
+        self.latency_ns.record(out.latency_ns);
+        self.queue_ns.record(out.queue_ns);
+        self.run_ns.record(out.run_ns);
         self.tenant_mut(tenant).note_completed(seq, job_id, out, summary);
+    }
+
+    /// Accumulates one finished run's capture-path losses: trace-ring
+    /// drops and undecodable instructions (PR 9's `uncrackable_insts`),
+    /// both fleet-wide and against the tenant.
+    pub(crate) fn note_capture(&mut self, tenant: &str, trace_dropped: u64, uncrackable: u64) {
+        if trace_dropped == 0 && uncrackable == 0 {
+            return;
+        }
+        self.trace_dropped += trace_dropped;
+        self.uncrackable_insts += uncrackable;
+        let t = self.tenant_mut(tenant);
+        t.trace_dropped += trace_dropped;
+        t.uncrackable_insts += uncrackable;
     }
 
     /// Per-job summaries for `tenant` newer than `after`, with the

@@ -19,13 +19,37 @@ use std::time::Duration;
 
 use cdvm_bench::run_jobs;
 use cdvm_core::{FaultInjector, ImageFault};
-use cdvm_serve::{JobSpec, JobState, OverloadScope, ServeConfig, ServeError, Service, WarmLevel};
+use cdvm_serve::{
+    JobSpec, JobState, OverloadScope, ServeConfig, ServeError, Service, SloConfig, SloKind,
+    SloState, WarmLevel,
+};
 use cdvm_stats::MetricValue;
 use cdvm_uarch::MachineKind;
 use cdvm_workloads::{winstone2004, AppProfile};
 
 const SCALE: f64 = 0.005;
 const WAIT: Duration = Duration::from_secs(120);
+
+/// SLO windows shrunk so the chaos campaign can watch an alert fire
+/// *and* clear within a test's lifetime (slow window = 8 × 50 ms).
+fn test_slo() -> SloConfig {
+    SloConfig {
+        bucket_ms: 50,
+        fast_buckets: 2,
+        slow_buckets: 8,
+        fast_burn: 2.0,
+        slow_burn: 1.0,
+        error_rate_target: 0.9,
+        ..SloConfig::default()
+    }
+}
+
+fn slo_state(svc: &Service, kind: SloKind) -> SloState {
+    svc.slo()
+        .into_iter()
+        .find(|s| s.kind == kind)
+        .expect("objective registered")
+}
 
 fn catalog(machines: &[MachineKind], apps: &[&str]) -> Vec<(MachineKind, AppProfile)> {
     let profiles = winstone2004();
@@ -49,6 +73,10 @@ fn config(machines: &[MachineKind], apps: &[&str]) -> ServeConfig {
         catalog: catalog(machines, apps),
         global_queue_cap: 256,
         tenant_queue_cap: 256,
+        // The CI neutrality check re-runs this campaign with
+        // `CDVM_SPANS=0`: every invariant must hold with span
+        // recording disarmed too.
+        spans: std::env::var("CDVM_SPANS").map(|v| v != "0").unwrap_or(true),
         ..ServeConfig::default()
     }
 }
@@ -331,6 +359,7 @@ fn corrupted_images_serve_cold_then_recover() {
         prestamp: 0,
         breaker_threshold: 2,
         breaker_cooldown: 2,
+        slo: test_slo(),
         ..config(&machines, &apps)
     });
     let good = svc
@@ -372,6 +401,15 @@ fn corrupted_images_serve_cold_then_recover() {
                 }
                 st => panic!("round {round} ({report:?}): job ended {st:?}"),
             }
+        }
+        if round == 0 {
+            // Image corruption means every stamp in the window was
+            // degraded or cold: the warm-stamp SLO alert must have
+            // fired while the damage was being served. (`fired` is the
+            // latched clear→firing edge count; the instantaneous flag
+            // may already have aged out by the time the jobs finish.)
+            let s = slo_state(&svc, SloKind::WarmStamp);
+            assert!(s.fired >= 1, "corruption trips the warm-stamp alert: {s:?}");
         }
         let health = svc
             .pool()
@@ -422,6 +460,19 @@ fn corrupted_images_serve_cold_then_recover() {
             "round {round}: service is warm again after recovery"
         );
     }
+    // Recovery clears the alert on its own: once the bad stamps age out
+    // of the slow window, warm traffic drives both burns back to zero.
+    std::thread::sleep(Duration::from_millis(500));
+    for _ in 0..4 {
+        let id = svc
+            .submit(JobSpec::new("t0", "Word", MachineKind::VmSoft))
+            .expect("admitted");
+        admitted += 1;
+        assert!(matches!(wait_terminal(&svc, id), JobState::Completed(_)));
+    }
+    let s = slo_state(&svc, SloKind::WarmStamp);
+    assert!(!s.firing, "warm-stamp alert clears after recovery: {s:?}");
+    assert!(s.fired >= 1, "the monotonic fire count survives the clear");
     audit(&svc, admitted);
 }
 
@@ -461,6 +512,7 @@ fn overload_sheds_with_structured_errors() {
         workers: 1,
         global_queue_cap: 6,
         tenant_queue_cap: 3,
+        slo: test_slo(),
         ..config(&machines, &apps)
     });
 
@@ -495,16 +547,27 @@ fn overload_sheds_with_structured_errors() {
         tenant_shed + global_shed,
         "every rejection is counted"
     );
+    // Each shed consumed error budget with no good traffic yet in the
+    // window: the error-rate SLO alert must be firing.
+    let s = slo_state(&svc, SloKind::ErrorRate);
+    assert!(s.firing, "overload trips the error-rate alert: {s:?}");
+    assert!(s.fired >= 1);
 
     // The fleet stays live through the burst: everything admitted
     // completes, and once drained the service admits again.
     for id in &admitted {
         assert!(matches!(wait_terminal(&svc, *id), JobState::Completed(_)));
     }
+    // Once the sheds age out of the slow window and clean traffic flows,
+    // the alert clears on its own (the monotonic `fired` count stays).
+    std::thread::sleep(Duration::from_millis(500));
     let id = svc
         .submit(JobSpec::new("a", "Word", MachineKind::VmSoft))
         .expect("admission recovers after the backlog drains");
     assert!(matches!(wait_terminal(&svc, id), JobState::Completed(_)));
+    let s = slo_state(&svc, SloKind::ErrorRate);
+    assert!(!s.firing, "error-rate alert clears after the burst: {s:?}");
+    assert!(s.fired >= 1, "the monotonic fire count survives the clear");
     audit(&svc, admitted.len() as u64 + 1);
 }
 
@@ -617,11 +680,11 @@ fn concurrent_checkouts_of_one_pool_slot_are_isolated() {
         let handles: Vec<_> = (0..6)
             .map(|_| {
                 s.spawn(move || {
-                    let (mut sys, warm) = pool
+                    let (mut sys, info) = pool
                         .checkout(MachineKind::VmSoft, "Word")
                         .expect("served pair");
                     assert_eq!(sys.run_to_completion(u64::MAX), Status::Halted);
-                    (sys.x86_retired(), warm)
+                    (sys.x86_retired(), info.warm)
                 })
             })
             .collect();

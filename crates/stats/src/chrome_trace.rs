@@ -216,6 +216,14 @@ impl ChromeTrace {
         });
     }
 
+    /// Appends every event of `other` (cross-layer merge: e.g. service
+    /// span rows plus a VM instance's flight-recorder tracks in one
+    /// Perfetto document — events are self-contained one-line JSON
+    /// objects, so concatenation is the whole merge).
+    pub fn append(&mut self, other: &ChromeTrace) {
+        self.events.extend(other.events.iter().cloned());
+    }
+
     /// Serializes to the JSON-object trace format:
     /// `{"traceEvents": [...]}` with one event per line.
     pub fn to_json(&self) -> String {
@@ -272,6 +280,56 @@ mod tests {
         // Exactly one comma between the two events, none trailing.
         assert_eq!(j.matches("},\n{").count() + j.matches("},{").count(), 1, "{j}");
         assert!(!j.contains(",\n]"), "{j}");
+    }
+
+    #[test]
+    fn hostile_strings_are_escaped_everywhere() {
+        // Tenant names and poison signatures are client-chosen; every
+        // string position must escape quotes, backslashes and control
+        // characters into legal JSON.
+        let nasty = "t\"x\\y\u{1}\nz\tq\r\u{7f}";
+        let mut ct = ChromeTrace::new();
+        ct.process_name(1, nasty);
+        ct.thread_name(1, 0, nasty);
+        ct.complete(1, 0, nasty, nasty, 0.0, 1.0);
+        ct.instant(1, 0, nasty, nasty, 2.0);
+        let mut args = Metrics::new();
+        args.set(nasty, nasty);
+        ct.instant_args(1, 0, nasty, nasty, 3.0, &args);
+        ct.counter(1, nasty, 4.0, &[(nasty, 1.0)]);
+        let j = ct.to_json();
+        // One line per event plus the envelope header/footer: a leaked
+        // raw '\n' inside a string would split an event across lines.
+        assert_eq!(j.trim_end().lines().count(), ct.len() + 2, "{j}");
+        assert!(j.contains("\\u0001"), "{j}");
+        assert!(j.contains("t\\\"x\\\\y"), "{j}");
+        for line in j.lines().filter(|l| l.starts_with("{\"ph\"")) {
+            // Other control characters must be escaped within the line.
+            for raw in ['\u{1}', '\t', '\r'] {
+                assert!(!line.contains(raw), "raw control char {raw:?} leaked: {line}");
+            }
+            // Every quote is either structural or escaped: an unescaped
+            // quote inside a string would leave an odd structural count.
+            let structural = line
+                .as_bytes()
+                .iter()
+                .enumerate()
+                .filter(|(i, b)| **b == b'"' && (*i == 0 || line.as_bytes()[i - 1] != b'\\'))
+                .count();
+            assert_eq!(structural % 2, 0, "unbalanced quotes in {line}");
+        }
+    }
+
+    #[test]
+    fn append_merges_documents() {
+        let mut a = ChromeTrace::new();
+        a.instant(1, 0, "svc", "span", 1.0);
+        let mut b = ChromeTrace::new();
+        b.instant(2, 0, "vm", "phase", 2.0);
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+        let j = a.to_json();
+        assert!(j.contains("\"pid\":1") && j.contains("\"pid\":2"), "{j}");
     }
 
     #[test]

@@ -201,6 +201,35 @@ impl CycleHistogram {
             .map(|(i, &c)| (bucket_lo(i), c))
             .collect()
     }
+
+    /// Exact sum of all observations (the Prometheus `_sum` series).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, cumulative_count)`,
+    /// ascending — the shape a Prometheus histogram exposition needs
+    /// (`le` bounds with cumulative counts; the `+Inf` bucket is the
+    /// caller's [`CycleHistogram::count`]). The upper bound of bucket
+    /// `i` is one below the next bucket's lower bound, so consecutive
+    /// bounds are strictly increasing.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let ub = if i + 1 < NUM_BUCKETS {
+                bucket_lo(i + 1) - 1
+            } else {
+                u64::MAX
+            };
+            out.push((ub, cum));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +317,29 @@ mod tests {
         let m = h.summary_metrics();
         for k in ["count", "min", "mean", "p50", "p90", "p99", "max"] {
             assert!(m.get(k).is_some(), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let mut h = CycleHistogram::new();
+        for v in [0u64, 3, 3, 31, 100, 5000, u64::MAX] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().map(|(_, c)| *c), Some(h.count()));
+        assert_eq!(h.sum(), u128::from(u64::MAX) + 5137);
+        let mut prev: Option<(u64, u64)> = None;
+        for (ub, c) in &cum {
+            if let Some((pu, pc)) = prev {
+                assert!(*ub > pu, "upper bounds strictly increase");
+                assert!(*c > pc, "cumulative counts strictly increase");
+            }
+            prev = Some((*ub, *c));
+        }
+        // Each recorded value is covered by the first bound at or above it.
+        for v in [0u64, 3, 31, 100, 5000] {
+            assert!(cum.iter().any(|(ub, _)| *ub >= v));
         }
     }
 

@@ -15,7 +15,10 @@
 //! * [`Metrics`] — an insertion-ordered metrics registry with JSON
 //!   export (`metrics.json` emitted by every bench run);
 //! * [`ChromeTrace`] — Chrome `trace_event` JSON writer so flight-
-//!   recorder output loads in Perfetto / `chrome://tracing`.
+//!   recorder output loads in Perfetto / `chrome://tracing`;
+//! * [`PromText`] / [`parse_exposition`] — Prometheus text-exposition
+//!   writer (and the strict checker the tests use) backing the serve
+//!   layer's `GET /metrics`.
 
 #![warn(missing_docs)]
 
@@ -24,6 +27,7 @@ mod chrome_trace;
 mod cycle_histogram;
 mod histogram;
 mod metrics;
+mod prom;
 pub mod series;
 mod summary;
 mod table;
@@ -33,6 +37,7 @@ pub use chrome_trace::ChromeTrace;
 pub use cycle_histogram::CycleHistogram;
 pub use histogram::{FreqBucket, FreqHistogram};
 pub use metrics::{MetricValue, Metrics};
+pub use prom::{parse_exposition, sanitize_metric_name, PromFamily, PromKind, PromSample, PromText};
 pub use series::{LogSampler, Sample};
 pub use summary::{arith_mean, geo_mean, harmonic_mean};
 pub use table::Table;

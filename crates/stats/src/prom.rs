@@ -1,0 +1,573 @@
+//! Prometheus text-exposition (format 0.0.4) writer and checker.
+//!
+//! The serve layer's `GET /metrics` endpoint speaks the Prometheus
+//! text format; like every serializer in this workspace it is
+//! hand-rolled (no client-library dependency). [`PromText`] renders
+//! counters, gauges and histograms; [`parse_exposition`] is the
+//! matching strict reader used by the acceptance tests to prove the
+//! output is well-formed (family grouping, label escaping, cumulative
+//! histogram buckets with a `+Inf` bound).
+
+use std::fmt::Write as _;
+
+use crate::cycle_histogram::CycleHistogram;
+
+/// Sample-kind tag emitted on a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative-bucket histogram (`_bucket`/`_sum`/`_count`).
+    Histogram,
+}
+
+impl PromKind {
+    fn tag(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Builder for one exposition document.
+///
+/// `# HELP`/`# TYPE` headers are emitted once per family, the first
+/// time the family is written; callers keep all samples of a family
+/// together (the format requires it, and [`parse_exposition`] enforces
+/// it).
+///
+/// # Example
+///
+/// ```
+/// use cdvm_stats::PromText;
+///
+/// let mut p = PromText::new();
+/// p.counter("jobs_total", "Jobs by outcome", &[("outcome", "completed")], 3.0);
+/// p.counter("jobs_total", "Jobs by outcome", &[("outcome", "failed")], 1.0);
+/// p.gauge("inflight", "Admitted, not yet terminal", &[], 2.0);
+/// let text = p.render();
+/// assert!(text.contains("# TYPE jobs_total counter"));
+/// assert!(text.contains("jobs_total{outcome=\"failed\"} 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    families: Vec<String>,
+}
+
+/// Replaces every character that is invalid in a metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`) with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic()
+            || c == '_'
+            || c == ':'
+            || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn write_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes a HELP text (`\` → `\\`, newline → `\n`).
+fn write_help(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Renders a sample value: integers exactly, floats via `{:?}`,
+/// non-finite values in the format's spelling.
+fn write_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+impl PromText {
+    /// Creates an empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: PromKind) {
+        if self.families.iter().any(|f| f == name) {
+            return;
+        }
+        self.families.push(name.to_string());
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        write_help(&mut self.out, help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind.tag());
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&sanitize_metric_name(k));
+                self.out.push_str("=\"");
+                write_label_value(&mut self.out, v);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        write_value(&mut self.out, value);
+        self.out.push('\n');
+    }
+
+    /// Writes one counter sample (header on first use of the family).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let name = sanitize_metric_name(name);
+        self.header(&name, help, PromKind::Counter);
+        self.sample(&name, labels, value);
+    }
+
+    /// Writes one gauge sample (header on first use of the family).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let name = sanitize_metric_name(name);
+        self.header(&name, help, PromKind::Gauge);
+        self.sample(&name, labels, value);
+    }
+
+    /// Writes one histogram series from a [`CycleHistogram`]:
+    /// `_bucket{le=...}` lines (cumulative, from the histogram's
+    /// non-empty log buckets), the mandatory `le="+Inf"` bucket, `_sum`
+    /// and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        h: &CycleHistogram,
+    ) {
+        let name = sanitize_metric_name(name);
+        self.header(&name, help, PromKind::Histogram);
+        let bucket = format!("{name}_bucket");
+        let cum = h.cumulative_buckets();
+        let les: Vec<String> = cum.iter().map(|(ub, _)| ub.to_string()).collect();
+        for ((_, c), le) in cum.iter().zip(les.iter()) {
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket, &with_le, *c as f64);
+        }
+        let mut inf: Vec<(&str, &str)> = labels.to_vec();
+        inf.push(("le", "+Inf"));
+        self.sample(&bucket, &inf, h.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, h.sum() as f64);
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// The finished exposition body.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict reader (test support)
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (may carry a `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in document order.
+    pub labels: Vec<(String, String)>,
+    /// The parsed value.
+    pub value: f64,
+}
+
+/// One parsed metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// Declared kind.
+    pub kind: PromKind,
+    /// The family's samples, in document order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// The first sample matching `name` and containing all of `labels`.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&PromSample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_label_value(s: &str, i: &mut usize) -> Result<String, String> {
+    let b = s.as_bytes();
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {i:?}", i = *i));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated label value".to_string()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'n') => out.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *i += 1;
+            }
+            Some(_) => {
+                let rest = &s[*i..];
+                let c = rest.chars().next().ok_or("bad utf-8")?;
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (name_end, has_labels) = match (line.find('{'), line.find(' ')) {
+        (Some(b), Some(sp)) if b < sp => (b, true),
+        (_, Some(sp)) => (sp, false),
+        _ => return Err(format!("no value on sample line {line:?}")),
+    };
+    let name = line[..name_end].to_string();
+    if !valid_name(&name) {
+        return Err(format!("invalid sample name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut i = name_end;
+    if has_labels {
+        i += 1; // past '{'
+        loop {
+            if line[i..].starts_with('}') {
+                i += 1;
+                break;
+            }
+            let rest = &line[i..];
+            let eq = rest.find('=').ok_or_else(|| format!("label without '=' in {line:?}"))?;
+            let key = rest[..eq].trim().to_string();
+            if !valid_name(&key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            i += eq + 1;
+            let val = parse_label_value(line, &mut i)?;
+            labels.push((key, val));
+            if line[i..].starts_with(',') {
+                i += 1;
+            } else if !line[i..].starts_with('}') {
+                return Err(format!("bad label separator in {line:?}"));
+            }
+        }
+    }
+    let rest = line[i..].trim();
+    // A timestamp after the value is legal in the format; this writer
+    // never emits one, and the checker rejects it to keep output canonical.
+    let value = match rest {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {v:?} in {line:?}"))?,
+    };
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Strictly parses an exposition document: every sample must follow its
+/// family's `# TYPE` line, sample names must match the family (exact,
+/// or `_bucket`/`_sum`/`_count` for histograms), families must not be
+/// re-opened after another family starts, and every histogram label set
+/// must have cumulative non-decreasing buckets ending in `le="+Inf"`
+/// that agrees with `_count`.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn parse_exposition(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let mut help_seen: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("invalid HELP name {name:?}"));
+            }
+            help_seen.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = match parts.next() {
+                Some("counter") => PromKind::Counter,
+                Some("gauge") => PromKind::Gauge,
+                Some("histogram") => PromKind::Histogram,
+                other => return Err(format!("unsupported TYPE {other:?} for {name:?}")),
+            };
+            if !valid_name(name) {
+                return Err(format!("invalid TYPE name {name:?}"));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("family {name:?} re-opened (samples must be grouped)"));
+            }
+            families.push(PromFamily {
+                name: name.to_string(),
+                kind,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = parse_sample(line)?;
+        let fam = families
+            .last_mut()
+            .ok_or_else(|| format!("sample {:?} before any TYPE line", sample.name))?;
+        let ok = match fam.kind {
+            PromKind::Histogram => {
+                sample.name == format!("{}_bucket", fam.name)
+                    || sample.name == format!("{}_sum", fam.name)
+                    || sample.name == format!("{}_count", fam.name)
+            }
+            _ => sample.name == fam.name,
+        };
+        if !ok {
+            return Err(format!(
+                "sample {:?} does not belong to family {:?}",
+                sample.name, fam.name
+            ));
+        }
+        fam.samples.push(sample);
+    }
+    for fam in &families {
+        if fam.kind == PromKind::Histogram {
+            check_histogram(fam)?;
+        }
+    }
+    Ok(families)
+}
+
+/// Validates one histogram family: per label set (excluding `le`),
+/// buckets are cumulative in increasing `le`, end with `+Inf`, and the
+/// `+Inf` bucket equals `_count`.
+fn check_histogram(fam: &PromFamily) -> Result<(), String> {
+    let bucket_name = format!("{}_bucket", fam.name);
+    let count_name = format!("{}_count", fam.name);
+    let mut series: Vec<(Vec<(String, String)>, Vec<(f64, f64)>)> = Vec::new();
+    for s in fam.samples.iter().filter(|s| s.name == bucket_name) {
+        let le = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("{bucket_name} sample without le"))?;
+        let bound = match le {
+            "+Inf" => f64::INFINITY,
+            v => v.parse::<f64>().map_err(|_| format!("bad le {v:?}"))?,
+        };
+        let key: Vec<(String, String)> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        match series.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push((bound, s.value)),
+            None => series.push((key, vec![(bound, s.value)])),
+        }
+    }
+    for (key, buckets) in &series {
+        let mut prev: Option<(f64, f64)> = None;
+        for (bound, cum) in buckets {
+            if let Some((pb, pc)) = prev {
+                if *bound <= pb {
+                    return Err(format!("{}: le not increasing ({pb} -> {bound})", fam.name));
+                }
+                if *cum < pc {
+                    return Err(format!("{}: bucket counts not cumulative", fam.name));
+                }
+            }
+            prev = Some((*bound, *cum));
+        }
+        let Some((last_bound, last_cum)) = prev else {
+            continue;
+        };
+        if !last_bound.is_infinite() {
+            return Err(format!("{}: missing le=\"+Inf\" bucket", fam.name));
+        }
+        let count = fam
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == count_name
+                    && key
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .ok_or_else(|| format!("{}: missing _count for a bucket series", fam.name))?;
+        if (count.value - last_cum).abs() > 1e-9 {
+            return Err(format!(
+                "{}: +Inf bucket {} != _count {}",
+                fam.name, last_cum, count.value
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_parses_and_groups_families() {
+        let mut p = PromText::new();
+        p.counter("jobs_total", "Jobs", &[("outcome", "completed")], 7.0);
+        p.counter("jobs_total", "Jobs", &[("outcome", "failed")], 2.0);
+        p.gauge("inflight", "In flight", &[], 3.0);
+        let mut h = CycleHistogram::new();
+        for v in [3u64, 3, 40, 900] {
+            h.record(v);
+        }
+        p.histogram("latency_ns", "Latency", &[("tier", "warm")], &h);
+        let text = p.render();
+        let fams = parse_exposition(&text).expect("writer output parses");
+        assert_eq!(fams.len(), 3);
+        let jobs = &fams[0];
+        assert_eq!(jobs.kind, PromKind::Counter);
+        assert_eq!(
+            jobs.sample("jobs_total", &[("outcome", "failed")])
+                .expect("sample")
+                .value,
+            2.0
+        );
+        let lat = fams.iter().find(|f| f.name == "latency_ns").expect("family");
+        assert_eq!(lat.kind, PromKind::Histogram);
+        let count = lat
+            .sample("latency_ns_count", &[("tier", "warm")])
+            .expect("count");
+        assert_eq!(count.value, 4.0);
+        let sum = lat.sample("latency_ns_sum", &[]).expect("sum");
+        assert_eq!(sum.value, (3 + 3 + 40 + 900) as f64);
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_round_trip() {
+        let nasty = "he said \"hi\\there\"\nand left";
+        let mut p = PromText::new();
+        p.counter("c_total", "help with \\ and\nnewline", &[("tenant", nasty)], 1.0);
+        let text = p.render();
+        let fams = parse_exposition(&text).expect("escaped output parses");
+        assert_eq!(fams[0].samples[0].labels[0].1, nasty, "label round-trips");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("vm.soft/Word"), "vm_soft_Word");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        let mut p = PromText::new();
+        p.gauge("pool ready", "g", &[("bad key!", "v")], 1.0);
+        assert!(parse_exposition(&p.render()).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_exposition("no_type_line 1\n").is_err());
+        assert!(parse_exposition("# TYPE a counter\nb 1\n").is_err());
+        assert!(parse_exposition("# TYPE a counter\na nope\n").is_err());
+        assert!(parse_exposition("# TYPE a wat\na 1\n").is_err());
+        assert!(
+            parse_exposition("# TYPE a counter\na 1\n# TYPE b counter\nb 1\n# TYPE a counter\na 2\n")
+                .is_err(),
+            "re-opened family must be rejected"
+        );
+        // Histogram without +Inf.
+        assert!(parse_exposition("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n")
+            .is_err());
+        // Non-cumulative buckets.
+        assert!(parse_exposition(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 9\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn integer_values_render_exactly() {
+        let mut s = String::new();
+        write_value(&mut s, 123456789.0);
+        assert_eq!(s, "123456789");
+        s.clear();
+        write_value(&mut s, 0.25);
+        assert_eq!(s, "0.25");
+        s.clear();
+        write_value(&mut s, f64::INFINITY);
+        assert_eq!(s, "+Inf");
+    }
+}
